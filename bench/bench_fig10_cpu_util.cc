@@ -1,0 +1,81 @@
+// Figure 10: average CPU utilisation (a) per metadata storage node (NDB
+// datanode / Ceph OSD) and (b) per metadata server (NN / MDS), sweeping
+// the number of metadata servers.
+//
+// Shape targets (paper): NDB CPU rises then plateaus after ~12 NNs; OSD
+// CPU stays flat; HopsFS namenodes drive all their cores while the
+// single-threaded Ceph MDS cannot.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cephfs_bench_common.h"
+
+namespace repro::bench {
+namespace {
+
+void Main() {
+  PrintHeader("CPU utilisation per storage node / metadata server (%)",
+              "Figure 10");
+
+  const auto counts = ResourceSweepCounts();
+
+  std::printf("\n(a) per metadata storage node\n%-22s", "setup");
+  for (int n : counts) std::printf("%10d", n);
+  std::printf("\n");
+  std::vector<std::vector<double>> nn_cpu;
+  std::vector<std::string> names;
+  for (auto setup : AllHopsFsSetups()) {
+    std::printf("%-22s", hopsfs::PaperSetupName(setup));
+    std::fflush(stdout);
+    names.push_back(hopsfs::PaperSetupName(setup));
+    nn_cpu.emplace_back();
+    for (int n : counts) {
+      RunConfig cfg;
+      cfg.setup = setup;
+      cfg.num_namenodes = n;
+      const auto out = RunHopsFsWorkload(cfg);
+      std::printf("%10.1f", 100 * out.resources.ndb_cpu_util);
+      nn_cpu.back().push_back(100 * out.resources.nn_cpu_util);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  for (auto variant : AllCephVariants()) {
+    std::printf("%-22s", CephVariantName(variant));
+    std::fflush(stdout);
+    names.push_back(CephVariantName(variant));
+    nn_cpu.emplace_back();
+    for (int n : counts) {
+      CephRunConfig cfg;
+      cfg.variant = variant;
+      cfg.num_mds = n;
+      const auto out = RunCephWorkload(cfg);
+      std::printf("%10.1f", 100 * out.osd_cpu_util);
+      nn_cpu.back().push_back(100 * out.mds_cpu_util);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) per metadata server\n%-22s", "setup");
+  for (int n : counts) std::printf("%10d", n);
+  std::printf("\n");
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-22s", names[i].c_str());
+    for (double v : nn_cpu[i]) std::printf("%10.1f", v);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper shapes: NDB CPU plateaus after ~12 NNs; OSD CPU ~constant;\n"
+      "multi-threaded NNs use their cores, the single-threaded MDS with a\n"
+      "global lock cannot.\n");
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() {
+  repro::bench::Main();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 12: average network and disk utilisation of the metadata storage
+// layer (per NDB datanode / Ceph OSD), sweeping metadata servers.
+//
+// Shape targets (paper): NDB network I/O grows linearly with namenodes
+// (in-memory database: network-heavy, disk-light — only REDO log and
+// checkpoints hit disk); the OSD is the reverse: network-light but disk-
+// bound on journal writes, plateauing after ~24 MDSs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cephfs_bench_common.h"
+
+namespace repro::bench {
+namespace {
+
+struct Row {
+  std::string name;
+  std::vector<double> net_rd, net_wr, disk_rd, disk_wr;
+};
+
+void Print(const char* title, const std::vector<Row>& rows,
+           const std::vector<int>& counts,
+           std::vector<double> Row::* member) {
+  std::printf("\n(%s) MB/s per storage node\n%-22s", title, "setup");
+  for (int n : counts) std::printf("%10d", n);
+  std::printf("\n");
+  for (const auto& r : rows) {
+    std::printf("%-22s", r.name.c_str());
+    for (double v : r.*member) std::printf("%10.2f", v);
+    std::printf("\n");
+  }
+}
+
+void Main() {
+  PrintHeader("Metadata storage layer network & disk utilisation",
+              "Figure 12");
+
+  const auto counts = ResourceSweepCounts();
+  std::vector<Row> rows;
+
+  for (auto setup : AllHopsFsSetups()) {
+    Row row;
+    row.name = hopsfs::PaperSetupName(setup);
+    for (int n : counts) {
+      RunConfig cfg;
+      cfg.setup = setup;
+      cfg.num_namenodes = n;
+      const auto out = RunHopsFsWorkload(cfg);
+      row.net_rd.push_back(out.resources.ndb_net_read_mbps);
+      row.net_wr.push_back(out.resources.ndb_net_write_mbps);
+      row.disk_rd.push_back(out.resources.ndb_disk_read_mbps);
+      row.disk_wr.push_back(out.resources.ndb_disk_write_mbps);
+    }
+    rows.push_back(std::move(row));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  for (auto variant : AllCephVariants()) {
+    Row row;
+    row.name = CephVariantName(variant);
+    for (int n : counts) {
+      CephRunConfig cfg;
+      cfg.variant = variant;
+      cfg.num_mds = n;
+      const auto out = RunCephWorkload(cfg);
+      row.net_rd.push_back(out.osd_net_read_mbps);
+      row.net_wr.push_back(out.osd_net_write_mbps);
+      row.disk_rd.push_back(out.osd_disk_read_mbps);
+      row.disk_wr.push_back(out.osd_disk_write_mbps);
+    }
+    rows.push_back(std::move(row));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  Print("a: network read", rows, counts, &Row::net_rd);
+  Print("b: network write", rows, counts, &Row::net_wr);
+  Print("c: disk read", rows, counts, &Row::disk_rd);
+  Print("d: disk write", rows, counts, &Row::disk_wr);
+
+  std::printf(
+      "\nPaper shapes: NDB network grows ~linearly with NNs, NDB disk only\n"
+      "carries REDO/checkpoints; OSD network stays low while OSD disk\n"
+      "(journal) climbs and plateaus after ~24 MDSs.\n");
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() {
+  repro::bench::Main();
+  return 0;
+}

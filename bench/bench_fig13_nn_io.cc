@@ -1,0 +1,67 @@
+// Figure 13: average network and disk utilisation per metadata server
+// (namenode / MDS), sweeping the number of metadata servers.
+//
+// Shape targets (paper): HopsFS namenodes push an order of magnitude more
+// network traffic than Ceph MDSs (whose clients are served by the kernel
+// cache); neither uses meaningful disk at the serving layer.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cephfs_bench_common.h"
+
+namespace repro::bench {
+namespace {
+
+void Main() {
+  PrintHeader("Per-metadata-server network utilisation", "Figure 13");
+
+  const auto counts = ResourceSweepCounts();
+  std::printf("\n%-22s", "setup");
+  for (int n : counts) std::printf("%16d", n);
+  std::printf("\n%-22s", "");
+  for (size_t i = 0; i < counts.size(); ++i) std::printf("%9s%7s", "rd", "wr");
+  std::printf("   (MB/s)\n");
+
+  for (auto setup : AllHopsFsSetups()) {
+    std::printf("%-22s", hopsfs::PaperSetupName(setup));
+    std::fflush(stdout);
+    for (int n : counts) {
+      RunConfig cfg;
+      cfg.setup = setup;
+      cfg.num_namenodes = n;
+      const auto out = RunHopsFsWorkload(cfg);
+      std::printf("%9.2f%7.2f", out.resources.nn_net_read_mbps,
+                  out.resources.nn_net_write_mbps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  for (auto variant : AllCephVariants()) {
+    std::printf("%-22s", CephVariantName(variant));
+    std::fflush(stdout);
+    for (int n : counts) {
+      CephRunConfig cfg;
+      cfg.variant = variant;
+      cfg.num_mds = n;
+      const auto out = RunCephWorkload(cfg);
+      std::printf("%9.2f%7.2f", out.mds_net_read_mbps,
+                  out.mds_net_write_mbps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper shape: HopsFS/CL namenodes move ~an order of magnitude more\n"
+      "bytes than Ceph MDSs (client kernel caches absorb Ceph's reads);\n"
+      "metadata servers use no disk in either system (all state is in NDB\n"
+      "or the OSDs).\n");
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() {
+  repro::bench::Main();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 14: reads served by each replica of the first 24 partitions,
+// with the Read Backup table option enabled vs disabled (§V-E).
+//
+// Shape targets (paper): with Read Backup disabled every read goes to the
+// primary replica (which may not be AZ-local); enabled, reads split
+// roughly 50% primary / 25% / 25% across the three replicas — i.e. the
+// committed reads became AZ-local while locked reads still pin to the
+// primary.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace repro::bench {
+namespace {
+
+void RunCase(bool read_backup) {
+  RunConfig cfg;
+  cfg.setup = hopsfs::PaperSetup::kHopsFsCl_3_3;
+  cfg.num_namenodes = FullScale() ? 24 : 12;
+  cfg.tweak = [read_backup](hopsfs::DeploymentOptions& o) {
+    o.override_read_backup = read_backup ? 1 : 0;
+  };
+  const auto out = RunHopsFsWorkload(cfg);
+
+  std::printf("\n--- Read Backup %s ---\n", read_backup ? "ENABLED"
+                                                        : "DISABLED");
+  std::printf("%-10s%12s%12s%12s%12s\n", "partition", "primary", "backup1",
+              "backup2", "reads");
+  double sum_primary = 0, sum_b1 = 0, sum_b2 = 0;
+  int used = 0;
+  for (int p = 0; p < 24 && p < static_cast<int>(out.replica_reads.size());
+       ++p) {
+    const auto& counts = out.replica_reads[p];
+    const int64_t total = counts[0] + counts[1] + counts[2];
+    if (total == 0) {
+      std::printf("%-10d%12s%12s%12s%12d\n", p, "-", "-", "-", 0);
+      continue;
+    }
+    const double f0 = 100.0 * counts[0] / total;
+    const double f1 = 100.0 * counts[1] / total;
+    const double f2 = 100.0 * counts[2] / total;
+    std::printf("%-10d%11.1f%%%11.1f%%%11.1f%%%12lld\n", p, f0, f1, f2,
+                static_cast<long long>(total));
+    sum_primary += f0;
+    sum_b1 += f1;
+    sum_b2 += f2;
+    ++used;
+  }
+  if (used > 0) {
+    std::printf("%-10s%11.1f%%%11.1f%%%11.1f%%\n", "average",
+                sum_primary / used, sum_b1 / used, sum_b2 / used);
+  }
+}
+
+void Main() {
+  PrintHeader("Reads per partition replica with/without Read Backup",
+              "Figure 14");
+  RunCase(/*read_backup=*/true);
+  RunCase(/*read_backup=*/false);
+  std::printf(
+      "\nPaper: disabled -> 100%% of reads on the primary; enabled -> the\n"
+      "expected ~50%% primary / 25%% / 25%% split (locked reads pin to the\n"
+      "primary, committed reads go AZ-local).\n");
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() {
+  repro::bench::Main();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8: average end-to-end operation latency on the Spotify workload
+// while sweeping the number of metadata servers.
+//
+// Shape targets (paper): HopsFS/HopsFS-CL roughly flat at ~8-14 ms under
+// load; HopsFS-CL up to 35% below the AZ-oblivious 3-AZ deployments;
+// CephFS default up to 9x above HopsFS-CL (16x with SkipKCache), while
+// CephFS-DirPinned dips below HopsFS-CL thanks to the kernel cache.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cephfs_bench_common.h"
+
+namespace repro::bench {
+namespace {
+
+void Main() {
+  PrintHeader("Average end-to-end latency (ms) vs metadata servers",
+              "Figure 8");
+
+  const auto counts = ResourceSweepCounts();
+  std::printf("\n%-22s", "setup");
+  for (int n : counts) std::printf("%10d", n);
+  std::printf("\n");
+
+  for (auto setup : AllHopsFsSetups()) {
+    std::printf("%-22s", hopsfs::PaperSetupName(setup));
+    std::fflush(stdout);
+    for (int n : counts) {
+      RunConfig cfg;
+      cfg.setup = setup;
+      cfg.num_namenodes = n;
+      const auto out = RunHopsFsWorkload(cfg);
+      std::printf("%10.2f", out.results.all.MeanMillis());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  for (auto variant : AllCephVariants()) {
+    std::printf("%-22s", CephVariantName(variant));
+    std::fflush(stdout);
+    for (int n : counts) {
+      CephRunConfig cfg;
+      cfg.variant = variant;
+      cfg.num_mds = n;
+      const auto out = RunCephWorkload(cfg);
+      std::printf("%10.2f", out.results.all.MeanMillis());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper shapes: HopsFS/CL ~flat; CL up to 35%% below AZ-oblivious\n"
+      "3-AZ HopsFS; CephFS default up to 9x above CL; DirPinned below CL\n"
+      "(kernel cache); SkipKCache up to 16x above CL.\n");
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() {
+  repro::bench::Main();
+  return 0;
+}

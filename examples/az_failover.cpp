@@ -1,0 +1,96 @@
+// az_failover: demonstrates the paper's headline HA property (§V-F) —
+// a HopsFS-CL (3,3) deployment keeps serving through the failure of an
+// entire availability zone, and an AZ network partition is resolved by
+// the arbitrator without a split brain.
+//
+//   ./build/examples/az_failover
+#include <cstdio>
+
+#include "hopsfs/deployment.h"
+#include "util/strings.h"
+
+using namespace repro;
+using namespace repro::hopsfs;
+
+namespace {
+
+int ProbeOk(Simulation& sim, HopsFsClient* client, int n, int round) {
+  int ok = 0;
+  for (int i = 0; i < n; ++i) {
+    bool done = false;
+    Status status;
+    client->Create(StrFormat("/jobs/out-%d-%d", round, i), 0,
+                   [&](Status s) {
+                     status = s;
+                     done = true;
+                   });
+    const Nanos deadline = sim.now() + 30 * kSecond;
+    while (!done && sim.now() < deadline) sim.RunFor(kMillisecond);
+    if (done && status.ok()) ++ok;
+  }
+  return ok;
+}
+
+void PrintNdbState(Deployment& fs) {
+  auto& layout = fs.ndb().layout();
+  std::printf("  NDB datanodes alive per AZ: ");
+  for (AzId az = 0; az < 3; ++az) {
+    int alive = 0;
+    for (int n = 0; n < fs.ndb().num_datanodes(); ++n) {
+      if (layout.az_of(n) == az && layout.alive(n)) ++alive;
+    }
+    std::printf("az%d=%d ", az, alive);
+  }
+  std::printf("| cluster %s\n", fs.ndb().cluster_up() ? "UP" : "DOWN");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Availability-zone failover demo (HopsFS-CL (3,3)) ==\n\n");
+  Simulation sim(99);
+  auto options =
+      DeploymentOptions::FromPaperSetup(PaperSetup::kHopsFsCl_3_3, 6);
+  Deployment fs(sim, options);
+  fs.Start();
+  sim.RunFor(Seconds(3));
+
+  HopsFsClient* client = fs.AddClient(/*az=*/1);  // survives both events
+  bool made = false;
+  client->Mkdir("/jobs", [&](Status) { made = true; });
+  while (!made) sim.RunFor(kMillisecond);
+
+  std::printf("[t=%.1fs] steady state\n", ToSeconds(sim.now()));
+  PrintNdbState(fs);
+  std::printf("  probes: %d/10 ok\n\n", ProbeOk(sim, client, 10, 0));
+
+  // ---- Event 1: AZ 0 goes completely dark. ----
+  std::printf("[t=%.1fs] !!! AZ 0 loses power\n", ToSeconds(sim.now()));
+  fs.topology().SetAzUp(0, false);
+  for (const auto& nn : fs.namenodes()) {
+    if (nn->az() == 0) nn->Crash();
+  }
+  sim.RunFor(Seconds(3));  // heartbeat detection + failover
+  PrintNdbState(fs);
+  std::printf("  probes: %d/10 ok  (replication 3 keeps one replica per "
+              "surviving AZ)\n\n",
+              ProbeOk(sim, client, 10, 1));
+
+  // ---- Recovery, then Event 2: a network partition cuts off AZ 2. ----
+  fs.topology().SetAzUp(0, true);  // hosts return (NDB nodes stay down:
+                                   // rejoining needs recovery, out of scope)
+  std::printf("[t=%.1fs] !!! network partition isolates AZ 2\n",
+              ToSeconds(sim.now()));
+  fs.topology().PartitionAzs(2, 0);
+  fs.topology().PartitionAzs(2, 1);
+  sim.RunFor(Seconds(3));  // suspicion -> arbitration -> losers shut down
+  PrintNdbState(fs);
+  std::printf("  the arbitrator blessed the majority side; AZ 2's NDB "
+              "nodes shut down\n");
+  std::printf("  probes: %d/10 ok\n\n", ProbeOk(sim, client, 10, 2));
+
+  std::printf("Done: the file system served clients through an AZ outage\n"
+              "and a split-brain partition, exactly the failure model the\n"
+              "paper's AZ-aware replication is built for (§IV, §V-F).\n");
+  return 0;
+}

@@ -1,0 +1,235 @@
+// fsshell: an interactive shell over a simulated HopsFS-CL cluster.
+//
+// Run it and type commands (or pipe a script):
+//   ./build/examples/fsshell
+//   echo "mkdir /a\nput /a/f 1024\nls /a\ndu /\nexit" | ./build/examples/fsshell
+//
+// Commands:
+//   mkdir <p>         ls <p>            stat <p>        cat <p>
+//   put <p> <bytes>   append <p> <b>    rm <p>          rmr <p>
+//   mv <a> <b>        chmod <p> <octal> chown <p> <u>   du <p>
+//   whoami / su <u>   crash-ndb <n>     restart-ndb <n> crash-nn <n>
+//   partition <az> <az>  heal           status          help / exit
+//
+// Every command is a real distributed transaction against the simulated
+// 3-AZ cluster; the simulation advances only while commands execute.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hopsfs/deployment.h"
+#include "util/strings.h"
+
+using namespace repro;
+using namespace repro::hopsfs;
+
+namespace {
+
+class Shell {
+ public:
+  Shell()
+      : sim_(1),
+        options_(DeploymentOptions::FromPaperSetup(
+            PaperSetup::kHopsFsCl_3_3, 6)) {
+    options_.block_datanodes = 6;
+    fs_ = std::make_unique<Deployment>(sim_, options_);
+    fs_->Start();
+    sim_.RunFor(Seconds(4));
+    client_ = fs_->AddClient(0);
+  }
+
+  int Run() {
+    std::printf("HopsFS-CL shell — simulated 3-AZ cluster "
+                "(12 NDB nodes RF=3, 6 NNs, 6 DNs). 'help' for commands.\n");
+    std::string line;
+    while (true) {
+      std::printf("hopsfs> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      if (!Dispatch(line)) break;
+    }
+    std::printf("bye\n");
+    return 0;
+  }
+
+ private:
+  Status Await(std::function<void(HopsFsClient::StatusCb)> op) {
+    Status out = Internal("hung");
+    bool done = false;
+    op([&](Status s) {
+      out = s;
+      done = true;
+    });
+    const Nanos deadline = sim_.now() + 60 * kSecond;
+    while (!done && sim_.now() < deadline) sim_.RunFor(kMillisecond);
+    return done ? out : TimedOut("no reply (cluster down?)");
+  }
+
+  FsResult AwaitFull(FsRequest req) {
+    FsResult out;
+    out.status = Internal("hung");
+    bool done = false;
+    client_->Submit(std::move(req), [&](FsResult r) {
+      out = std::move(r);
+      done = true;
+    });
+    const Nanos deadline = sim_.now() + 60 * kSecond;
+    while (!done && sim_.now() < deadline) sim_.RunFor(kMillisecond);
+    return out;
+  }
+
+  void Print(const Status& s) {
+    std::printf("%s   [t=%.3fs]\n", s.ToString().c_str(),
+                ToSeconds(sim_.now()));
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd, a, b;
+    in >> cmd >> a >> b;
+    if (cmd.empty()) return true;
+
+    if (cmd == "exit" || cmd == "quit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "  mkdir ls stat cat put append rm rmr mv chmod chown du\n"
+          "  whoami su crash-ndb restart-ndb crash-nn partition heal "
+          "status exit\n");
+    } else if (cmd == "mkdir") {
+      Print(Await([&](auto cb) { client_->Mkdir(a, cb); }));
+    } else if (cmd == "ls") {
+      FsRequest r;
+      r.op = FsOp::kListDir;
+      r.path = a.empty() ? "/" : a;
+      auto res = AwaitFull(std::move(r));
+      if (res.status.ok()) {
+        for (const auto& c : res.children) std::printf("  %s\n", c.c_str());
+        std::printf("(%zu entries)\n", res.children.size());
+      } else {
+        Print(res.status);
+      }
+    } else if (cmd == "stat") {
+      FsRequest r;
+      r.op = FsOp::kStat;
+      r.path = a;
+      auto res = AwaitFull(std::move(r));
+      if (res.status.ok()) {
+        std::printf("  %s %s owner=%s perms=%o size=%lld\n", a.c_str(),
+                    res.inode.is_dir ? "dir" : "file",
+                    res.inode.owner.empty() ? "hdfs"
+                                            : res.inode.owner.c_str(),
+                    res.inode.permissions,
+                    static_cast<long long>(res.inode.size));
+      } else {
+        Print(res.status);
+      }
+    } else if (cmd == "cat") {
+      FsRequest r;
+      r.op = FsOp::kOpenRead;
+      r.path = a;
+      auto res = AwaitFull(std::move(r));
+      if (res.status.ok()) {
+        std::printf("  read %lld inline bytes, %zu blocks\n",
+                    static_cast<long long>(res.inline_bytes),
+                    res.blocks.size());
+      } else {
+        Print(res.status);
+      }
+    } else if (cmd == "put") {
+      const int64_t bytes = b.empty() ? 0 : std::stoll(b);
+      Print(Await([&](auto cb) { client_->Create(a, bytes, cb); }));
+    } else if (cmd == "append") {
+      Print(Await([&](auto cb) { client_->Append(a, std::stoll(b), cb); }));
+    } else if (cmd == "rm") {
+      Print(Await([&](auto cb) { client_->Delete(a, cb); }));
+    } else if (cmd == "rmr") {
+      Print(Await([&](auto cb) { client_->DeleteRecursive(a, cb); }));
+    } else if (cmd == "mv") {
+      Print(Await([&](auto cb) { client_->Rename(a, b, cb); }));
+    } else if (cmd == "chmod") {
+      Print(Await([&](auto cb) {
+        client_->Chmod(a, static_cast<uint32_t>(std::stoul(b, nullptr, 8)),
+                       cb);
+      }));
+    } else if (cmd == "chown") {
+      Print(Await([&](auto cb) { client_->Chown(a, b, cb); }));
+    } else if (cmd == "du") {
+      bool done = false;
+      client_->ContentSummary(a.empty() ? "/" : a,
+                              [&](Status s, int64_t f, int64_t d,
+                                  int64_t bytes) {
+                                if (s.ok()) {
+                                  std::printf("  %lld files, %lld dirs, "
+                                              "%lld bytes\n",
+                                              static_cast<long long>(f),
+                                              static_cast<long long>(d),
+                                              static_cast<long long>(bytes));
+                                } else {
+                                  Print(s);
+                                }
+                                done = true;
+                              });
+      while (!done) sim_.RunFor(kMillisecond);
+    } else if (cmd == "whoami") {
+      std::printf("  %s\n", client_->user().empty() ? "hdfs (superuser)"
+                                                    : client_->user().c_str());
+    } else if (cmd == "su") {
+      client_->set_user(a == "hdfs" ? "" : a);
+      std::printf("  now acting as %s\n", a.c_str());
+    } else if (cmd == "crash-ndb") {
+      const int n = std::stoi(a);
+      fs_->ndb().CrashDatanode(n);
+      sim_.RunFor(Seconds(2));
+      std::printf("  ndb datanode %d crashed (failover done)\n", n);
+    } else if (cmd == "restart-ndb") {
+      const int n = std::stoi(a);
+      bool done = false;
+      fs_->ndb().RestartDatanode(n, [&] { done = true; });
+      const Nanos deadline = sim_.now() + 120 * kSecond;
+      while (!done && sim_.now() < deadline) sim_.RunFor(Millis(10));
+      std::printf(done ? "  ndb datanode %d resynced and rejoined\n"
+                       : "  ndb datanode %d did not rejoin (timeout)\n",
+                  n);
+    } else if (cmd == "crash-nn") {
+      const int n = std::stoi(a);
+      fs_->namenode(n)->Crash();
+      sim_.RunFor(Seconds(5));
+      std::printf("  namenode %d crashed; leader is now nn%d\n", n,
+                  fs_->leader() ? fs_->leader()->id() : -1);
+    } else if (cmd == "partition") {
+      fs_->topology().PartitionAzs(std::stoi(a), std::stoi(b));
+      sim_.RunFor(Seconds(2));
+      std::printf("  partitioned az%s <-> az%s (arbitrator resolved)\n",
+                  a.c_str(), b.c_str());
+    } else if (cmd == "heal") {
+      fs_->topology().HealAllPartitions();
+      std::printf("  partitions healed\n");
+    } else if (cmd == "status") {
+      auto& layout = fs_->ndb().layout();
+      std::printf("  cluster %s | NDB alive:",
+                  fs_->ndb().cluster_up() ? "UP" : "DOWN");
+      for (int n = 0; n < fs_->ndb().num_datanodes(); ++n) {
+        std::printf(" %d%s", n, layout.alive(n) ? "" : "(dead)");
+      }
+      std::printf("\n  leader nn%d | inter-AZ bytes %lld\n",
+                  fs_->leader() ? fs_->leader()->id() : -1,
+                  static_cast<long long>(fs_->network().inter_az_bytes()));
+    } else {
+      std::printf("  unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  Simulation sim_;
+  DeploymentOptions options_;
+  std::unique_ptr<Deployment> fs_;
+  HopsFsClient* client_ = nullptr;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run();
+}

@@ -1,0 +1,90 @@
+// spotify_workload: runs the paper's industrial workload (§V-B1) against
+// two deployments of the metadata stack — vanilla HopsFS spread over 3
+// AZs versus HopsFS-CL — and prints the side-by-side result the paper's
+// evaluation is about: AZ awareness turns the cross-AZ latency tax back
+// into throughput.
+//
+//   ./build/examples/spotify_workload
+#include <cstdio>
+
+#include "hopsfs/deployment.h"
+#include "workload/driver.h"
+#include "workload/fs_interface.h"
+
+using namespace repro;
+
+namespace {
+
+struct Outcome {
+  double ops_per_sec;
+  double mean_ms;
+  double p99_ms;
+  double inter_az_mb;
+};
+
+Outcome RunOne(hopsfs::PaperSetup setup) {
+  Simulation sim(7);
+  auto options = hopsfs::DeploymentOptions::FromPaperSetup(setup, 6);
+  hopsfs::Deployment fs(sim, options);
+  fs.Start();
+
+  workload::NamespaceConfig ns;
+  ns.users = 128;
+  workload::SpotifyWorkload wl(ns, 7);
+  fs.BootstrapNamespace(wl.all_dirs(), wl.all_files());
+
+  std::vector<std::unique_ptr<workload::HopsFsTarget>> targets;
+  std::vector<workload::FsTarget*> ptrs;
+  for (int i = 0; i < 96; ++i) {
+    targets.push_back(
+        std::make_unique<workload::HopsFsTarget>(fs.AddClient()));
+    ptrs.push_back(targets.back().get());
+  }
+  sim.RunFor(Seconds(3));
+
+  workload::ClosedLoopDriver driver(
+      sim, ptrs, [&wl](Rng& rng, std::vector<std::string>& owned) {
+        return wl.Next(rng, owned);
+      });
+  Nanos w0 = 0;
+  auto res = driver.Run(Millis(200), Millis(600), [&] {
+    fs.ResetStats();
+    w0 = sim.now();
+  });
+
+  Outcome out;
+  out.ops_per_sec = res.ops_per_sec();
+  out.mean_ms = res.all.MeanMillis();
+  out.p99_ms = ToMillis(res.all.Percentile(0.99));
+  out.inter_az_mb =
+      static_cast<double>(fs.network().inter_az_bytes()) / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Spotify workload: HopsFS (3,3) vs HopsFS-CL (3,3) ==\n");
+  std::printf("(6 namenodes, 96 closed-loop clients, ~94%% read mix)\n\n");
+
+  const auto vanilla = RunOne(hopsfs::PaperSetup::kHopsFs_3_3);
+  const auto cl = RunOne(hopsfs::PaperSetup::kHopsFsCl_3_3);
+
+  std::printf("%-24s%14s%12s%12s%16s\n", "", "ops/s", "mean ms", "p99 ms",
+              "inter-AZ MB");
+  std::printf("%-24s%14.0f%12.2f%12.2f%16.1f\n", "HopsFS (3,3)",
+              vanilla.ops_per_sec, vanilla.mean_ms, vanilla.p99_ms,
+              vanilla.inter_az_mb);
+  std::printf("%-24s%14.0f%12.2f%12.2f%16.1f\n", "HopsFS-CL (3,3)",
+              cl.ops_per_sec, cl.mean_ms, cl.p99_ms, cl.inter_az_mb);
+
+  std::printf("\nHopsFS-CL: %+.1f%% throughput, %.1fx less inter-AZ "
+              "traffic.\n",
+              100.0 * (cl.ops_per_sec - vanilla.ops_per_sec) /
+                  vanilla.ops_per_sec,
+              vanilla.inter_az_mb / cl.inter_az_mb);
+  std::printf("Same semantics, same hardware — the difference is purely\n"
+              "AZ-aware replica placement, TC selection, Read Backup and\n"
+              "AZ-local namenode selection (paper §IV).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "blocks/datanode.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace repro::blocks {
+
+BlockDatanode::BlockDatanode(Simulation& sim, Network& network, DnId id,
+                             HostId host, AzId az, BlockDnConfig config)
+    : sim_(sim), network_(network), id_(id), host_(host), az_(az),
+      config_(config),
+      cpu_(sim, StrFormat("dn%d.cpu", id), config.cpu_threads),
+      disk_(sim, StrFormat("dn%d.disk", id)) {}
+
+void BlockDatanode::Crash() { alive_ = false; }
+
+void BlockDatanode::StreamBytes(HostId dst, int64_t bytes,
+                                std::function<void()> done) {
+  // Chunked transfer: each chunk occupies the NIC/link independently; the
+  // completion fires when the last chunk lands.
+  const int64_t chunk = config_.chunk_bytes;
+  const int64_t chunks = std::max<int64_t>(1, (bytes + chunk - 1) / chunk);
+  auto remaining = std::make_shared<int64_t>(chunks);
+  for (int64_t i = 0; i < chunks; ++i) {
+    const int64_t this_chunk = std::min(chunk, bytes - i * chunk);
+    network_.Send(host_, dst, std::max<int64_t>(this_chunk, 1),
+                  [remaining, done] {
+                    if (--*remaining == 0 && done) done();
+                  });
+  }
+}
+
+void BlockDatanode::WriteBlock(uint64_t block_id, int64_t bytes,
+                               std::vector<BlockDatanode*> pipeline,
+                               std::function<void(Status)> done) {
+  if (!alive_) return;  // the client's RPC timeout handles dead DNs
+  cpu_.Submit(config_.cpu_per_request, [this, block_id, bytes,
+                                        pipeline = std::move(pipeline),
+                                        done = std::move(done)]() mutable {
+    if (!alive_) return;
+    blocks_[block_id] = bytes;
+    disk_.Write(bytes, nullptr);
+    if (pipeline.empty()) {
+      if (done) done(OkStatus());
+      return;
+    }
+    BlockDatanode* next = pipeline.front();
+    pipeline.erase(pipeline.begin());
+    StreamBytes(next->host(), bytes,
+                [next, block_id, bytes, pipeline = std::move(pipeline),
+                 done = std::move(done)]() mutable {
+                  next->WriteBlock(block_id, bytes, std::move(pipeline),
+                                   std::move(done));
+                });
+  });
+}
+
+void BlockDatanode::ReadBlock(uint64_t block_id, HostId reader_host,
+                              std::function<void(Expected<int64_t>)> done) {
+  if (!alive_) return;
+  cpu_.Submit(config_.cpu_per_request,
+              [this, block_id, reader_host, done = std::move(done)] {
+                if (!alive_) return;
+                auto it = blocks_.find(block_id);
+                if (it == blocks_.end()) {
+                  done(NotFound(StrFormat("block %llu not on dn %d",
+                                          static_cast<unsigned long long>(
+                                              block_id),
+                                          id_)));
+                  return;
+                }
+                const int64_t bytes = it->second;
+                disk_.Read(bytes, nullptr);
+                StreamBytes(reader_host, bytes,
+                            [bytes, done] { done(bytes); });
+              });
+}
+
+void BlockDatanode::DeleteBlock(uint64_t block_id) {
+  if (!alive_) return;
+  cpu_.Submit(config_.cpu_per_request,
+              [this, block_id] { blocks_.erase(block_id); });
+}
+
+void BlockDatanode::CopyBlockTo(BlockDatanode& target, uint64_t block_id,
+                                std::function<void(Status)> done) {
+  if (!alive_) return;
+  cpu_.Submit(config_.cpu_per_request, [this, &target, block_id,
+                                        done = std::move(done)]() mutable {
+    auto it = blocks_.find(block_id);
+    if (it == blocks_.end()) {
+      if (done) done(NotFound("source replica missing"));
+      return;
+    }
+    const int64_t bytes = it->second;
+    disk_.Read(bytes, nullptr);
+    StreamBytes(target.host(), bytes,
+                [&target, block_id, bytes, done = std::move(done)]() mutable {
+                  target.WriteBlock(block_id, bytes, {}, std::move(done));
+                });
+  });
+}
+
+std::vector<DnId> DnRegistry::AliveDns(Nanos now) const {
+  std::vector<DnId> out;
+  for (DnId i = 0; i < size(); ++i) {
+    if (AliveAt(i, now)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace repro::blocks

@@ -1,0 +1,95 @@
+#include "blocks/placement.h"
+
+#include <algorithm>
+
+namespace repro::blocks {
+namespace {
+
+bool Contains(const std::vector<DnId>& v, DnId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// Picks a random alive DN satisfying `pred`, or -1.
+template <typename Pred>
+DnId PickRandom(const std::vector<DnId>& alive, Rng& rng, Pred pred) {
+  std::vector<DnId> eligible;
+  for (DnId d : alive) {
+    if (pred(d)) eligible.push_back(d);
+  }
+  if (eligible.empty()) return -1;
+  return eligible[rng.NextBelow(eligible.size())];
+}
+
+}  // namespace
+
+DnId BlockPlacementPolicy::ChooseReplacement(const std::vector<DnId>& existing,
+                                             const DnRegistry& registry,
+                                             Nanos now, Rng& rng) const {
+  const auto alive = registry.AliveDns(now);
+  return PickRandom(alive, rng,
+                    [&](DnId d) { return !Contains(existing, d); });
+}
+
+std::vector<DnId> DefaultPlacement::ChooseTargets(int replication,
+                                                  AzId writer_az,
+                                                  const DnRegistry& registry,
+                                                  Nanos now, Rng& rng) const {
+  const auto alive = registry.AliveDns(now);
+  std::vector<DnId> chosen;
+  // First replica: prefer the writer's AZ (stands in for HDFS's
+  // "local node" rule).
+  const DnId local = PickRandom(alive, rng, [&](DnId d) {
+    return registry.az_of(d) == writer_az;
+  });
+  if (local >= 0) chosen.push_back(local);
+  while (static_cast<int>(chosen.size()) < replication) {
+    const DnId next =
+        PickRandom(alive, rng, [&](DnId d) { return !Contains(chosen, d); });
+    if (next < 0) break;
+    chosen.push_back(next);
+  }
+  return chosen;
+}
+
+std::vector<DnId> AzAwarePlacement::ChooseTargets(int replication,
+                                                  AzId writer_az,
+                                                  const DnRegistry& registry,
+                                                  Nanos now, Rng& rng) const {
+  const auto alive = registry.AliveDns(now);
+  std::vector<DnId> chosen;
+  // Cover AZs round-robin starting from the writer's AZ, so replica 1 is
+  // AZ-local and every AZ gets one replica before any AZ gets two.
+  for (int i = 0; static_cast<int>(chosen.size()) < replication &&
+                  i < replication + num_azs_;
+       ++i) {
+    const AzId az = (writer_az + i) % num_azs_;
+    const DnId next = PickRandom(alive, rng, [&](DnId d) {
+      return registry.az_of(d) == az && !Contains(chosen, d);
+    });
+    if (next >= 0) chosen.push_back(next);
+  }
+  // Fallback if some AZ has no capacity: fill with any distinct DN.
+  while (static_cast<int>(chosen.size()) < replication) {
+    const DnId next =
+        PickRandom(alive, rng, [&](DnId d) { return !Contains(chosen, d); });
+    if (next < 0) break;
+    chosen.push_back(next);
+  }
+  return chosen;
+}
+
+DnId AzAwarePlacement::ChooseReplacement(const std::vector<DnId>& existing,
+                                         const DnRegistry& registry,
+                                         Nanos now, Rng& rng) const {
+  // Restore AZ coverage first: pick a DN in an AZ that lost its replica.
+  std::vector<bool> covered(num_azs_, false);
+  for (DnId d : existing) covered[registry.az_of(d)] = true;
+  const auto alive = registry.AliveDns(now);
+  const DnId fixup = PickRandom(alive, rng, [&](DnId d) {
+    return !covered[registry.az_of(d)] && !Contains(existing, d);
+  });
+  if (fixup >= 0) return fixup;
+  return BlockPlacementPolicy::ChooseReplacement(existing, registry, now, rng);
+}
+
+}  // namespace repro::blocks

@@ -1,0 +1,61 @@
+// Block placement policies (§IV-C1).
+//
+// HopsFS ships a rack-aware placement policy for on-premises clusters; the
+// paper reuses it for the cloud by configuring the block storage topology
+// as if each AZ were a rack. AzAwarePlacement implements exactly that
+// "racks = AZs" configuration: every AZ receives at least one replica, so
+// the file system survives the loss of R-1 AZs. DefaultPlacement is the
+// AZ-oblivious baseline (distinct random datanodes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "blocks/datanode.h"
+#include "util/rng.h"
+
+namespace repro::blocks {
+
+class BlockPlacementPolicy {
+ public:
+  virtual ~BlockPlacementPolicy() = default;
+
+  // Chooses `replication` distinct datanodes for a new block written by a
+  // client in `writer_az`. Returns fewer if the cluster is too small.
+  virtual std::vector<DnId> ChooseTargets(int replication, AzId writer_az,
+                                          const DnRegistry& registry,
+                                          Nanos now, Rng& rng) const = 0;
+
+  // Chooses one additional replica for re-replication, avoiding `existing`.
+  virtual DnId ChooseReplacement(const std::vector<DnId>& existing,
+                                 const DnRegistry& registry, Nanos now,
+                                 Rng& rng) const;
+};
+
+// Distinct random alive datanodes; first replica prefers the writer's AZ
+// (HDFS writes the first replica "locally").
+class DefaultPlacement : public BlockPlacementPolicy {
+ public:
+  std::vector<DnId> ChooseTargets(int replication, AzId writer_az,
+                                  const DnRegistry& registry, Nanos now,
+                                  Rng& rng) const override;
+};
+
+// Racks-as-AZs policy: spreads replicas so every AZ holds at least one
+// (for replication >= #AZs) or replicas span distinct AZs.
+class AzAwarePlacement : public BlockPlacementPolicy {
+ public:
+  explicit AzAwarePlacement(int num_azs) : num_azs_(num_azs) {}
+
+  std::vector<DnId> ChooseTargets(int replication, AzId writer_az,
+                                  const DnRegistry& registry, Nanos now,
+                                  Rng& rng) const override;
+  DnId ChooseReplacement(const std::vector<DnId>& existing,
+                         const DnRegistry& registry, Nanos now,
+                         Rng& rng) const override;
+
+ private:
+  int num_azs_;
+};
+
+}  // namespace repro::blocks

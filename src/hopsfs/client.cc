@@ -1,0 +1,318 @@
+#include "hopsfs/client.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace repro::hopsfs {
+
+HopsFsClient::HopsFsClient(Simulation& sim, Network& network,
+                           std::vector<Namenode*> namenodes, HostId host,
+                           AzId az, blocks::DnRegistry* dn_registry,
+                           ClientConfig config)
+    : sim_(sim), network_(network), namenodes_(std::move(namenodes)),
+      host_(host), az_(az), dn_registry_(dn_registry), config_(config),
+      rng_(sim.rng().Split()) {}
+
+void HopsFsClient::PickNamenode(std::function<void()> then) {
+  // Ask a random alive seed namenode for the active list (the leader
+  // election gossips each NN's AZ), then prefer an AZ-local namenode.
+  std::vector<Namenode*> alive;
+  for (Namenode* nn : namenodes_) {
+    if (nn->alive()) alive.push_back(nn);
+  }
+  if (alive.empty()) {
+    nn_ = nullptr;
+    then();
+    return;
+  }
+  Namenode* seed = alive[rng_.NextBelow(alive.size())];
+  network_.Send(host_, seed->host(), config_.request_bytes,
+                [this, seed, then = std::move(then)] {
+                  const auto& active = seed->active_nns();
+                  std::vector<Namenode*> candidates;
+                  std::vector<Namenode*> local;
+                  for (const auto& a : active) {
+                    if (a.nn_id < 0 ||
+                        a.nn_id >= static_cast<int32_t>(namenodes_.size())) {
+                      continue;
+                    }
+                    Namenode* nn = namenodes_[a.nn_id];
+                    if (!nn->alive()) continue;
+                    candidates.push_back(nn);
+                    if (a.az == az_) local.push_back(nn);
+                  }
+                  if (candidates.empty()) candidates.push_back(seed);
+                  // §IV-B3: AZ-local if possible (and AZ-awareness is on
+                  // and the client has a locationDomainId), else random.
+                  if (config_.az_aware && az_ != kNoAz && !local.empty()) {
+                    nn_ = local[rng_.NextBelow(local.size())];
+                  } else {
+                    nn_ = candidates[rng_.NextBelow(candidates.size())];
+                  }
+                  // Reply hop back to the client.
+                  network_.Send(seed->host(), host_, config_.reply_base_bytes,
+                                [then] { then(); });
+                });
+}
+
+void HopsFsClient::Submit(FsRequest req, FsResultCb cb) {
+  req.client_az = az_;
+  if (req.user.empty()) req.user = user_;
+  SendRpc(std::move(req), std::move(cb), 1);
+}
+
+void HopsFsClient::SendRpc(FsRequest req, FsResultCb cb, int attempt) {
+  if (attempt > config_.max_rpc_attempts) {
+    FsResult r;
+    r.status = Unavailable("all namenode RPC attempts failed");
+    cb(std::move(r));
+    return;
+  }
+  if (nn_ == nullptr || !nn_->alive()) {
+    PickNamenode([this, req = std::move(req), cb = std::move(cb),
+                  attempt]() mutable {
+      if (nn_ == nullptr) {
+        FsResult r;
+        r.status = Unavailable("no namenode available");
+        cb(std::move(r));
+        return;
+      }
+      SendRpc(std::move(req), std::move(cb), attempt);
+    });
+    return;
+  }
+
+  const uint64_t rpc_id = next_rpc_id_++;
+  rpc_done_[rpc_id] = false;
+  Namenode* nn = nn_;
+
+  sim_.After(config_.rpc_timeout, [this, rpc_id, req, cb, attempt] {
+    auto it = rpc_done_.find(rpc_id);
+    if (it == rpc_done_.end() || it->second) return;
+    rpc_done_.erase(it);
+    nn_ = nullptr;  // failover: the sticky namenode is gone
+    SendRpc(req, cb, attempt + 1);
+  });
+
+  network_.Send(
+      host_, nn->host(),
+      config_.request_bytes + static_cast<int64_t>(req.path.size()),
+      [this, nn, req, cb, rpc_id]() mutable {
+        nn->HandleRequest(
+            std::move(req), [this, nn, cb, rpc_id](FsResult result) {
+              // Reply hop: size grows with listing / block payloads.
+              int64_t bytes = config_.reply_base_bytes;
+              for (const auto& c : result.children) {
+                bytes += static_cast<int64_t>(c.size()) + 16;
+              }
+              bytes += 48 * static_cast<int64_t>(result.blocks.size() +
+                                                 result.new_blocks.size());
+              network_.Send(
+                  nn->host(), host_, bytes,
+                  [this, cb, rpc_id, result = std::move(result)]() mutable {
+                    auto it = rpc_done_.find(rpc_id);
+                    if (it == rpc_done_.end()) return;  // timed out already
+                    rpc_done_.erase(it);
+                    HandleLargeFileIo(std::move(result), cb);
+                  });
+            });
+      });
+}
+
+void HopsFsClient::HandleLargeFileIo(FsResult result, FsResultCb cb) {
+  if (dn_registry_ == nullptr || !result.status.ok()) {
+    cb(std::move(result));
+    return;
+  }
+  // Writes: push each new block through its replication pipeline.
+  // Reads: fetch each block from the AZ-closest replica.
+  const std::vector<BlockRow>* to_write =
+      result.new_blocks.empty() ? nullptr : &result.new_blocks;
+  const std::vector<BlockRow>* to_read =
+      result.blocks.empty() ? nullptr : &result.blocks;
+  if (to_write == nullptr && to_read == nullptr) {
+    cb(std::move(result));
+    return;
+  }
+
+  auto res = std::make_shared<FsResult>(std::move(result));
+  auto next = std::make_shared<std::function<void(size_t)>>();
+  std::weak_ptr<std::function<void(size_t)>> weak_next = next;
+  const bool writing = to_write != nullptr;
+  *next = [this, res, weak_next, cb, writing](size_t i) {
+    auto next = weak_next.lock();
+    if (!next) return;
+    const auto& blocks = writing ? res->new_blocks : res->blocks;
+    if (i >= blocks.size()) {
+      cb(std::move(*res));
+      return;
+    }
+    const BlockRow& b = blocks[i];
+    if (b.replicas.empty()) {
+      (*next)(i + 1);
+      return;
+    }
+    if (writing) {
+      std::vector<blocks::BlockDatanode*> pipeline;
+      for (blocks::DnId d : b.replicas) {
+        pipeline.push_back(dn_registry_->dn(d));
+      }
+      blocks::BlockDatanode* first = pipeline.front();
+      pipeline.erase(pipeline.begin());
+      // Stream the data to the first replica, which forwards downstream.
+      const int64_t bytes = b.num_bytes;
+      network_.Send(host_, first->host(), std::max<int64_t>(bytes, 1),
+                    [first, id = b.block_id, bytes, pipeline, next, i] {
+                      first->WriteBlock(id, bytes, pipeline,
+                                        [next, i](Status) { (*next)(i + 1); });
+                    });
+    } else {
+      // AZ-closest replica (§IV-C): replicas in our AZ first.
+      blocks::DnId chosen = b.replicas.front();
+      if (config_.az_aware && az_ != kNoAz) {
+        for (blocks::DnId d : b.replicas) {
+          if (dn_registry_->az_of(d) == az_) {
+            chosen = d;
+            break;
+          }
+        }
+      }
+      blocks::BlockDatanode* dn = dn_registry_->dn(chosen);
+      network_.Send(host_, dn->host(), 128,
+                    [this, dn, id = b.block_id, next, i] {
+                      dn->ReadBlock(id, host_,
+                                    [next, i](Expected<int64_t>) {
+                                      (*next)(i + 1);
+                                    });
+                    });
+    }
+  };
+  (*next)(0);
+}
+
+// ---- convenience wrappers ----
+
+namespace {
+HopsFsClient::StatusCb Wrap(HopsFsClient::StatusCb cb) { return cb; }
+}  // namespace
+
+void HopsFsClient::Mkdir(const std::string& path, StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kMkdir;
+  r.path = path;
+  r.permissions = 0755;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::Create(const std::string& path, int64_t size,
+                          StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kCreate;
+  r.path = path;
+  r.size = size;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::ReadFile(const std::string& path, StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kOpenRead;
+  r.path = path;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::Stat(const std::string& path, StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kStat;
+  r.path = path;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::Delete(const std::string& path, StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kDelete;
+  r.path = path;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::ListDir(const std::string& path, StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kListDir;
+  r.path = path;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::Rename(const std::string& from, const std::string& to,
+                          StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kRename;
+  r.path = from;
+  r.path2 = to;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::Chmod(const std::string& path, uint32_t permissions,
+                         StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kChmod;
+  r.path = path;
+  r.permissions = permissions;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::Chown(const std::string& path, const std::string& owner,
+                         StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kChown;
+  r.path = path;
+  r.owner = owner;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::SetTimes(const std::string& path, Nanos mtime,
+                            StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kSetTimes;
+  r.path = path;
+  r.mtime_ns = mtime;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::Append(const std::string& path, int64_t bytes,
+                          StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kAppend;
+  r.path = path;
+  r.size = bytes;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::DeleteRecursive(const std::string& path, StatusCb cb) {
+  FsRequest r;
+  r.op = FsOp::kDeleteRecursive;
+  r.path = path;
+  Submit(std::move(r),
+         [cb = Wrap(std::move(cb))](FsResult res) { cb(res.status); });
+}
+
+void HopsFsClient::ContentSummary(const std::string& path, SummaryCb cb) {
+  FsRequest r;
+  r.op = FsOp::kContentSummary;
+  r.path = path;
+  Submit(std::move(r), [cb = std::move(cb)](FsResult res) {
+    cb(res.status, res.cs_files, res.cs_dirs, res.cs_bytes);
+  });
+}
+
+}  // namespace repro::hopsfs

@@ -1,0 +1,90 @@
+// HopsFS client library.
+//
+// Clients pick one metadata server and stick to it until it fails
+// (§II-A2). With AZ awareness (§IV-B3) the client fetches the active-NN
+// list — which carries each NN's locationDomainId via the extended leader
+// election — from a seed namenode and prefers a namenode in its own AZ,
+// falling back to a random one. Large-file data flows through the block
+// layer: writes run a replication pipeline, reads pick the AZ-closest
+// replica (§IV-C).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "blocks/datanode.h"
+#include "hopsfs/namenode.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace repro::hopsfs {
+
+struct ClientConfig {
+  bool az_aware = true;
+  Nanos rpc_timeout = 5 * kSecond;
+  int max_rpc_attempts = 4;
+  int64_t request_bytes = 280;
+  int64_t reply_base_bytes = 220;
+};
+
+class HopsFsClient {
+ public:
+  HopsFsClient(Simulation& sim, Network& network,
+               std::vector<Namenode*> namenodes, HostId host, AzId az,
+               blocks::DnRegistry* dn_registry = nullptr,
+               ClientConfig config = {});
+
+  HostId host() const { return host_; }
+  AzId az() const { return az_; }
+  Namenode* current_nn() const { return nn_; }
+
+  // Identity attached to every request (empty = superuser).
+  void set_user(std::string user) { user_ = std::move(user); }
+  const std::string& user() const { return user_; }
+
+  // Full-result entry point (includes RPC retry / failover).
+  void Submit(FsRequest req, FsResultCb cb);
+
+  // Convenience wrappers. Data movement for large files (block pipeline
+  // writes / AZ-local replica reads) is included in the callback time.
+  using StatusCb = std::function<void(Status)>;
+  void Mkdir(const std::string& path, StatusCb cb);
+  void Create(const std::string& path, int64_t size, StatusCb cb);
+  void ReadFile(const std::string& path, StatusCb cb);
+  void Stat(const std::string& path, StatusCb cb);
+  void Delete(const std::string& path, StatusCb cb);
+  void ListDir(const std::string& path, StatusCb cb);
+  void Rename(const std::string& from, const std::string& to, StatusCb cb);
+  void Chmod(const std::string& path, uint32_t permissions, StatusCb cb);
+  void Chown(const std::string& path, const std::string& owner, StatusCb cb);
+  void SetTimes(const std::string& path, Nanos mtime, StatusCb cb);
+  void Append(const std::string& path, int64_t bytes, StatusCb cb);
+  void DeleteRecursive(const std::string& path, StatusCb cb);
+  // cb(status, files, dirs, bytes)
+  using SummaryCb =
+      std::function<void(Status, int64_t, int64_t, int64_t)>;
+  void ContentSummary(const std::string& path, SummaryCb cb);
+
+ private:
+  void PickNamenode(std::function<void()> then);
+  void SendRpc(FsRequest req, FsResultCb cb, int attempt);
+  void HandleLargeFileIo(FsResult result, FsResultCb cb);
+
+  Simulation& sim_;
+  Network& network_;
+  std::vector<Namenode*> namenodes_;  // indexed by nn id
+  HostId host_;
+  AzId az_;
+  blocks::DnRegistry* dn_registry_;
+  ClientConfig config_;
+  Rng rng_;
+
+  Namenode* nn_ = nullptr;
+  std::string user_;
+  uint64_t next_rpc_id_ = 1;
+  std::unordered_map<uint64_t, bool> rpc_done_;  // id -> answered
+};
+
+}  // namespace repro::hopsfs

@@ -1,0 +1,222 @@
+#include "hopsfs/deployment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace repro::hopsfs {
+
+const char* PaperSetupName(PaperSetup setup) {
+  switch (setup) {
+    case PaperSetup::kHopsFs_2_1: return "HopsFS (2,1)";
+    case PaperSetup::kHopsFs_3_1: return "HopsFS (3,1)";
+    case PaperSetup::kHopsFs_2_3: return "HopsFS (2,3)";
+    case PaperSetup::kHopsFs_3_3: return "HopsFS (3,3)";
+    case PaperSetup::kHopsFsCl_2_3: return "HopsFS-CL (2,3)";
+    case PaperSetup::kHopsFsCl_3_3: return "HopsFS-CL (3,3)";
+  }
+  return "?";
+}
+
+DeploymentOptions DeploymentOptions::FromPaperSetup(PaperSetup setup,
+                                                    int num_namenodes) {
+  DeploymentOptions o;
+  o.name = PaperSetupName(setup);
+  o.num_namenodes = num_namenodes;
+  switch (setup) {
+    case PaperSetup::kHopsFs_2_1:
+      o.metadata_replication = 2;
+      o.ndb_azs = {1};
+      o.nn_azs = {1};
+      o.client_azs = {1};
+      break;
+    case PaperSetup::kHopsFs_3_1:
+      o.metadata_replication = 3;
+      o.ndb_azs = {1};
+      o.nn_azs = {1};
+      o.client_azs = {1};
+      break;
+    case PaperSetup::kHopsFs_2_3:
+    case PaperSetup::kHopsFsCl_2_3:
+      // Fig. 3: metadata replicas in AZ 1 and AZ 2, arbitrator in AZ 0.
+      o.metadata_replication = 2;
+      o.ndb_azs = {1, 2};
+      o.nn_azs = {1, 2};
+      o.client_azs = {0, 1, 2};
+      o.az_aware = setup == PaperSetup::kHopsFsCl_2_3;
+      break;
+    case PaperSetup::kHopsFs_3_3:
+    case PaperSetup::kHopsFsCl_3_3:
+      // Fig. 4: one full replica per AZ.
+      o.metadata_replication = 3;
+      o.ndb_azs = {0, 1, 2};
+      o.nn_azs = {0, 1, 2};
+      o.client_azs = {0, 1, 2};
+      o.az_aware = setup == PaperSetup::kHopsFsCl_3_3;
+      break;
+  }
+  o.az_aware_block_placement = o.az_aware;
+  return o;
+}
+
+Deployment::Deployment(Simulation& sim, DeploymentOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  topology_ = std::make_unique<Topology>(3, AzLatencyTable::UsWest1());
+  network_ = std::make_unique<Network>(sim_, *topology_, options_.net);
+
+  // HopsFS-CL enables Read Backup on every table (§IV-A5).
+  const bool read_backup = options_.override_read_backup >= 0
+                               ? options_.override_read_backup != 0
+                               : options_.az_aware;
+  tables_ = FsTables::Register(catalog_, read_backup);
+
+  ndb::NdbClusterConfig ndb_cfg;
+  ndb_cfg.layout.num_datanodes = options_.ndb_datanodes;
+  ndb_cfg.layout.replication_factor = options_.metadata_replication;
+  ndb_cfg.layout.node_az = ndb::AssignNodeAzs(
+      options_.ndb_datanodes, options_.metadata_replication, options_.ndb_azs);
+  ndb_cfg.layout.num_ldm_threads = options_.ndb_node.ldm_threads;
+  ndb_cfg.layout.partitions_per_ldm = options_.ndb_partitions_per_ldm;
+  ndb_cfg.node = options_.ndb_node;
+  ndb_cfg.cost = options_.ndb_cost;
+  ndb_cfg.flags.az_aware = options_.override_az_tc_selection >= 0
+                               ? options_.override_az_tc_selection != 0
+                               : options_.az_aware;
+  ndb_cfg.mgmt_az = {0, 1, 2};
+  ndb_ = std::make_unique<ndb::NdbCluster>(sim_, *network_, &catalog_,
+                                           std::move(ndb_cfg));
+
+  if (options_.block_datanodes > 0) {
+    dn_registry_ = std::make_unique<blocks::DnRegistry>(
+        /*heartbeat_timeout=*/10 * kSecond);
+    if (options_.az_aware_block_placement) {
+      placement_ = std::make_unique<blocks::AzAwarePlacement>(3);
+    } else {
+      placement_ = std::make_unique<blocks::DefaultPlacement>();
+    }
+    for (int i = 0; i < options_.block_datanodes; ++i) {
+      const AzId az = options_.client_azs[i % options_.client_azs.size()];
+      const HostId host = topology_->AddHost(az, StrFormat("dn-%d", i));
+      block_dns_.push_back(std::make_unique<blocks::BlockDatanode>(
+          sim_, *network_, i, host, az));
+      dn_registry_->Register(block_dns_.back().get());
+    }
+  }
+
+  for (int i = 0; i < options_.num_namenodes; ++i) {
+    const AzId az = options_.nn_azs[i % options_.nn_azs.size()];
+    const HostId host = topology_->AddHost(az, StrFormat("nn-%d", i));
+    namenodes_.push_back(std::make_unique<Namenode>(
+        sim_, *network_, *ndb_, tables_, i, host, az, dn_registry_.get(),
+        placement_.get(), options_.nn));
+  }
+}
+
+Deployment::~Deployment() {
+  for (auto& t : timers_) t.Cancel();
+  for (auto& nn : namenodes_) nn->Stop();
+}
+
+void Deployment::Start() {
+  ndb_->StartProtocols();
+
+  // Root inode so path resolution has an anchor.
+  InodeRow root;
+  root.id = kRootInode;
+  root.is_dir = true;
+  ndb_->BootstrapPut(tables_.inodes, InodeKey(0, ""), root.Encode());
+
+  for (auto& nn : namenodes_) nn->Start();
+
+  // Datanode heartbeats: routed to the current leader namenode.
+  for (auto& dn : block_dns_) {
+    blocks::BlockDatanode* d = dn.get();
+    timers_.push_back(sim_.Every(3 * kSecond, [this, d] {
+      if (!d->alive()) return;
+      Namenode* target = leader();
+      if (target == nullptr) return;
+      network_->Send(d->host(), target->host(), 160,
+                     [target, id = d->id()] {
+                       if (target->alive()) target->OnDnHeartbeat(id);
+                     });
+    }));
+  }
+
+  // Let a leader-election round and first heartbeats complete.
+  sim_.RunFor(100 * kMillisecond);
+}
+
+Namenode* Deployment::leader() {
+  for (auto& nn : namenodes_) {
+    if (nn->alive() && nn->is_leader()) return nn.get();
+  }
+  for (auto& nn : namenodes_) {
+    if (nn->alive()) return nn.get();
+  }
+  return nullptr;
+}
+
+HopsFsClient* Deployment::AddClient(AzId az) {
+  if (az == kNoAz) {
+    az = options_.client_azs[next_client_az_++ % options_.client_azs.size()];
+  }
+  const HostId host = topology_->AddHost(
+      az, StrFormat("client-%zu", clients_.size()));
+  std::vector<Namenode*> nns;
+  nns.reserve(namenodes_.size());
+  for (auto& nn : namenodes_) nns.push_back(nn.get());
+  ClientConfig cfg;
+  cfg.az_aware = options_.override_az_nn_selection >= 0
+                     ? options_.override_az_nn_selection != 0
+                     : options_.az_aware;
+  clients_.push_back(std::make_unique<HopsFsClient>(
+      sim_, *network_, std::move(nns), host, az, dn_registry_.get(), cfg));
+  return clients_.back().get();
+}
+
+void Deployment::BootstrapNamespace(const std::vector<std::string>& dirs,
+                                    const std::vector<std::string>& files) {
+  std::map<std::string, InodeId> ids;
+  ids["/"] = kRootInode;
+
+  auto put = [this, &ids](const std::string& path, bool is_dir) {
+    const auto [parent, base] = SplitParent(path);
+    auto it = ids.find(parent);
+    assert(it != ids.end() && "bootstrap parents must come first");
+    InodeRow row;
+    row.id = ++next_inode_id_;
+    row.is_dir = is_dir;
+    row.mtime_ns = sim_.now();
+    const std::string row_key = InodeKey(it->second, base);
+    if (is_dir) {
+      ids[path] = row.id;
+      // Steady-state hint caches (see Namenode::PrimePathCache).
+      for (auto& nn : namenodes_) {
+        nn->PrimePathCache(path, row.id, row_key);
+      }
+    }
+    ndb_->BootstrapPut(tables_.inodes, row_key, row.Encode());
+  };
+
+  // Parents before children: sort by path depth.
+  std::vector<std::string> sorted_dirs = dirs;
+  std::sort(sorted_dirs.begin(), sorted_dirs.end(),
+            [](const std::string& a, const std::string& b) {
+              const auto da = std::count(a.begin(), a.end(), '/');
+              const auto db = std::count(b.begin(), b.end(), '/');
+              return da != db ? da < db : a < b;
+            });
+  for (const auto& d : sorted_dirs) put(d, /*is_dir=*/true);
+  for (const auto& f : files) put(f, /*is_dir=*/false);
+}
+
+void Deployment::ResetStats() {
+  ndb_->ResetStats();
+  network_->ResetStats();
+  for (auto& nn : namenodes_) nn->ResetStats();
+}
+
+}  // namespace repro::hopsfs

@@ -1,0 +1,121 @@
+// Deployment builder: wires a full HopsFS / HopsFS-CL cluster.
+//
+// Encodes the evaluation's setup naming: "System (metadata-replication,
+// #AZs)" — e.g. HopsFS (2,1) is vanilla HopsFS in one AZ with NDB
+// replication 2; HopsFS-CL (3,3) is the AZ-aware system over three AZs
+// with replication 3 (Figs. 3 & 4). The AZ placements follow the paper:
+// 1-AZ setups live in us-west1-b (AZ 1); the (2,3) layouts put NDB and
+// NNs in AZs 1,2 with the arbitrator in AZ 0; the (3,3) layouts use all
+// three AZs. Clients always span all three AZs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocks/datanode.h"
+#include "blocks/placement.h"
+#include "hopsfs/client.h"
+#include "hopsfs/fsschema.h"
+#include "hopsfs/namenode.h"
+#include "ndb/cluster.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace repro::hopsfs {
+
+enum class PaperSetup {
+  kHopsFs_2_1,
+  kHopsFs_3_1,
+  kHopsFs_2_3,
+  kHopsFs_3_3,
+  kHopsFsCl_2_3,
+  kHopsFsCl_3_3,
+};
+const char* PaperSetupName(PaperSetup setup);
+
+struct DeploymentOptions {
+  std::string name = "HopsFS";
+  int num_namenodes = 6;
+  int ndb_datanodes = 12;
+  int metadata_replication = 2;
+  std::vector<AzId> ndb_azs = {1};
+  std::vector<AzId> nn_azs = {1};
+  std::vector<AzId> client_azs = {0, 1, 2};
+  bool az_aware = false;  // the full HopsFS-CL feature set
+  // Ablation overrides (-1 = follow az_aware): each corresponds to one
+  // AZ-awareness mechanism of §IV.
+  int override_read_backup = -1;        // Read Backup tables + delayed ack
+  int override_az_tc_selection = -1;    // AZ-aware TC choice & read routing
+  int override_az_nn_selection = -1;    // clients prefer AZ-local NNs
+  int block_datanodes = 0;
+  bool az_aware_block_placement = false;
+  NamenodeConfig nn;
+  ndb::NdbNodeConfig ndb_node;
+  ndb::CostModel ndb_cost;
+  NetworkConfig net;
+  int ndb_partitions_per_ldm = 2;
+
+  static DeploymentOptions FromPaperSetup(PaperSetup setup,
+                                          int num_namenodes);
+};
+
+class Deployment {
+ public:
+  Deployment(Simulation& sim, DeploymentOptions options);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  // Starts NDB protocols, namenode leader election and DN heartbeats,
+  // then runs the simulation briefly so a leader exists.
+  void Start();
+
+  // Creates a client host in `az` (kNoAz: round-robin over client_azs).
+  HopsFsClient* AddClient(AzId az = kNoAz);
+
+  // Bulk-loads a namespace (directories first, then empty files) directly
+  // into NDB, bypassing the protocol. For experiment setup only.
+  void BootstrapNamespace(const std::vector<std::string>& dirs,
+                          const std::vector<std::string>& files);
+
+  Simulation& sim() { return sim_; }
+  Topology& topology() { return *topology_; }
+  Network& network() { return *network_; }
+  ndb::NdbCluster& ndb() { return *ndb_; }
+  const FsTables& tables() const { return tables_; }
+  blocks::DnRegistry* dn_registry() { return dn_registry_.get(); }
+
+  const std::vector<std::unique_ptr<Namenode>>& namenodes() const {
+    return namenodes_;
+  }
+  Namenode* namenode(int i) { return namenodes_[i].get(); }
+  Namenode* leader();
+  const std::vector<std::unique_ptr<blocks::BlockDatanode>>& block_dns()
+      const {
+    return block_dns_;
+  }
+  const DeploymentOptions& options() const { return options_; }
+
+  void ResetStats();
+
+ private:
+  Simulation& sim_;
+  DeploymentOptions options_;
+  std::unique_ptr<Topology> topology_;
+  std::unique_ptr<Network> network_;
+  ndb::Catalog catalog_;
+  FsTables tables_;
+  std::unique_ptr<ndb::NdbCluster> ndb_;
+  std::unique_ptr<blocks::DnRegistry> dn_registry_;
+  std::unique_ptr<blocks::BlockPlacementPolicy> placement_;
+  std::vector<std::unique_ptr<blocks::BlockDatanode>> block_dns_;
+  std::vector<std::unique_ptr<Namenode>> namenodes_;
+  std::vector<std::unique_ptr<HopsFsClient>> clients_;
+  std::vector<Simulation::PeriodicHandle> timers_;
+  int next_client_az_ = 0;
+  uint64_t next_inode_id_ = 1000;
+};
+
+}  // namespace repro::hopsfs

@@ -1,0 +1,207 @@
+// Leader election through the database (§II-A2, §IV-B) and the leader's
+// housekeeping duties (block re-replication, §IV-C2).
+//
+// Following the HopsFS leader-election protocol, every namenode bumps a
+// counter row in NDB each round (default 2 s) — extended by the paper to
+// carry the namenode's locationDomainId so clients can discover AZ-local
+// namenodes — then reads everyone's rows. A namenode whose counter has
+// not advanced for two consecutive rounds is considered dead; the alive
+// namenode with the smallest id is the leader.
+#include <algorithm>
+
+#include "hopsfs/namenode.h"
+#include "util/logging.h"
+
+namespace repro::hopsfs {
+
+namespace {
+constexpr const char* kLog = "hopsfs.le";
+constexpr int kMissesForDead = 2;
+}  // namespace
+
+void Namenode::LeaderElectionRound() {
+  // Phase 1: publish our heartbeat row.
+  NnHeartbeatRow hb;
+  hb.nn_id = nn_id_;
+  hb.counter = ++le_counter_;
+  hb.location_domain_id = az_;
+  hb.host = host_;
+  const ndb::TxnId txn = api_->Begin(tables_.vars, NnHeartbeatKey(nn_id_));
+  if (txn == 0) return;  // NDB unreachable; try again next round
+  api_->Write(txn, tables_.vars, NnHeartbeatKey(nn_id_), hb.Encode(),
+              [this, txn](Code code) {
+                if (code != Code::kOk) {
+                  api_->Abort(txn);
+                  return;
+                }
+                api_->Commit(txn, [this](Code) {
+                  // Phase 2: read the whole membership table.
+                  const ndb::TxnId scan_txn =
+                      api_->Begin(tables_.vars, std::string(kNnHeartbeatPrefix));
+                  if (scan_txn == 0) return;
+                  api_->ScanPrefix(
+                      scan_txn, tables_.vars, std::string(kNnHeartbeatPrefix),
+                      [this, scan_txn](
+                          Code c2,
+                          std::vector<std::pair<ndb::Key, std::string>> rows) {
+                        api_->Commit(scan_txn, [](Code) {});
+                        if (c2 != Code::kOk) return;
+
+                        std::vector<ActiveNn> alive;
+                        for (const auto& [k, v] : rows) {
+                          NnHeartbeatRow row;
+                          if (!NnHeartbeatRow::Decode(v, &row)) continue;
+                          auto& seen = le_seen_[row.nn_id];
+                          if (row.nn_id == nn_id_ ||
+                              row.counter != seen.first) {
+                            seen = {row.counter, 0};
+                          } else {
+                            seen.second += 1;
+                          }
+                          if (seen.second < kMissesForDead) {
+                            alive.push_back(ActiveNn{
+                                row.nn_id,
+                                static_cast<AzId>(row.location_domain_id),
+                                static_cast<HostId>(row.host)});
+                          }
+                        }
+                        std::sort(alive.begin(), alive.end(),
+                                  [](const ActiveNn& a, const ActiveNn& b) {
+                                    return a.nn_id < b.nn_id;
+                                  });
+                        active_nns_ = std::move(alive);
+
+                        const bool lead = !active_nns_.empty() &&
+                                          active_nns_.front().nn_id == nn_id_;
+                        if (lead && !is_leader_) {
+                          RLOG_INFO(kLog, "nn %d became leader", nn_id_);
+                          is_leader_ = true;
+                          if (dn_registry_ != nullptr) {
+                            rep_timer_ = sim_.Every(
+                                1 * kSecond, [this] {
+                                  if (alive_ && is_leader_) {
+                                    ReplicationMonitorRound();
+                                  }
+                                });
+                          }
+                        } else if (!lead && is_leader_) {
+                          is_leader_ = false;
+                          rep_timer_.Cancel();
+                        }
+                      });
+                });
+              });
+}
+
+void Namenode::ReplicationMonitorRound() {
+  const Nanos now = sim_.now();
+  for (blocks::DnId dn = 0; dn < dn_registry_->size(); ++dn) {
+    // React only to datanodes that once reported and then went silent
+    // (never-registered DNs have nothing to re-replicate).
+    if (dn_known_dead_[dn] || !dn_registry_->EverHeard(dn) ||
+        dn_registry_->AliveAt(dn, now)) {
+      continue;
+    }
+    dn_known_dead_[dn] = true;
+    RLOG_INFO(kLog, "leader nn %d: datanode %d lost, re-replicating",
+              nn_id_, dn);
+
+    // Scan the dead datanode's block index and repair each block.
+    const ndb::TxnId txn = api_->Begin(tables_.dn_blocks, DnBlocksPrefix(dn));
+    if (txn == 0) return;
+    api_->ScanPrefix(
+        txn, tables_.dn_blocks, DnBlocksPrefix(dn),
+        [this, txn, dn](Code code,
+                        std::vector<std::pair<ndb::Key, std::string>> rows) {
+          api_->Commit(txn, [](Code) {});
+          if (code != Code::kOk) return;
+          auto todo = std::make_shared<
+              std::vector<std::pair<ndb::Key, std::string>>>(std::move(rows));
+          auto next = std::make_shared<std::function<void(size_t)>>();
+          std::weak_ptr<std::function<void(size_t)>> weak_next = next;
+          *next = [this, dn, todo, weak_next](size_t i) {
+            auto next = weak_next.lock();
+            if (!next || i >= todo->size()) return;
+            RepairBlock(dn, (*todo)[i].first, (*todo)[i].second,
+                        [next, i] { (*next)(i + 1); });
+          };
+          (*next)(0);
+        });
+  }
+}
+
+void Namenode::RepairBlock(blocks::DnId dead_dn,
+                           const std::string& dn_block_key,
+                           const std::string& block_row_key,
+                           std::function<void()> done) {
+  const ndb::TxnId txn = api_->Begin(tables_.blocks, block_row_key);
+  if (txn == 0) {
+    done();
+    return;
+  }
+  auto give_up = [this, txn, done](const char* why) {
+    RLOG_WARN(kLog, "block repair skipped: %s", why);
+    api_->Abort(txn);
+    done();
+  };
+  api_->Read(
+      txn, tables_.blocks, block_row_key, ndb::LockMode::kExclusive,
+      [this, txn, dead_dn, dn_block_key, block_row_key, done, give_up](
+          Code code, std::optional<std::string> value) {
+        BlockRow block;
+        if (code != Code::kOk || !value ||
+            !BlockRow::Decode(*value, &block)) {
+          give_up("block row unreadable");
+          return;
+        }
+        auto& reps = block.replicas;
+        reps.erase(std::remove(reps.begin(), reps.end(), dead_dn),
+                   reps.end());
+        const blocks::DnId target = placement_->ChooseReplacement(
+            reps, *dn_registry_, sim_.now(), rng_);
+        blocks::DnId source = -1;
+        for (blocks::DnId r : reps) {
+          if (dn_registry_->AliveAt(r, sim_.now())) {
+            source = r;
+            break;
+          }
+        }
+        if (target < 0 || source < 0) {
+          give_up("no replacement target or surviving source");
+          return;
+        }
+        reps.push_back(target);
+
+        auto pending = std::make_shared<int>(3);
+        auto failed = std::make_shared<bool>(false);
+        auto one_done = [this, txn, pending, failed, done, source, target,
+                         block](Code c) {
+          if (c != Code::kOk) *failed = true;
+          if (--*pending > 0) return;
+          if (*failed) {
+            api_->Abort(txn);
+            done();
+            return;
+          }
+          api_->Commit(txn, [this, done, source, target, block](Code cc) {
+            if (cc == Code::kOk) {
+              auto* src = dn_registry_->dn(source);
+              auto* dst = dn_registry_->dn(target);
+              network_.Send(host_, src->host(), 128,
+                            [src, dst, id = block.block_id] {
+                              src->CopyBlockTo(*dst, id, nullptr);
+                            });
+            }
+            done();
+          });
+        };
+        api_->Update(txn, tables_.blocks, block_row_key, block.Encode(),
+                     one_done);
+        api_->Delete(txn, tables_.dn_blocks, dn_block_key, one_done);
+        api_->Insert(txn, tables_.dn_blocks,
+                     DnBlockKey(target, block.block_id), block_row_key,
+                     one_done);
+      });
+}
+
+}  // namespace repro::hopsfs

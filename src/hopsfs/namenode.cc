@@ -1,0 +1,296 @@
+#include "hopsfs/namenode.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hopsfs/op_context.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace repro::hopsfs {
+
+namespace {
+constexpr const char* kLog = "hopsfs.nn";
+}
+
+const char* FsOpName(FsOp op) {
+  switch (op) {
+    case FsOp::kMkdir: return "mkdir";
+    case FsOp::kCreate: return "createFile";
+    case FsOp::kOpenRead: return "readFile";
+    case FsOp::kStat: return "stat";
+    case FsOp::kDelete: return "deleteFile";
+    case FsOp::kListDir: return "listDir";
+    case FsOp::kRename: return "rename";
+    case FsOp::kChmod: return "chmod";
+    case FsOp::kChown: return "chown";
+    case FsOp::kSetTimes: return "setTimes";
+    case FsOp::kAppend: return "append";
+    case FsOp::kContentSummary: return "contentSummary";
+    case FsOp::kDeleteRecursive: return "deleteSubtree";
+  }
+  return "?";
+}
+
+Namenode::Namenode(Simulation& sim, Network& network, ndb::NdbCluster& ndb,
+                   const FsTables& tables, int32_t nn_id, HostId host,
+                   AzId az, blocks::DnRegistry* dn_registry,
+                   blocks::BlockPlacementPolicy* placement,
+                   NamenodeConfig config)
+    : sim_(sim), network_(network), ndb_(ndb), tables_(tables),
+      nn_id_(nn_id), host_(host), az_(az), dn_registry_(dn_registry),
+      placement_(placement), config_(config),
+      rng_(sim.rng().Split()) {
+  cpu_ = std::make_unique<ThreadPool>(sim, StrFormat("nn%d.cpu", nn_id),
+                                      config_.cpu_threads);
+  api_ = std::make_unique<ndb::NdbApiNode>(ndb, host, az);
+  if (dn_registry_ != nullptr) {
+    dn_known_dead_.assign(dn_registry_->size(), false);
+  }
+}
+
+void Namenode::Crash() {
+  alive_ = false;
+  network_.topology().SetHostUp(host_, false);
+  Stop();
+}
+
+void Namenode::Start() {
+  // Stagger the election rounds across namenodes: synchronised rounds
+  // would race every scan against every heartbeat write and make the
+  // membership view flap.
+  const Nanos phase =
+      static_cast<Nanos>(rng_.NextBelow(
+          static_cast<uint64_t>(config_.leader_interval)));
+  LeaderElectionRound();  // have a leader quickly after start-up
+  sim_.After(phase, [this] {
+    if (!alive_) return;
+    LeaderElectionRound();
+    le_timer_ = sim_.Every(config_.leader_interval, [this] {
+      if (alive_) LeaderElectionRound();
+    });
+  });
+}
+
+void Namenode::Stop() {
+  le_timer_.Cancel();
+  rep_timer_.Cancel();
+  is_leader_ = false;
+}
+
+void Namenode::OnDnHeartbeat(blocks::DnId dn) {
+  if (dn_registry_ != nullptr) dn_registry_->MarkHeartbeat(dn, sim_.now());
+}
+
+void Namenode::PrimePathCache(const std::string& path, InodeId id,
+                              const std::string& row_key) {
+  path_cache_[path] = CachedPath{id, row_key};
+}
+
+// ---------------------------------------------------------------------------
+// Request plumbing
+// ---------------------------------------------------------------------------
+
+void Namenode::HandleRequest(FsRequest req, FsResultCb done) {
+  if (!alive_) return;  // the client's RPC timeout covers dead servers
+  auto ctx = std::make_shared<OpCtx>();
+  ctx->req = std::move(req);
+  ctx->done = std::move(done);
+  cpu_->Submit(config_.op_cpu_cost, [this, ctx] {
+    if (alive_) RunAttempt(ctx);
+  });
+}
+
+void Namenode::Finish(std::shared_ptr<OpCtx> ctx, FsResult result) {
+  ++ops_served_;
+  ctx->done(std::move(result));
+}
+
+void Namenode::MaybeRetry(std::shared_ptr<OpCtx> ctx, const Status& failure) {
+  if (ctx->txn != 0) {
+    api_->Abort(ctx->txn);
+    ctx->txn = 0;
+  }
+  // A NotFound under a cached path hint may only mean the hint was stale
+  // (rename/delete elsewhere): drop the cache and re-resolve once.
+  if (failure.code() == Code::kNotFound && ctx->used_cache &&
+      !ctx->cache_retry_done) {
+    ctx->cache_retry_done = true;
+    path_cache_.clear();
+    RunAttempt(ctx);
+    return;
+  }
+  if (!failure.retryable() || ctx->attempt >= config_.max_txn_retries) {
+    FsResult r;
+    r.status = failure;
+    Finish(ctx, std::move(r));
+    return;
+  }
+  // Retry with exponential backoff + jitter: HopsFS's backpressure to NDB.
+  ++txn_retries_;
+  const Nanos backoff =
+      config_.retry_backoff * (1 << std::min(ctx->attempt - 1, 4)) +
+      static_cast<Nanos>(rng_.NextBelow(config_.retry_backoff));
+  sim_.After(backoff, [this, ctx] {
+    if (alive_) RunAttempt(ctx);
+  });
+}
+
+void Namenode::ResolveDir(std::shared_ptr<OpCtx> ctx, const std::string& path,
+                          ResolveCb cb) {
+  if (path == "/") {
+    cb(kRootInode, InodeKey(0, ""));
+    return;
+  }
+  // Fast path: HopsFS resolves cached path prefixes from the NN-side
+  // inode hint cache without re-reading the upper directories — re-reading
+  // "/user"-style top components on every operation would funnel the whole
+  // cluster's load onto one partition's LDM thread. The hint is validated
+  // implicitly: the operation's own locked read on the target/parent row
+  // (keyed "parentId/name") misses if the hint went stale, which flows
+  // through MaybeRetry's cache-flush-and-re-resolve path.
+  auto hit = path_cache_.find(path);
+  if (hit != path_cache_.end()) {
+    ctx->used_cache = true;
+    cb(hit->second.id, hit->second.row_key);
+    return;
+  }
+
+  auto parts_sv = SplitPath(path);
+  auto parts = std::make_shared<std::vector<std::string>>();
+  for (auto p : parts_sv) parts->emplace_back(p);
+
+  // The walk state holds the self-referencing step closure; the step
+  // captures only a weak reference to the state, so the cycle resolves
+  // itself once the last in-flight read callback (which holds a strong
+  // reference) returns. Never reset `step` from inside itself: that
+  // destroys the executing closure's captures.
+  struct WalkState {
+    std::function<void(size_t, InodeId, std::string)> step;
+    Namenode::ResolveCb cb;
+  };
+  auto ws = std::make_shared<WalkState>();
+  ws->cb = std::move(cb);
+  std::weak_ptr<WalkState> weak = ws;
+  ws->step = [this, ctx, parts, weak](size_t i, InodeId cur,
+                                      std::string cur_row_key) {
+    auto ws = weak.lock();
+    if (!ws) return;
+    if (i == parts->size()) {
+      ws->cb(cur, std::move(cur_row_key));
+      return;
+    }
+    const std::string key = InodeKey(cur, (*parts)[i]);
+    api_->Read(
+        ctx->txn, tables_.inodes, key, ndb::LockMode::kReadCommitted,
+        [this, ctx, parts, ws, i, key](Code code,
+                                       std::optional<std::string> value) {
+          if (code != Code::kOk) {
+            MaybeRetry(ctx, Status(code, "path read failed"));
+            return;
+          }
+          if (!value) {
+            if (ctx->used_cache) {
+              MaybeRetry(ctx, NotFound("path component missing"));
+            } else {
+              api_->Abort(ctx->txn);
+              ctx->txn = 0;
+              FsResult r;
+              r.status = NotFound("path component missing");
+              Finish(ctx, std::move(r));
+            }
+            return;
+          }
+          InodeRow row;
+          if (!InodeRow::Decode(*value, &row) || !row.is_dir) {
+            api_->Abort(ctx->txn);
+            ctx->txn = 0;
+            FsResult r;
+            r.status =
+                FailedPrecondition("path component is not a directory");
+            Finish(ctx, std::move(r));
+            return;
+          }
+          // Cache this prefix: "/p0/.../pi" -> row.id.
+          std::string prefix;
+          for (size_t k = 0; k <= i; ++k) {
+            prefix += '/';
+            prefix += (*parts)[k];
+          }
+          path_cache_[prefix] = CachedPath{row.id, key};
+          ws->step(i + 1, row.id, key);
+        });
+  };
+  ws->step(0, kRootInode, InodeKey(0, ""));
+}
+
+// ---------------------------------------------------------------------------
+// Operation dispatch
+// ---------------------------------------------------------------------------
+
+void Namenode::RunAttempt(std::shared_ptr<OpCtx> ctx) {
+  ++ctx->attempt;
+  ctx->used_cache = false;
+
+  const std::string& path = ctx->req.path;
+  std::string parent;
+  if (path == "/") {
+    parent = "";
+    ctx->base = "";
+  } else {
+    auto [p, b] = SplitParent(path);
+    parent = p;
+    ctx->base = b;
+  }
+
+  // Start the transaction with the best partition-key hint available.
+  std::string hint;
+  if (path == "/") {
+    hint = InodeKey(0, "");
+  } else {
+    auto it = path_cache_.find(parent);
+    hint = it != path_cache_.end() ? InodeKey(it->second.id, ctx->base)
+                                   : InodeKey(kRootInode, ctx->base);
+  }
+  ctx->txn = api_->Begin(tables_.inodes, hint);
+  if (ctx->txn == 0) {
+    MaybeRetry(ctx, Unavailable("no NDB datanode reachable"));
+    return;
+  }
+
+  auto dispatch = [this, ctx] {
+    switch (ctx->req.op) {
+      case FsOp::kMkdir: DoMkdir(ctx); return;
+      case FsOp::kCreate: DoCreate(ctx); return;
+      case FsOp::kOpenRead: DoOpenRead(ctx); return;
+      case FsOp::kStat: DoStat(ctx); return;
+      case FsOp::kDelete: DoDelete(ctx); return;
+      case FsOp::kListDir: DoListDir(ctx); return;
+      case FsOp::kRename: DoRename(ctx); return;
+      case FsOp::kChmod:
+      case FsOp::kChown:
+      case FsOp::kSetTimes: DoSetAttr(ctx); return;
+      case FsOp::kAppend: DoAppend(ctx); return;
+      case FsOp::kContentSummary: DoContentSummary(ctx); return;
+      case FsOp::kDeleteRecursive: DoDeleteRecursive(ctx); return;
+    }
+  };
+
+  if (path == "/") {
+    // Target is the root itself.
+    ctx->dir = 0;
+    ctx->dir_row_key = "";
+    dispatch();
+    return;
+  }
+  ResolveDir(ctx, parent, [ctx, dispatch](InodeId dir, std::string row_key) {
+    ctx->dir = dir;
+    ctx->dir_row_key = std::move(row_key);
+    dispatch();
+  });
+}
+
+// The per-operation transaction bodies live in namenode_ops.cc; the
+// leadership protocols in leader.cc.
+
+}  // namespace repro::hopsfs

@@ -1,0 +1,221 @@
+// HopsFS metadata server (namenode, NN).
+//
+// Namenodes are stateless: every file-system operation is a transaction
+// against the NDB-stored metadata, using hierarchical (implicit) locking —
+// row locks are taken only on the operation's target inode (and its
+// parent for mutations); everything else is read with read committed
+// (§II-A2). Retryable failures (lock timeouts, coordinator loss) are
+// retried with exponential backoff, providing backpressure to NDB.
+//
+// Each namenode carries a locationDomainId (its AZ, §IV-B) which it
+// reports through the leader-election heartbeat so clients can find
+// AZ-local namenodes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocks/datanode.h"
+#include "blocks/placement.h"
+#include "hopsfs/fsschema.h"
+#include "ndb/client.h"
+#include "sim/resources.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace repro::hopsfs {
+
+enum class FsOp {
+  kMkdir,
+  kCreate,
+  kOpenRead,        // stat + block locations / inline data
+  kStat,
+  kDelete,
+  kListDir,
+  kRename,
+  kChmod,
+  kChown,
+  kSetTimes,
+  kAppend,          // extend a file (inline growth or new blocks)
+  kContentSummary,  // recursive file/dir/byte counts (du)
+  kDeleteRecursive, // subtree delete in one transaction
+};
+const char* FsOpName(FsOp op);
+
+struct FsRequest {
+  FsOp op = FsOp::kStat;
+  std::string path;
+  std::string path2;     // rename destination
+  int64_t size = 0;      // create size / append delta
+  uint32_t permissions = 0644;
+  std::string owner;     // chown
+  int64_t mtime_ns = 0;  // setTimes
+  // Calling identity for permission checks; empty = superuser (the
+  // default, so infrastructure paths and benchmarks are unaffected).
+  std::string user;
+  AzId client_az = kNoAz;
+};
+
+struct FsResult {
+  Status status;
+  InodeRow inode;                        // stat / open
+  std::vector<std::string> children;     // listdir
+  std::vector<BlockRow> blocks;          // open (large files)
+  int64_t inline_bytes = 0;              // open (small files)
+  // create/append (large files): pipeline targets per new block
+  std::vector<BlockRow> new_blocks;
+  // content summary (du)
+  int64_t cs_files = 0;
+  int64_t cs_dirs = 0;
+  int64_t cs_bytes = 0;
+};
+
+using FsResultCb = std::function<void(FsResult)>;
+
+struct NamenodeConfig {
+  int cpu_threads = 32;                  // the evaluation's 32-vCPU VMs
+  // Calibrated so one 32-vCPU namenode tops out around the paper's
+  // ~27K ops/s per NN (1.62M ops/s over 60 NNs, Fig. 5).
+  Nanos op_cpu_cost = 1100 * kMicrosecond;
+  int max_txn_retries = 10;
+  Nanos retry_backoff = 15 * kMillisecond;
+  Nanos leader_interval = 2 * kSecond;   // leader election round (§IV-B3)
+  int block_replication = 3;
+};
+
+// Cross-namenode view of the active-NN set, rebuilt from the heartbeat
+// rows each election round.
+struct ActiveNn {
+  int32_t nn_id;
+  AzId az;
+  HostId host;
+};
+
+class Namenode {
+ public:
+  Namenode(Simulation& sim, Network& network, ndb::NdbCluster& ndb,
+           const FsTables& tables, int32_t nn_id, HostId host, AzId az,
+           blocks::DnRegistry* dn_registry,
+           blocks::BlockPlacementPolicy* placement,
+           NamenodeConfig config = {});
+
+  int32_t id() const { return nn_id_; }
+  HostId host() const { return host_; }
+  AzId az() const { return az_; }
+  bool alive() const { return alive_; }
+  void Crash();
+
+  // Starts leader-election heartbeats (and, when leader, the block
+  // re-replication monitor).
+  void Start();
+  void Stop();
+
+  bool is_leader() const { return is_leader_; }
+  const std::vector<ActiveNn>& active_nns() const { return active_nns_; }
+
+  // Client RPC entry point: runs the op and calls `done` on this host
+  // (the client stub handles the network hop back).
+  void HandleRequest(FsRequest req, FsResultCb done);
+
+  // Datanode heartbeat sink (routed to the leader by the deployment).
+  void OnDnHeartbeat(blocks::DnId dn);
+
+  // Pre-warms the inode hint cache (experiment bootstrap only): models a
+  // long-running namenode whose cache has reached steady state, which a
+  // sub-second simulation window cannot organically warm.
+  void PrimePathCache(const std::string& path, InodeId id,
+                      const std::string& row_key);
+
+  const ThreadPool& cpu_pool() const { return *cpu_; }
+  void ResetStats() { cpu_->ResetStats(); }
+  int64_t ops_served() const { return ops_served_; }
+  int64_t txn_retries() const { return txn_retries_; }
+
+ private:
+  struct OpCtx;
+
+  // -- operation state machines --
+  void RunAttempt(std::shared_ptr<OpCtx> ctx);
+  void Finish(std::shared_ptr<OpCtx> ctx, FsResult result);
+  void MaybeRetry(std::shared_ptr<OpCtx> ctx, const Status& failure);
+
+  // Resolves the inode id of directory `path` ("/a/b") with committed
+  // reads. `cb(dir_id, dir_row_key)` runs only on success; failures are
+  // finished/retried internally. Uses the NN-side path cache.
+  using ResolveCb = std::function<void(InodeId, std::string)>;
+  void ResolveDir(std::shared_ptr<OpCtx> ctx, const std::string& path,
+                  ResolveCb cb);
+
+  void DoMkdir(std::shared_ptr<OpCtx> ctx);
+  void DoCreate(std::shared_ptr<OpCtx> ctx);
+  void DoOpenRead(std::shared_ptr<OpCtx> ctx);
+  void DoStat(std::shared_ptr<OpCtx> ctx);
+  void DoDelete(std::shared_ptr<OpCtx> ctx);
+  void DoListDir(std::shared_ptr<OpCtx> ctx);
+  void DoRename(std::shared_ptr<OpCtx> ctx);
+  // chmod / chown / setTimes share one read-modify-write body.
+  void DoSetAttr(std::shared_ptr<OpCtx> ctx);
+  void DoAppend(std::shared_ptr<OpCtx> ctx);
+  void DoContentSummary(std::shared_ptr<OpCtx> ctx);
+  void DoDeleteRecursive(std::shared_ptr<OpCtx> ctx);
+
+  // -- leadership --
+  void LeaderElectionRound();
+  void ReplicationMonitorRound();
+  // Restores the replication level of one block after a DN loss: rewrites
+  // the block row and index rows in a transaction, then streams a copy
+  // from a surviving replica to the chosen replacement.
+  void RepairBlock(blocks::DnId dead_dn, const std::string& dn_block_key,
+                   const std::string& block_row_key,
+                   std::function<void()> done);
+
+  InodeId NextInodeId() {
+    return (static_cast<InodeId>(nn_id_ + 2) << 40) | ++inode_counter_;
+  }
+  uint64_t NextBlockId() {
+    return (static_cast<uint64_t>(nn_id_ + 2) << 40) | ++block_counter_;
+  }
+
+  Simulation& sim_;
+  Network& network_;
+  ndb::NdbCluster& ndb_;
+  FsTables tables_;
+  int32_t nn_id_;
+  HostId host_;
+  AzId az_;
+  blocks::DnRegistry* dn_registry_;
+  blocks::BlockPlacementPolicy* placement_;
+  NamenodeConfig config_;
+
+  std::unique_ptr<ThreadPool> cpu_;
+  std::unique_ptr<ndb::NdbApiNode> api_;
+  bool alive_ = true;
+  bool is_leader_ = false;
+  Rng rng_;
+
+  // Path -> inode hint cache; entries are validated by the locked read
+  // each operation performs, so staleness only costs a retry.
+  struct CachedPath {
+    InodeId id;
+    std::string row_key;  // "parentId/name" row key of the directory
+  };
+  std::unordered_map<std::string, CachedPath> path_cache_;
+
+  // Leader election state.
+  int64_t le_counter_ = 0;
+  std::unordered_map<int32_t, std::pair<int64_t, int>> le_seen_;  // id -> (counter, misses)
+  std::vector<ActiveNn> active_nns_;
+  Simulation::PeriodicHandle le_timer_;
+  Simulation::PeriodicHandle rep_timer_;
+  std::vector<bool> dn_known_dead_;
+
+  uint64_t inode_counter_ = 0;
+  uint64_t block_counter_ = 0;
+  int64_t ops_served_ = 0;
+  int64_t txn_retries_ = 0;
+};
+
+}  // namespace repro::hopsfs

@@ -1,0 +1,46 @@
+// Per-operation context shared by the namenode's transaction state
+// machines (namenode.cc / namenode_ops.cc).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hopsfs/namenode.h"
+
+namespace repro::hopsfs {
+
+// HDFS-style access check, reduced to owner/other classes (no groups).
+// An empty user is the superuser. `want` is a POSIX permission bit mask
+// evaluated against the owner triplet when the user owns the inode, the
+// "other" triplet otherwise.
+inline bool HasAccess(const InodeRow& inode, const std::string& user,
+                      uint32_t want) {
+  if (user.empty()) return true;  // superuser
+  const uint32_t perms = inode.permissions;
+  const uint32_t bits = user == inode.owner ? (perms >> 6) : perms;
+  return (bits & want) == want;
+}
+
+constexpr uint32_t kRead = 04;
+constexpr uint32_t kWrite = 02;
+
+struct Namenode::OpCtx {
+  FsRequest req;
+  FsResultCb done;
+  int attempt = 0;
+  ndb::TxnId txn = 0;
+  bool used_cache = false;      // this attempt relied on the path cache
+  bool cache_retry_done = false;
+
+  // Filled by path resolution (parent directory of the target).
+  InodeId dir = 0;
+  std::string dir_row_key;      // row key of the parent directory inode
+  std::string base;             // final path component
+
+  // Rename: destination parent.
+  InodeId dst_dir = 0;
+  std::string dst_dir_row_key;
+  std::string dst_base;
+};
+
+}  // namespace repro::hopsfs

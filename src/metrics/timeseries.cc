@@ -1,0 +1,86 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+namespace repro::metrics {
+
+void TimeSeries::Record(Nanos t, double value) {
+  const size_t idx = static_cast<size_t>(t / window_);
+  if (idx >= windows_.size()) {
+    const size_t old = windows_.size();
+    windows_.resize(idx + 1);
+    for (size_t i = old; i < windows_.size(); ++i) {
+      windows_[i].start = static_cast<Nanos>(i) * window_;
+    }
+  }
+  windows_[idx].count += 1;
+  windows_[idx].sum += value;
+}
+
+std::vector<double> TimeSeries::RatePerSecond() const {
+  std::vector<double> out;
+  out.reserve(windows_.size());
+  const double secs = ToSeconds(window_);
+  for (const auto& w : windows_) {
+    out.push_back(static_cast<double>(w.count) / secs);
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::MeanPerWindow() const {
+  std::vector<double> out;
+  out.reserve(windows_.size());
+  for (const auto& w : windows_) out.push_back(w.mean());
+  return out;
+}
+
+std::string TimeSeries::Sparkline() const {
+  static const char* kBlocks[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  const auto rates = RatePerSecond();
+  double peak = 0;
+  for (double r : rates) peak = std::max(peak, r);
+  std::string out;
+  for (double r : rates) {
+    const int level =
+        peak > 0 ? static_cast<int>(r / peak * 7.0 + 0.5) : 0;
+    out += kBlocks[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+bool WriteCsv(const std::string& path,
+              const std::vector<std::pair<std::string, std::vector<double>>>&
+                  columns) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t rows = 0;
+  for (const auto& [name, series] : columns) {
+    rows = std::max(rows, series.size());
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::fprintf(f, "%s%s", c ? "," : "", columns[c].first.c_str());
+  }
+  std::fprintf(f, "\n");
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c) std::fprintf(f, ",");
+      const auto& series = columns[c].second;
+      if (r < series.size()) std::fprintf(f, "%.6g", series[r]);
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::string CsvDir() {
+  const char* env = std::getenv("REPRO_CSV_DIR");
+  std::string dir = env != nullptr && env[0] != '\0' ? env : "bench_out";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+}  // namespace repro::metrics

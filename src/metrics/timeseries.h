@@ -1,0 +1,60 @@
+// Windowed time series for simulation metrics.
+//
+// Records (time, value) observations into fixed-width windows so benches
+// can report throughput/latency over time — e.g. the dip and recovery
+// around an injected failure — and export the series as CSV artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace repro::metrics {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(Nanos window = 100 * kMillisecond)
+      : window_(window) {}
+
+  // Adds one observation at simulated time t.
+  void Record(Nanos t, double value = 1.0);
+
+  struct Window {
+    Nanos start = 0;
+    int64_t count = 0;
+    double sum = 0;
+
+    double mean() const { return count > 0 ? sum / count : 0; }
+  };
+
+  const std::vector<Window>& windows() const { return windows_; }
+  Nanos window_width() const { return window_; }
+
+  // Events per second in each window (throughput view).
+  std::vector<double> RatePerSecond() const;
+  // Mean value in each window (latency view when values are latencies).
+  std::vector<double> MeanPerWindow() const;
+
+  // Compact ASCII sparkline of the rate series (for bench stdout).
+  std::string Sparkline() const;
+
+  void Clear() { windows_.clear(); }
+
+ private:
+  Nanos window_;
+  std::vector<Window> windows_;
+};
+
+// Writes aligned columns to a CSV file; returns false on I/O failure.
+// Columns: name -> series (all series padded to the longest length).
+bool WriteCsv(const std::string& path,
+              const std::vector<std::pair<std::string, std::vector<double>>>&
+                  columns);
+
+// Directory used for benchmark CSV artifacts; created on demand. Controlled
+// by the REPRO_CSV_DIR environment variable (default "bench_out").
+std::string CsvDir();
+
+}  // namespace repro::metrics

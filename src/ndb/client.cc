@@ -1,0 +1,268 @@
+#include "ndb/client.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace repro::ndb {
+
+NdbApiNode::NdbApiNode(NdbCluster& cluster, HostId host,
+                       AzId location_domain_id)
+    : cluster_(cluster), host_(host), az_(location_domain_id) {
+  id_ = cluster_.RegisterApi(this);
+}
+
+NodeId NdbApiNode::PickTc(const TableDef* td, TableId table,
+                          const Key* hint_key) {
+  auto& layout = cluster_.layout();
+  const bool az_aware = cluster_.flags().az_aware && az_ != kNoAz;
+
+  if (td != nullptr && hint_key != nullptr) {
+    const PartitionId part = layout.PartitionOf(table, *hint_key);
+    if (td->read_backup && !td->fully_replicated) {
+      // Case 1: any replica of the partition, closest AZ first.
+      return layout.PickByProximity(az_, layout.ReplicaChain(part), az_aware,
+                                    rr_++);
+    }
+    if (td->fully_replicated) {
+      // Case 2: every node holds the data; pick by proximity.
+      std::vector<NodeId> all(layout.num_nodes());
+      for (int n = 0; n < layout.num_nodes(); ++n) all[n] = n;
+      return layout.PickByProximity(az_, all, az_aware, rr_++);
+    }
+    // Case 3: nodes derived from the partition key. AZ-aware picks the
+    // same-AZ member (reads still reroute to the primary); classic NDB
+    // picks the primary replica (distribution awareness).
+    if (az_aware) {
+      return layout.PickByProximity(az_, layout.ReplicaChain(part), true,
+                                    rr_++);
+    }
+    return layout.PrimaryOf(part);
+  }
+
+  // Case 4: no hint — all datanodes ordered by proximity.
+  std::vector<NodeId> all(layout.num_nodes());
+  for (int n = 0; n < layout.num_nodes(); ++n) all[n] = n;
+  return layout.PickByProximity(az_, all, az_aware, rr_++);
+}
+
+TxnId NdbApiNode::Begin(TableId hint_table, const Key& hint_key) {
+  const TableDef& td = cluster_.catalog().table(hint_table);
+  const NodeId tc = PickTc(&td, hint_table, &hint_key);
+  if (tc == kNoNode) return 0;
+  const TxnId txn = cluster_.NextTxnId();
+  txns_[txn] = TxnState{tc, false, 0};
+  return txn;
+}
+
+TxnId NdbApiNode::BeginNoHint() {
+  const NodeId tc = PickTc(nullptr, 0, nullptr);
+  if (tc == kNoNode) return 0;
+  const TxnId txn = cluster_.NextTxnId();
+  txns_[txn] = TxnState{tc, false, 0};
+  return txn;
+}
+
+NdbApiNode::TxnState* NdbApiNode::FindTxn(TxnId txn) {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+uint64_t NdbApiNode::RegisterOp(TxnId txn, PendingOp op) {
+  const uint64_t op_id = next_op_id_++;
+  op.txn = txn;
+  pending_.emplace(op_id, std::move(op));
+  if (TxnState* t = FindTxn(txn)) t->inflight += 1;
+
+  cluster_.sim().After(op_timeout_, [this, op_id] {
+    auto it = pending_.find(op_id);
+    if (it == pending_.end()) return;  // already answered
+    ++timeouts_;
+    if (TxnState* t = FindTxn(it->second.txn)) t->broken = true;
+    FailOp(op_id, Code::kTimedOut);
+  });
+  return op_id;
+}
+
+void NdbApiNode::SendToTc(TxnId txn, NodeId tc, int64_t bytes,
+                          std::function<void(NdbDatanode&)> fn) {
+  (void)txn;
+  NdbDatanode& node = cluster_.datanode(tc);
+  cluster_.network().Send(host_, node.host(), bytes,
+                          [&node, fn = std::move(fn)] {
+                            node.ReceiveMsg([&node, fn] { fn(node); });
+                          });
+}
+
+void NdbApiNode::FailOp(uint64_t op_id, Code code) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp op = std::move(it->second);
+  pending_.erase(it);
+  if (TxnState* t = FindTxn(op.txn)) t->inflight -= 1;
+  if (op.read_cb) op.read_cb(code, std::nullopt);
+  if (op.write_cb) op.write_cb(code);
+  if (op.scan_cb) op.scan_cb(code, {});
+}
+
+void NdbApiNode::SendKeyOp(TxnId txn, KeyOpReq req, PendingOp op) {
+  TxnState* t = FindTxn(txn);
+  if (t == nullptr || t->broken || !cluster_.cluster_up() ||
+      !cluster_.layout().alive(t->tc)) {
+    const Code code = t == nullptr || t->broken ? Code::kAborted
+                                                : Code::kUnavailable;
+    if (op.read_cb) op.read_cb(code, std::nullopt);
+    if (op.write_cb) op.write_cb(code);
+    if (op.scan_cb) op.scan_cb(code, {});
+    return;
+  }
+  req.txn = txn;
+  req.api = id_;
+  req.op_id = RegisterOp(txn, std::move(op));
+  const int64_t bytes =
+      cluster_.cost().msg_read_req + static_cast<int64_t>(req.value.size());
+  SendToTc(txn, t->tc, bytes, [req = std::move(req)](NdbDatanode& n) mutable {
+    n.TcKeyOp(std::move(req));
+  });
+}
+
+void NdbApiNode::Read(TxnId txn, TableId table, Key key, LockMode mode,
+                      ReadCb cb) {
+  KeyOpReq req;
+  req.table = table;
+  req.key = std::move(key);
+  req.mode = mode;
+  PendingOp op;
+  op.read_cb = std::move(cb);
+  SendKeyOp(txn, std::move(req), std::move(op));
+}
+
+void NdbApiNode::Insert(TxnId txn, TableId table, Key key, std::string value,
+                        WriteCb cb) {
+  KeyOpReq req;
+  req.table = table;
+  req.key = std::move(key);
+  req.is_write = true;
+  req.write_type = WriteType::kPut;
+  req.insert_only = true;
+  req.value = std::move(value);
+  PendingOp op;
+  op.write_cb = std::move(cb);
+  SendKeyOp(txn, std::move(req), std::move(op));
+}
+
+void NdbApiNode::Update(TxnId txn, TableId table, Key key, std::string value,
+                        WriteCb cb) {
+  KeyOpReq req;
+  req.table = table;
+  req.key = std::move(key);
+  req.is_write = true;
+  req.write_type = WriteType::kPut;
+  req.must_exist = true;
+  req.value = std::move(value);
+  PendingOp op;
+  op.write_cb = std::move(cb);
+  SendKeyOp(txn, std::move(req), std::move(op));
+}
+
+void NdbApiNode::Write(TxnId txn, TableId table, Key key, std::string value,
+                       WriteCb cb) {
+  KeyOpReq req;
+  req.table = table;
+  req.key = std::move(key);
+  req.is_write = true;
+  req.write_type = WriteType::kPut;
+  req.value = std::move(value);
+  PendingOp op;
+  op.write_cb = std::move(cb);
+  SendKeyOp(txn, std::move(req), std::move(op));
+}
+
+void NdbApiNode::Delete(TxnId txn, TableId table, Key key, WriteCb cb) {
+  KeyOpReq req;
+  req.table = table;
+  req.key = std::move(key);
+  req.is_write = true;
+  req.write_type = WriteType::kDelete;
+  req.must_exist = true;
+  PendingOp op;
+  op.write_cb = std::move(cb);
+  SendKeyOp(txn, std::move(req), std::move(op));
+}
+
+void NdbApiNode::ScanPrefix(TxnId txn, TableId table, Key prefix, ScanCb cb) {
+  TxnState* t = FindTxn(txn);
+  if (t == nullptr || t->broken || !cluster_.cluster_up() ||
+      !cluster_.layout().alive(t->tc)) {
+    cb(t == nullptr || t->broken ? Code::kAborted : Code::kUnavailable, {});
+    return;
+  }
+  ScanReq req;
+  req.txn = txn;
+  req.api = id_;
+  req.table = table;
+  req.prefix = std::move(prefix);
+  PendingOp op;
+  op.scan_cb = std::move(cb);
+  req.op_id = RegisterOp(txn, std::move(op));
+  SendToTc(txn, t->tc, cluster_.cost().msg_scan_req,
+           [req = std::move(req)](NdbDatanode& n) mutable {
+             n.TcScan(std::move(req));
+           });
+}
+
+void NdbApiNode::Commit(TxnId txn, WriteCb cb) {
+  TxnState* t = FindTxn(txn);
+  if (t == nullptr) {
+    cb(Code::kAborted);
+    return;
+  }
+  if (t->broken || !cluster_.cluster_up() ||
+      !cluster_.layout().alive(t->tc)) {
+    Abort(txn);
+    cb(Code::kAborted);
+    return;
+  }
+  PendingOp op;
+  op.write_cb = [this, txn, cb = std::move(cb)](Code code) {
+    txns_.erase(txn);
+    cb(code);
+  };
+  const uint64_t op_id = RegisterOp(txn, std::move(op));
+  const NodeId tc = t->tc;
+  SendToTc(txn, tc, cluster_.cost().msg_small,
+           [txn, op_id, api = id_](NdbDatanode& n) {
+             n.TcCommit(txn, op_id, api);
+           });
+}
+
+void NdbApiNode::Abort(TxnId txn) {
+  TxnState* t = FindTxn(txn);
+  if (t == nullptr) return;
+  if (cluster_.layout().alive(t->tc) && cluster_.cluster_up()) {
+    SendToTc(txn, t->tc, cluster_.cost().msg_small,
+             [txn](NdbDatanode& n) { n.TcAbort(txn); });
+  }
+  txns_.erase(txn);
+}
+
+void NdbApiNode::OnOpReply(OpReply reply) {
+  auto it = pending_.find(reply.op_id);
+  if (it == pending_.end()) return;  // late reply after timeout
+  PendingOp op = std::move(it->second);
+  pending_.erase(it);
+  if (TxnState* t = FindTxn(op.txn)) t->inflight -= 1;
+
+  if (op.read_cb) {
+    if (reply.code == Code::kOk || reply.code == Code::kNotFound) {
+      op.read_cb(reply.code == Code::kNotFound ? Code::kNotFound : Code::kOk,
+                 std::move(reply.value));
+    } else {
+      op.read_cb(reply.code, std::nullopt);
+    }
+  }
+  if (op.write_cb) op.write_cb(reply.code);
+  if (op.scan_cb) op.scan_cb(reply.code, std::move(reply.rows));
+}
+
+}  // namespace repro::ndb

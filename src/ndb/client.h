@@ -1,0 +1,101 @@
+// NDB API node: the client library the metadata servers link against.
+//
+// An API node lives on its caller's host (a HopsFS namenode) and owns the
+// AZ-aware transaction-coordinator selection policy of §IV-A5: when a
+// transaction starts with a partition-key hint, the TC is chosen from the
+// nodes holding that partition (distribution-aware transactions), ordered
+// by the AZ proximity score — four cases depending on the table options.
+// Operations that receive no reply within the op timeout are failed with
+// kTimedOut, which is how coordinator failure surfaces to the file system
+// (whose retry loop then picks a surviving TC).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ndb/cluster.h"
+#include "ndb/datanode.h"
+#include "ndb/types.h"
+
+namespace repro::ndb {
+
+class NdbApiNode {
+ public:
+  using ReadCb =
+      std::function<void(Code, std::optional<std::string>)>;
+  using WriteCb = std::function<void(Code)>;
+  using ScanCb = std::function<void(
+      Code, std::vector<std::pair<Key, std::string>>)>;
+
+  // `location_domain_id` is the caller's AZ (§IV-B); kNoAz disables
+  // AZ-local preferences for this client.
+  NdbApiNode(NdbCluster& cluster, HostId host, AzId location_domain_id);
+
+  ApiNodeId id() const { return id_; }
+  HostId host() const { return host_; }
+  AzId az() const { return az_; }
+
+  // Starts a transaction. With a hint, the TC is picked per the four
+  // cases of §IV-A5; without one, by proximity over all datanodes
+  // (case 4). Returns 0 if no datanode is reachable.
+  TxnId Begin(TableId hint_table, const Key& hint_key);
+  TxnId BeginNoHint();
+
+  void Read(TxnId txn, TableId table, Key key, LockMode mode, ReadCb cb);
+  void Insert(TxnId txn, TableId table, Key key, std::string value,
+              WriteCb cb);
+  void Update(TxnId txn, TableId table, Key key, std::string value,
+              WriteCb cb);
+  // Upsert without existence constraints.
+  void Write(TxnId txn, TableId table, Key key, std::string value,
+             WriteCb cb);
+  void Delete(TxnId txn, TableId table, Key key, WriteCb cb);
+  void ScanPrefix(TxnId txn, TableId table, Key prefix, ScanCb cb);
+
+  void Commit(TxnId txn, WriteCb cb);
+  void Abort(TxnId txn);
+
+  // Wire-level reply entry point (called by datanodes via the network).
+  void OnOpReply(OpReply reply);
+
+  void set_op_timeout(Nanos t) { op_timeout_ = t; }
+  int64_t timeouts() const { return timeouts_; }
+
+ private:
+  struct TxnState {
+    NodeId tc = kNoNode;
+    bool broken = false;   // a timeout poisoned this txn
+    int inflight = 0;
+  };
+  struct PendingOp {
+    TxnId txn = 0;
+    ReadCb read_cb;
+    WriteCb write_cb;
+    ScanCb scan_cb;
+  };
+
+  NodeId PickTc(const TableDef* td, TableId table, const Key* hint_key);
+  TxnState* FindTxn(TxnId txn);
+  uint64_t RegisterOp(TxnId txn, PendingOp op);
+  void SendToTc(TxnId txn, NodeId tc, int64_t bytes,
+                std::function<void(NdbDatanode&)> fn);
+  void FailOp(uint64_t op_id, Code code);
+  void SendKeyOp(TxnId txn, KeyOpReq req, PendingOp op);
+
+  NdbCluster& cluster_;
+  ApiNodeId id_;
+  HostId host_;
+  AzId az_;
+  Nanos op_timeout_ = 1500 * kMillisecond;
+
+  uint64_t next_op_id_ = 1;
+  uint64_t rr_ = 0;
+  int64_t timeouts_ = 0;
+  std::unordered_map<TxnId, TxnState> txns_;
+  std::unordered_map<uint64_t, PendingOp> pending_;
+};
+
+}  // namespace repro::ndb

@@ -1,0 +1,398 @@
+#include "ndb/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+#include "ndb/client.h"
+#include "util/logging.h"
+
+namespace repro::ndb {
+
+namespace {
+constexpr const char* kLog = "ndb.cluster";
+constexpr int64_t kHeartbeatBytes = 48;
+constexpr int64_t kArbBytes = 96;
+constexpr int64_t kGcpBytesPerNode = 128 << 10;
+}  // namespace
+
+bool NdbMgmtNode::HandleArbRequest(NodeId requester,
+                                   const std::vector<bool>& reachable,
+                                   Nanos now) {
+  if (last_grant_ < 0 || now - last_grant_ > kEpisodeWindow) {
+    // New episode: the first claimant's view wins.
+    granted_view_ = reachable;
+    last_grant_ = now;
+    return true;
+  }
+  const bool in_view = requester >= 0 &&
+                       requester < static_cast<NodeId>(granted_view_.size()) &&
+                       granted_view_[requester];
+  if (in_view) last_grant_ = now;
+  return in_view;
+}
+
+NdbCluster::NdbCluster(Simulation& sim, Network& network,
+                       const Catalog* catalog, NdbClusterConfig config)
+    : sim_(sim), network_(network), catalog_(catalog),
+      config_(std::move(config)), layout_(config_.layout, catalog) {
+  auto& topo = network_.topology();
+  const int n = config_.layout.num_datanodes;
+  datanodes_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const HostId host =
+        topo.AddHost(config_.layout.node_az[i], StrFormat("ndb-dn-%d", i));
+    datanodes_.push_back(std::make_unique<NdbDatanode>(*this, i, host));
+  }
+  for (size_t m = 0; m < config_.mgmt_az.size(); ++m) {
+    const HostId host = topo.AddHost(config_.mgmt_az[m],
+                                     StrFormat("ndb-mgmt-%zu", m));
+    mgmt_.push_back(std::make_unique<NdbMgmtNode>(static_cast<int>(m), host));
+  }
+  last_heard_.assign(n, std::vector<Nanos>(n, 0));
+  arbitration_in_flight_.assign(n, false);
+  replica_reads_.assign(layout_.num_partitions(),
+                        std::vector<int64_t>(n, 0));
+}
+
+NdbCluster::~NdbCluster() {
+  for (auto& t : timers_) t.Cancel();
+}
+
+ApiNodeId NdbCluster::RegisterApi(NdbApiNode* api) {
+  apis_.push_back(api);
+  return static_cast<ApiNodeId>(apis_.size()) - 1;
+}
+
+void NdbCluster::StartProtocols() {
+  assert(!protocols_started_);
+  protocols_started_ = true;
+  const auto& nc = config_.node;
+  const Nanos start = sim_.now();
+  for (auto& row : last_heard_) row.assign(row.size(), start);
+
+  for (NodeId i = 0; i < num_datanodes(); ++i) {
+    timers_.push_back(
+        sim_.Every(nc.heartbeat_interval, [this, i] { HeartbeatTick(i); }));
+    timers_.push_back(sim_.Every(nc.redo_flush_interval, [this, i] {
+      datanodes_[i]->FlushRedo();
+    }));
+    timers_.push_back(sim_.Every(500 * kMillisecond, [this, i] {
+      if (datanodes_[i]->alive()) datanodes_[i]->SweepInactiveTxns();
+    }));
+  }
+  // Global checkpoint: periodic durable epoch across node groups. Each
+  // node marks the epoch durable when its checkpoint write hits disk.
+  timers_.push_back(sim_.Every(nc.gcp_interval, [this] {
+    if (!cluster_up_) return;
+    ++gcp_epoch_;
+    for (auto& dn : datanodes_) {
+      if (!dn->alive()) continue;
+      NdbDatanode* node = dn.get();
+      node->set_gcp_epoch(gcp_epoch_);
+      node->RunIo(5 * kMicrosecond, [node] {
+        node->disk().Write(kGcpBytesPerNode,
+                           [node] { node->MarkGcpDurable(); });
+      });
+    }
+  }));
+}
+
+void NdbCluster::HeartbeatTick(NodeId i) {
+  if (!cluster_up_) return;
+  NdbDatanode& self = *datanodes_[i];
+  if (!self.alive()) return;
+  const auto& nc = config_.node;
+
+  for (NodeId j = 0; j < num_datanodes(); ++j) {
+    if (j == i || !layout_.alive(j)) continue;
+    NdbDatanode& peer = *datanodes_[j];
+    network_.Send(self.host(), peer.host(), kHeartbeatBytes,
+                  [this, i, j, &peer] {
+                    peer.ReceiveMsg([this, i, j] {
+                      last_heard_[j][i] = sim_.now();
+                    });
+                  });
+  }
+
+  // Failure detection: peers silent for too long are suspects.
+  const Nanos deadline =
+      sim_.now() - nc.heartbeat_interval * nc.heartbeat_misses_for_failure;
+  bool any_suspect = false;
+  for (NodeId j = 0; j < num_datanodes(); ++j) {
+    if (j == i || !layout_.alive(j)) continue;
+    if (last_heard_[i][j] < deadline) any_suspect = true;
+  }
+  if (any_suspect && !arbitration_in_flight_[i]) RequestArbitration(i);
+}
+
+int NdbCluster::CurrentArbitratorIndex() const {
+  for (size_t m = 0; m < mgmt_.size(); ++m) {
+    if (network_.topology().HostUp(mgmt_[m]->host())) {
+      return static_cast<int>(m);
+    }
+  }
+  return -1;
+}
+
+void NdbCluster::RequestArbitration(NodeId requester) {
+  NdbDatanode& self = *datanodes_[requester];
+  if (!self.alive()) return;
+  const auto& nc = config_.node;
+  const int arb = CurrentArbitratorIndex();
+  if (arb < 0) {
+    // No arbitrator anywhere: assume we are partitioned and shut down
+    // gracefully (§IV-A2).
+    RLOG_WARN(kLog, "node %d: no arbitrator available, shutting down",
+              requester);
+    DeclareNodeFailed(requester);
+    return;
+  }
+  arbitration_in_flight_[requester] = true;
+
+  const Nanos deadline =
+      sim_.now() - nc.heartbeat_interval * nc.heartbeat_misses_for_failure;
+  std::vector<bool> reachable(num_datanodes(), false);
+  std::vector<NodeId> suspects;
+  reachable[requester] = true;
+  for (NodeId j = 0; j < num_datanodes(); ++j) {
+    if (j == requester || !layout_.alive(j)) continue;
+    if (last_heard_[requester][j] >= deadline) {
+      reachable[j] = true;
+    } else {
+      suspects.push_back(j);
+    }
+  }
+
+  auto answered = std::make_shared<bool>(false);
+  NdbMgmtNode* arbitrator = mgmt_[arb].get();
+  network_.Send(
+      self.host(), arbitrator->host(), kArbBytes,
+      [this, requester, arbitrator, reachable, suspects, answered] {
+        const bool grant = arbitrator->HandleArbRequest(requester, reachable,
+                                                        sim_.now());
+        NdbDatanode& req_node = *datanodes_[requester];
+        network_.Send(arbitrator->host(), req_node.host(), kArbBytes,
+                      [this, requester, grant, suspects, answered] {
+                        *answered = true;
+                        arbitration_in_flight_[requester] = false;
+                        if (!grant) {
+                          RLOG_INFO(kLog, "node %d lost arbitration",
+                                    requester);
+                          DeclareNodeFailed(requester);
+                          return;
+                        }
+                        for (NodeId s : suspects) DeclareNodeFailed(s);
+                      });
+      });
+
+  sim_.After(nc.arbitration_timeout, [this, requester, answered] {
+    if (*answered) return;
+    arbitration_in_flight_[requester] = false;
+    if (!datanodes_[requester]->alive()) return;
+    RLOG_INFO(kLog, "node %d cannot reach arbitrator, shutting down",
+              requester);
+    DeclareNodeFailed(requester);
+  });
+}
+
+void NdbCluster::DeclareNodeFailed(NodeId n) {
+  if (!layout_.alive(n)) return;
+  RLOG_INFO(kLog, "declaring datanode %d failed", n);
+
+  // Take-over (§II-B2): surviving replicas of transactions coordinated by
+  // the failed node resolve them — modelled as an immediate abort that
+  // releases their locks and pending rows.
+  auto rows = datanodes_[n]->DrainTxnRowsForTakeover();
+  layout_.set_alive(n, false);
+  datanodes_[n]->Shutdown();
+  for (const auto& r : rows) {
+    if (r.node == n || !layout_.alive(r.node)) continue;
+    NdbDatanode& dn = *datanodes_[r.node];
+    dn.store().Abort(r.table, r.key, r.txn);
+    dn.locks().Release(r.txn, r.table, r.key);
+  }
+
+  // Surviving coordinators abort transactions touching the failed node.
+  for (auto& dn : datanodes_) {
+    if (dn->alive()) dn->AbortTxnsInvolving(n);
+  }
+
+  if (!layout_.Viable()) {
+    RLOG_ERROR(kLog, "node group lost all replicas; cluster down");
+    ShutdownCluster();
+  }
+}
+
+void NdbCluster::CrashDatanode(NodeId n) {
+  network_.topology().SetHostUp(datanodes_[n]->host(), false);
+  datanodes_[n]->Shutdown();
+}
+
+void NdbCluster::RestartDatanode(NodeId n, std::function<void()> done) {
+  if (layout_.alive(n)) {
+    RLOG_WARN(kLog, "restart of node %d ignored: node is alive", n);
+    if (done) done();
+    return;
+  }
+  NdbDatanode& node = *datanodes_[n];
+  network_.topology().SetHostUp(node.host(), true);
+
+  // Source peer: a surviving member of the node group (it holds exactly
+  // the partitions — and fully-replicated copy fragments — we need).
+  NodeId source = kNoNode;
+  const int group = layout_.group_of(n);
+  for (NodeId peer = 0; peer < num_datanodes(); ++peer) {
+    if (peer != n && layout_.group_of(peer) == group &&
+        layout_.alive(peer)) {
+      source = peer;
+      break;
+    }
+  }
+  if (source == kNoNode) {
+    RLOG_ERROR(kLog, "restart of node %d: whole node group lost, cannot "
+                     "recover from peers", n);
+    if (done) done();
+    return;
+  }
+
+  // Simulated copy time: peer data volume over the NIC (plus setup).
+  const int64_t bytes = datanodes_[source]->store().total_bytes();
+  const Nanos copy_time =
+      50 * kMillisecond +
+      static_cast<Nanos>(static_cast<double>(bytes) /
+                         network_.config().nic_bytes_per_sec * 1e9);
+  RLOG_INFO(kLog, "restarting node %d: copying ~%lld bytes from node %d",
+            n, static_cast<long long>(bytes), source);
+
+  sim_.After(copy_time, [this, n, source, group, done = std::move(done)] {
+    // Fence: wait until no in-flight transaction touches the group, then
+    // adopt the peer's partition images atomically. (The incremental
+    // catch-up log of real NDB is summarised by this final copy.)
+    auto wait = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak = wait;
+    *wait = [this, n, source, group, weak, done] {
+      auto self = weak.lock();
+      if (!self) return;
+      if (!cluster_up_ || !layout_.alive(source)) {
+        if (done) done();
+        return;
+      }
+      for (NodeId peer = 0; peer < num_datanodes(); ++peer) {
+        if (layout_.alive(peer) &&
+            datanodes_[peer]->HasTxnTouchingGroup(group)) {
+          sim_.After(10 * kMillisecond, [self] { (*self)(); });
+          return;
+        }
+      }
+      // Quiesced: copy and rejoin.
+      NdbDatanode& node = *datanodes_[n];
+      NdbDatanode& peer = *datanodes_[source];
+      for (TableId t = 0; t < catalog_->num_tables(); ++t) {
+        peer.store().ForEachCommitted(t, [this, t, n, &node](
+                                             const Key& key,
+                                             const std::string& value) {
+          const PartitionId p = layout_.PartitionOf(t, key);
+          for (NodeId r : layout_.ReplicaChain(t, p)) {
+            if (r == n) {
+              node.store().BootstrapPut(t, key, value);
+              break;
+            }
+          }
+        });
+      }
+      node.Revive();
+      layout_.set_alive(n, true);
+      // Reset failure-detector state so peers do not instantly re-suspect.
+      const Nanos now = sim_.now();
+      for (NodeId i = 0; i < num_datanodes(); ++i) {
+        last_heard_[i][n] = now;
+        last_heard_[n][i] = now;
+      }
+      if (done) done();
+    };
+    (*wait)();
+  });
+}
+
+void NdbCluster::ShutdownCluster() {
+  cluster_up_ = false;
+  for (auto& dn : datanodes_) dn->Shutdown();
+}
+
+void NdbCluster::RecordReplicaRead(PartitionId part, int replica_idx) {
+  if (replica_idx < 0) return;
+  auto& row = replica_reads_[part];
+  if (replica_idx >= static_cast<int>(row.size())) return;
+  row[replica_idx] += 1;
+}
+
+void NdbCluster::ResetStats() {
+  for (auto& row : replica_reads_) row.assign(row.size(), 0);
+  for (auto& dn : datanodes_) dn->ResetStats();
+}
+
+void NdbCluster::BootstrapPut(TableId table, const Key& key,
+                              std::string value) {
+  const PartitionId part = layout_.PartitionOf(table, key);
+  for (NodeId n : layout_.ReplicaChain(table, part)) {
+    datanodes_[n]->store().BootstrapPut(table, key, value);
+    datanodes_[n]->LogBootstrap(table, key, value);
+  }
+}
+
+void NdbCluster::RecoverFromCheckpoint() {
+  assert(config_.node.enable_durability &&
+         "recovery requires enable_durability");
+  // The recovery epoch: the newest checkpoint durable on EVERY node.
+  int64_t epoch = INT64_MAX;
+  for (auto& dn : datanodes_) {
+    epoch = std::min(epoch, dn->durable_gcp_epoch());
+  }
+  RLOG_INFO(kLog, "cluster recovery from GCP epoch %lld",
+            static_cast<long long>(epoch));
+  const Nanos now = sim_.now();
+  for (NodeId n = 0; n < num_datanodes(); ++n) {
+    NdbDatanode& dn = *datanodes_[n];
+    network_.topology().SetHostUp(dn.host(), true);
+    dn.Shutdown();
+    dn.RestoreFromRedo(epoch);
+    dn.Revive();
+    layout_.set_alive(n, true);
+    for (NodeId i = 0; i < num_datanodes(); ++i) {
+      last_heard_[i][n] = now;
+      last_heard_[n][i] = now;
+    }
+  }
+  cluster_up_ = true;
+}
+
+NdbCluster::ThreadUtilization NdbCluster::AverageThreadUtilization(
+    Nanos window_start) const {
+  ThreadUtilization u{};
+  int alive = 0;
+  for (const auto& dn : datanodes_) {
+    if (!dn->alive()) continue;
+    ++alive;
+    u.ldm += dn->ldm_pool().Utilization(window_start);
+    u.tc += dn->tc_pool().Utilization(window_start);
+    u.recv += dn->recv_pool().Utilization(window_start);
+    u.send += dn->send_pool().Utilization(window_start);
+    u.rep += dn->rep_pool().Utilization(window_start);
+    u.io += dn->io_pool().Utilization(window_start);
+    u.main += dn->main_pool().Utilization(window_start);
+  }
+  if (alive > 0) {
+    const double d = alive;
+    u.ldm /= d;
+    u.tc /= d;
+    u.recv /= d;
+    u.send /= d;
+    u.rep /= d;
+    u.io /= d;
+    u.main /= d;
+  }
+  return u;
+}
+
+}  // namespace repro::ndb

@@ -1,0 +1,169 @@
+// NDB cluster: datanodes, management nodes, arbitration, failure handling.
+//
+// The cluster wires the datanodes to the simulated network, runs the
+// heartbeat failure detector, global checkpoints, and the arbitrator
+// protocol that resolves AZ partitions (§IV-A2): on suspicion a datanode
+// asks the current arbitrator (a management node) to bless the set of
+// nodes it can still reach; the first viable claim of an episode wins and
+// every node outside the blessed view — or unable to reach the arbitrator
+// — shuts itself down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ndb/config.h"
+#include "ndb/datanode.h"
+#include "ndb/layout.h"
+#include "ndb/schema.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace repro::ndb {
+
+class NdbApiNode;
+
+struct NdbClusterConfig {
+  LayoutConfig layout;
+  NdbNodeConfig node;
+  CostModel cost;
+  FeatureFlags flags;
+  // AZ of each management node; the first one whose host is up acts as
+  // arbitrator (M1 in Fig. 4).
+  std::vector<AzId> mgmt_az = {0, 1, 2};
+};
+
+class NdbMgmtNode {
+ public:
+  NdbMgmtNode(int id, HostId host) : id_(id), host_(host) {}
+
+  int id() const { return id_; }
+  HostId host() const { return host_; }
+
+  // Arbitration: returns true (grant) if the requester's reachable set is
+  // the episode winner or the requester belongs to the winning view.
+  bool HandleArbRequest(NodeId requester, const std::vector<bool>& reachable,
+                        Nanos now);
+
+ private:
+  int id_;
+  HostId host_;
+  std::vector<bool> granted_view_;
+  Nanos last_grant_ = -1;
+  static constexpr Nanos kEpisodeWindow = 1 * kSecond;
+};
+
+class NdbCluster {
+ public:
+  // `catalog` must outlive the cluster. Hosts for datanodes and mgmt
+  // nodes are created inside `topology`.
+  NdbCluster(Simulation& sim, Network& network, const Catalog* catalog,
+             NdbClusterConfig config);
+  ~NdbCluster();
+
+  NdbCluster(const NdbCluster&) = delete;
+  NdbCluster& operator=(const NdbCluster&) = delete;
+
+  // Starts heartbeats, checkpointing and timeout sweeps.
+  void StartProtocols();
+
+  Simulation& sim() { return sim_; }
+  Network& network() { return network_; }
+  const Catalog& catalog() const { return *catalog_; }
+  ClusterLayout& layout() { return layout_; }
+  const NdbClusterConfig& config() const { return config_; }
+  const CostModel& cost() const { return config_.cost; }
+  const NdbNodeConfig& node_config() const { return config_.node; }
+  const FeatureFlags& flags() const { return config_.flags; }
+
+  NdbDatanode& datanode(NodeId n) { return *datanodes_[n]; }
+  int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
+  NdbMgmtNode& mgmt(int i) { return *mgmt_[i]; }
+  int num_mgmt() const { return static_cast<int>(mgmt_.size()); }
+
+  bool cluster_up() const { return cluster_up_; }
+
+  TxnId NextTxnId() { return ++txn_counter_; }
+
+  ApiNodeId RegisterApi(NdbApiNode* api);
+  NdbApiNode* api(ApiNodeId id) { return apis_[id]; }
+
+  // ---- failure handling ----
+  // Lowest-id management node on an up host (the acting arbitrator).
+  int CurrentArbitratorIndex() const;
+  // Declares a datanode dead: promotes backups (via layout aliveness),
+  // aborts transactions touching it, shuts the cluster down if a whole
+  // node group is gone.
+  void DeclareNodeFailed(NodeId n);
+  // Crash helpers used by tests/benchmarks.
+  void CrashDatanode(NodeId n);
+  void ShutdownCluster();
+
+  // Node recovery: brings a failed datanode back. The node's host is
+  // restored, the copy of its node group's data from a surviving peer is
+  // simulated (transfer time proportional to the data volume), in-flight
+  // transactions on the group are drained, and the node rejoins with a
+  // consistent partition image. `done` fires once the node serves again.
+  void RestartDatanode(NodeId n, std::function<void()> done = nullptr);
+
+  // Global-checkpoint epoch (§II-B2). Commits become durable only once a
+  // GCP covering them reaches disk on every node.
+  int64_t gcp_epoch() const { return gcp_epoch_; }
+  // Simulates a whole-cluster outage and restart: every datanode restores
+  // its partitions from the redo log up to the last globally durable
+  // checkpoint. Transactions committed after it are LOST — NDB's
+  // documented durability boundary. Requires enable_durability.
+  void RecoverFromCheckpoint();
+
+  // ---- statistics ----
+  void RecordReplicaRead(PartitionId part, int replica_idx);
+  // reads_per_replica()[p][i]: committed+locked reads served by the i-th
+  // configured replica of partition p (0 = configured primary). Fig. 14.
+  const std::vector<std::vector<int64_t>>& reads_per_replica() const {
+    return replica_reads_;
+  }
+  void ResetStats();
+
+  // Bulk-loads a committed row onto every replica, bypassing the
+  // protocol. For experiment namespace bootstrap only.
+  void BootstrapPut(TableId table, const Key& key, std::string value);
+
+  // Aggregate thread-pool utilisation over [window_start, now], averaged
+  // over alive datanodes. Order: LDM, TC, RECV, SEND, REP, IO, MAIN.
+  struct ThreadUtilization {
+    double ldm, tc, recv, send, rep, io, main;
+    double average() const {
+      return (ldm + tc + recv + send + rep + io + main) / 7.0;
+    }
+  };
+  ThreadUtilization AverageThreadUtilization(Nanos window_start) const;
+
+ private:
+  void HeartbeatTick(NodeId n);
+  void RequestArbitration(NodeId requester);
+
+  Simulation& sim_;
+  Network& network_;
+  const Catalog* catalog_;
+  NdbClusterConfig config_;
+  ClusterLayout layout_;
+
+  std::vector<std::unique_ptr<NdbDatanode>> datanodes_;
+  std::vector<std::unique_ptr<NdbMgmtNode>> mgmt_;
+  std::vector<NdbApiNode*> apis_;
+
+  // last_heard_[i][j]: when datanode i last heard from datanode j.
+  std::vector<std::vector<Nanos>> last_heard_;
+  std::vector<bool> arbitration_in_flight_;
+
+  std::vector<Simulation::PeriodicHandle> timers_;
+  std::vector<std::vector<int64_t>> replica_reads_;
+  uint64_t txn_counter_ = 0;
+  int64_t gcp_epoch_ = 0;
+  bool cluster_up_ = true;
+  bool protocols_started_ = false;
+};
+
+}  // namespace repro::ndb

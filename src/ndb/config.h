@@ -1,0 +1,79 @@
+// Tunable cost model and feature flags for the NDB substrate.
+//
+// CPU costs are calibrated so a 12-datanode cluster saturates in the same
+// region as the paper's testbed (Figs. 5, 10, 11); message sizes are
+// typical NDB signal sizes. The feature flags correspond one-to-one to
+// the AZ-awareness mechanisms §IV introduces, so each can be ablated.
+#pragma once
+
+#include "util/time.h"
+
+namespace repro::ndb {
+
+struct CostModel {
+  // Per-message costs on the RECV / SEND thread types.
+  Nanos recv_per_msg = 2 * kMicrosecond;
+  Nanos send_per_msg = 2 * kMicrosecond;
+
+  // Transaction-coordinator thread costs.
+  Nanos tc_begin = 2 * kMicrosecond;
+  Nanos tc_route_op = 4 * kMicrosecond;       // per key operation routed
+  Nanos tc_commit_row = 3 * kMicrosecond;     // per row chain commit mgmt
+  Nanos tc_complete_row = 2 * kMicrosecond;
+
+  // LDM (local data manager) thread costs.
+  Nanos ldm_read = 10 * kMicrosecond;
+  Nanos ldm_prepare = 16 * kMicrosecond;      // lock + stage pending write
+  Nanos ldm_commit = 6 * kMicrosecond;
+  Nanos ldm_complete = 2 * kMicrosecond;
+  Nanos ldm_scan_base = 12 * kMicrosecond;
+  Nanos ldm_scan_row = 1500;                  // 1.5 us per row returned
+
+  // IO thread: redo-log bookkeeping per commit; the log itself is flushed
+  // to disk in batches.
+  Nanos io_redo_per_commit = 1 * kMicrosecond;
+  int64_t redo_bytes_per_commit = 320;
+
+  // Wire sizes (payload bytes; the network adds framing).
+  int64_t msg_small = 64;      // Commit/Committed/Complete/Completed/acks
+  int64_t msg_read_req = 160;
+  int64_t msg_scan_req = 192;
+  int64_t msg_write_base = 160;  // PrepareReq excluding the row image
+};
+
+struct NdbNodeConfig {
+  // Thread counts per datanode — Table II of the paper (27 CPUs).
+  int ldm_threads = 12;
+  int tc_threads = 7;
+  int recv_threads = 3;
+  int send_threads = 2;
+  // REP, IO and MAIN have one thread each; REP/MAIN are mostly idle and
+  // act as helpers for overloaded RECV/SEND threads (§V-D1).
+  Nanos helper_backlog_threshold = 30 * kMicrosecond;
+
+  Nanos lock_wait_timeout = 400 * kMillisecond;   // deadlock detection
+  Nanos txn_inactive_timeout = 2 * kSecond;       // abandoned transactions
+  Nanos heartbeat_interval = 50 * kMillisecond;
+  int heartbeat_misses_for_failure = 4;
+  Nanos arbitration_timeout = 150 * kMillisecond;
+  Nanos gcp_interval = 500 * kMillisecond;        // global checkpoints
+  Nanos redo_flush_interval = 100 * kMillisecond;
+  // Record per-replica redo entries so the cluster can be recovered from
+  // its global checkpoints (§II-B2). Off by default: benchmarks do not
+  // restart clusters, and an unbounded in-memory redo log at benchmark op
+  // rates would be pure overhead.
+  bool enable_durability = false;
+};
+
+struct FeatureFlags {
+  // AZ-aware TC selection at the API node (§IV-A5) and AZ-aware read
+  // routing at the TC (§IV-A4). Off = classic NDB distribution-aware
+  // behaviour (primary-replica oriented).
+  bool az_aware = false;
+  // Delay the commit ack until all replicas completed, enabling
+  // consistent committed reads from backups (§IV-A3). Applies to tables
+  // with the read_backup option.
+  bool read_backup_commit_ack = true;
+};
+
+}  // namespace repro::ndb

@@ -1,0 +1,873 @@
+#include "ndb/datanode.h"
+
+#include <cassert>
+#include <utility>
+
+#include "ndb/client.h"
+#include "ndb/cluster.h"
+#include "util/logging.h"
+
+namespace repro::ndb {
+
+namespace {
+constexpr const char* kLog = "ndb.dn";
+}
+
+NdbDatanode::NdbDatanode(NdbCluster& cluster, NodeId id, HostId host)
+    : cluster_(cluster), id_(id), host_(host),
+      store_(cluster.catalog().num_tables()),
+      locks_(cluster.sim(), cluster.node_config().lock_wait_timeout) {
+  cluster_has_durability_ = cluster.node_config().enable_durability;
+  auto& sim = cluster_.sim();
+  const auto& nc = cluster_.node_config();
+  const auto name = [this](const char* pool) {
+    return StrFormat("ndb%d.%s", id_, pool);
+  };
+  ldm_ = std::make_unique<ThreadPool>(sim, name("ldm"), nc.ldm_threads);
+  tc_ = std::make_unique<ThreadPool>(sim, name("tc"), nc.tc_threads);
+  recv_ = std::make_unique<ThreadPool>(sim, name("recv"), nc.recv_threads);
+  send_ = std::make_unique<ThreadPool>(sim, name("send"), nc.send_threads);
+  rep_ = std::make_unique<ThreadPool>(sim, name("rep"), 1);
+  io_ = std::make_unique<ThreadPool>(sim, name("io"), 1);
+  main_ = std::make_unique<ThreadPool>(sim, name("main"), 1);
+  disk_ = std::make_unique<Disk>(sim, name("disk"));
+}
+
+AzId NdbDatanode::az() const { return cluster_.layout().az_of(id_); }
+
+void NdbDatanode::Shutdown() {
+  if (!alive_) return;
+  alive_ = false;
+  txns_.clear();
+  RLOG_INFO(kLog, "datanode %d shutting down", id_);
+}
+
+void NdbDatanode::Revive() {
+  alive_ = true;
+  redo_pending_bytes_ = 0;
+  RLOG_INFO(kLog, "datanode %d rejoined", id_);
+}
+
+bool NdbDatanode::HasTxnTouchingGroup(int group) const {
+  const int groups = cluster_.layout().num_groups();
+  for (const auto& [txn, t] : txns_) {
+    for (const auto& w : t.writes) {
+      if (w.part % groups == group) return true;
+    }
+    for (const auto& rl : t.read_locks) {
+      if (rl.part % groups == group) return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Infrastructure
+// ---------------------------------------------------------------------------
+
+void NdbDatanode::ReceiveMsg(std::function<void()> handle) {
+  if (!alive_) return;
+  const auto& cost = cluster_.cost();
+  const auto& nc = cluster_.node_config();
+  // Idle singles (REP, then MAIN) help overloaded receive threads —
+  // the behaviour behind the high REP utilisation in Fig. 11.
+  ThreadPool* pool = recv_.get();
+  if (recv_->Backlog() > nc.helper_backlog_threshold) {
+    if (rep_->Backlog() < recv_->Backlog()) {
+      pool = rep_.get();
+    } else if (main_->Backlog() < recv_->Backlog()) {
+      pool = main_.get();
+    }
+  }
+  pool->Submit(cost.recv_per_msg, [this, handle = std::move(handle)] {
+    if (alive_) handle();
+  });
+}
+
+void NdbDatanode::SendToNode(NodeId dst, int64_t bytes,
+                             std::function<void(NdbDatanode&)> fn) {
+  if (!alive_) return;
+  if (dst == id_) {
+    // In-process signal between the TC and LDM blocks of this node.
+    fn(*this);
+    return;
+  }
+  const auto& cost = cluster_.cost();
+  const auto& nc = cluster_.node_config();
+  ThreadPool* pool = send_.get();
+  if (send_->Backlog() > nc.helper_backlog_threshold &&
+      rep_->Backlog() < send_->Backlog()) {
+    pool = rep_.get();
+  }
+  pool->Submit(cost.send_per_msg, [this, dst, bytes, fn = std::move(fn)] {
+    NdbDatanode& peer = cluster_.datanode(dst);
+    cluster_.network().Send(host_, peer.host(), bytes,
+                            [&peer, fn = std::move(fn)] {
+                              peer.ReceiveMsg([&peer, fn] { fn(peer); });
+                            });
+  });
+}
+
+void NdbDatanode::SendToApi(ApiNodeId api, int64_t bytes, OpReply reply) {
+  if (!alive_) return;
+  const auto& cost = cluster_.cost();
+  send_->Submit(cost.send_per_msg, [this, api, bytes,
+                                    reply = std::move(reply)]() mutable {
+    NdbApiNode* a = cluster_.api(api);
+    if (a == nullptr) return;
+    cluster_.network().Send(host_, a->host(), bytes,
+                            [a, reply = std::move(reply)]() mutable {
+                              a->OnOpReply(std::move(reply));
+                            });
+  });
+}
+
+void NdbDatanode::RunTc(Nanos cost, std::function<void()> fn) {
+  if (!alive_) return;
+  tc_->Submit(cost, [this, fn = std::move(fn)] {
+    if (alive_) fn();
+  });
+}
+
+void NdbDatanode::RunLdm(PartitionId part, Nanos cost,
+                         std::function<void()> fn) {
+  if (!alive_) return;
+  const int thread = cluster_.layout().LdmThreadOf(part);
+  ldm_->SubmitTo(thread, cost, [this, fn = std::move(fn)] {
+    if (alive_) fn();
+  });
+}
+
+void NdbDatanode::RunIo(Nanos cost, std::function<void()> fn) {
+  if (!alive_) return;
+  io_->Submit(cost, [this, fn = std::move(fn)] {
+    if (alive_ && fn) fn();
+  });
+}
+
+void NdbDatanode::AccountRedo() {
+  redo_pending_bytes_ += cluster_.cost().redo_bytes_per_commit;
+}
+
+void NdbDatanode::LogRedo(
+    TableId table, const Key& key,
+    const std::optional<RowStore::AppliedWrite>& applied) {
+  if (!cluster_.node_config().enable_durability || !applied) return;
+  // Writes applied after checkpoint N was cut belong to epoch N+1: they
+  // are durable only once the *next* checkpoint reaches disk.
+  redo_log_.push_back(RedoEntry{gcp_epoch_ + 1, table, key,
+                                applied->type == WriteType::kDelete,
+                                applied->value});
+}
+
+void NdbDatanode::RestoreFromRedo(int64_t epoch) {
+  // Entries are appended in epoch order; replay everything up to and
+  // including the recovery epoch.
+  store_.Clear();
+  for (const auto& e : redo_log_) {
+    if (e.epoch > epoch) break;
+    if (e.deleted) {
+      store_.BootstrapDelete(e.table, e.key);
+    } else {
+      store_.BootstrapPut(e.table, e.key, e.value);
+    }
+  }
+}
+
+void NdbDatanode::FlushRedo() {
+  if (!alive_ || redo_pending_bytes_ == 0) return;
+  const int64_t bytes = std::exchange(redo_pending_bytes_, 0);
+  RunIo(cluster_.cost().io_redo_per_commit,
+        [this, bytes] { disk_->Write(bytes, nullptr); });
+}
+
+void NdbDatanode::ResetStats() {
+  proto_stats_ = ProtocolStats{};
+  ldm_->ResetStats();
+  tc_->ResetStats();
+  recv_->ResetStats();
+  send_->ResetStats();
+  rep_->ResetStats();
+  io_->ResetStats();
+  main_->ResetStats();
+  disk_->ResetStats();
+}
+
+// ---------------------------------------------------------------------------
+// TC role
+// ---------------------------------------------------------------------------
+
+NdbDatanode::TcTxn& NdbDatanode::Txn(TxnId txn, ApiNodeId api) {
+  TcTxn& t = txns_[txn];
+  if (t.api < 0) t.api = api;
+  return t;
+}
+
+void NdbDatanode::Touch(TcTxn& t) { t.last_activity = cluster_.sim().now(); }
+
+NodeId NdbDatanode::RouteCommittedRead(TableId table, PartitionId part,
+                                       int* replica_idx) {
+  const TableDef& td = cluster_.catalog().table(table);
+  auto& layout = cluster_.layout();
+  NodeId node;
+  if (td.read_backup || td.fully_replicated) {
+    const std::vector<NodeId> chain = td.fully_replicated
+        ? layout.ReplicaChain(table, part)
+        : layout.ReplicaChain(part);
+    node = layout.PickByProximity(az(), chain,
+                                  cluster_.flags().az_aware, rr_counter_++);
+  } else {
+    // Classic NDB: committed reads are redirected to the primary because
+    // backups lag until the Complete phase.
+    node = layout.PrimaryOf(part);
+  }
+  if (node == kNoNode) {
+    *replica_idx = -1;
+    return kNoNode;
+  }
+  const auto& configured = layout.ReplicaChain(part);
+  *replica_idx = static_cast<int>(configured.size());
+  for (size_t i = 0; i < configured.size(); ++i) {
+    if (configured[i] == node) {
+      *replica_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  return node;
+}
+
+void NdbDatanode::TcKeyOp(KeyOpReq req) {
+  RunTc(cluster_.cost().tc_route_op, [this, req = std::move(req)]() mutable {
+    const auto& cost = cluster_.cost();
+    auto& layout = cluster_.layout();
+    const PartitionId part = layout.PartitionOf(req.table, req.key);
+    TcTxn& t = Txn(req.txn, req.api);
+    Touch(t);
+    if (t.aborted) {
+      SendToApi(req.api, cost.msg_small,
+                OpReply{req.txn, req.op_id, Code::kAborted, {}, {}});
+      return;
+    }
+
+    if (!req.is_write && req.mode == LockMode::kReadCommitted) {
+      int replica_idx = -1;
+      const NodeId serving = RouteCommittedRead(req.table, part, &replica_idx);
+      if (serving == kNoNode) {
+        SendToApi(req.api, cost.msg_small,
+                  OpReply{req.txn, req.op_id, Code::kUnavailable, {}, {}});
+        return;
+      }
+      cluster_.RecordReplicaRead(part, replica_idx);
+      SendToNode(serving, cost.msg_read_req,
+                 [req = std::move(req), replica_idx](NdbDatanode& n) mutable {
+                   n.LdmCommittedRead(std::move(req), replica_idx);
+                 });
+      return;
+    }
+
+    if (!req.is_write) {
+      // Shared/exclusive read: always the primary replica (§II-B2).
+      const NodeId primary = layout.PrimaryOf(part);
+      if (primary == kNoNode) {
+        SendToApi(req.api, cost.msg_small,
+                  OpReply{req.txn, req.op_id, Code::kUnavailable, {}, {}});
+        return;
+      }
+      cluster_.RecordReplicaRead(part, 0);
+      PrepareReq probe;
+      probe.txn = req.txn;
+      probe.tc = id_;
+      probe.op_id = req.op_id;
+      probe.api = req.api;
+      probe.table = req.table;
+      probe.key = std::move(req.key);
+      probe.part = part;
+      probe.insert_only = req.mode == LockMode::kExclusive;  // X vs S marker
+      SendToNode(primary, cost.msg_read_req,
+                 [probe = std::move(probe)](NdbDatanode& n) mutable {
+                   n.LdmLockedRead(std::move(probe));
+                 });
+      return;
+    }
+
+    // Write: start the prepare chain (locks taken at the primary first).
+    std::vector<NodeId> chain;
+    for (NodeId n : layout.ReplicaChain(req.table, part)) {
+      if (layout.alive(n)) chain.push_back(n);
+    }
+    if (chain.empty()) {
+      SendToApi(req.api, cost.msg_small,
+                OpReply{req.txn, req.op_id, Code::kUnavailable, {}, {}});
+      return;
+    }
+    const TableDef& td = cluster_.catalog().table(req.table);
+    if ((td.read_backup || td.fully_replicated) &&
+        cluster_.flags().read_backup_commit_ack) {
+      t.delay_ack = true;
+    }
+    PrepareReq prep;
+    prep.txn = req.txn;
+    prep.tc = id_;
+    prep.op_id = req.op_id;
+    prep.api = req.api;
+    prep.table = req.table;
+    prep.key = std::move(req.key);
+    prep.part = part;
+    prep.type = req.write_type;
+    prep.insert_only = req.insert_only;
+    prep.must_exist = req.must_exist;
+    prep.value = std::move(req.value);
+    prep.chain = std::move(chain);
+    prep.pos = 0;
+    const int64_t bytes =
+        cost.msg_write_base + static_cast<int64_t>(prep.value.size());
+    const NodeId first = prep.chain[0];
+    SendToNode(first, bytes, [prep = std::move(prep)](NdbDatanode& n) mutable {
+      n.LdmPrepare(std::move(prep));
+    });
+  });
+}
+
+void NdbDatanode::TcScan(ScanReq req) {
+  RunTc(cluster_.cost().tc_route_op, [this, req = std::move(req)]() mutable {
+    const auto& cost = cluster_.cost();
+    const PartitionId part =
+        cluster_.layout().PartitionOf(req.table, req.prefix);
+    TcTxn& t = Txn(req.txn, req.api);
+    Touch(t);
+    int replica_idx = -1;
+    const NodeId serving = RouteCommittedRead(req.table, part, &replica_idx);
+    if (serving == kNoNode) {
+      SendToApi(req.api, cost.msg_small,
+                OpReply{req.txn, req.op_id, Code::kUnavailable, {}, {}});
+      return;
+    }
+    cluster_.RecordReplicaRead(part, replica_idx);
+    SendToNode(serving, cost.msg_scan_req,
+               [req = std::move(req), part, replica_idx](NdbDatanode& n) mutable {
+                 n.LdmScanExec(std::move(req), part, replica_idx);
+               });
+  });
+}
+
+void NdbDatanode::TcPrepared(TxnId txn, uint64_t op_id, Code code,
+                             TableId table, Key key, PartitionId part,
+                             std::vector<NodeId> chain) {
+  RunTc(cluster_.cost().tc_route_op, [this, txn, op_id, code, table,
+                                      key = std::move(key), part,
+                                      chain = std::move(chain)]() mutable {
+    auto it = txns_.find(txn);
+    const auto& cost = cluster_.cost();
+    if (it == txns_.end() || it->second.aborted) {
+      // Txn gone (aborted/timed out): roll the prepared row back.
+      for (NodeId n : chain) {
+        SendToNode(n, cost.msg_small,
+                   [txn, table, key, part](NdbDatanode& d) {
+                     d.LdmAbortRow(txn, table, key, part);
+                   });
+      }
+      return;
+    }
+    TcTxn& t = it->second;
+    Touch(t);
+    if (code != Code::kOk) {
+      AbortTxnInternal(txn, t, /*notify_api=*/false, code);
+      // The failed op itself is answered with the specific code.
+      SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, code, {}, {}});
+      txns_.erase(txn);
+      return;
+    }
+    t.writes.push_back(
+        TcTxn::WriteRow{table, std::move(key), part, std::move(chain)});
+    SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, Code::kOk, {}, {}});
+  });
+}
+
+void NdbDatanode::TcLockedReadResult(TxnId txn, uint64_t op_id, Code code,
+                                     std::optional<std::string> value,
+                                     TableId table, Key key,
+                                     PartitionId part) {
+  RunTc(cluster_.cost().tc_route_op,
+        [this, txn, op_id, code, value = std::move(value), table,
+         key = std::move(key), part]() mutable {
+          const auto& cost = cluster_.cost();
+          auto it = txns_.find(txn);
+          if (it == txns_.end() || it->second.aborted) {
+            if (code == Code::kOk) {
+              // Grant raced with an abort: release the stray lock.
+              const NodeId primary = cluster_.layout().PrimaryOf(part);
+              if (primary != kNoNode) {
+                SendToNode(primary, cost.msg_small,
+                           [txn, table, key, part](NdbDatanode& d) {
+                             d.LdmAbortRow(txn, table, key, part);
+                           });
+              }
+            }
+            return;
+          }
+          TcTxn& t = it->second;
+          Touch(t);
+          if (code == Code::kTimedOut) {
+            AbortTxnInternal(txn, t, /*notify_api=*/false, code);
+            SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, code, {}, {}});
+            txns_.erase(txn);
+            return;
+          }
+          if (code == Code::kOk) {
+            t.read_locks.push_back(TcTxn::HeldLock{
+                table, key, part, cluster_.layout().PrimaryOf(part)});
+          }
+          const int64_t bytes =
+              cost.msg_small +
+              (value ? static_cast<int64_t>(value->size()) : 0);
+          SendToApi(t.api, bytes,
+                    OpReply{txn, op_id, code, std::move(value), {}});
+        });
+}
+
+void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api) {
+  RunTc(cluster_.cost().tc_begin, [this, txn, op_id, api] {
+    const auto& cost = cluster_.cost();
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      // Nothing known (e.g. freshly aborted): report failure.
+      SendToApi(api, cost.msg_small,
+                OpReply{txn, op_id, Code::kAborted, {}, {}});
+      return;
+    }
+    TcTxn& t = it->second;
+    Touch(t);
+    if (t.aborted) {
+      SendToApi(api, cost.msg_small,
+                OpReply{txn, op_id, Code::kAborted, {}, {}});
+      txns_.erase(txn);
+      return;
+    }
+    t.committing = true;
+    t.commit_op_id = op_id;
+
+    // Release shared/exclusive read locks: the commit point is reached.
+    // Rows that were read-locked *and* written keep their lock until the
+    // commit chain reaches the primary (which both applies the pending
+    // write and unlocks).
+    for (const auto& rl : t.read_locks) {
+      bool also_written = false;
+      for (const auto& w : t.writes) {
+        if (w.table == rl.table && w.key == rl.key) {
+          also_written = true;
+          break;
+        }
+      }
+      if (also_written) continue;
+      SendToNode(rl.node, cost.msg_small,
+                 [txn, table = rl.table, key = rl.key,
+                  part = rl.part](NdbDatanode& d) {
+                   d.LdmUnlock(txn, table, key, part);
+                 });
+    }
+    t.read_locks.clear();
+
+    if (t.writes.empty()) {
+      SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, Code::kOk, {}, {}});
+      txns_.erase(txn);
+      return;
+    }
+
+    // Commit phase: traverse each row chain in reverse (backups first,
+    // primary last — Fig. 2 messages 5..9).
+    t.pending_commits = static_cast<int>(t.writes.size());
+    for (const auto& w : t.writes) {
+      RunTc(cost.tc_commit_row, [] {});
+      CommitChainReq creq;
+      creq.txn = txn;
+      creq.tc = id_;
+      creq.table = w.table;
+      creq.key = w.key;
+      creq.part = w.part;
+      creq.chain = w.chain;
+      creq.pos = static_cast<int>(w.chain.size()) - 1;
+      const NodeId last = w.chain.back();
+      SendToNode(last, cost.msg_small,
+                 [creq = std::move(creq)](NdbDatanode& n) mutable {
+                   n.LdmCommitChain(std::move(creq));
+                 });
+    }
+  });
+}
+
+void NdbDatanode::TcCommitted(TxnId txn) {
+  RunTc(cluster_.cost().tc_commit_row, [this, txn] {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) return;
+    TcTxn& t = it->second;
+    if (--t.pending_commits > 0) return;
+    // All primaries committed. Classic NDB acks the client here (message
+    // 10 of Fig. 2); with Read Backup the ack waits for the Complete
+    // phase (message 14, §IV-A3).
+    if (!t.delay_ack) FinishCommit(txn, t);
+    StartCompletePhase(txn, t);
+  });
+}
+
+void NdbDatanode::StartCompletePhase(TxnId txn, TcTxn& t) {
+  const auto& cost = cluster_.cost();
+  t.pending_completes = 0;
+  for (const auto& w : t.writes) t.pending_completes += static_cast<int>(w.chain.size());
+  for (const auto& w : t.writes) {
+    RunTc(cost.tc_complete_row, [] {});
+    for (size_t i = 0; i < w.chain.size(); ++i) {
+      CompleteReq creq;
+      creq.txn = txn;
+      creq.tc = id_;
+      creq.table = w.table;
+      creq.key = w.key;
+      creq.part = w.part;
+      creq.is_primary = i == 0;
+      SendToNode(w.chain[i], cost.msg_small,
+                 [creq = std::move(creq)](NdbDatanode& n) mutable {
+                   n.LdmComplete(std::move(creq));
+                 });
+    }
+  }
+  if (t.pending_completes == 0 && t.delay_ack) {
+    FinishCommit(txn, t);
+    txns_.erase(txn);
+  }
+}
+
+void NdbDatanode::TcCompleted(TxnId txn) {
+  RunTc(cluster_.cost().tc_complete_row, [this, txn] {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) return;
+    TcTxn& t = it->second;
+    if (--t.pending_completes > 0) return;
+    if (t.delay_ack) FinishCommit(txn, t);
+    txns_.erase(txn);
+  });
+}
+
+void NdbDatanode::FinishCommit(TxnId txn, TcTxn& t) {
+  SendToApi(t.api, cluster_.cost().msg_small,
+            OpReply{txn, t.commit_op_id, Code::kOk, {}, {}});
+  t.commit_op_id = 0;
+}
+
+void NdbDatanode::TcAbort(TxnId txn) {
+  RunTc(cluster_.cost().tc_begin, [this, txn] {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) return;
+    AbortTxnInternal(txn, it->second, /*notify_api=*/false, Code::kAborted);
+    txns_.erase(txn);
+  });
+}
+
+void NdbDatanode::AbortTxnInternal(TxnId txn, TcTxn& t, bool notify_api,
+                                   Code code) {
+  const auto& cost = cluster_.cost();
+  t.aborted = true;
+  for (const auto& w : t.writes) {
+    for (NodeId n : w.chain) {
+      SendToNode(n, cost.msg_small,
+                 [txn, table = w.table, key = w.key,
+                  part = w.part](NdbDatanode& d) {
+                   d.LdmAbortRow(txn, table, key, part);
+                 });
+    }
+  }
+  for (const auto& rl : t.read_locks) {
+    SendToNode(rl.node, cost.msg_small,
+               [txn, table = rl.table, key = rl.key,
+                part = rl.part](NdbDatanode& d) {
+                 d.LdmAbortRow(txn, table, key, part);
+               });
+  }
+  t.writes.clear();
+  t.read_locks.clear();
+  if (notify_api && t.api >= 0) {
+    SendToApi(t.api, cost.msg_small,
+              OpReply{txn, t.commit_op_id, code, {}, {}});
+  }
+}
+
+void NdbDatanode::AbortTxnsInvolving(NodeId failed) {
+  std::vector<TxnId> doomed;
+  for (auto& [txn, t] : txns_) {
+    bool involved = false;
+    for (const auto& w : t.writes) {
+      for (NodeId n : w.chain) {
+        if (n == failed) involved = true;
+      }
+    }
+    for (const auto& rl : t.read_locks) {
+      if (rl.node == failed) involved = true;
+    }
+    if (involved) doomed.push_back(txn);
+  }
+  for (TxnId txn : doomed) {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) continue;
+    AbortTxnInternal(txn, it->second, /*notify_api=*/true, Code::kUnavailable);
+    txns_.erase(it);
+  }
+}
+
+std::vector<NdbDatanode::TakeoverRow> NdbDatanode::DrainTxnRowsForTakeover() {
+  std::vector<TakeoverRow> rows;
+  for (auto& [txn, t] : txns_) {
+    for (const auto& w : t.writes) {
+      for (NodeId n : w.chain) {
+        rows.push_back(TakeoverRow{txn, w.table, w.key, w.part, n});
+      }
+    }
+    for (const auto& rl : t.read_locks) {
+      rows.push_back(TakeoverRow{txn, rl.table, rl.key, rl.part, rl.node});
+    }
+  }
+  txns_.clear();
+  return rows;
+}
+
+void NdbDatanode::SweepInactiveTxns() {
+  const Nanos cutoff =
+      cluster_.sim().now() - cluster_.node_config().txn_inactive_timeout;
+  std::vector<TxnId> doomed;
+  for (auto& [txn, t] : txns_) {
+    if (t.last_activity < cutoff && !t.committing) doomed.push_back(txn);
+  }
+  for (TxnId txn : doomed) {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) continue;
+    RLOG_DEBUG(kLog, "node %d aborting inactive txn %llu", id_,
+               static_cast<unsigned long long>(txn));
+    AbortTxnInternal(txn, it->second, /*notify_api=*/false, Code::kTimedOut);
+    txns_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LDM role
+// ---------------------------------------------------------------------------
+
+void NdbDatanode::LdmCommittedRead(KeyOpReq req, int replica_idx) {
+  (void)replica_idx;
+  ++proto_stats_.committed_reads;
+  const PartitionId part = cluster_.layout().PartitionOf(req.table, req.key);
+  RunLdm(part, cluster_.cost().ldm_read, [this, req = std::move(req)] {
+    const auto value = store_.Read(req.table, req.key, req.txn);
+    const int64_t bytes =
+        cluster_.cost().msg_small +
+        (value ? static_cast<int64_t>(value->size()) : 0);
+    SendToApi(req.api, bytes,
+              OpReply{req.txn, req.op_id, Code::kOk, value, {}});
+  });
+}
+
+void NdbDatanode::LdmLockedRead(PrepareReq probe) {
+  ++proto_stats_.locked_reads;
+  // `insert_only` doubles as the exclusive-mode marker for lock probes.
+  const LockMode mode =
+      probe.insert_only ? LockMode::kExclusive : LockMode::kShared;
+  RunLdm(probe.part, cluster_.cost().ldm_read,
+         [this, probe = std::move(probe), mode] {
+           locks_.Acquire(
+               probe.txn, probe.table, probe.key, mode,
+               [this, probe](Status s) {
+                 std::optional<std::string> value;
+                 Code code = Code::kOk;
+                 if (s.ok()) {
+                   value = store_.Read(probe.table, probe.key, probe.txn);
+                   if (!value) {
+                     // Missing row: do not retain a lock on a ghost.
+                     locks_.Release(probe.txn, probe.table, probe.key);
+                     code = Code::kNotFound;
+                   }
+                 } else {
+                   code = s.code();
+                 }
+                 const int64_t bytes =
+                     cluster_.cost().msg_small +
+                     (value ? static_cast<int64_t>(value->size()) : 0);
+                 SendToNode(probe.tc, bytes,
+                            [probe, code, value](NdbDatanode& tc) {
+                              tc.TcLockedReadResult(probe.txn, probe.op_id,
+                                                    code, value, probe.table,
+                                                    probe.key, probe.part);
+                            });
+               });
+         });
+}
+
+void NdbDatanode::ForwardPrepare(PrepareReq req) {
+  const auto& cost = cluster_.cost();
+  if (req.pos + 1 < static_cast<int>(req.chain.size())) {
+    req.pos += 1;
+    const NodeId next = req.chain[req.pos];
+    const int64_t bytes =
+        cost.msg_write_base + static_cast<int64_t>(req.value.size());
+    SendToNode(next, bytes, [req = std::move(req)](NdbDatanode& n) mutable {
+      n.LdmPrepare(std::move(req));
+    });
+  } else {
+    SendToNode(req.tc, cost.msg_small, [req = std::move(req)](NdbDatanode& tc) {
+      tc.TcPrepared(req.txn, req.op_id, Code::kOk, req.table, req.key,
+                    req.part, req.chain);
+    });
+  }
+}
+
+void NdbDatanode::LdmPrepare(PrepareReq req) {
+  if (req.busy_retries == 0) ++proto_stats_.prepares;
+  RunLdm(req.part, cluster_.cost().ldm_prepare,
+         [this, req = std::move(req)]() mutable {
+           const bool is_primary = req.pos == 0;
+           if (!is_primary) {
+             // Backups stage the pending write without locking; the
+             // primary's lock serialises writers. A backup may still hold
+             // the previous transaction's pending write (applied only when
+             // its Complete lands): wait for that slot to free — the
+             // predecessor's Complete/Abort is already in flight, and
+             // coordinator failure frees the slot via take-over.
+             if (!store_.Prepare(req.table, req.key, req.type, req.value,
+                                 req.txn)) {
+               req.busy_retries += 1;
+               if (req.busy_retries > 1000) {
+                 RLOG_WARN(kLog, "node %d: pending slot on %s never freed",
+                           id_, req.key.c_str());
+                 SendToNode(req.tc, cluster_.cost().msg_small,
+                            [req](NdbDatanode& tc) {
+                              tc.TcPrepared(req.txn, req.op_id,
+                                            Code::kTimedOut, req.table,
+                                            req.key, req.part, req.chain);
+                            });
+                 return;
+               }
+               cluster_.sim().After(200 * kMicrosecond,
+                                    [this, req = std::move(req)]() mutable {
+                                      if (alive_) LdmPrepare(std::move(req));
+                                    });
+               return;
+             }
+             ForwardPrepare(std::move(req));
+             return;
+           }
+           // Copy the lock identity out before moving req into the
+           // continuation (argument evaluation order is unspecified).
+           const TxnId txn = req.txn;
+           const TableId table = req.table;
+           const Key key = req.key;
+           locks_.Acquire(
+               txn, table, key, LockMode::kExclusive,
+               [this, req = std::move(req)](Status s) mutable {
+                 Code code = Code::kOk;
+                 if (!s.ok()) {
+                   code = s.code();
+                 } else if (req.insert_only &&
+                            store_.ExistsCommitted(req.table, req.key)) {
+                   code = Code::kAlreadyExists;
+                 } else if (req.must_exist &&
+                            !store_.ExistsCommitted(req.table, req.key)) {
+                   code = Code::kNotFound;
+                 }
+                 if (code != Code::kOk) {
+                   if (s.ok()) locks_.Release(req.txn, req.table, req.key);
+                   SendToNode(req.tc, cluster_.cost().msg_small,
+                              [req, code](NdbDatanode& tc) {
+                                tc.TcPrepared(req.txn, req.op_id, code,
+                                              req.table, req.key, req.part,
+                                              req.chain);
+                              });
+                   return;
+                 }
+                 // The primary's pending slot is protected by the row
+                 // lock we now hold, so this cannot be occupied.
+                 const bool staged = store_.Prepare(
+                     req.table, req.key, req.type, req.value, req.txn);
+                 assert(staged);
+                 (void)staged;
+                 ForwardPrepare(std::move(req));
+               });
+         });
+}
+
+void NdbDatanode::LdmCommitChain(CommitChainReq req) {
+  ++proto_stats_.commit_hops;
+  RunLdm(req.part, cluster_.cost().ldm_commit,
+         [this, req = std::move(req)]() mutable {
+           const auto& cost = cluster_.cost();
+           if (req.pos == 0) {
+             // The primary is the commit point: apply, unlock, confirm.
+             LogRedo(req.table, req.key,
+                     store_.Commit(req.table, req.key, req.txn));
+             locks_.Release(req.txn, req.table, req.key);
+             AccountRedo();
+             SendToNode(req.tc, cost.msg_small,
+                        [txn = req.txn](NdbDatanode& tc) {
+                          tc.TcCommitted(txn);
+                        });
+             return;
+           }
+           // Backups only pass the Commit along; their pending write is
+           // applied at Complete — the window behind the primary-read
+           // redirection rule (§II-B2).
+           req.pos -= 1;
+           const NodeId next = req.chain[req.pos];
+           SendToNode(next, cost.msg_small,
+                      [req = std::move(req)](NdbDatanode& n) mutable {
+                        n.LdmCommitChain(std::move(req));
+                      });
+         });
+}
+
+void NdbDatanode::LdmComplete(CompleteReq req) {
+  ++proto_stats_.completes;
+  RunLdm(req.part, cluster_.cost().ldm_complete,
+         [this, req = std::move(req)] {
+           if (!req.is_primary) {
+             LogRedo(req.table, req.key,
+                     store_.Commit(req.table, req.key, req.txn));
+             AccountRedo();
+           }
+           SendToNode(req.tc, cluster_.cost().msg_small,
+                      [txn = req.txn](NdbDatanode& tc) {
+                        tc.TcCompleted(txn);
+                      });
+         });
+}
+
+void NdbDatanode::LdmAbortRow(TxnId txn, TableId table, Key key,
+                              PartitionId part) {
+  RunLdm(part, cluster_.cost().ldm_complete,
+         [this, txn, table, key = std::move(key)] {
+           store_.Abort(table, key, txn);
+           locks_.Release(txn, table, key);
+         });
+}
+
+void NdbDatanode::LdmUnlock(TxnId txn, TableId table, Key key,
+                            PartitionId part) {
+  RunLdm(part, cluster_.cost().ldm_complete,
+         [this, txn, table, key = std::move(key)] {
+           locks_.Release(txn, table, key);
+         });
+}
+
+void NdbDatanode::LdmScanExec(ScanReq req, PartitionId part, int replica_idx) {
+  (void)replica_idx;
+  ++proto_stats_.scans;
+  // Row lookup is done inline; the LDM cost scales with rows returned.
+  auto rows = store_.ScanPrefix(req.table, req.prefix, req.txn);
+  const auto& cost = cluster_.cost();
+  const Nanos work = cost.ldm_scan_base +
+                     cost.ldm_scan_row * static_cast<Nanos>(rows.size());
+  RunLdm(part, work, [this, req = std::move(req),
+                      rows = std::move(rows)]() mutable {
+    int64_t bytes = cluster_.cost().msg_small;
+    for (const auto& [k, v] : rows) {
+      bytes += static_cast<int64_t>(k.size() + v.size());
+    }
+    OpReply reply{req.txn, req.op_id, Code::kOk, {}, std::move(rows)};
+    SendToApi(req.api, bytes, std::move(reply));
+  });
+}
+
+}  // namespace repro::ndb

@@ -1,0 +1,300 @@
+// An NDB datanode: transaction coordinator (TC) + local data manager (LDM).
+//
+// Each datanode models the multi-threaded architecture of Table II: 12 LDM
+// threads own table partitions, 7 TC threads coordinate transactions, 3
+// RECV / 2 SEND threads handle the wire, and the REP/IO/MAIN singles act
+// as helpers when RECV/SEND back up (the effect behind Fig. 11).
+//
+// The commit protocol is the paper's linear 2PC (Fig. 2):
+//
+//   execute(write):  TC --Prepare--> primary --Prepare--> B --> B'
+//                    B' --Prepared--> TC            (locks taken at primary)
+//   commit:          TC --Commit--> B' --> B --> primary
+//                    primary applies + unlocks, --Committed--> TC
+//   complete:        TC --Complete--> each backup (applies its pending)
+//                    backup --Completed--> TC
+//
+// Classic NDB acks the client after all Committed messages; backups are
+// only up to date after Complete, hence committed reads are redirected to
+// the primary. With the Read Backup table option (§IV-A3) the TC delays
+// the ack until all Completed messages have arrived, making every replica
+// safe for committed reads — the enabler for AZ-local reads.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ndb/config.h"
+#include "ndb/lock_manager.h"
+#include "ndb/row_store.h"
+#include "ndb/schema.h"
+#include "ndb/types.h"
+#include "sim/network.h"
+#include "sim/resources.h"
+#include "util/status.h"
+
+namespace repro::ndb {
+
+class NdbCluster;
+class NdbApiNode;
+
+// ---- Wire messages ------------------------------------------------------
+
+// API -> TC: key operation.
+struct KeyOpReq {
+  TxnId txn = 0;
+  ApiNodeId api = -1;
+  uint64_t op_id = 0;
+  TableId table = 0;
+  Key key;
+  LockMode mode = LockMode::kReadCommitted;  // reads
+  bool is_write = false;
+  WriteType write_type = WriteType::kPut;
+  bool insert_only = false;   // fail with kAlreadyExists if row exists
+  bool must_exist = false;    // fail with kNotFound (delete/update strict)
+  std::string value;
+};
+
+// API -> TC: partition-pruned prefix scan (directory listing).
+struct ScanReq {
+  TxnId txn = 0;
+  ApiNodeId api = -1;
+  uint64_t op_id = 0;
+  TableId table = 0;
+  Key prefix;
+};
+
+// TC/LDM -> API: completion of one operation (or of commit/abort).
+struct OpReply {
+  TxnId txn = 0;
+  uint64_t op_id = 0;
+  Code code = Code::kOk;
+  std::optional<std::string> value;
+  std::vector<std::pair<Key, std::string>> rows;  // scans
+};
+
+// Chain messages (Fig. 2).
+struct PrepareReq {
+  TxnId txn = 0;
+  NodeId tc = kNoNode;
+  uint64_t op_id = 0;
+  ApiNodeId api = -1;
+  TableId table = 0;
+  Key key;
+  PartitionId part = 0;
+  WriteType type = WriteType::kPut;
+  bool insert_only = false;
+  bool must_exist = false;
+  std::string value;
+  std::vector<NodeId> chain;  // primary first
+  int pos = 0;                // index of the receiving replica
+  int busy_retries = 0;       // waits on a predecessor's pending write
+};
+
+struct CommitChainReq {
+  TxnId txn = 0;
+  NodeId tc = kNoNode;
+  TableId table = 0;
+  Key key;
+  PartitionId part = 0;
+  std::vector<NodeId> chain;
+  int pos = 0;  // traverses from chain.size()-1 down to 0 (the primary)
+};
+
+struct CompleteReq {
+  TxnId txn = 0;
+  NodeId tc = kNoNode;
+  TableId table = 0;
+  Key key;
+  PartitionId part = 0;
+  bool is_primary = false;
+};
+
+// ---- Datanode -----------------------------------------------------------
+
+class NdbDatanode {
+ public:
+  NdbDatanode(NdbCluster& cluster, NodeId id, HostId host);
+
+  NodeId id() const { return id_; }
+  HostId host() const { return host_; }
+  AzId az() const;
+  bool alive() const { return alive_; }
+
+  // Graceful shutdown (lost arbitration / operator stop): stops serving.
+  void Shutdown();
+  // Brings a stopped node back into service (node recovery; data must
+  // already have been resynchronised by the cluster).
+  void Revive();
+  // True if any transaction this node coordinates touches a partition of
+  // the given node group (used to fence node rejoin).
+  bool HasTxnTouchingGroup(int group) const;
+
+  // -- entry points (invoked after RECV-thread queueing) --
+  void TcKeyOp(KeyOpReq req);
+  void TcScan(ScanReq req);
+  void TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api);
+  void TcAbort(TxnId txn);
+
+  void LdmCommittedRead(KeyOpReq req, int replica_idx);
+  void LdmLockedRead(PrepareReq probe);  // reuses chain fields for routing
+  void LdmPrepare(PrepareReq req);
+  void LdmCommitChain(CommitChainReq req);
+  void LdmComplete(CompleteReq req);
+  void LdmAbortRow(TxnId txn, TableId table, Key key, PartitionId part);
+  // Releases a shared/exclusive read lock without touching pending writes
+  // (used at the commit point for rows that were only read).
+  void LdmUnlock(TxnId txn, TableId table, Key key, PartitionId part);
+  void LdmScanExec(ScanReq req, PartitionId part, int replica_idx);
+
+  // TC-side protocol confirmations.
+  void TcLockedReadResult(TxnId txn, uint64_t op_id, Code code,
+                          std::optional<std::string> value, TableId table,
+                          Key key, PartitionId part);
+  void TcPrepared(TxnId txn, uint64_t op_id, Code code, TableId table,
+                  Key key, PartitionId part, std::vector<NodeId> chain);
+  void TcCommitted(TxnId txn);
+  void TcCompleted(TxnId txn);
+
+  // Failure handling: aborts transactions that involve the given node.
+  void AbortTxnsInvolving(NodeId failed);
+  // Take-over support: surrenders every row touched by transactions this
+  // node coordinates, so survivors can release locks and pending writes
+  // after this coordinator dies. Clears the coordinator state.
+  struct TakeoverRow {
+    TxnId txn;
+    TableId table;
+    Key key;
+    PartitionId part;
+    NodeId node;
+  };
+  std::vector<TakeoverRow> DrainTxnRowsForTakeover();
+  // Aborts transactions whose API client is considered gone.
+  void SweepInactiveTxns();
+
+  RowStore& store() { return store_; }
+  LockManager& locks() { return locks_; }
+  Disk& disk() { return *disk_; }
+
+  // ---- durability (enable_durability only) ----
+  // One redo entry per write applied at this replica, stamped with the
+  // global-checkpoint epoch current at apply time.
+  struct RedoEntry {
+    int64_t epoch;
+    TableId table;
+    Key key;
+    bool deleted;
+    std::string value;
+  };
+  const std::vector<RedoEntry>& redo_log() const { return redo_log_; }
+  void set_gcp_epoch(int64_t epoch) { gcp_epoch_ = epoch; }
+  int64_t durable_gcp_epoch() const { return durable_gcp_epoch_; }
+  void MarkGcpDurable() { durable_gcp_epoch_ = gcp_epoch_; }
+  // Restores the committed image from the redo log up to `epoch`
+  // inclusive (cluster recovery).
+  void RestoreFromRedo(int64_t epoch);
+  // Bootstrap data is durable by definition (loaded before the run).
+  void LogBootstrap(TableId table, const Key& key, const std::string& value) {
+    if (cluster_has_durability_) {
+      redo_log_.push_back(RedoEntry{0, table, key, false, value});
+    }
+  }
+  void set_cluster_has_durability(bool v) { cluster_has_durability_ = v; }
+
+  // -- infrastructure used by the cluster --
+  void ReceiveMsg(std::function<void()> handle);
+  void SendToNode(NodeId dst, int64_t bytes,
+                  std::function<void(NdbDatanode&)> fn);
+  void SendToApi(ApiNodeId api, int64_t bytes, OpReply reply);
+  void RunTc(Nanos cost, std::function<void()> fn);
+  void RunLdm(PartitionId part, Nanos cost, std::function<void()> fn);
+  void RunIo(Nanos cost, std::function<void()> fn);
+  void FlushRedo();
+
+  // Thread pools, exposed for utilisation reporting (Fig. 11).
+  const ThreadPool& ldm_pool() const { return *ldm_; }
+  const ThreadPool& tc_pool() const { return *tc_; }
+  const ThreadPool& recv_pool() const { return *recv_; }
+  const ThreadPool& send_pool() const { return *send_; }
+  const ThreadPool& rep_pool() const { return *rep_; }
+  const ThreadPool& io_pool() const { return *io_; }
+  const ThreadPool& main_pool() const { return *main_; }
+  void ResetStats();
+  int64_t active_txns() const { return static_cast<int64_t>(txns_.size()); }
+
+  // Protocol message counters (validated against Fig. 2 by tests).
+  struct ProtocolStats {
+    int64_t prepares = 0;         // LdmPrepare executions
+    int64_t commit_hops = 0;      // LdmCommitChain executions
+    int64_t completes = 0;        // LdmComplete executions
+    int64_t committed_reads = 0;  // LdmCommittedRead executions
+    int64_t locked_reads = 0;     // LdmLockedRead executions
+    int64_t scans = 0;
+  };
+  const ProtocolStats& protocol_stats() const { return proto_stats_; }
+
+ private:
+  struct TcTxn {
+    ApiNodeId api = -1;
+    bool delay_ack = false;
+    bool committing = false;
+    bool aborted = false;
+    struct WriteRow {
+      TableId table;
+      Key key;
+      PartitionId part;
+      std::vector<NodeId> chain;
+    };
+    std::vector<WriteRow> writes;
+    struct HeldLock {
+      TableId table;
+      Key key;
+      PartitionId part;
+      NodeId node;
+    };
+    std::vector<HeldLock> read_locks;
+    int pending_commits = 0;
+    int pending_completes = 0;
+    uint64_t commit_op_id = 0;
+    Nanos last_activity = 0;
+  };
+
+  TcTxn& Txn(TxnId txn, ApiNodeId api);
+  void Touch(TcTxn& t);
+  // Chooses the replica that serves a committed read (§IV-A4 routing).
+  NodeId RouteCommittedRead(TableId table, PartitionId part,
+                            int* replica_idx);
+  void StartCompletePhase(TxnId txn, TcTxn& t);
+  void FinishCommit(TxnId txn, TcTxn& t);
+  void AbortTxnInternal(TxnId txn, TcTxn& t, bool notify_api, Code code);
+  void ForwardPrepare(PrepareReq req);
+  void AccountRedo();
+
+  NdbCluster& cluster_;
+  NodeId id_;
+  HostId host_;
+  bool alive_ = true;
+
+  std::unique_ptr<ThreadPool> ldm_, tc_, recv_, send_, rep_, io_, main_;
+  std::unique_ptr<Disk> disk_;
+  RowStore store_;
+  LockManager locks_;
+
+  void LogRedo(TableId table, const Key& key,
+               const std::optional<RowStore::AppliedWrite>& applied);
+
+  std::unordered_map<TxnId, TcTxn> txns_;
+  uint64_t rr_counter_ = 0;      // proximity tie-break round robin
+  int64_t redo_pending_bytes_ = 0;
+  ProtocolStats proto_stats_;
+  std::vector<RedoEntry> redo_log_;
+  int64_t gcp_epoch_ = 0;
+  int64_t durable_gcp_epoch_ = 0;
+  bool cluster_has_durability_ = false;
+};
+
+}  // namespace repro::ndb

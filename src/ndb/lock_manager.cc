@@ -1,0 +1,139 @@
+#include "ndb/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace repro::ndb {
+
+LockManager::LockManager(Simulation& sim, Nanos wait_timeout)
+    : sim_(sim), wait_timeout_(wait_timeout) {}
+
+bool LockManager::TryGrant(Entry& entry, TxnId txn, LockMode mode) {
+  assert(mode != LockMode::kReadCommitted);
+  const bool want_exclusive = mode == LockMode::kExclusive;
+  const bool already_holds =
+      std::find(entry.holders.begin(), entry.holders.end(), txn) !=
+      entry.holders.end();
+
+  if (entry.holders.empty()) {
+    entry.holders.push_back(txn);
+    entry.exclusive = want_exclusive;
+    return true;
+  }
+  if (already_holds) {
+    if (!want_exclusive || entry.exclusive) return true;  // re-entrant
+    if (entry.holders.size() == 1) {
+      entry.exclusive = true;  // sole-holder upgrade S -> X
+      return true;
+    }
+    return false;
+  }
+  if (!entry.exclusive && !want_exclusive) {
+    entry.holders.push_back(txn);
+    return true;
+  }
+  return false;
+}
+
+void LockManager::Acquire(TxnId txn, TableId table, const Key& key,
+                          LockMode mode,
+                          std::function<void(Status)> granted) {
+  const LockKey lk{table, key};
+  Entry& entry = locks_[lk];
+  if (TryGrant(entry, txn, mode)) {
+    auto& held = held_by_txn_[txn];
+    if (std::find(held.begin(), held.end(), lk) == held.end()) {
+      held.push_back(lk);
+    }
+    ++total_grants_;
+    granted(OkStatus());
+    return;
+  }
+
+  const uint64_t waiter_id = next_waiter_id_++;
+  entry.waiters.push_back(
+      Waiter{waiter_id, txn, mode, std::move(granted), sim_.now()});
+
+  // Deadlock / starvation breaker: abandon the wait after the timeout.
+  sim_.After(wait_timeout_, [this, lk, waiter_id] {
+    auto it = locks_.find(lk);
+    if (it == locks_.end()) return;
+    auto& waiters = it->second.waiters;
+    for (auto w = waiters.begin(); w != waiters.end(); ++w) {
+      if (w->id == waiter_id) {
+        auto cb = std::move(w->granted);
+        waiters.erase(w);
+        ++total_timeouts_;
+        EraseIfIdle(lk);
+        cb(TimedOut("lock wait timeout (deadlock detection)"));
+        return;
+      }
+    }
+  });
+}
+
+void LockManager::GrantWaiters(const LockKey& lk, Entry& entry) {
+  while (!entry.waiters.empty()) {
+    Waiter& w = entry.waiters.front();
+    if (!TryGrant(entry, w.txn, w.mode)) break;
+    auto& held = held_by_txn_[w.txn];
+    if (std::find(held.begin(), held.end(), lk) == held.end()) {
+      held.push_back(lk);
+    }
+    ++total_grants_;
+    ++total_waits_;
+    total_wait_ns_ += sim_.now() - w.enqueued;
+    auto cb = std::move(w.granted);
+    entry.waiters.pop_front();
+    cb(OkStatus());
+  }
+}
+
+void LockManager::EraseIfIdle(const LockKey& lk) {
+  auto it = locks_.find(lk);
+  if (it != locks_.end() && it->second.holders.empty() &&
+      it->second.waiters.empty()) {
+    locks_.erase(it);
+  }
+}
+
+void LockManager::Release(TxnId txn, TableId table, const Key& key) {
+  const LockKey lk{table, key};
+  auto it = locks_.find(lk);
+  if (it == locks_.end()) return;
+  Entry& entry = it->second;
+  auto h = std::find(entry.holders.begin(), entry.holders.end(), txn);
+  if (h == entry.holders.end()) return;
+  entry.holders.erase(h);
+  if (entry.holders.empty()) entry.exclusive = false;
+
+  auto& held = held_by_txn_[txn];
+  held.erase(std::remove(held.begin(), held.end(), lk), held.end());
+  if (held.empty()) held_by_txn_.erase(txn);
+
+  GrantWaiters(lk, entry);
+  EraseIfIdle(lk);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_by_txn_.find(txn);
+  if (it != held_by_txn_.end()) {
+    // Copy: Release mutates held_by_txn_.
+    std::vector<LockKey> keys = it->second;
+    for (const auto& lk : keys) Release(txn, lk.table, lk.key);
+  }
+  // Cancel queued waits belonging to txn (aborted while waiting).
+  for (auto& [lk, entry] : locks_) {
+    auto& ws = entry.waiters;
+    ws.erase(std::remove_if(ws.begin(), ws.end(),
+                            [txn](const Waiter& w) { return w.txn == txn; }),
+             ws.end());
+  }
+}
+
+bool LockManager::IsLocked(TableId table, const Key& key) const {
+  auto it = locks_.find(LockKey{table, key});
+  return it != locks_.end() && !it->second.holders.empty();
+}
+
+}  // namespace repro::ndb

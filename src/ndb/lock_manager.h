@@ -1,0 +1,86 @@
+// Row-level lock table (strict two-phase locking, §II-B2).
+//
+// Locks are only ever taken on the primary replica first (NDB's deadlock-
+// avoidance ordering); backups are locked implicitly by the prepare chain.
+// Shared locks coexist; exclusive locks are exclusive; a sole shared
+// holder may upgrade in place. Waiters are granted FIFO and time out after
+// TransactionDeadlockDetectionTimeout, which breaks deadlocks by aborting
+// one transaction — the aborted file-system operation is retried by the
+// client (HopsFS's backpressure mechanism).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ndb/types.h"
+#include "sim/engine.h"
+#include "util/status.h"
+
+namespace repro::ndb {
+
+class LockManager {
+ public:
+  LockManager(Simulation& sim, Nanos wait_timeout);
+
+  // Grants the lock now or later via `granted`; on timeout `granted` is
+  // invoked with kTimedOut and the request is dropped.
+  void Acquire(TxnId txn, TableId table, const Key& key, LockMode mode,
+               std::function<void(Status)> granted);
+
+  // Releases one row lock held by txn (no-op if not held).
+  void Release(TxnId txn, TableId table, const Key& key);
+
+  // Releases everything txn holds and cancels its waiting requests.
+  void ReleaseAll(TxnId txn);
+
+  bool IsLocked(TableId table, const Key& key) const;
+  int64_t total_grants() const { return total_grants_; }
+  int64_t total_timeouts() const { return total_timeouts_; }
+  int64_t total_waits() const { return total_waits_; }   // granted after queueing
+  Nanos total_wait_ns() const { return total_wait_ns_; }
+
+ private:
+  struct LockKey {
+    TableId table;
+    Key key;
+    bool operator==(const LockKey&) const = default;
+  };
+  struct LockKeyHash {
+    size_t operator()(const LockKey& k) const {
+      return std::hash<std::string>{}(k.key) * 31 +
+             std::hash<int>{}(k.table);
+    }
+  };
+  struct Waiter {
+    uint64_t id;
+    TxnId txn;
+    LockMode mode;
+    std::function<void(Status)> granted;
+    Nanos enqueued = 0;
+  };
+  struct Entry {
+    // Holders: multiple for shared, one for exclusive.
+    std::vector<TxnId> holders;
+    bool exclusive = false;
+    std::deque<Waiter> waiters;
+  };
+
+  void GrantWaiters(const LockKey& lk, Entry& entry);
+  bool TryGrant(Entry& entry, TxnId txn, LockMode mode);
+  void EraseIfIdle(const LockKey& lk);
+
+  Simulation& sim_;
+  Nanos wait_timeout_;
+  uint64_t next_waiter_id_ = 1;
+  std::unordered_map<LockKey, Entry, LockKeyHash> locks_;
+  std::unordered_map<TxnId, std::vector<LockKey>> held_by_txn_;
+  int64_t total_grants_ = 0;
+  int64_t total_timeouts_ = 0;
+  int64_t total_waits_ = 0;
+  Nanos total_wait_ns_ = 0;
+};
+
+}  // namespace repro::ndb

@@ -1,0 +1,132 @@
+#include "ndb/row_store.h"
+
+#include <cassert>
+
+namespace repro::ndb {
+
+RowStore::RowStore(int num_tables) : tables_(num_tables) {}
+
+std::optional<std::string> RowStore::Read(TableId table, const Key& key,
+                                          TxnId reader_txn) const {
+  const auto& t = tables_[table];
+  auto it = t.find(key);
+  if (it == t.end()) return std::nullopt;
+  const Row& row = it->second;
+  if (row.has_pending && row.pending_txn == reader_txn) {
+    if (row.pending_type == WriteType::kDelete) return std::nullopt;
+    return row.pending_value;
+  }
+  return row.committed;
+}
+
+bool RowStore::Prepare(TableId table, const Key& key, WriteType type,
+                       std::string value, TxnId txn) {
+  Row& row = tables_[table][key];
+  if (row.has_pending && row.pending_txn != txn) return false;
+  row.has_pending = true;
+  row.pending_txn = txn;
+  row.pending_type = type;
+  row.pending_value = std::move(value);
+  return true;
+}
+
+std::optional<RowStore::AppliedWrite> RowStore::Commit(TableId table,
+                                                       const Key& key,
+                                                       TxnId txn) {
+  auto& t = tables_[table];
+  auto it = t.find(key);
+  if (it == t.end()) return std::nullopt;
+  Row& row = it->second;
+  if (!row.has_pending || row.pending_txn != txn) return std::nullopt;
+  if (row.committed) total_bytes_ -= static_cast<int64_t>(row.committed->size());
+  AppliedWrite applied{row.pending_type, {}};
+  if (row.pending_type == WriteType::kDelete) {
+    row.committed.reset();
+  } else {
+    row.committed = std::move(row.pending_value);
+    applied.value = *row.committed;
+    total_bytes_ += static_cast<int64_t>(row.committed->size());
+  }
+  row.has_pending = false;
+  row.pending_value.clear();
+  if (!row.committed) t.erase(it);
+  return applied;
+}
+
+void RowStore::Abort(TableId table, const Key& key, TxnId txn) {
+  auto& t = tables_[table];
+  auto it = t.find(key);
+  if (it == t.end()) return;
+  Row& row = it->second;
+  if (!row.has_pending || row.pending_txn != txn) return;
+  row.has_pending = false;
+  row.pending_value.clear();
+  if (!row.committed) t.erase(it);
+}
+
+bool RowStore::ExistsCommitted(TableId table, const Key& key) const {
+  const auto& t = tables_[table];
+  auto it = t.find(key);
+  return it != t.end() && it->second.committed.has_value();
+}
+
+bool RowStore::HasPending(TableId table, const Key& key) const {
+  const auto& t = tables_[table];
+  auto it = t.find(key);
+  return it != t.end() && it->second.has_pending;
+}
+
+std::vector<std::pair<Key, std::string>> RowStore::ScanPrefix(
+    TableId table, const Key& prefix, TxnId reader_txn) const {
+  std::vector<std::pair<Key, std::string>> out;
+  const auto& t = tables_[table];
+  for (auto it = t.lower_bound(prefix); it != t.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const Row& row = it->second;
+    if (row.has_pending && row.pending_txn == reader_txn) {
+      if (row.pending_type != WriteType::kDelete) {
+        out.emplace_back(it->first, row.pending_value);
+      }
+    } else if (row.committed) {
+      out.emplace_back(it->first, *row.committed);
+    }
+  }
+  return out;
+}
+
+int64_t RowStore::row_count(TableId table) const {
+  return static_cast<int64_t>(tables_[table].size());
+}
+
+void RowStore::Clear() {
+  for (auto& t : tables_) t.clear();
+  total_bytes_ = 0;
+}
+
+void RowStore::BootstrapDelete(TableId table, const Key& key) {
+  auto& t = tables_[table];
+  auto it = t.find(key);
+  if (it == t.end()) return;
+  if (it->second.committed) {
+    total_bytes_ -= static_cast<int64_t>(it->second.committed->size());
+  }
+  t.erase(it);
+}
+
+void RowStore::ForEachCommitted(
+    TableId table,
+    const std::function<void(const Key&, const std::string&)>& fn) const {
+  for (const auto& [key, row] : tables_[table]) {
+    if (row.committed) fn(key, *row.committed);
+  }
+}
+
+void RowStore::BootstrapPut(TableId table, const Key& key,
+                            std::string value) {
+  Row& row = tables_[table][key];
+  if (row.committed) total_bytes_ -= static_cast<int64_t>(row.committed->size());
+  row.committed = std::move(value);
+  total_bytes_ += static_cast<int64_t>(row.committed->size());
+}
+
+}  // namespace repro::ndb

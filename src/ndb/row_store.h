@@ -1,0 +1,97 @@
+// Per-datanode in-memory row storage with pending (uncommitted) versions.
+//
+// A replica holds the committed image of every row of its partitions plus
+// at most one pending operation per row (the strict-2PL lock on the
+// primary guarantees single-writer). Prepared writes become visible to
+// their own transaction immediately (read-your-writes inside a
+// transaction) and to everyone else at commit. Keys are kept ordered so
+// directory listings — keys share a "parentId/" prefix under HopsFS's
+// application-defined partitioning — are a contiguous range scan.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ndb/types.h"
+
+namespace repro::ndb {
+
+enum class WriteType { kPut, kDelete };
+
+class RowStore {
+ public:
+  explicit RowStore(int num_tables);
+
+  // Committed read; pending changes of `reader_txn` (if any) are visible.
+  std::optional<std::string> Read(TableId table, const Key& key,
+                                  TxnId reader_txn) const;
+
+  // Stages a write. Returns false if another transaction's pending write
+  // still occupies the row (its Commit/Complete has not landed yet) — the
+  // caller must retry shortly; the slot frees when that write applies or
+  // aborts. kInsert semantics are enforced by the caller (primary
+  // replica) via ExistsCommitted.
+  [[nodiscard]] bool Prepare(TableId table, const Key& key, WriteType type,
+                             std::string value, TxnId txn);
+
+  // Applies txn's pending op on the row, making it the committed image.
+  // Returns the applied mutation (for redo logging), or nullopt if there
+  // was nothing pending for txn on that row.
+  struct AppliedWrite {
+    WriteType type;
+    std::string value;
+  };
+  std::optional<AppliedWrite> Commit(TableId table, const Key& key,
+                                     TxnId txn);
+
+  // Drops txn's pending op on the row.
+  void Abort(TableId table, const Key& key, TxnId txn);
+
+  bool ExistsCommitted(TableId table, const Key& key) const;
+  bool HasPending(TableId table, const Key& key) const;
+
+  // All committed rows whose key starts with `prefix`, plus the reader's
+  // own pending rows in that range. Returned in key order.
+  std::vector<std::pair<Key, std::string>> ScanPrefix(TableId table,
+                                                      const Key& prefix,
+                                                      TxnId reader_txn) const;
+
+  // Drops everything (cluster-recovery restore path).
+  void Clear();
+
+  int64_t row_count(TableId table) const;
+  int64_t total_bytes() const { return total_bytes_; }
+
+  // Direct committed write, bypassing the protocol. Used only for bulk
+  // namespace bootstrap before an experiment starts and for node-recovery
+  // data copy.
+  void BootstrapPut(TableId table, const Key& key, std::string value);
+  // Direct committed delete (redo replay of delete entries).
+  void BootstrapDelete(TableId table, const Key& key);
+
+  // Iterates the committed image of one table (recovery data copy).
+  void ForEachCommitted(
+      TableId table,
+      const std::function<void(const Key&, const std::string&)>& fn) const;
+
+ private:
+  struct Row {
+    std::optional<std::string> committed;
+    // Pending op staged by the prepare phase.
+    bool has_pending = false;
+    TxnId pending_txn = 0;
+    WriteType pending_type = WriteType::kPut;
+    std::string pending_value;
+  };
+
+  void AccountResize(const Row& row, int64_t delta_hint);
+
+  std::vector<std::map<Key, Row>> tables_;
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace repro::ndb

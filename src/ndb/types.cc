@@ -1,0 +1,14 @@
+#include "ndb/types.h"
+
+namespace repro::ndb {
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kReadCommitted: return "READ_COMMITTED";
+    case LockMode::kShared: return "SHARED";
+    case LockMode::kExclusive: return "EXCLUSIVE";
+  }
+  return "?";
+}
+
+}  // namespace repro::ndb

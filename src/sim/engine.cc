@@ -1,0 +1,66 @@
+#include "sim/engine.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace repro {
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {
+  Logger::Get().set_clock([this] { return now_; });
+}
+
+void Simulation::At(Nanos time, std::function<void()> fn) {
+  assert(time >= now_);
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void Simulation::After(Nanos delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  At(now_ + delay, std::move(fn));
+}
+
+Simulation::PeriodicHandle Simulation::Every(Nanos interval,
+                                             std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  // Self-rescheduling closure; stops silently once cancelled. The closure
+  // captures itself weakly so cancelling eventually frees it.
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [this, interval, alive, weak_tick, fn = std::move(fn)] {
+    if (!*alive) return;
+    fn();
+    auto tick = weak_tick.lock();
+    if (*alive && tick) After(interval, *tick);
+  };
+  After(interval, *tick);
+  PeriodicHandle handle;
+  handle.alive_ = std::move(alive);
+  handle.tick_ = std::move(tick);  // the handle owns the subscription
+  return handle;
+}
+
+void Simulation::Dispatch(Event& e) {
+  now_ = e.time;
+  ++events_processed_;
+  e.fn();
+}
+
+void Simulation::Run() {
+  while (!queue_.empty()) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Dispatch(e);
+  }
+}
+
+void Simulation::RunUntil(Nanos t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Dispatch(e);
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace repro

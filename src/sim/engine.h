@@ -1,0 +1,86 @@
+// Discrete-event simulation engine.
+//
+// The engine substitutes for the paper's GCP testbed (see DESIGN.md §2):
+// every protocol in the repository — the NDB commit protocol, heartbeats,
+// leader election, block re-replication, CephFS journaling — runs as real
+// message-passing code whose delays come from this engine rather than from
+// a datacenter network. Events at equal timestamps are ordered by insertion
+// sequence, so runs are bit-for-bit reproducible from the RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace repro {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+
+  Nanos now() const { return now_; }
+  Rng& rng() { return rng_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Schedules fn at an absolute simulated time (>= now).
+  void At(Nanos time, std::function<void()> fn);
+
+  // Schedules fn after a relative delay (>= 0).
+  void After(Nanos delay, std::function<void()> fn);
+
+  // Runs fn every `interval`, starting after one interval, until the
+  // returned handle is cancelled or the simulation ends. Used for
+  // heartbeats, leader-election rounds, and checkpoint ticks.
+  // The handle owns the periodic subscription: dropping or cancelling it
+  // stops the timer (in-flight firings see the cleared flag and no-op).
+  class PeriodicHandle {
+   public:
+    void Cancel() {
+      if (alive_) *alive_ = false;
+      tick_.reset();
+    }
+
+   private:
+    friend class Simulation;
+    std::shared_ptr<bool> alive_;
+    std::shared_ptr<std::function<void()>> tick_;
+  };
+  PeriodicHandle Every(Nanos interval, std::function<void()> fn);
+
+  // Drains the event queue completely.
+  void Run();
+
+  // Runs events with time <= t, then sets now() = t.
+  void RunUntil(Nanos t);
+  void RunFor(Nanos d) { RunUntil(now_ + d); }
+
+  bool Empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Nanos time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Event& e);
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Rng rng_;
+};
+
+}  // namespace repro

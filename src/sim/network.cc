@@ -1,0 +1,83 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace repro {
+
+Network::Network(Simulation& sim, Topology& topology, NetworkConfig config)
+    : sim_(sim), topology_(topology), config_(config) {
+  const int hosts = topology_.num_hosts();
+  const int azs = topology_.num_azs();
+  nic_free_at_.assign(hosts, 0);
+  link_free_at_.assign(azs, std::vector<Nanos>(azs, 0));
+  host_stats_.assign(hosts, HostNetStats{});
+  az_pair_bytes_.assign(azs, std::vector<int64_t>(azs, 0));
+}
+
+Nanos Network::Occupy(Nanos& free_at, Nanos now, Nanos tx) {
+  const Nanos start = std::max(free_at, now);
+  free_at = start + tx;
+  return free_at;
+}
+
+void Network::EnsureHost(HostId h) {
+  if (h >= static_cast<HostId>(nic_free_at_.size())) {
+    nic_free_at_.resize(h + 1, 0);
+    host_stats_.resize(h + 1, HostNetStats{});
+  }
+}
+
+void Network::Send(HostId from, HostId to, int64_t payload_bytes,
+                   std::function<void()> deliver) {
+  assert(payload_bytes >= 0);
+  if (!topology_.Reachable(from, to)) return;
+  EnsureHost(std::max(from, to));
+
+  const int64_t bytes = payload_bytes + config_.per_message_overhead_bytes;
+  const AzId az_from = topology_.az_of(from);
+  const AzId az_to = topology_.az_of(to);
+
+  host_stats_[from].bytes_sent += bytes;
+  host_stats_[from].messages_sent += 1;
+  az_pair_bytes_[az_from][az_to] += bytes;
+  if (az_from == az_to) {
+    intra_az_bytes_ += bytes;
+  } else {
+    inter_az_bytes_ += bytes;
+  }
+
+  const Nanos now = sim_.now();
+  Nanos departure = now;
+  if (from != to) {
+    const double link_rate = az_from == az_to ? config_.intra_az_bytes_per_sec
+                                              : config_.inter_az_bytes_per_sec;
+    const Nanos nic_tx = static_cast<Nanos>(
+        static_cast<double>(bytes) / config_.nic_bytes_per_sec * 1e9);
+    const Nanos link_tx =
+        static_cast<Nanos>(static_cast<double>(bytes) / link_rate * 1e9);
+    // The transfer must clear both the sender NIC and the AZ-pair fabric;
+    // occupy them serially (a conservative two-queue approximation).
+    departure = Occupy(nic_free_at_[from], now, nic_tx);
+    departure = Occupy(link_free_at_[az_from][az_to], departure, link_tx);
+  }
+  const Nanos arrival = departure + topology_.Latency(from, to, sim_.rng());
+
+  sim_.At(arrival, [this, from, to, bytes, deliver = std::move(deliver)] {
+    // Re-check: the destination may have died or been partitioned away
+    // while the message was in flight.
+    if (!topology_.Reachable(from, to)) return;
+    host_stats_[to].bytes_received += bytes;
+    host_stats_[to].messages_received += 1;
+    deliver();
+  });
+}
+
+void Network::ResetStats() {
+  for (auto& s : host_stats_) s = HostNetStats{};
+  for (auto& row : az_pair_bytes_) std::fill(row.begin(), row.end(), 0);
+  intra_az_bytes_ = 0;
+  inter_az_bytes_ = 0;
+}
+
+}  // namespace repro

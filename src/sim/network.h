@@ -1,0 +1,93 @@
+// Message transport with finite bandwidth.
+//
+// Two resources shape transfers, mirroring what matters in a cloud region
+// (§III C2): each host's NIC, and the aggregate capacity of each directed
+// AZ-pair link. Inter-AZ links are the scarce, billable resource — the
+// paper's motivation for AZ-local reads — so the network tracks intra- vs
+// inter-AZ bytes separately; benchmarks report both (Figs. 12–14).
+//
+// Messages to unreachable destinations are silently dropped; all protocols
+// above recover via timeouts, exactly as over a real partitioned network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/topology.h"
+
+namespace repro {
+
+struct NetworkConfig {
+  // Per-host NIC throughput (GCP 32-vCPU VMs get ~16 Gbps).
+  double nic_bytes_per_sec = 2.0e9;
+  // Effective aggregate budget of each directed inter-AZ link available
+  // to one deployment (per-VM egress caps, not fabric capacity). The
+  // AZ-oblivious 3-AZ deployments approach this budget at high namenode
+  // counts, reproducing the paper's "network I/O becomes a bottleneck"
+  // regime past ~24 NNs; AZ-aware deployments stay far below it (§V-E).
+  double inter_az_bytes_per_sec = 0.4e9;
+  // Aggregate intra-AZ fabric capacity (effectively unconstrained).
+  double intra_az_bytes_per_sec = 100.0e9;
+  // Fixed per-message framing overhead added to every payload.
+  int64_t per_message_overhead_bytes = 120;
+};
+
+struct HostNetStats {
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t messages_sent = 0;
+  int64_t messages_received = 0;
+};
+
+class Network {
+ public:
+  Network(Simulation& sim, Topology& topology, NetworkConfig config = {});
+
+  // Sends `payload_bytes` from host `from` to host `to`; `deliver` runs at
+  // the arrival time. Dropped (deliver never runs) if the destination is
+  // unreachable at send or arrival time.
+  void Send(HostId from, HostId to, int64_t payload_bytes,
+            std::function<void()> deliver);
+
+  // ---- Statistics (since last ResetStats) ----
+  int64_t intra_az_bytes() const { return intra_az_bytes_; }
+  int64_t inter_az_bytes() const { return inter_az_bytes_; }
+  int64_t az_pair_bytes(AzId from, AzId to) const {
+    return az_pair_bytes_[from][to];
+  }
+  const HostNetStats& host_stats(HostId h) const {
+    static const HostNetStats kEmpty{};
+    return h < static_cast<HostId>(host_stats_.size()) ? host_stats_[h]
+                                                       : kEmpty;
+  }
+  void ResetStats();
+
+  const NetworkConfig& config() const { return config_; }
+  Topology& topology() { return topology_; }
+  Simulation& sim() { return sim_; }
+
+ private:
+  // Earliest time a new transmission can start on the given resource, and
+  // the update after occupying it for `tx` nanoseconds.
+  static Nanos Occupy(Nanos& free_at, Nanos now, Nanos tx);
+
+  // Hosts may be added to the topology after the network is constructed;
+  // grow the per-host bookkeeping on demand.
+  void EnsureHost(HostId h);
+
+  Simulation& sim_;
+  Topology& topology_;
+  NetworkConfig config_;
+
+  std::vector<Nanos> nic_free_at_;                 // per host
+  std::vector<std::vector<Nanos>> link_free_at_;   // [from_az][to_az]
+
+  std::vector<HostNetStats> host_stats_;
+  std::vector<std::vector<int64_t>> az_pair_bytes_;
+  int64_t intra_az_bytes_ = 0;
+  int64_t inter_az_bytes_ = 0;
+};
+
+}  // namespace repro

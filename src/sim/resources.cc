@@ -1,0 +1,103 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace repro {
+
+ThreadPool::ThreadPool(Simulation& sim, std::string name, int num_threads)
+    : sim_(sim), name_(std::move(name)) {
+  assert(num_threads > 0);
+  free_at_.assign(num_threads, 0);
+}
+
+int ThreadPool::EarliestFree() const {
+  int best = 0;
+  for (int i = 1; i < num_threads(); ++i) {
+    if (free_at_[i] < free_at_[best]) best = i;
+  }
+  return best;
+}
+
+void ThreadPool::Submit(Nanos cost, std::function<void()> done) {
+  SubmitTo(EarliestFree(), cost, std::move(done));
+}
+
+void ThreadPool::SubmitTo(int thread, Nanos cost, std::function<void()> done) {
+  assert(thread >= 0 && thread < num_threads());
+  assert(cost >= 0);
+  const Nanos start = std::max(free_at_[thread], sim_.now());
+  free_at_[thread] = start + cost;
+  busy_ns_ += cost;
+  ++completed_;
+  if (done) {
+    sim_.At(free_at_[thread], std::move(done));
+  }
+}
+
+Nanos ThreadPool::Backlog() const {
+  const Nanos now = sim_.now();
+  Nanos best = free_at_[0];
+  for (Nanos f : free_at_) best = std::min(best, f);
+  return std::max<Nanos>(0, best - now);
+}
+
+Nanos ThreadPool::BacklogOf(int thread) const {
+  return std::max<Nanos>(0, free_at_[thread] - sim_.now());
+}
+
+double ThreadPool::Utilization(Nanos window_start) const {
+  const Nanos window = sim_.now() - window_start;
+  if (window <= 0) return 0;
+  return std::min(
+      1.0, static_cast<double>(busy_ns_) /
+               (static_cast<double>(window) * num_threads()));
+}
+
+void ThreadPool::ResetStats() {
+  busy_ns_ = 0;
+  completed_ = 0;
+}
+
+Disk::Disk(Simulation& sim, std::string name, Nanos access_time,
+           double read_bytes_per_sec, double write_bytes_per_sec)
+    : sim_(sim), name_(std::move(name)), access_time_(access_time),
+      read_rate_(read_bytes_per_sec), write_rate_(write_bytes_per_sec) {}
+
+void Disk::SubmitIo(Nanos service, std::function<void()> done) {
+  const Nanos start = std::max(free_at_, sim_.now());
+  free_at_ = start + service;
+  stats_.busy_ns += service;
+  ++stats_.ops;
+  if (done) sim_.At(free_at_, std::move(done));
+}
+
+void Disk::Read(int64_t bytes, std::function<void()> done) {
+  stats_.bytes_read += bytes;
+  const Nanos service =
+      access_time_ +
+      static_cast<Nanos>(static_cast<double>(bytes) / read_rate_ * 1e9);
+  SubmitIo(service, std::move(done));
+}
+
+void Disk::Write(int64_t bytes, std::function<void()> done) {
+  stats_.bytes_written += bytes;
+  const Nanos service =
+      access_time_ +
+      static_cast<Nanos>(static_cast<double>(bytes) / write_rate_ * 1e9);
+  SubmitIo(service, std::move(done));
+}
+
+double Disk::Utilization(Nanos window_start) const {
+  const Nanos window = sim_.now() - window_start;
+  if (window <= 0) return 0;
+  return std::min(1.0,
+                  static_cast<double>(stats_.busy_ns) /
+                      static_cast<double>(window));
+}
+
+Nanos Disk::Backlog() const {
+  return std::max<Nanos>(0, free_at_ - sim_.now());
+}
+
+}  // namespace repro

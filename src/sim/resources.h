@@ -1,0 +1,98 @@
+// CPU and disk service resources.
+//
+// Server CPUs are modelled as pools of FIFO threads: submitting work picks
+// the earliest-free thread, or a caller-chosen thread for partition-affine
+// work (NDB pins each table partition to one LDM thread — the reason
+// Read Backup spreads hot-partition reads across replicas, §IV-A). Pools
+// track busy time so benchmarks can report per-thread-type utilisation
+// (Fig. 11) and per-node CPU utilisation (Fig. 10).
+//
+// Disks are single FIFO servers with a seek constant plus a byte rate,
+// enough to reproduce CephFS's journal-bound OSD disk curve (Fig. 12d).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/time.h"
+
+namespace repro {
+
+class ThreadPool {
+ public:
+  ThreadPool(Simulation& sim, std::string name, int num_threads);
+
+  // Runs `cost` of CPU work on the earliest-free thread; `done` fires when
+  // the work completes (after queueing). `done` may be null.
+  void Submit(Nanos cost, std::function<void()> done);
+
+  // Runs work on a specific thread (partition affinity).
+  void SubmitTo(int thread, Nanos cost, std::function<void()> done);
+
+  // How far ahead of `now` the least-loaded thread is booked. Used for
+  // overflow decisions (NDB's idle helper threads) and backpressure.
+  Nanos Backlog() const;
+  // Backlog of one specific thread.
+  Nanos BacklogOf(int thread) const;
+
+  int num_threads() const { return static_cast<int>(free_at_.size()); }
+  const std::string& name() const { return name_; }
+
+  // Busy nanoseconds accumulated since the last ResetStats, summed over
+  // threads, clipped to work that has already started.
+  int64_t busy_ns() const { return busy_ns_; }
+  int64_t completed() const { return completed_; }
+
+  // Utilisation over a window that started at window_start and ends now.
+  double Utilization(Nanos window_start) const;
+
+  void ResetStats();
+
+ private:
+  int EarliestFree() const;
+
+  Simulation& sim_;
+  std::string name_;
+  std::vector<Nanos> free_at_;
+  int64_t busy_ns_ = 0;
+  int64_t completed_ = 0;
+};
+
+struct DiskStats {
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int64_t ops = 0;
+  int64_t busy_ns = 0;
+};
+
+class Disk {
+ public:
+  // NVMe-ish defaults: 50 us access, ~1.2 GB/s write, ~2.4 GB/s read.
+  Disk(Simulation& sim, std::string name,
+       Nanos access_time = 50 * kMicrosecond,
+       double read_bytes_per_sec = 2.4e9, double write_bytes_per_sec = 1.2e9);
+
+  void Read(int64_t bytes, std::function<void()> done);
+  void Write(int64_t bytes, std::function<void()> done);
+
+  const DiskStats& stats() const { return stats_; }
+  double Utilization(Nanos window_start) const;
+  void ResetStats() { stats_ = DiskStats{}; }
+  Nanos Backlog() const;
+
+ private:
+  void SubmitIo(Nanos service, std::function<void()> done);
+
+  Simulation& sim_;
+  std::string name_;
+  Nanos access_time_;
+  double read_rate_;
+  double write_rate_;
+  Nanos free_at_ = 0;
+  DiskStats stats_;
+};
+
+}  // namespace repro

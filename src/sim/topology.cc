@@ -1,0 +1,90 @@
+#include "sim/topology.h"
+
+#include <cassert>
+
+namespace repro {
+
+AzLatencyTable AzLatencyTable::UsWest1() {
+  // Table I of the paper, RTT in ms:
+  //          a      b      c
+  //   a    0.247  0.360  0.372
+  //   b    0.360  0.251  0.399
+  //   c    0.372  0.399  0.249
+  // Stored as one-way latency = RTT / 2.
+  auto us = [](double rtt_ms) {
+    return static_cast<Nanos>(rtt_ms / 2.0 * 1e6);
+  };
+  AzLatencyTable t;
+  t.one_way = {
+      {us(0.247), us(0.360), us(0.372)},
+      {us(0.360), us(0.251), us(0.399)},
+      {us(0.372), us(0.399), us(0.249)},
+  };
+  return t;
+}
+
+AzLatencyTable AzLatencyTable::Uniform(int num_azs, Nanos intra_one_way,
+                                       Nanos inter_one_way) {
+  AzLatencyTable t;
+  t.one_way.assign(num_azs, std::vector<Nanos>(num_azs, inter_one_way));
+  for (int i = 0; i < num_azs; ++i) t.one_way[i][i] = intra_one_way;
+  return t;
+}
+
+Topology::Topology(int num_azs, AzLatencyTable latency)
+    : num_azs_(num_azs), latency_(std::move(latency)), az_up_(num_azs, true),
+      az_partitioned_(num_azs, std::vector<bool>(num_azs, false)) {
+  assert(static_cast<int>(latency_.one_way.size()) >= num_azs);
+}
+
+HostId Topology::AddHost(AzId az, std::string name) {
+  assert(az >= 0 && az < num_azs_);
+  hosts_.push_back(Host{az, std::move(name)});
+  return static_cast<HostId>(hosts_.size()) - 1;
+}
+
+void Topology::SetAzUp(AzId az, bool up) {
+  az_up_[az] = up;
+  for (auto& h : hosts_) {
+    if (h.az == az) h.up = up;
+  }
+}
+
+bool Topology::AzUp(AzId az) const { return az_up_[az]; }
+
+void Topology::PartitionAzs(AzId a, AzId b) {
+  if (a == b) return;  // an AZ cannot be partitioned from itself
+  az_partitioned_[a][b] = az_partitioned_[b][a] = true;
+}
+
+void Topology::HealPartition(AzId a, AzId b) {
+  az_partitioned_[a][b] = az_partitioned_[b][a] = false;
+}
+
+void Topology::HealAllPartitions() {
+  for (auto& row : az_partitioned_) row.assign(row.size(), false);
+}
+
+bool Topology::Reachable(HostId a, HostId b) const {
+  const Host& ha = hosts_[a];
+  const Host& hb = hosts_[b];
+  if (!ha.up || !hb.up) return false;
+  if (az_partitioned_[ha.az][hb.az]) return false;
+  return true;
+}
+
+Nanos Topology::Latency(HostId a, HostId b, Rng& rng) const {
+  Nanos base;
+  if (a == b) {
+    base = latency_.same_host;
+  } else {
+    base = latency_.one_way[hosts_[a].az][hosts_[b].az];
+  }
+  if (jitter_fraction_ > 0) {
+    const double j = 1.0 + jitter_fraction_ * (2.0 * rng.NextDouble() - 1.0);
+    base = static_cast<Nanos>(static_cast<double>(base) * j);
+  }
+  return base;
+}
+
+}  // namespace repro

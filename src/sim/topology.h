@@ -1,0 +1,86 @@
+// Cloud topology: a region of availability zones containing hosts.
+//
+// Latencies default to the paper's Table I measurements for GCP us-west1
+// (0.247–0.251 ms intra-AZ RTT, 0.360–0.399 ms inter-AZ RTT). Hosts can be
+// marked down (machine failure) and AZs can be partitioned from each other
+// (the split-brain scenarios of §IV-A2 / §V-F).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace repro {
+
+using AzId = int;
+using HostId = int;
+
+constexpr AzId kNoAz = -1;
+
+struct AzLatencyTable {
+  // One-way latencies in nanoseconds, indexed [from_az][to_az]. The
+  // diagonal is the intra-AZ latency. Derived from Table I RTTs.
+  std::vector<std::vector<Nanos>> one_way;
+  Nanos same_host = 25 * kMicrosecond;
+
+  // The paper's measured us-west1 matrix (a=0, b=1, c=2).
+  static AzLatencyTable UsWest1();
+  // A uniform synthetic table with n AZs.
+  static AzLatencyTable Uniform(int num_azs, Nanos intra_one_way,
+                                Nanos inter_one_way);
+};
+
+class Topology {
+ public:
+  Topology(int num_azs, AzLatencyTable latency);
+
+  // Adds a host to an AZ and returns its id.
+  HostId AddHost(AzId az, std::string name);
+
+  int num_azs() const { return num_azs_; }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  AzId az_of(HostId h) const { return hosts_[h].az; }
+  const std::string& name_of(HostId h) const { return hosts_[h].name; }
+
+  bool HostUp(HostId h) const { return hosts_[h].up; }
+  void SetHostUp(HostId h, bool up) { hosts_[h].up = up; }
+
+  // Fails / restores a whole AZ at once.
+  void SetAzUp(AzId az, bool up);
+  bool AzUp(AzId az) const;
+
+  // Installs a network partition between two AZs (both directions).
+  // Hosts in partitioned AZs stay up but cannot exchange messages.
+  void PartitionAzs(AzId a, AzId b);
+  void HealPartition(AzId a, AzId b);
+  void HealAllPartitions();
+
+  // True if a message can currently travel from a to b.
+  bool Reachable(HostId a, HostId b) const;
+
+  // One-way propagation latency. `rng` adds a small multiplicative jitter
+  // when jitter_fraction > 0 (the default models cloud network variance).
+  Nanos Latency(HostId a, HostId b, Rng& rng) const;
+
+  void set_jitter_fraction(double f) { jitter_fraction_ = f; }
+
+ private:
+  struct Host {
+    AzId az;
+    std::string name;
+    bool up = true;
+  };
+
+  int num_azs_;
+  AzLatencyTable latency_;
+  std::vector<Host> hosts_;
+  std::vector<bool> az_up_;
+  // az_partitioned_[a][b] = true when the a<->b links are cut.
+  std::vector<std::vector<bool>> az_partitioned_;
+  double jitter_fraction_ = 0.05;
+};
+
+}  // namespace repro

@@ -1,0 +1,54 @@
+// Binary row encoding.
+//
+// NDB stores opaque byte strings; the file-system layers serialise their
+// row structs (inodes, block records, leases, ...) with this little-endian
+// length-prefixed codec. Keeping the storage engine schema-free mirrors the
+// pluggable-storage design of HopsFS (§II-A1) and keeps the two layers
+// decoupled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace repro {
+
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutString(std::string_view s);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  std::string Take() { return std::move(out_); }
+  const std::string& view() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  std::string GetString();
+  bool GetBool() { return GetU8() != 0; }
+
+  bool ok() const { return ok_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  bool Ensure(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace repro

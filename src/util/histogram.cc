@@ -1,0 +1,100 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace repro {
+namespace {
+
+// 32 sub-buckets per power of two gives <= ~3% relative bucket width.
+constexpr int kSubBucketBits = 5;
+constexpr int kSubBuckets = 1 << kSubBucketBits;
+// Values up to 2^40 ns (~18 minutes) are representable exactly enough.
+constexpr int kMaxBuckets = (40 - kSubBucketBits) * kSubBuckets + kSubBuckets;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kMaxBuckets, 0) {}
+
+int Histogram::BucketFor(Nanos value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  const int shift = msb - kSubBucketBits;
+  const int sub = static_cast<int>((value >> shift) - kSubBuckets);
+  const int bucket = (msb - kSubBucketBits) * kSubBuckets + kSubBuckets + sub;
+  return std::min(bucket, kMaxBuckets - 1);
+}
+
+Nanos Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const int group = (bucket - kSubBuckets) / kSubBuckets;
+  const int sub = (bucket - kSubBuckets) % kSubBuckets;
+  const int shift = group;
+  return (static_cast<Nanos>(kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void Histogram::Record(Nanos value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::MeanMillis() const {
+  if (count_ == 0) return 0;
+  return ToMillis(sum_) / static_cast<double>(count_);
+}
+
+Nanos Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t target = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  int64_t seen = 0;
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat(
+      "n=%lld mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms",
+      static_cast<long long>(count_), MeanMillis(),
+      ToMillis(Percentile(0.50)), ToMillis(Percentile(0.90)),
+      ToMillis(Percentile(0.99)), ToMillis(max_));
+}
+
+}  // namespace repro

@@ -1,0 +1,33 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace repro {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  const double t_ms = clock_ ? ToMillis(clock_()) : 0.0;
+  std::fprintf(stderr, "[%12.3fms] %-5s %-12s %s\n", t_ms, LevelName(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace repro

@@ -1,0 +1,57 @@
+// Leveled logging with simulated-time stamps.
+//
+// The logger calls a pluggable clock so log lines carry *simulated* time,
+// which is what matters when debugging protocol interleavings. Logging is
+// compiled in at all levels but filtered at runtime; the default level is
+// kWarn so benchmarks stay quiet.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/strings.h"
+#include "util/time.h"
+
+namespace repro {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Installed by the simulation so lines are stamped with sim time.
+  void set_clock(std::function<Nanos()> clock) { clock_ = std::move(clock); }
+
+  void Log(LogLevel level, const std::string& component,
+           const std::string& message);
+
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<Nanos()> clock_;
+};
+
+#define RLOG(level, component, ...)                                       \
+  do {                                                                    \
+    if (::repro::Logger::Get().Enabled(level)) {                          \
+      ::repro::Logger::Get().Log(level, component,                        \
+                                 ::repro::StrFormat(__VA_ARGS__));        \
+    }                                                                     \
+  } while (0)
+
+#define RLOG_DEBUG(component, ...) \
+  RLOG(::repro::LogLevel::kDebug, component, __VA_ARGS__)
+#define RLOG_INFO(component, ...) \
+  RLOG(::repro::LogLevel::kInfo, component, __VA_ARGS__)
+#define RLOG_WARN(component, ...) \
+  RLOG(::repro::LogLevel::kWarn, component, __VA_ARGS__)
+#define RLOG_ERROR(component, ...) \
+  RLOG(::repro::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace repro

@@ -1,0 +1,32 @@
+#include "util/status.h"
+
+namespace repro {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Code::kAborted: return "ABORTED";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kTimedOut: return "TIMED_OUT";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Code::kPermissionDenied: return "PERMISSION_DENIED";
+    case Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace repro

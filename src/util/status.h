@@ -1,0 +1,110 @@
+// Error handling for asynchronous protocol code.
+//
+// Exceptions do not propagate across event-loop turns, so every fallible
+// asynchronous operation reports a Status (or an Expected<T>) through its
+// completion callback instead. Codes mirror the failure classes the paper's
+// systems distinguish: retryable coordinator loss / timeouts versus
+// permanent application errors such as "file not found".
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace repro {
+
+enum class Code {
+  kOk = 0,
+  kNotFound,          // row / path component does not exist
+  kAlreadyExists,     // insert of duplicate key, mkdir of existing dir
+  kAborted,           // transaction aborted (lock timeout, deadlock break)
+  kUnavailable,       // node down, network partition, TC take-over: retryable
+  kTimedOut,          // TransactionInactiveTimeout and friends: retryable
+  kInvalidArgument,   // malformed path, bad config
+  kFailedPrecondition,// e.g. delete of non-empty directory
+  kPermissionDenied,
+  kResourceExhausted, // admission control / queue overflow
+  kInternal,
+};
+
+const char* CodeName(Code code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // True for failures the paper's systems handle by retrying the whole
+  // operation with backoff (HopsFS's transaction retry mechanism).
+  bool retryable() const {
+    return code_ == Code::kUnavailable || code_ == Code::kTimedOut ||
+           code_ == Code::kAborted;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status NotFound(std::string m) { return {Code::kNotFound, std::move(m)}; }
+inline Status AlreadyExists(std::string m) {
+  return {Code::kAlreadyExists, std::move(m)};
+}
+inline Status Aborted(std::string m) { return {Code::kAborted, std::move(m)}; }
+inline Status Unavailable(std::string m) {
+  return {Code::kUnavailable, std::move(m)};
+}
+inline Status TimedOut(std::string m) { return {Code::kTimedOut, std::move(m)}; }
+inline Status InvalidArgument(std::string m) {
+  return {Code::kInvalidArgument, std::move(m)};
+}
+inline Status FailedPrecondition(std::string m) {
+  return {Code::kFailedPrecondition, std::move(m)};
+}
+inline Status Internal(std::string m) { return {Code::kInternal, std::move(m)}; }
+
+// Minimal value-or-error type. We deliberately avoid std::expected (C++23)
+// to stay within the C++20 toolchain.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  Expected(Status status) : state_(std::move(status)) { // NOLINT(google-explicit-constructor)
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(state_); }
+  T& value() & { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(state_);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace repro

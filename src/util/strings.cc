@@ -1,0 +1,57 @@
+#include "util/strings.h"
+
+#include <cstdio>
+
+namespace repro {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string_view> SplitPath(std::string_view path) {
+  std::vector<std::string_view> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) parts.push_back(path.substr(i, j - i));
+    i = j;
+  }
+  return parts;
+}
+
+std::string JoinPath(const std::vector<std::string_view>& parts) {
+  if (parts.empty()) return "/";
+  std::string out;
+  for (const auto& p : parts) {
+    out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::pair<std::string, std::string> SplitParent(std::string_view path) {
+  auto parts = SplitPath(path);
+  if (parts.empty()) return {"/", ""};
+  std::string base(parts.back());
+  parts.pop_back();
+  return {JoinPath(parts), base};
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace repro

@@ -1,0 +1,24 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string_view> SplitPath(std::string_view path);
+
+// Joins with '/', always producing an absolute, normalised path.
+std::string JoinPath(const std::vector<std::string_view>& parts);
+
+// Returns {parent_path, basename}; "/" has parent "/" and empty basename.
+std::pair<std::string, std::string> SplitParent(std::string_view path);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace repro

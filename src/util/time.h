@@ -1,0 +1,26 @@
+// Simulated-time units. The whole code base expresses time as integer
+// nanoseconds so that the discrete-event engine is exactly deterministic
+// (no floating-point drift in event ordering).
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+using Nanos = int64_t;
+
+constexpr Nanos kNanosecond = 1;
+constexpr Nanos kMicrosecond = 1000 * kNanosecond;
+constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+constexpr Nanos kSecond = 1000 * kMillisecond;
+
+constexpr Nanos Micros(int64_t us) { return us * kMicrosecond; }
+constexpr Nanos Millis(int64_t ms) { return ms * kMillisecond; }
+constexpr Nanos Seconds(int64_t s) { return s * kSecond; }
+
+// Converts a nanosecond duration to fractional milliseconds, the unit the
+// paper reports latencies in.
+constexpr double ToMillis(Nanos t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSeconds(Nanos t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace repro

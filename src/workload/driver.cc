@@ -1,0 +1,58 @@
+#include "workload/driver.h"
+
+namespace repro::workload {
+
+ClosedLoopDriver::ClosedLoopDriver(Simulation& sim,
+                                   std::vector<FsTarget*> targets,
+                                   OpSource source)
+    : sim_(sim), source_(std::move(source)) {
+  clients_.reserve(targets.size());
+  for (FsTarget* t : targets) {
+    clients_.push_back(ClientState{t, sim_.rng().Split(), {}});
+  }
+}
+
+void ClosedLoopDriver::IssueNext(int client, int generation) {
+  if (stopped_ || generation != generation_) return;
+  ClientState& c = clients_[client];
+  auto op = source_(c.rng, c.owned);
+  const Nanos start = sim_.now();
+  const bool counted = measuring_;
+  c.target->Execute(
+      op.op, op.path, op.path2, op.size,
+      [this, client, start, counted, generation, op_type = op.op](Status s) {
+        const Nanos latency = sim_.now() - start;
+        if (s.ok()) results_.timeline.Record(sim_.now(), ToMillis(latency));
+        if (counted && measuring_) {
+          if (s.ok()) {
+            results_.all.Record(latency);
+            results_.per_op[op_type].Record(latency);
+            ++results_.completed;
+          } else {
+            ++results_.failed;
+          }
+        }
+        IssueNext(client, generation);
+      });
+}
+
+DriverResults ClosedLoopDriver::Run(Nanos warmup, Nanos measure,
+                                    std::function<void()> on_measure_start) {
+  results_ = DriverResults();
+  stopped_ = false;
+  measuring_ = false;
+  ++generation_;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    IssueNext(static_cast<int>(i), generation_);
+  }
+  sim_.RunFor(warmup);
+  if (on_measure_start) on_measure_start();
+  measuring_ = true;
+  sim_.RunFor(measure);
+  measuring_ = false;
+  stopped_ = true;
+  results_.window = measure;
+  return results_;
+}
+
+}  // namespace repro::workload

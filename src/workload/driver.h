@@ -1,0 +1,73 @@
+// Closed-loop benchmark driver (the paper's benchmarking tool, §V-A).
+//
+// Each simulated client issues one operation at a time against its
+// FsTarget, drawn from a workload generator; completion immediately
+// triggers the next operation. Latencies are recorded per operation type
+// during the measurement window only (after warm-up), matching standard
+// closed-loop throughput methodology.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "metrics/timeseries.h"
+#include "sim/engine.h"
+#include "util/histogram.h"
+#include "workload/fs_interface.h"
+#include "workload/spotify.h"
+
+namespace repro::workload {
+
+struct DriverResults {
+  Histogram all;                       // end-to-end latency, all ops
+  std::map<FsOp, Histogram> per_op;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  Nanos window = 0;
+  // Completion timeline (100 ms windows over the whole run, including
+  // warm-up): throughput-over-time and failure-dip views.
+  metrics::TimeSeries timeline;
+
+  double ops_per_sec() const {
+    return window > 0 ? static_cast<double>(completed) / ToSeconds(window)
+                      : 0.0;
+  }
+};
+
+// Draws the next operation; drivers are generator-agnostic so the same
+// harness runs the Spotify mix and the single-op micro-benchmarks.
+using OpSource =
+    std::function<SpotifyWorkload::Op(Rng&, std::vector<std::string>&)>;
+
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(Simulation& sim, std::vector<FsTarget*> targets,
+                   OpSource source);
+
+  // Runs warm-up then a measurement window; returns aggregated results.
+  // `on_measure_start` (optional) fires at the warm-up/measure boundary —
+  // used to reset resource-utilisation counters.
+  DriverResults Run(Nanos warmup, Nanos measure,
+                    std::function<void()> on_measure_start = nullptr);
+
+ private:
+  struct ClientState {
+    FsTarget* target;
+    Rng rng;
+    std::vector<std::string> owned;
+  };
+
+  void IssueNext(int client, int generation);
+
+  Simulation& sim_;
+  OpSource source_;
+  std::vector<ClientState> clients_;
+  bool measuring_ = false;
+  bool stopped_ = false;
+  int generation_ = 0;
+  DriverResults results_;
+};
+
+}  // namespace repro::workload

@@ -1,0 +1,68 @@
+// Minimal file-system client interface the workload driver runs against,
+// implemented by adapters over the HopsFS client and the CephFS client so
+// the same benchmark harness drives both systems (§V-A).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cephfs/cluster.h"
+#include "hopsfs/client.h"
+#include "hopsfs/namenode.h"  // FsOp enum and names
+#include "util/status.h"
+
+namespace repro::workload {
+
+using hopsfs::FsOp;
+
+class FsTarget {
+ public:
+  virtual ~FsTarget() = default;
+
+  virtual void Execute(FsOp op, const std::string& path,
+                       const std::string& path2, int64_t size,
+                       std::function<void(Status)> done) = 0;
+  virtual AzId az() const = 0;
+};
+
+// Adapter over a HopsFS / HopsFS-CL client.
+class HopsFsTarget : public FsTarget {
+ public:
+  explicit HopsFsTarget(hopsfs::HopsFsClient* client) : client_(client) {}
+
+  void Execute(FsOp op, const std::string& path, const std::string& path2,
+               int64_t size, std::function<void(Status)> done) override {
+    hopsfs::FsRequest req;
+    req.op = op;
+    req.path = path;
+    req.path2 = path2;
+    req.size = size;
+    client_->Submit(std::move(req), [done = std::move(done)](
+                                        hopsfs::FsResult r) {
+      done(r.status);
+    });
+  }
+
+  AzId az() const override { return client_->az(); }
+
+ private:
+  hopsfs::HopsFsClient* client_;
+};
+
+// Adapter over a CephFS client (all three variants).
+class CephFsTarget : public FsTarget {
+ public:
+  explicit CephFsTarget(cephfs::CephClient* client) : client_(client) {}
+
+  void Execute(FsOp op, const std::string& path, const std::string& path2,
+               int64_t size, std::function<void(Status)> done) override {
+    client_->Execute(op, path, path2, size, std::move(done));
+  }
+
+  AzId az() const override { return client_->az(); }
+
+ private:
+  cephfs::CephClient* client_;
+};
+
+}  // namespace repro::workload

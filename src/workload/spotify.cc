@@ -1,0 +1,142 @@
+#include "workload/spotify.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace repro::workload {
+
+const std::vector<SpotifyMixEntry>& SpotifyMix() {
+  using T = SpotifyMixEntry::Target;
+  static const std::vector<SpotifyMixEntry> kMix = {
+      // Listings dominate the Spotify trace.
+      {FsOp::kListDir, T::kFile, 38.0},   // ls of a file
+      {FsOp::kListDir, T::kDir, 19.0},    // ls of a directory
+      {FsOp::kStat, T::kFile, 21.6},      // getFileInfo / exists
+      {FsOp::kOpenRead, T::kFile, 11.3},  // open + getBlockLocations
+      // Attribute writes accompany job output handling: spread uniformly,
+      // not over the hot read set.
+      {FsOp::kChmod, T::kFileUniform, 4.0},  // setPermission / setOwner
+      {FsOp::kCreate, T::kNewName, 2.7},
+      {FsOp::kRename, T::kOwnedFile, 1.3},
+      {FsOp::kDelete, T::kOwnedFile, 0.8},
+      {FsOp::kMkdir, T::kNewName, 1.3},
+  };
+  return kMix;
+}
+
+namespace {
+
+std::vector<double> MixWeights() {
+  std::vector<double> w;
+  for (const auto& e : SpotifyMix()) w.push_back(e.weight);
+  return w;
+}
+
+}  // namespace
+
+SpotifyWorkload::SpotifyWorkload(NamespaceConfig config, uint64_t seed)
+    : config_(config),
+      dir_zipf_(static_cast<uint64_t>(config.users) * config.dirs_per_user,
+                config.zipf_theta),
+      mix_(MixWeights()) {
+  (void)seed;
+  dirs_.push_back("/user");
+  files_of_dir_.reserve(static_cast<size_t>(config_.users) *
+                        config_.dirs_per_user);
+  for (int u = 0; u < config_.users; ++u) {
+    const std::string home = StrFormat("/user/u%d", u);
+    dirs_.push_back(home);
+    for (int d = 0; d < config_.dirs_per_user; ++d) {
+      const std::string dir = StrFormat("%s/d%d", home.c_str(), d);
+      dirs_.push_back(dir);
+      files_of_dir_.emplace_back();
+      for (int f = 0; f < config_.files_per_dir; ++f) {
+        files_of_dir_.back().push_back(static_cast<int>(files_.size()));
+        files_.push_back(StrFormat("%s/f%d", dir.c_str(), f));
+      }
+    }
+  }
+}
+
+const std::string& SpotifyWorkload::PickDir(Rng& rng, bool uniform) const {
+  // Zipf rank -> leaf directory (skip the /user and home levels, which
+  // exist only as parents). "Uniform" picks model job-output placement:
+  // spread over the cold tail of the namespace (production jobs write to
+  // fresh output directories, not into the hot read set).
+  const uint64_t n = dir_zipf_.n();
+  const uint64_t leaf = uniform ? n - n / 4 + rng.NextBelow(n / 4)
+                                : dir_zipf_.Next(rng);
+  const uint64_t u = leaf / config_.dirs_per_user;
+  const uint64_t d = leaf % config_.dirs_per_user;
+  // dirs_ layout: "/user", then per user: home + dirs_per_user leaves.
+  const size_t idx = 1 + u * (1 + config_.dirs_per_user) + 1 + d;
+  return dirs_[idx];
+}
+
+const std::string& SpotifyWorkload::PickFile(Rng& rng) const {
+  const uint64_t leaf = dir_zipf_.Next(rng);
+  const auto& files = files_of_dir_[leaf];
+  return files_[files[rng.NextBelow(files.size())]];
+}
+
+std::vector<std::string> SpotifyWorkload::PopularPaths(int top_dirs) const {
+  std::vector<std::string> out;
+  const int n = std::min<int>(top_dirs, static_cast<int>(files_of_dir_.size()));
+  for (int leaf = 0; leaf < n; ++leaf) {
+    const uint64_t u = static_cast<uint64_t>(leaf) / config_.dirs_per_user;
+    const uint64_t d = static_cast<uint64_t>(leaf) % config_.dirs_per_user;
+    const size_t idx = 1 + u * (1 + config_.dirs_per_user) + 1 + d;
+    out.push_back(dirs_[idx]);
+    for (int f : files_of_dir_[leaf]) out.push_back(files_[f]);
+  }
+  return out;
+}
+
+SpotifyWorkload::Op SpotifyWorkload::Next(Rng& rng,
+                                          std::vector<std::string>& owned) {
+  const auto& entry = SpotifyMix()[mix_.Next(rng)];
+  Op op;
+  op.op = entry.op;
+  switch (entry.target) {
+    case SpotifyMixEntry::Target::kFile:
+      op.path = PickFile(rng);
+      break;
+    case SpotifyMixEntry::Target::kFileUniform: {
+      // Attribute writes follow job output: cold-tail directories.
+      const uint64_t n = dir_zipf_.n();
+      const auto& tail = files_of_dir_[n - n / 4 + rng.NextBelow(n / 4)];
+      op.path = files_[tail[rng.NextBelow(tail.size())]];
+      break;
+    }
+    case SpotifyMixEntry::Target::kDir:
+      op.path = PickDir(rng);
+      break;
+    case SpotifyMixEntry::Target::kNewName:
+      op.path = StrFormat("%s/n%llu", PickDir(rng, /*uniform=*/true).c_str(),
+                          static_cast<unsigned long long>(++fresh_counter_));
+      if (entry.op == FsOp::kCreate) owned.push_back(op.path);
+      break;
+    case SpotifyMixEntry::Target::kOwnedFile:
+      if (owned.empty()) {
+        // Nothing of ours to mutate yet: create instead (keeps the
+        // write fraction steady from the start).
+        op.op = FsOp::kCreate;
+        op.path = StrFormat("%s/n%llu",
+                            PickDir(rng, /*uniform=*/true).c_str(),
+                            static_cast<unsigned long long>(++fresh_counter_));
+        owned.push_back(op.path);
+        break;
+      }
+      op.path = owned.back();
+      owned.pop_back();
+      if (entry.op == FsOp::kRename) {
+        op.path2 = op.path + ".r";
+      }
+      break;
+  }
+  return op;
+}
+
+}  // namespace repro::workload

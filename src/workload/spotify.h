@@ -1,0 +1,84 @@
+// Spotify-style industrial metadata workload (§V-B1).
+//
+// The paper benchmarks with operational traces from Spotify's Hadoop
+// cluster, introduced in the HopsFS FAST'17 paper. The raw trace is
+// proprietary; this generator reproduces its published summary statistics:
+// a read-dominated operation mix (~94% reads: listings and stats dominate,
+// mutations are a few percent) over a user-home-directory namespace with
+// skewed (Zipf) directory popularity. All files are empty, exactly like
+// the paper's throughput experiments (§V end of intro).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/fs_interface.h"
+
+namespace repro::workload {
+
+struct SpotifyMixEntry {
+  FsOp op;
+  // What the path argument should be: an existing file, an existing dir,
+  // a fresh name, or a previously created file (delete/rename).
+  enum class Target { kFile, kDir, kNewName, kOwnedFile, kFileUniform };
+  Target target;
+  double weight;  // percent
+};
+
+// The operation mix, approximating the published Spotify breakdown
+// (HopsFS, FAST'17): listings 57%, stat 21.6%, read 11.3%, mutations 6.1%,
+// chmod-style attribute writes 4%.
+const std::vector<SpotifyMixEntry>& SpotifyMix();
+
+struct NamespaceConfig {
+  int users = 512;
+  int dirs_per_user = 4;
+  int files_per_dir = 4;
+  double zipf_theta = 0.75;  // directory popularity skew (reads)
+};
+
+// Generates the static namespace and picks operation arguments.
+class SpotifyWorkload {
+ public:
+  SpotifyWorkload(NamespaceConfig config, uint64_t seed);
+
+  // Paths for Deployment::BootstrapNamespace (parents before children).
+  const std::vector<std::string>& all_dirs() const { return dirs_; }
+  const std::vector<std::string>& all_files() const { return files_; }
+
+  // The hottest `top_dirs` leaf directories (by Zipf rank) and their
+  // files — the steady-state working set for cache prewarming.
+  std::vector<std::string> PopularPaths(int top_dirs) const;
+
+  struct Op {
+    FsOp op;
+    std::string path;
+    std::string path2;
+    int64_t size = 0;
+  };
+
+  // Draws the next operation for one driver client. `owned` is the
+  // client's private list of files it created (delete/rename targets),
+  // which this call may consume from or add to.
+  Op Next(Rng& rng, std::vector<std::string>& owned);
+
+ private:
+  // Reads follow the skewed (Zipf) popularity of the trace; namespace
+  // mutations land on effectively unique output paths, i.e. spread
+  // uniformly — picking them from the hot set would serialise unrelated
+  // jobs on a handful of directory locks, which production traces do not.
+  const std::string& PickDir(Rng& rng, bool uniform = false) const;
+  const std::string& PickFile(Rng& rng) const;
+
+  NamespaceConfig config_;
+  std::vector<std::string> dirs_;
+  std::vector<std::string> files_;
+  // files grouped by dir index for skewed picks
+  std::vector<std::vector<int>> files_of_dir_;
+  ZipfGenerator dir_zipf_;
+  DiscreteDistribution mix_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace repro::workload

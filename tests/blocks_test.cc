@@ -1,0 +1,187 @@
+// Tests for the block storage layer: placement policies, pipeline
+// replication, reads, deletion, and replacement choice.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "blocks/datanode.h"
+#include "blocks/placement.h"
+#include "util/strings.h"
+
+namespace repro::blocks {
+namespace {
+
+struct BlockRig {
+  explicit BlockRig(int dns_per_az = 3) {
+    sim = std::make_unique<Simulation>(3);
+    topology = std::make_unique<Topology>(3, AzLatencyTable::UsWest1());
+    topology->set_jitter_fraction(0);
+    network = std::make_unique<Network>(*sim, *topology);
+    registry = std::make_unique<DnRegistry>(10 * kSecond);
+    for (int az = 0; az < 3; ++az) {
+      for (int i = 0; i < dns_per_az; ++i) {
+        const DnId id = static_cast<DnId>(dns.size());
+        const HostId host = topology->AddHost(az, StrFormat("dn%d", id));
+        dns.push_back(std::make_unique<BlockDatanode>(*sim, *network, id,
+                                                      host, az));
+        registry->Register(dns.back().get());
+        registry->MarkHeartbeat(id, 0);
+      }
+    }
+    client_host = topology->AddHost(0, "client");
+  }
+
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<Network> network;
+  std::unique_ptr<DnRegistry> registry;
+  std::vector<std::unique_ptr<BlockDatanode>> dns;
+  HostId client_host = 0;
+};
+
+TEST(Placement, AzAwareCoversEveryAz) {
+  BlockRig rig;
+  AzAwarePlacement policy(3);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto targets = policy.ChooseTargets(3, trial % 3, *rig.registry, 0, rng);
+    ASSERT_EQ(targets.size(), 3u);
+    std::set<AzId> azs;
+    std::set<DnId> distinct;
+    for (DnId d : targets) {
+      azs.insert(rig.registry->az_of(d));
+      distinct.insert(d);
+    }
+    EXPECT_EQ(azs.size(), 3u) << "replicas must span all three AZs";
+    EXPECT_EQ(distinct.size(), 3u) << "replicas must be distinct DNs";
+    // First replica is writer-local (§IV-C / HDFS local-write rule).
+    EXPECT_EQ(rig.registry->az_of(targets[0]), trial % 3);
+  }
+}
+
+TEST(Placement, DefaultPlacementDistinctButNotAzGuaranteed) {
+  BlockRig rig;
+  DefaultPlacement policy;
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto targets = policy.ChooseTargets(3, 1, *rig.registry, 0, rng);
+    ASSERT_EQ(targets.size(), 3u);
+    std::set<DnId> distinct(targets.begin(), targets.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+}
+
+TEST(Placement, SkipsDeadDatanodes) {
+  BlockRig rig;
+  AzAwarePlacement policy(3);
+  Rng rng(3);
+  // Kill all of AZ 2's datanodes.
+  for (auto& dn : rig.dns) {
+    if (dn->az() == 2) dn->Crash();
+  }
+  auto targets = policy.ChooseTargets(3, 0, *rig.registry, 0, rng);
+  ASSERT_EQ(targets.size(), 3u);
+  for (DnId d : targets) EXPECT_NE(rig.registry->az_of(d), 2);
+}
+
+TEST(Placement, ReplacementRestoresAzCoverage) {
+  BlockRig rig;
+  AzAwarePlacement policy(3);
+  Rng rng(4);
+  // Existing replicas cover AZ 0 and AZ 1 only.
+  std::vector<DnId> existing;
+  for (DnId d = 0; d < rig.registry->size(); ++d) {
+    if (rig.registry->az_of(d) == 0 && existing.empty()) existing.push_back(d);
+    if (rig.registry->az_of(d) == 1 && existing.size() == 1) {
+      existing.push_back(d);
+    }
+  }
+  const DnId repl = policy.ChooseReplacement(existing, *rig.registry, 0, rng);
+  ASSERT_GE(repl, 0);
+  EXPECT_EQ(rig.registry->az_of(repl), 2) << "must restore AZ coverage";
+}
+
+TEST(BlockDatanode, PipelineReplicatesToAllReplicas) {
+  BlockRig rig;
+  bool done = false;
+  rig.dns[0]->WriteBlock(
+      42, 1 << 20, {rig.dns[3].get(), rig.dns[6].get()},
+      [&](Status s) {
+        EXPECT_TRUE(s.ok());
+        done = true;
+      });
+  rig.sim->Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(rig.dns[0]->HasBlock(42));
+  EXPECT_TRUE(rig.dns[3]->HasBlock(42));
+  EXPECT_TRUE(rig.dns[6]->HasBlock(42));
+  // Disk accounting: every replica wrote the bytes.
+  EXPECT_EQ(rig.dns[3]->disk().stats().bytes_written, 1 << 20);
+}
+
+TEST(BlockDatanode, ReadStreamsBytesBack) {
+  BlockRig rig;
+  bool written = false;
+  rig.dns[1]->WriteBlock(7, 256 << 10, {}, [&](Status) { written = true; });
+  rig.sim->Run();
+  ASSERT_TRUE(written);
+  bool read_done = false;
+  rig.dns[1]->ReadBlock(7, rig.client_host, [&](Expected<int64_t> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 256 << 10);
+    read_done = true;
+  });
+  rig.sim->Run();
+  EXPECT_TRUE(read_done);
+}
+
+TEST(BlockDatanode, ReadMissingBlockFails) {
+  BlockRig rig;
+  bool done = false;
+  rig.dns[2]->ReadBlock(999, rig.client_host, [&](Expected<int64_t> r) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Code::kNotFound);
+    done = true;
+  });
+  rig.sim->Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(BlockDatanode, CopyBlockToRepairsReplica) {
+  BlockRig rig;
+  rig.dns[0]->WriteBlock(5, 1 << 20, {}, nullptr);
+  rig.sim->Run();
+  bool done = false;
+  rig.dns[0]->CopyBlockTo(*rig.dns[4], 5, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  rig.sim->Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(rig.dns[4]->HasBlock(5));
+}
+
+TEST(BlockDatanode, DeleteBlockRemovesReplica) {
+  BlockRig rig;
+  rig.dns[0]->WriteBlock(9, 4096, {}, nullptr);
+  rig.sim->Run();
+  ASSERT_TRUE(rig.dns[0]->HasBlock(9));
+  rig.dns[0]->DeleteBlock(9);
+  rig.sim->Run();
+  EXPECT_FALSE(rig.dns[0]->HasBlock(9));
+}
+
+TEST(DnRegistry, LivenessFollowsHeartbeats) {
+  BlockRig rig;
+  EXPECT_TRUE(rig.registry->AliveAt(0, Seconds(5)));
+  EXPECT_FALSE(rig.registry->AliveAt(0, Seconds(15)))
+      << "stale heartbeat must mark the DN dead";
+  rig.registry->MarkHeartbeat(0, Seconds(14));
+  EXPECT_TRUE(rig.registry->AliveAt(0, Seconds(15)));
+  rig.dns[0]->Crash();
+  EXPECT_FALSE(rig.registry->AliveAt(0, Seconds(15)));
+}
+
+}  // namespace
+}  // namespace repro::blocks

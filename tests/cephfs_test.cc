@@ -1,0 +1,243 @@
+// Tests for the CephFS baseline: metadata semantics, kernel-cache
+// capabilities and invalidation, subtree authority, forwarding, and the
+// dynamic balancer.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cephfs/cluster.h"
+#include "util/strings.h"
+
+namespace repro::cephfs {
+namespace {
+
+struct TestCeph {
+  explicit TestCeph(CephVariant variant = CephVariant::kDefault,
+                    int num_mds = 3) {
+    sim = std::make_unique<Simulation>(11);
+    topology = std::make_unique<Topology>(3, AzLatencyTable::UsWest1());
+    topology->set_jitter_fraction(0);
+    network = std::make_unique<Network>(*sim, *topology);
+    CephConfig config;
+    config.variant = variant;
+    config.num_mds = num_mds;
+    cluster = std::make_unique<CephCluster>(*sim, *network, config);
+    // Bootstrap a small namespace.
+    std::vector<std::string> dirs = {"/user"};
+    std::vector<std::string> files;
+    for (int u = 0; u < 8; ++u) {
+      dirs.push_back(StrFormat("/user/u%d", u));
+      dirs.push_back(StrFormat("/user/u%d/d0", u));
+      files.push_back(StrFormat("/user/u%d/d0/f0", u));
+    }
+    cluster->BootstrapNamespace(dirs, files);
+    cluster->Start();
+    client = cluster->AddClient(0);
+  }
+
+  Status Do(FsOp op, const std::string& path, const std::string& path2 = "",
+            int64_t size = 0) {
+    Status out = Internal("hung");
+    bool done = false;
+    client->Execute(op, path, path2, size, [&](Status s) {
+      out = s;
+      done = true;
+    });
+    const Nanos deadline = sim->now() + 20 * kSecond;
+    while (!done && sim->now() < deadline) sim->RunFor(kMillisecond);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<Network> network;
+  std::unique_ptr<CephCluster> cluster;
+  CephClient* client = nullptr;
+};
+
+TEST(CephFs, StatBootstrappedFile) {
+  TestCeph fs;
+  EXPECT_TRUE(fs.Do(FsOp::kStat, "/user/u1/d0/f0").ok());
+  EXPECT_EQ(fs.Do(FsOp::kStat, "/user/u1/d0/nope").code(), Code::kNotFound);
+}
+
+TEST(CephFs, CreateDeleteCycle) {
+  TestCeph fs;
+  EXPECT_TRUE(fs.Do(FsOp::kCreate, "/user/u2/d0/new").ok());
+  EXPECT_TRUE(fs.Do(FsOp::kStat, "/user/u2/d0/new").ok());
+  EXPECT_TRUE(fs.Do(FsOp::kDelete, "/user/u2/d0/new").ok());
+  EXPECT_EQ(fs.Do(FsOp::kStat, "/user/u2/d0/new").code(), Code::kNotFound);
+}
+
+TEST(CephFs, MkdirRequiresParent) {
+  TestCeph fs;
+  EXPECT_EQ(fs.Do(FsOp::kMkdir, "/user/u9missing/x").code(),
+            Code::kNotFound);
+  EXPECT_TRUE(fs.Do(FsOp::kMkdir, "/user/u3/d1").ok());
+  EXPECT_EQ(fs.Do(FsOp::kMkdir, "/user/u3/d1").code(), Code::kAlreadyExists);
+}
+
+TEST(CephFs, DeleteNonEmptyDirFails) {
+  TestCeph fs;
+  EXPECT_EQ(fs.Do(FsOp::kDelete, "/user/u4/d0").code(),
+            Code::kFailedPrecondition);
+}
+
+TEST(CephFs, RenameWithinSubtree) {
+  TestCeph fs;
+  EXPECT_TRUE(fs.Do(FsOp::kRename, "/user/u5/d0/f0", "/user/u5/d0/g0").ok());
+  EXPECT_EQ(fs.Do(FsOp::kStat, "/user/u5/d0/f0").code(), Code::kNotFound);
+  EXPECT_TRUE(fs.Do(FsOp::kStat, "/user/u5/d0/g0").ok());
+}
+
+TEST(CephFs, KernelCacheHitsAfterFirstStat) {
+  TestCeph fs;
+  ASSERT_TRUE(fs.Do(FsOp::kStat, "/user/u1/d0/f0").ok());
+  const int64_t misses_before = fs.client->cache_misses();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs.Do(FsOp::kStat, "/user/u1/d0/f0").ok());
+  }
+  EXPECT_EQ(fs.client->cache_misses(), misses_before);
+  EXPECT_GE(fs.client->cache_hits(), 10);
+}
+
+TEST(CephFs, SkipKCacheNeverCaches) {
+  TestCeph fs(CephVariant::kSkipKCache);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs.Do(FsOp::kStat, "/user/u1/d0/f0").ok());
+  }
+  EXPECT_EQ(fs.client->cache_hits(), 0);
+  EXPECT_EQ(fs.client->cache_misses(), 5);
+}
+
+TEST(CephFs, MutationInvalidatesOtherClientsCache) {
+  TestCeph fs;
+  CephClient* other = fs.cluster->AddClient(1);
+  // Other client caches the file's parent listing and the file itself.
+  bool done = false;
+  other->Execute(FsOp::kStat, "/user/u6/d0/f0", "", 0, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  while (!done) fs.sim->RunFor(kMillisecond);
+  const int64_t hits_before = other->cache_hits();
+
+  // First client mutates the file: the MDS must recall the cap.
+  ASSERT_TRUE(fs.Do(FsOp::kChmod, "/user/u6/d0/f0").ok());
+  fs.sim->RunFor(Millis(50));  // recall message delivery
+
+  // Other client's next stat must miss (go back to the MDS).
+  done = false;
+  other->Execute(FsOp::kStat, "/user/u6/d0/f0", "", 0, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  while (!done) fs.sim->RunFor(kMillisecond);
+  EXPECT_EQ(other->cache_hits(), hits_before);
+}
+
+TEST(CephFs, SubtreeAuthorityIsDeterministic) {
+  TestCeph fs(CephVariant::kDirPinned, 4);
+  // Pinned: subtree s owned by rank s % 4, stable across calls.
+  for (int u = 0; u < 8; ++u) {
+    const std::string path = StrFormat("/user/u%d/d0/f0", u);
+    const int owner = fs.cluster->OwnerOf(path);
+    EXPECT_EQ(owner, (u + 1) % 4);
+    EXPECT_EQ(fs.cluster->OwnerOf(path), owner);
+  }
+}
+
+TEST(CephFs, RequestsReachCorrectOwnerAcrossRanks) {
+  TestCeph fs(CephVariant::kDirPinned, 4);
+  // Ops on files owned by every rank must all succeed via routing.
+  for (int u = 0; u < 8; ++u) {
+    EXPECT_TRUE(fs.Do(FsOp::kStat, StrFormat("/user/u%d/d0/f0", u)).ok());
+  }
+}
+
+TEST(CephFs, DynamicBalancerMovesSubtreesUnderSkew) {
+  TestCeph fs(CephVariant::kDefault, 3);
+  const std::string hot = "/user/u1/d0/f0";
+  const int owner_before = fs.cluster->OwnerOf(hot);
+  // Hammer one subtree so the balancer sees skew, across balance rounds.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(fs.Do(FsOp::kChmod, hot).ok());  // mutations bypass cache
+    }
+    fs.sim->RunFor(11 * kSecond);  // one balance interval
+  }
+  // The map version must have advanced (migrations happened) and the
+  // namespace must still be fully readable.
+  EXPECT_GT(fs.cluster->map_version(), 1);
+  EXPECT_TRUE(fs.Do(FsOp::kStat, hot).ok());
+  (void)owner_before;
+}
+
+TEST(CephFs, JournalReachesOsdDisks) {
+  TestCeph fs;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        fs.Do(FsOp::kCreate, StrFormat("/user/u0/d0/j%d", i)).ok());
+  }
+  fs.sim->RunFor(Seconds(1));  // flush interval
+  int64_t disk_bytes = 0;
+  for (int i = 0; i < fs.cluster->num_osds(); ++i) {
+    disk_bytes += fs.cluster->osd(i).disk().stats().bytes_written;
+  }
+  EXPECT_GT(disk_bytes, 0) << "journal never flushed to the OSD pool";
+}
+
+}  // namespace
+}  // namespace repro::cephfs
+
+namespace repro::cephfs {
+namespace {
+
+// Parameterised semantic sweep: all three CephFS variants must expose
+// identical namespace semantics (they only differ in caching/placement).
+class CephVariantTest : public ::testing::TestWithParam<CephVariant> {};
+
+TEST_P(CephVariantTest, NamespaceSemanticsIdenticalAcrossVariants) {
+  TestCeph fs(GetParam(), /*num_mds=*/4);
+  EXPECT_TRUE(fs.Do(FsOp::kMkdir, "/user/u1/new").ok());
+  EXPECT_EQ(fs.Do(FsOp::kMkdir, "/user/u1/new").code(),
+            Code::kAlreadyExists);
+  EXPECT_TRUE(fs.Do(FsOp::kCreate, "/user/u1/new/f").ok());
+  EXPECT_TRUE(fs.Do(FsOp::kStat, "/user/u1/new/f").ok());
+  EXPECT_EQ(fs.Do(FsOp::kDelete, "/user/u1/new").code(),
+            Code::kFailedPrecondition);
+  EXPECT_TRUE(fs.Do(FsOp::kRename, "/user/u1/new/f", "/user/u1/new/g").ok());
+  EXPECT_EQ(fs.Do(FsOp::kStat, "/user/u1/new/f").code(), Code::kNotFound);
+  EXPECT_TRUE(fs.Do(FsOp::kDelete, "/user/u1/new/g").ok());
+  EXPECT_TRUE(fs.Do(FsOp::kDelete, "/user/u1/new").ok());
+  EXPECT_TRUE(fs.Do(FsOp::kAppend, "/user/u1/d0/f0", "", 500).ok());
+  EXPECT_TRUE(fs.Do(FsOp::kDeleteRecursive, "/user/u1/d0").ok());
+  EXPECT_EQ(fs.Do(FsOp::kStat, "/user/u1/d0/f0").code(), Code::kNotFound);
+}
+
+TEST_P(CephVariantTest, MutationsVisibleAfterCacheInteraction) {
+  TestCeph fs(GetParam(), 3);
+  // Read (possibly caching), mutate, read again: the second read must
+  // observe the mutation in every variant.
+  ASSERT_TRUE(fs.Do(FsOp::kStat, "/user/u2/d0/f0").ok());
+  ASSERT_TRUE(fs.Do(FsOp::kRename, "/user/u2/d0/f0", "/user/u2/d0/r").ok());
+  EXPECT_EQ(fs.Do(FsOp::kStat, "/user/u2/d0/f0").code(), Code::kNotFound);
+  EXPECT_TRUE(fs.Do(FsOp::kStat, "/user/u2/d0/r").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CephVariantTest,
+    ::testing::Values(CephVariant::kDefault, CephVariant::kDirPinned,
+                      CephVariant::kSkipKCache),
+    [](const ::testing::TestParamInfo<CephVariant>& info) {
+      switch (info.param) {
+        case CephVariant::kDefault: return "Default";
+        case CephVariant::kDirPinned: return "DirPinned";
+        case CephVariant::kSkipKCache: return "SkipKCache";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace repro::cephfs

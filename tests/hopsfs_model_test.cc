@@ -1,0 +1,282 @@
+// Model-checking test: random file-system operation sequences executed
+// against the full HopsFS-CL stack are compared, operation by operation,
+// with a simple in-memory reference model of POSIX-like namespace
+// semantics. Parameterised over every paper deployment setup and several
+// RNG seeds (property-based coverage of the transaction bodies).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hopsfs_test_util.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace repro::hopsfs {
+namespace {
+
+// ---- reference model ----
+
+class ModelFs {
+ public:
+  ModelFs() { nodes_["/"] = Node{true, 0755}; }
+
+  Code Mkdir(const std::string& p) {
+    if (p == "/") return Code::kAlreadyExists;
+    const Code parent = CheckParentDir(p);
+    if (parent != Code::kOk) return parent;
+    if (nodes_.count(p)) return Code::kAlreadyExists;
+    nodes_[p] = Node{true, 0755};
+    return Code::kOk;
+  }
+
+  Code Create(const std::string& p) {
+    const Code parent = CheckParentDir(p);
+    if (parent != Code::kOk) return parent;
+    if (nodes_.count(p)) return Code::kAlreadyExists;
+    nodes_[p] = Node{false, 0644};
+    return Code::kOk;
+  }
+
+  Code Stat(const std::string& p, bool* is_dir = nullptr,
+            uint32_t* perms = nullptr) {
+    const Code walk = CheckWalk(p);
+    if (walk != Code::kOk) return walk;
+    auto it = nodes_.find(p);
+    if (it == nodes_.end()) return Code::kNotFound;
+    if (is_dir) *is_dir = it->second.is_dir;
+    if (perms) *perms = it->second.permissions;
+    return Code::kOk;
+  }
+
+  Code Read(const std::string& p) {
+    const Code s = Stat(p);
+    if (s != Code::kOk) return s;
+    return nodes_[p].is_dir ? Code::kFailedPrecondition : Code::kOk;
+  }
+
+  Code Delete(const std::string& p) {
+    if (p == "/") return Code::kNotFound;  // root has no parent entry
+    const Code s = Stat(p);
+    if (s != Code::kOk) return s;
+    if (nodes_[p].is_dir && !Children(p).empty()) {
+      return Code::kFailedPrecondition;
+    }
+    nodes_.erase(p);
+    return Code::kOk;
+  }
+
+  Code List(const std::string& p, std::vector<std::string>* out = nullptr) {
+    const Code s = Stat(p);
+    if (s != Code::kOk) return s;
+    if (out) {
+      if (!nodes_[p].is_dir) {
+        out->push_back(SplitParent(p).second);
+      } else {
+        *out = Children(p);
+      }
+    }
+    return Code::kOk;
+  }
+
+  Code Rename(const std::string& a, const std::string& b) {
+    if (a == "/") return Code::kInvalidArgument;
+    // Mirror the implementation's order: the source parent is resolved by
+    // the request dispatcher before the rename body runs its argument
+    // checks and destination-parent resolution.
+    const Code src_parent = CheckParentDir(a);
+    if (src_parent != Code::kOk) return src_parent;
+    if (b == "/" || b.empty() || StartsWith(b, a + "/")) {
+      return Code::kInvalidArgument;
+    }
+    const Code dst_parent = CheckParentDir(b);
+    if (dst_parent != Code::kOk) return dst_parent;
+    auto it = nodes_.find(a);
+    if (it == nodes_.end()) return Code::kNotFound;
+    if (nodes_.count(b)) return Code::kAlreadyExists;
+    // Move the node and (for directories) its whole subtree.
+    Node moved = it->second;
+    nodes_.erase(it);
+    std::vector<std::pair<std::string, Node>> sub;
+    for (auto n = nodes_.begin(); n != nodes_.end();) {
+      if (StartsWith(n->first, a + "/")) {
+        sub.emplace_back(b + n->first.substr(a.size()), n->second);
+        n = nodes_.erase(n);
+      } else {
+        ++n;
+      }
+    }
+    nodes_[b] = moved;
+    for (auto& [np, node] : sub) nodes_[np] = node;
+    return Code::kOk;
+  }
+
+  Code Chmod(const std::string& p, uint32_t perms) {
+    const Code s = Stat(p);
+    if (s != Code::kOk) return s;
+    nodes_[p].permissions = perms;
+    return Code::kOk;
+  }
+
+ private:
+  struct Node {
+    bool is_dir;
+    uint32_t permissions;
+  };
+
+  // Mirrors the namenode's path resolution: first missing component ->
+  // NotFound; component that exists but is a file -> FailedPrecondition.
+  Code CheckWalk(const std::string& p) {
+    if (p == "/") return Code::kOk;
+    auto parts = SplitPath(p);
+    std::string cur;
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+      cur += '/';
+      cur += parts[i];
+      auto it = nodes_.find(cur);
+      if (it == nodes_.end()) return Code::kNotFound;
+      if (!it->second.is_dir) return Code::kFailedPrecondition;
+    }
+    return Code::kOk;
+  }
+
+  Code CheckParentDir(const std::string& p) {
+    const Code walk = CheckWalk(p);
+    if (walk != Code::kOk) return walk;
+    const std::string parent = SplitParent(p).first;
+    if (parent == "/") return Code::kOk;
+    auto it = nodes_.find(parent);
+    if (it == nodes_.end()) return Code::kNotFound;
+    if (!it->second.is_dir) return Code::kFailedPrecondition;
+    return Code::kOk;
+  }
+
+  std::vector<std::string> Children(const std::string& p) {
+    std::vector<std::string> out;
+    const std::string prefix = p == "/" ? "/" : p + "/";
+    for (const auto& [path, node] : nodes_) {
+      if (path != "/" && StartsWith(path, prefix) &&
+          path.find('/', prefix.size()) == std::string::npos) {
+        out.push_back(path.substr(prefix.size()));
+      }
+    }
+    return out;  // std::map keeps them sorted
+  }
+
+  std::map<std::string, Node> nodes_;
+};
+
+// ---- random op generation ----
+
+struct ModelParam {
+  PaperSetup setup;
+  uint64_t seed;
+};
+
+class HopsFsModelTest : public ::testing::TestWithParam<ModelParam> {};
+
+std::string RandomPath(Rng& rng, int max_depth = 3) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  const int depth = 1 + static_cast<int>(rng.NextBelow(max_depth));
+  std::string p;
+  for (int i = 0; i < depth; ++i) {
+    p += '/';
+    p += kNames[rng.NextBelow(4)];
+  }
+  return p;
+}
+
+TEST_P(HopsFsModelTest, RandomOpsMatchReferenceModel) {
+  const auto param = GetParam();
+  testing::TestFs fs(param.setup, /*num_nns=*/3);
+  ModelFs model;
+  Rng rng(param.seed);
+
+  const int kOps = 160;
+  for (int i = 0; i < kOps; ++i) {
+    const int op = static_cast<int>(rng.NextBelow(7));
+    const std::string p = RandomPath(rng);
+    std::string what;
+    Code got = Code::kOk, want = Code::kOk;
+    switch (op) {
+      case 0:
+        what = "mkdir " + p;
+        got = fs.Mkdir(p).code();
+        want = model.Mkdir(p);
+        break;
+      case 1:
+        what = "create " + p;
+        got = fs.Create(p).code();
+        want = model.Create(p);
+        break;
+      case 2: {
+        what = "stat " + p;
+        const auto r = fs.StatFull(p);
+        got = r.status.code();
+        bool is_dir = false;
+        uint32_t perms = 0;
+        want = model.Stat(p, &is_dir, &perms);
+        if (got == Code::kOk && want == Code::kOk) {
+          EXPECT_EQ(r.inode.is_dir, is_dir) << what;
+          EXPECT_EQ(r.inode.permissions, perms) << what;
+        }
+        break;
+      }
+      case 3:
+        what = "read " + p;
+        got = fs.ReadFile(p).code();
+        want = model.Read(p);
+        break;
+      case 4:
+        what = "delete " + p;
+        got = fs.Delete(p).code();
+        want = model.Delete(p);
+        break;
+      case 5: {
+        what = "ls " + p;
+        const auto r = fs.List(p);
+        got = r.status.code();
+        std::vector<std::string> expect;
+        want = model.List(p, &expect);
+        if (got == Code::kOk && want == Code::kOk) {
+          EXPECT_EQ(r.children, expect) << what;
+        }
+        break;
+      }
+      case 6: {
+        const std::string q = RandomPath(rng);
+        what = "rename " + p + " -> " + q;
+        got = fs.Rename(p, q).code();
+        want = model.Rename(p, q);
+        break;
+      }
+    }
+    ASSERT_STREQ(CodeName(got), CodeName(want))
+        << "op " << i << ": " << what;
+  }
+}
+
+std::vector<ModelParam> AllModelParams() {
+  std::vector<ModelParam> out;
+  for (auto setup :
+       {PaperSetup::kHopsFs_2_1, PaperSetup::kHopsFs_3_3,
+        PaperSetup::kHopsFsCl_2_3, PaperSetup::kHopsFsCl_3_3}) {
+    for (uint64_t seed : {11ull, 22ull, 33ull}) {
+      out.push_back(ModelParam{setup, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Setups, HopsFsModelTest, ::testing::ValuesIn(AllModelParams()),
+    [](const ::testing::TestParamInfo<ModelParam>& info) {
+      std::string name = PaperSetupName(info.param.setup);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace repro::hopsfs

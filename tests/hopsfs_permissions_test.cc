@@ -1,0 +1,119 @@
+// Permission enforcement tests (HDFS-style owner/other access checks).
+#include <gtest/gtest.h>
+
+#include "hopsfs_test_util.h"
+
+namespace repro::hopsfs {
+namespace {
+
+using testing::TestFs;
+
+struct PermFs : TestFs {
+  PermFs() {
+    // Superuser scaffolding: a world-writable playground plus a private
+    // home for alice.
+    EXPECT_TRUE(Mkdir("/pub").ok());
+    EXPECT_TRUE(Chmod("/pub", 0777).ok());
+    client->set_user("alice");
+    EXPECT_TRUE(Mkdir("/pub/alice").ok());
+    EXPECT_TRUE(Chmod("/pub/alice", 0700).ok());
+    EXPECT_TRUE(Create("/pub/alice/secret", 0).ok());
+    EXPECT_TRUE(Chmod("/pub/alice/secret", 0600).ok());
+    EXPECT_TRUE(Create("/pub/shared", 0).ok());
+    EXPECT_TRUE(Chmod("/pub/shared", 0644).ok());
+  }
+
+  void As(const std::string& user) { client->set_user(user); }
+};
+
+TEST(HopsFsPermissions, OwnerReadsOwnPrivateFile) {
+  PermFs fs;
+  fs.As("alice");
+  EXPECT_TRUE(fs.Stat("/pub/alice/secret").ok());
+  EXPECT_TRUE(fs.ReadFile("/pub/alice/secret").ok());
+}
+
+TEST(HopsFsPermissions, StrangerDeniedOnPrivateFile) {
+  PermFs fs;
+  fs.As("bob");
+  EXPECT_EQ(fs.Stat("/pub/alice/secret").code(), Code::kPermissionDenied);
+  EXPECT_EQ(fs.ReadFile("/pub/alice/secret").code(),
+            Code::kPermissionDenied);
+}
+
+TEST(HopsFsPermissions, WorldReadableFileOpenToAll) {
+  PermFs fs;
+  fs.As("bob");
+  EXPECT_TRUE(fs.Stat("/pub/shared").ok());
+  EXPECT_TRUE(fs.ReadFile("/pub/shared").ok());
+}
+
+TEST(HopsFsPermissions, CreateRequiresParentWriteAccess) {
+  PermFs fs;
+  fs.As("bob");
+  // /pub is 0777: anyone may create there.
+  EXPECT_TRUE(fs.Create("/pub/bobfile").ok());
+  // /pub/alice is 0700: bob may not.
+  EXPECT_EQ(fs.Create("/pub/alice/intruder").code(),
+            Code::kPermissionDenied);
+  EXPECT_EQ(fs.Mkdir("/pub/alice/dir").code(), Code::kPermissionDenied);
+}
+
+TEST(HopsFsPermissions, DeleteRequiresParentWriteAccess) {
+  PermFs fs;
+  fs.As("bob");
+  EXPECT_EQ(fs.Delete("/pub/alice/secret").code(),
+            Code::kPermissionDenied);
+  fs.As("alice");
+  EXPECT_TRUE(fs.Delete("/pub/alice/secret").ok());
+}
+
+TEST(HopsFsPermissions, ChmodRequiresOwnership) {
+  PermFs fs;
+  fs.As("bob");
+  EXPECT_EQ(fs.Chmod("/pub/shared", 0777).code(), Code::kPermissionDenied);
+  fs.As("alice");
+  EXPECT_TRUE(fs.Chmod("/pub/shared", 0664).ok());
+}
+
+TEST(HopsFsPermissions, SuperuserBypassesEverything) {
+  PermFs fs;
+  fs.As("");  // superuser
+  EXPECT_TRUE(fs.Stat("/pub/alice/secret").ok());
+  EXPECT_TRUE(fs.Create("/pub/alice/admin-file").ok());
+  EXPECT_TRUE(fs.Chmod("/pub/alice/secret", 0644).ok());
+}
+
+TEST(HopsFsPermissions, RenameNeedsWriteOnBothParents) {
+  PermFs fs;
+  fs.As("bob");
+  // Source parent /pub is writable, destination parent /pub/alice is not.
+  ASSERT_TRUE(fs.Create("/pub/movable").ok());
+  EXPECT_EQ(fs.Rename("/pub/movable", "/pub/alice/stolen").code(),
+            Code::kPermissionDenied);
+  // Both ends writable: fine.
+  EXPECT_TRUE(fs.Rename("/pub/movable", "/pub/moved").ok());
+}
+
+TEST(HopsFsPermissions, CreatedFilesCarryTheCreatorAsOwner) {
+  PermFs fs;
+  fs.As("carol");
+  ASSERT_TRUE(fs.Create("/pub/carols").ok());
+  fs.As("");  // inspect as superuser
+  const auto r = fs.StatFull("/pub/carols");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.inode.owner, "carol");
+}
+
+TEST(HopsFsPermissions, DeniedOpsDoNotRetry) {
+  // PERMISSION_DENIED is terminal: it must come back quickly, not after
+  // exhausting the transaction retry budget.
+  PermFs fs;
+  fs.As("bob");
+  const Nanos before = fs.sim->now();
+  EXPECT_EQ(fs.Stat("/pub/alice/secret").code(), Code::kPermissionDenied);
+  EXPECT_LT(fs.sim->now() - before, Millis(100));
+}
+
+}  // namespace
+}  // namespace repro::hopsfs

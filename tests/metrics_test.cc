@@ -1,0 +1,70 @@
+// Tests for the windowed time-series metrics and CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "metrics/timeseries.h"
+
+namespace repro::metrics {
+namespace {
+
+TEST(TimeSeries, WindowsAccumulateCountsAndSums) {
+  TimeSeries ts(Millis(100));
+  ts.Record(Millis(10), 5.0);
+  ts.Record(Millis(90), 7.0);
+  ts.Record(Millis(150), 1.0);
+  ASSERT_EQ(ts.windows().size(), 2u);
+  EXPECT_EQ(ts.windows()[0].count, 2);
+  EXPECT_DOUBLE_EQ(ts.windows()[0].sum, 12.0);
+  EXPECT_DOUBLE_EQ(ts.windows()[0].mean(), 6.0);
+  EXPECT_EQ(ts.windows()[1].count, 1);
+  EXPECT_EQ(ts.windows()[0].start, 0);
+  EXPECT_EQ(ts.windows()[1].start, Millis(100));
+}
+
+TEST(TimeSeries, RatePerSecondScalesByWindow) {
+  TimeSeries ts(Millis(100));
+  for (int i = 0; i < 50; ++i) ts.Record(Millis(i));
+  const auto rates = ts.RatePerSecond();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 500.0);  // 50 events / 0.1 s
+}
+
+TEST(TimeSeries, GapsProduceEmptyWindows) {
+  TimeSeries ts(Millis(100));
+  ts.Record(Millis(50));
+  ts.Record(Millis(450));
+  ASSERT_EQ(ts.windows().size(), 5u);
+  EXPECT_EQ(ts.windows()[2].count, 0);
+  EXPECT_EQ(ts.RatePerSecond()[2], 0.0);
+}
+
+TEST(TimeSeries, SparklineTracksLoad) {
+  TimeSeries ts(Millis(100));
+  for (int i = 0; i < 100; ++i) ts.Record(Millis(10));   // busy window
+  ts.Record(Millis(150));                                // quiet window
+  const std::string spark = ts.Sparkline();
+  ASSERT_EQ(spark.size(), 2u);
+  EXPECT_EQ(spark[0], '#');
+  EXPECT_NE(spark[1], '#');
+}
+
+TEST(Csv, WritesAlignedColumns) {
+  const std::string path = "/tmp/repro_metrics_test.csv";
+  ASSERT_TRUE(WriteCsv(path, {{"t", {0, 1, 2}}, {"ops", {10, 20}}}));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,ops");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,10");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,20");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,");  // padded
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace repro::metrics

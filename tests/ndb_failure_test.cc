@@ -1,0 +1,179 @@
+// Failure-handling tests for the NDB substrate: heartbeat-driven failure
+// detection, arbitration, split-brain resolution, cluster viability, and
+// node recovery (restart + data resync + rejoin).
+#include <gtest/gtest.h>
+
+#include "ndb_test_util.h"
+#include "util/strings.h"
+
+namespace repro::ndb {
+namespace {
+
+using testing::TestCluster;
+
+TEST(NdbFailure, HeartbeatsDetectCrashedNode) {
+  TestCluster tc;
+  tc.cluster->StartProtocols();
+  tc.sim->RunFor(Seconds(1));
+  ASSERT_TRUE(tc.cluster->layout().alive(2));
+  // Crash the host without telling the cluster; heartbeats must notice.
+  tc.topology->SetHostUp(tc.cluster->datanode(2).host(), false);
+  tc.cluster->datanode(2).Shutdown();
+  tc.sim->RunFor(Seconds(2));
+  EXPECT_FALSE(tc.cluster->layout().alive(2));
+  EXPECT_TRUE(tc.cluster->cluster_up());
+}
+
+TEST(NdbFailure, WritesContinueAfterNodeFailure) {
+  TestCluster tc;
+  tc.cluster->StartProtocols();
+  ASSERT_EQ(tc.InsertCommit(tc.inode_table, "1/pre", "v"), Code::kOk);
+  tc.cluster->CrashDatanode(0);
+  tc.sim->RunFor(Seconds(2));
+  // All partitions still usable: survivors promoted their backups.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(tc.InsertCommit(tc.inode_table, StrFormat("%d/post", i), "v"),
+              Code::kOk)
+        << "write " << i << " failed after node crash";
+  }
+}
+
+TEST(NdbFailure, LosingWholeNodeGroupStopsTheCluster) {
+  // 6 nodes, RF 3 -> 2 groups; group 0 = nodes {0, 2, 4}.
+  TestCluster tc;
+  tc.cluster->StartProtocols();
+  tc.cluster->CrashDatanode(0);
+  tc.sim->RunFor(Seconds(2));
+  EXPECT_TRUE(tc.cluster->cluster_up());
+  tc.cluster->CrashDatanode(2);
+  tc.sim->RunFor(Seconds(2));
+  EXPECT_TRUE(tc.cluster->cluster_up()) << "group still has node 4";
+  tc.cluster->CrashDatanode(4);
+  tc.sim->RunFor(Seconds(2));
+  EXPECT_FALSE(tc.cluster->cluster_up())
+      << "a whole node group is gone: no copy of its partitions remains";
+}
+
+TEST(NdbFailure, PartitionMinorityShutsDownMajorityServes) {
+  TestCluster tc;  // RF=3 across AZ 0,1,2; arbitrator mgmt in AZ 0
+  tc.cluster->StartProtocols();
+  ASSERT_EQ(tc.InsertCommit(tc.inode_table, "1/x", "v"), Code::kOk);
+
+  tc.topology->PartitionAzs(2, 0);
+  tc.topology->PartitionAzs(2, 1);
+  tc.sim->RunFor(Seconds(2));
+
+  auto& layout = tc.cluster->layout();
+  for (int n = 0; n < tc.cluster->num_datanodes(); ++n) {
+    if (layout.az_of(n) == 2) {
+      EXPECT_FALSE(layout.alive(n)) << "AZ-2 node " << n << " survived";
+    } else {
+      EXPECT_TRUE(layout.alive(n)) << "majority node " << n << " died";
+    }
+  }
+  EXPECT_TRUE(tc.cluster->cluster_up());
+  // The majority side keeps serving (the API node is in AZ 0).
+  EXPECT_EQ(tc.InsertCommit(tc.inode_table, "1/y", "w"), Code::kOk);
+}
+
+TEST(NdbFailure, RestartResyncsDataAndRejoins) {
+  TestCluster tc;
+  tc.cluster->StartProtocols();
+  ASSERT_EQ(tc.InsertCommit(tc.inode_table, "5/before", "old"), Code::kOk);
+
+  tc.cluster->CrashDatanode(0);
+  tc.sim->RunFor(Seconds(2));
+  ASSERT_FALSE(tc.cluster->layout().alive(0));
+
+  // Writes land while the node is down; it must learn them on rejoin.
+  ASSERT_EQ(tc.InsertCommit(tc.inode_table, "5/during", "missed"), Code::kOk);
+  bool rejoined = false;
+  tc.cluster->RestartDatanode(0, [&] { rejoined = true; });
+  tc.RunUntil(rejoined, Seconds(60));
+  EXPECT_TRUE(tc.cluster->layout().alive(0));
+
+  // The rejoined node holds every row of its partitions, including those
+  // written while it was down.
+  auto& layout = tc.cluster->layout();
+  for (const char* key : {"5/before", "5/during"}) {
+    const PartitionId p = layout.PartitionOf(tc.inode_table, key);
+    bool replica_of_key = false;
+    for (NodeId r : layout.ReplicaChain(p)) replica_of_key |= (r == 0);
+    if (!replica_of_key) continue;
+    auto v = tc.cluster->datanode(0).store().Read(tc.inode_table, key, 0);
+    EXPECT_TRUE(v.has_value()) << "rejoined node missing " << key;
+  }
+
+  // And the cluster keeps working with it back in rotation.
+  tc.sim->RunFor(Seconds(1));
+  EXPECT_EQ(tc.InsertCommit(tc.inode_table, "5/after", "new"), Code::kOk);
+}
+
+TEST(NdbFailure, RestartedNodeConvergesWithPeers) {
+  TestCluster tc;
+  tc.cluster->StartProtocols();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(tc.InsertCommit(tc.inode_table, StrFormat("%d/f", i), "v1"),
+              Code::kOk);
+  }
+  tc.cluster->CrashDatanode(2);
+  tc.sim->RunFor(Seconds(2));
+  for (int i = 0; i < 10; ++i) {
+    const TxnId txn = tc.api->Begin(tc.inode_table, StrFormat("%d/f", i));
+    bool done = false;
+    tc.api->Update(txn, tc.inode_table, StrFormat("%d/f", i), "v2",
+                   [&](Code c) {
+                     ASSERT_EQ(c, Code::kOk);
+                     tc.api->Commit(txn, [&](Code c2) {
+                       ASSERT_EQ(c2, Code::kOk);
+                       done = true;
+                     });
+                   });
+    tc.RunUntil(done);
+  }
+  bool rejoined = false;
+  tc.cluster->RestartDatanode(2, [&] { rejoined = true; });
+  tc.RunUntil(rejoined, Seconds(60));
+  tc.sim->RunFor(Seconds(1));
+
+  // Every replica (including the rejoined node) agrees on v2.
+  auto& layout = tc.cluster->layout();
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = StrFormat("%d/f", i);
+    const PartitionId p = layout.PartitionOf(tc.inode_table, key);
+    for (NodeId n : layout.ReplicaChain(p)) {
+      ASSERT_TRUE(layout.alive(n));
+      auto v = tc.cluster->datanode(n).store().Read(tc.inode_table, key, 0);
+      ASSERT_TRUE(v.has_value()) << key << " missing at node " << n;
+      EXPECT_EQ(*v, "v2") << key << " stale at node " << n;
+    }
+  }
+}
+
+TEST(NdbFailure, ApiTimeoutsSurfaceAsRetryableErrors) {
+  TestCluster tc;
+  tc.api->set_op_timeout(200 * kMillisecond);
+  // The AZ-aware API (AZ 0) selects an AZ-0 TC. Crash both AZ-0 nodes
+  // right after Begin, before any failure detection runs: the request is
+  // dropped on the floor and only the client-side timeout can finish it.
+  const TxnId txn = tc.api->Begin(tc.inode_table, "3/z");
+  ASSERT_NE(txn, 0u);
+  for (int n = 0; n < tc.cluster->num_datanodes(); ++n) {
+    if (tc.cluster->layout().az_of(n) == 0) tc.cluster->CrashDatanode(n);
+  }
+  bool done = false;
+  Code got = Code::kOk;
+  tc.api->Read(txn, tc.inode_table, "3/z", LockMode::kReadCommitted,
+               [&](Code c, auto) {
+                 got = c;
+                 done = true;
+               });
+  tc.RunUntil(done, Seconds(10));
+  EXPECT_EQ(got, Code::kTimedOut);
+  EXPECT_GE(tc.api->timeouts(), 1);
+  Status s = TimedOut("x");
+  EXPECT_TRUE(s.retryable());
+}
+
+}  // namespace
+}  // namespace repro::ndb

@@ -1,0 +1,221 @@
+// Unit tests for the discrete-event engine, topology, network, resources.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "sim/resources.h"
+#include "sim/topology.h"
+
+namespace repro {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.After(Millis(3), [&] { order.push_back(3); });
+  sim.After(Millis(1), [&] { order.push_back(1); });
+  sim.After(Millis(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Millis(3));
+}
+
+TEST(Engine, EqualTimestampsRunInInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.After(Millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.After(Millis(10), [&] { ++fired; });
+  sim.RunUntil(Millis(5));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), Millis(5));
+  sim.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, PeriodicFiresUntilCancelled) {
+  Simulation sim;
+  int ticks = 0;
+  auto handle = sim.Every(Millis(10), [&] { ++ticks; });
+  sim.RunUntil(Millis(55));
+  EXPECT_EQ(ticks, 5);
+  handle.Cancel();
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(Topology, UsWest1LatenciesMatchTableI) {
+  auto t = AzLatencyTable::UsWest1();
+  // One-way = RTT/2; intra-AZ b = 0.251/2 ms.
+  EXPECT_EQ(t.one_way[1][1], static_cast<Nanos>(0.251 / 2 * 1e6));
+  EXPECT_EQ(t.one_way[1][2], static_cast<Nanos>(0.399 / 2 * 1e6));
+}
+
+TEST(Topology, ReachabilityRespectsPartitionsAndHostState) {
+  Topology topo(3, AzLatencyTable::UsWest1());
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  EXPECT_TRUE(topo.Reachable(a, b));
+  topo.PartitionAzs(0, 1);
+  EXPECT_FALSE(topo.Reachable(a, b));
+  topo.HealPartition(0, 1);
+  EXPECT_TRUE(topo.Reachable(a, b));
+  topo.SetHostUp(b, false);
+  EXPECT_FALSE(topo.Reachable(a, b));
+}
+
+TEST(Topology, SelfPartitionIsIgnored) {
+  Topology topo(3, AzLatencyTable::UsWest1());
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(0, "b");
+  topo.PartitionAzs(0, 0);
+  EXPECT_TRUE(topo.Reachable(a, b))
+      << "intra-AZ connectivity must survive a nonsensical self-partition";
+}
+
+TEST(Topology, AzFailureTakesHostsDown) {
+  Topology topo(3, AzLatencyTable::UsWest1());
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(0, "b");
+  topo.SetAzUp(0, false);
+  EXPECT_FALSE(topo.HostUp(a));
+  EXPECT_FALSE(topo.HostUp(b));
+}
+
+TEST(Network, DeliversWithLatency) {
+  Simulation sim;
+  Topology topo(3, AzLatencyTable::Uniform(3, Micros(100), Micros(200)));
+  topo.set_jitter_fraction(0);
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  Network net(sim, topo);
+  Nanos delivered_at = -1;
+  net.Send(a, b, 100, [&] { delivered_at = sim.now(); });
+  sim.Run();
+  EXPECT_GE(delivered_at, Micros(200));
+  EXPECT_LT(delivered_at, Micros(210));  // + transmission time
+}
+
+TEST(Network, DropsToUnreachableDestination) {
+  Simulation sim;
+  Topology topo(3, AzLatencyTable::UsWest1());
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  Network net(sim, topo);
+  topo.PartitionAzs(0, 1);
+  bool delivered = false;
+  net.Send(a, b, 10, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, DropsWhenPartitionHappensMidFlight) {
+  Simulation sim;
+  Topology topo(3, AzLatencyTable::UsWest1());
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  Network net(sim, topo);
+  bool delivered = false;
+  net.Send(a, b, 10, [&] { delivered = true; });
+  sim.After(Micros(1), [&] { topo.PartitionAzs(0, 1); });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, AccountsIntraVsInterAzBytes) {
+  Simulation sim;
+  Topology topo(3, AzLatencyTable::UsWest1());
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(0, "b");
+  const HostId c = topo.AddHost(1, "c");
+  Network net(sim, topo);
+  net.Send(a, b, 1000, [] {});
+  net.Send(a, c, 1000, [] {});
+  sim.Run();
+  const int64_t framed = 1000 + net.config().per_message_overhead_bytes;
+  EXPECT_EQ(net.intra_az_bytes(), framed);
+  EXPECT_EQ(net.inter_az_bytes(), framed);
+  EXPECT_EQ(net.az_pair_bytes(0, 1), framed);
+  EXPECT_EQ(net.host_stats(a).bytes_sent, 2 * framed);
+  EXPECT_EQ(net.host_stats(a).messages_sent, 2);
+}
+
+TEST(Network, BandwidthQueuesTransfers) {
+  Simulation sim;
+  Topology topo(2, AzLatencyTable::Uniform(2, Micros(10), Micros(100)));
+  topo.set_jitter_fraction(0);
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  NetworkConfig cfg;
+  cfg.inter_az_bytes_per_sec = 1e6;  // 1 MB/s: 1 ms per KB
+  cfg.nic_bytes_per_sec = 1e9;
+  cfg.per_message_overhead_bytes = 0;
+  Network net(sim, topo, cfg);
+  std::vector<Nanos> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    net.Send(a, b, 1000, [&] { arrivals.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Serialized on the link: ~1ms apart.
+  EXPECT_GT(arrivals[1] - arrivals[0], Micros(900));
+  EXPECT_GT(arrivals[2] - arrivals[1], Micros(900));
+}
+
+TEST(ThreadPool, ParallelismMatchesThreadCount) {
+  Simulation sim;
+  ThreadPool pool(sim, "p", 2);
+  std::vector<Nanos> done;
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit(Millis(10), [&] { done.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done[0], Millis(10));
+  EXPECT_EQ(done[1], Millis(10));
+  EXPECT_EQ(done[2], Millis(20));
+  EXPECT_EQ(done[3], Millis(20));
+  EXPECT_EQ(pool.busy_ns(), 4 * Millis(10));
+}
+
+TEST(ThreadPool, AffinitySerialisesOneThread) {
+  Simulation sim;
+  ThreadPool pool(sim, "p", 4);
+  std::vector<Nanos> done;
+  for (int i = 0; i < 3; ++i) {
+    pool.SubmitTo(2, Millis(5), [&] { done.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(done.back(), Millis(15));
+}
+
+TEST(ThreadPool, UtilizationWindow) {
+  Simulation sim;
+  ThreadPool pool(sim, "p", 1);
+  pool.Submit(Millis(30), nullptr);
+  sim.RunUntil(Millis(60));
+  EXPECT_NEAR(pool.Utilization(0), 0.5, 0.01);
+  pool.ResetStats();
+  EXPECT_EQ(pool.busy_ns(), 0);
+}
+
+TEST(Disk, ServiceTimeIncludesAccessAndTransfer) {
+  Simulation sim;
+  Disk disk(sim, "d", Micros(50), 1e9, 1e9);  // 1 GB/s
+  Nanos done_at = 0;
+  disk.Write(1'000'000, [&] { done_at = sim.now(); });  // 1 MB -> 1 ms
+  sim.Run();
+  EXPECT_GE(done_at, Micros(1050));
+  EXPECT_EQ(disk.stats().bytes_written, 1'000'000);
+}
+
+}  // namespace
+}  // namespace repro

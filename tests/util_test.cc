@@ -1,0 +1,141 @@
+// Unit tests for util: status, rng, histogram, codec, strings.
+#include <gtest/gtest.h>
+
+#include "util/codec.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace repro {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  EXPECT_FALSE(NotFound("x").ok());
+  EXPECT_EQ(NotFound("x").code(), Code::kNotFound);
+  EXPECT_TRUE(Unavailable("n").retryable());
+  EXPECT_TRUE(TimedOut("t").retryable());
+  EXPECT_TRUE(Aborted("a").retryable());
+  EXPECT_FALSE(InvalidArgument("i").retryable());
+  EXPECT_EQ(NotFound("f").ToString(), "NOT_FOUND: f");
+}
+
+TEST(Expected, ValueAndStatus) {
+  Expected<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  Expected<int> e(NotFound("nope"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Code::kNotFound);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.NextBelow(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ZipfSkewsTowardsLowRanks) {
+  Rng r(5);
+  ZipfGenerator zipf(1000, 0.99);
+  int64_t low = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    if (zipf.Next(r) < 10) ++low;
+  }
+  // Top-10 of 1000 should get far more than its uniform share (1%).
+  EXPECT_GT(low, total / 20);
+}
+
+TEST(Rng, DiscreteDistributionRespectsWeights) {
+  Rng r(9);
+  DiscreteDistribution d({0.0, 1.0, 0.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.Next(r), 1);
+}
+
+TEST(Histogram, PercentilesAndMean) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(Millis(i));
+  EXPECT_EQ(h.count(), 1000);
+  // ~3% relative bucket error allowed.
+  EXPECT_NEAR(ToMillis(h.Percentile(0.5)), 500, 25);
+  EXPECT_NEAR(ToMillis(h.Percentile(0.99)), 990, 40);
+  EXPECT_NEAR(h.MeanMillis(), 500.5, 1);
+  EXPECT_EQ(h.min(), Millis(1));
+  EXPECT_EQ(h.max(), Millis(1000));
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(Millis(1));
+  b.Record(Millis(100));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.max(), Millis(100));
+}
+
+TEST(Codec, RoundTrip) {
+  Encoder e;
+  e.PutU8(7);
+  e.PutU32(123456);
+  e.PutU64(0xDEADBEEFCAFEull);
+  e.PutI64(-42);
+  e.PutString("hello");
+  e.PutBool(true);
+  Decoder d(e.view());
+  EXPECT_EQ(d.GetU8(), 7);
+  EXPECT_EQ(d.GetU32(), 123456u);
+  EXPECT_EQ(d.GetU64(), 0xDEADBEEFCAFEull);
+  EXPECT_EQ(d.GetI64(), -42);
+  EXPECT_EQ(d.GetString(), "hello");
+  EXPECT_TRUE(d.GetBool());
+  EXPECT_TRUE(d.ok());
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Codec, TruncatedInputSetsError) {
+  Decoder d("ab");
+  d.GetU64();
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Strings, SplitAndJoinPath) {
+  auto parts = SplitPath("/a/b/c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(JoinPath(parts), "/a/b/c");
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_EQ(JoinPath({}), "/");
+  auto messy = SplitPath("//x///y/");
+  ASSERT_EQ(messy.size(), 2u);
+  EXPECT_EQ(messy[1], "y");
+}
+
+TEST(Strings, SplitParent) {
+  auto [parent, base] = SplitParent("/a/b/c");
+  EXPECT_EQ(parent, "/a/b");
+  EXPECT_EQ(base, "c");
+  auto [rp, rb] = SplitParent("/top");
+  EXPECT_EQ(rp, "/");
+  EXPECT_EQ(rb, "top");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+}
+
+}  // namespace
+}  // namespace repro
