@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_read_backup.dir/bench_fig14_read_backup.cc.o"
+  "CMakeFiles/bench_fig14_read_backup.dir/bench_fig14_read_backup.cc.o.d"
+  "bench_fig14_read_backup"
+  "bench_fig14_read_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_read_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_per_mds.dir/bench_fig6_per_mds.cc.o"
+  "CMakeFiles/bench_fig6_per_mds.dir/bench_fig6_per_mds.cc.o.d"
+  "bench_fig6_per_mds"
+  "bench_fig6_per_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_per_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_percentiles.dir/bench_fig9_percentiles.cc.o"
+  "CMakeFiles/bench_fig9_percentiles.dir/bench_fig9_percentiles.cc.o.d"
+  "bench_fig9_percentiles"
+  "bench_fig9_percentiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/az_failover.dir/az_failover.cpp.o"
+  "CMakeFiles/az_failover.dir/az_failover.cpp.o.d"
+  "az_failover"
+  "az_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/az_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

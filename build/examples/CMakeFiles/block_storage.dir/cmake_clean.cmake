@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_storage.dir/block_storage.cpp.o"
+  "CMakeFiles/block_storage.dir/block_storage.cpp.o.d"
+  "block_storage"
+  "block_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

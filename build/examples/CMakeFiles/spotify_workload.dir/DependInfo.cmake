@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/spotify_workload.cpp" "examples/CMakeFiles/spotify_workload.dir/spotify_workload.cpp.o" "gcc" "examples/CMakeFiles/spotify_workload.dir/spotify_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hopsfs/CMakeFiles/repro_hopsfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cephfs/CMakeFiles/repro_cephfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndb/CMakeFiles/repro_ndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/repro_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/repro_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

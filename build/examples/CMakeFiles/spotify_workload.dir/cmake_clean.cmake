@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotify_workload.dir/spotify_workload.cpp.o"
+  "CMakeFiles/spotify_workload.dir/spotify_workload.cpp.o.d"
+  "spotify_workload"
+  "spotify_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotify_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_blocks.dir/datanode.cc.o"
+  "CMakeFiles/repro_blocks.dir/datanode.cc.o.d"
+  "CMakeFiles/repro_blocks.dir/placement.cc.o"
+  "CMakeFiles/repro_blocks.dir/placement.cc.o.d"
+  "librepro_blocks.a"
+  "librepro_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

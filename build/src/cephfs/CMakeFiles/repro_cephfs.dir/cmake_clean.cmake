@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cephfs.dir/client.cc.o"
+  "CMakeFiles/repro_cephfs.dir/client.cc.o.d"
+  "CMakeFiles/repro_cephfs.dir/cluster.cc.o"
+  "CMakeFiles/repro_cephfs.dir/cluster.cc.o.d"
+  "CMakeFiles/repro_cephfs.dir/mds.cc.o"
+  "CMakeFiles/repro_cephfs.dir/mds.cc.o.d"
+  "CMakeFiles/repro_cephfs.dir/osd.cc.o"
+  "CMakeFiles/repro_cephfs.dir/osd.cc.o.d"
+  "librepro_cephfs.a"
+  "librepro_cephfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cephfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hopsfs/client.cc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/client.cc.o" "gcc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/client.cc.o.d"
+  "/root/repo/src/hopsfs/deployment.cc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/deployment.cc.o" "gcc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/deployment.cc.o.d"
+  "/root/repo/src/hopsfs/fsschema.cc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/fsschema.cc.o" "gcc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/fsschema.cc.o.d"
+  "/root/repo/src/hopsfs/leader.cc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/leader.cc.o" "gcc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/leader.cc.o.d"
+  "/root/repo/src/hopsfs/namenode.cc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/namenode.cc.o" "gcc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/namenode.cc.o.d"
+  "/root/repo/src/hopsfs/namenode_ops.cc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/namenode_ops.cc.o" "gcc" "src/hopsfs/CMakeFiles/repro_hopsfs.dir/namenode_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndb/CMakeFiles/repro_ndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/repro_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_hopsfs.dir/client.cc.o"
+  "CMakeFiles/repro_hopsfs.dir/client.cc.o.d"
+  "CMakeFiles/repro_hopsfs.dir/deployment.cc.o"
+  "CMakeFiles/repro_hopsfs.dir/deployment.cc.o.d"
+  "CMakeFiles/repro_hopsfs.dir/fsschema.cc.o"
+  "CMakeFiles/repro_hopsfs.dir/fsschema.cc.o.d"
+  "CMakeFiles/repro_hopsfs.dir/leader.cc.o"
+  "CMakeFiles/repro_hopsfs.dir/leader.cc.o.d"
+  "CMakeFiles/repro_hopsfs.dir/namenode.cc.o"
+  "CMakeFiles/repro_hopsfs.dir/namenode.cc.o.d"
+  "CMakeFiles/repro_hopsfs.dir/namenode_ops.cc.o"
+  "CMakeFiles/repro_hopsfs.dir/namenode_ops.cc.o.d"
+  "librepro_hopsfs.a"
+  "librepro_hopsfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_hopsfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_metrics.dir/timeseries.cc.o"
+  "CMakeFiles/repro_metrics.dir/timeseries.cc.o.d"
+  "librepro_metrics.a"
+  "librepro_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndb/client.cc" "src/ndb/CMakeFiles/repro_ndb.dir/client.cc.o" "gcc" "src/ndb/CMakeFiles/repro_ndb.dir/client.cc.o.d"
+  "/root/repo/src/ndb/cluster.cc" "src/ndb/CMakeFiles/repro_ndb.dir/cluster.cc.o" "gcc" "src/ndb/CMakeFiles/repro_ndb.dir/cluster.cc.o.d"
+  "/root/repo/src/ndb/datanode.cc" "src/ndb/CMakeFiles/repro_ndb.dir/datanode.cc.o" "gcc" "src/ndb/CMakeFiles/repro_ndb.dir/datanode.cc.o.d"
+  "/root/repo/src/ndb/layout.cc" "src/ndb/CMakeFiles/repro_ndb.dir/layout.cc.o" "gcc" "src/ndb/CMakeFiles/repro_ndb.dir/layout.cc.o.d"
+  "/root/repo/src/ndb/lock_manager.cc" "src/ndb/CMakeFiles/repro_ndb.dir/lock_manager.cc.o" "gcc" "src/ndb/CMakeFiles/repro_ndb.dir/lock_manager.cc.o.d"
+  "/root/repo/src/ndb/row_store.cc" "src/ndb/CMakeFiles/repro_ndb.dir/row_store.cc.o" "gcc" "src/ndb/CMakeFiles/repro_ndb.dir/row_store.cc.o.d"
+  "/root/repo/src/ndb/types.cc" "src/ndb/CMakeFiles/repro_ndb.dir/types.cc.o" "gcc" "src/ndb/CMakeFiles/repro_ndb.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ndb.dir/client.cc.o"
+  "CMakeFiles/repro_ndb.dir/client.cc.o.d"
+  "CMakeFiles/repro_ndb.dir/cluster.cc.o"
+  "CMakeFiles/repro_ndb.dir/cluster.cc.o.d"
+  "CMakeFiles/repro_ndb.dir/datanode.cc.o"
+  "CMakeFiles/repro_ndb.dir/datanode.cc.o.d"
+  "CMakeFiles/repro_ndb.dir/layout.cc.o"
+  "CMakeFiles/repro_ndb.dir/layout.cc.o.d"
+  "CMakeFiles/repro_ndb.dir/lock_manager.cc.o"
+  "CMakeFiles/repro_ndb.dir/lock_manager.cc.o.d"
+  "CMakeFiles/repro_ndb.dir/row_store.cc.o"
+  "CMakeFiles/repro_ndb.dir/row_store.cc.o.d"
+  "CMakeFiles/repro_ndb.dir/types.cc.o"
+  "CMakeFiles/repro_ndb.dir/types.cc.o.d"
+  "librepro_ndb.a"
+  "librepro_ndb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ndb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

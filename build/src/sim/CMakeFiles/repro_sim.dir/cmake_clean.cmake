@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/engine.cc.o"
+  "CMakeFiles/repro_sim.dir/engine.cc.o.d"
+  "CMakeFiles/repro_sim.dir/network.cc.o"
+  "CMakeFiles/repro_sim.dir/network.cc.o.d"
+  "CMakeFiles/repro_sim.dir/resources.cc.o"
+  "CMakeFiles/repro_sim.dir/resources.cc.o.d"
+  "CMakeFiles/repro_sim.dir/topology.cc.o"
+  "CMakeFiles/repro_sim.dir/topology.cc.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

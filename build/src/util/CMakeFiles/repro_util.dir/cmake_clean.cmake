@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/codec.cc.o"
+  "CMakeFiles/repro_util.dir/codec.cc.o.d"
+  "CMakeFiles/repro_util.dir/histogram.cc.o"
+  "CMakeFiles/repro_util.dir/histogram.cc.o.d"
+  "CMakeFiles/repro_util.dir/logging.cc.o"
+  "CMakeFiles/repro_util.dir/logging.cc.o.d"
+  "CMakeFiles/repro_util.dir/rng.cc.o"
+  "CMakeFiles/repro_util.dir/rng.cc.o.d"
+  "CMakeFiles/repro_util.dir/status.cc.o"
+  "CMakeFiles/repro_util.dir/status.cc.o.d"
+  "CMakeFiles/repro_util.dir/strings.cc.o"
+  "CMakeFiles/repro_util.dir/strings.cc.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

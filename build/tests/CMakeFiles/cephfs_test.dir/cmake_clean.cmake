@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cephfs_test.dir/cephfs_test.cc.o"
+  "CMakeFiles/cephfs_test.dir/cephfs_test.cc.o.d"
+  "cephfs_test"
+  "cephfs_test.pdb"
+  "cephfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cephfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopsfs_model_test.dir/hopsfs_model_test.cc.o"
+  "CMakeFiles/hopsfs_model_test.dir/hopsfs_model_test.cc.o.d"
+  "hopsfs_model_test"
+  "hopsfs_model_test.pdb"
+  "hopsfs_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopsfs_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

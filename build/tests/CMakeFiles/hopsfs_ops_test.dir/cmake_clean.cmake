@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopsfs_ops_test.dir/hopsfs_ops_test.cc.o"
+  "CMakeFiles/hopsfs_ops_test.dir/hopsfs_ops_test.cc.o.d"
+  "hopsfs_ops_test"
+  "hopsfs_ops_test.pdb"
+  "hopsfs_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopsfs_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

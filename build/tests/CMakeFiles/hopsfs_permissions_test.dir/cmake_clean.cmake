@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopsfs_permissions_test.dir/hopsfs_permissions_test.cc.o"
+  "CMakeFiles/hopsfs_permissions_test.dir/hopsfs_permissions_test.cc.o.d"
+  "hopsfs_permissions_test"
+  "hopsfs_permissions_test.pdb"
+  "hopsfs_permissions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopsfs_permissions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

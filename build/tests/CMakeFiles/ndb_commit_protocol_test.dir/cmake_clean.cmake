@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndb_commit_protocol_test.dir/ndb_commit_protocol_test.cc.o"
+  "CMakeFiles/ndb_commit_protocol_test.dir/ndb_commit_protocol_test.cc.o.d"
+  "ndb_commit_protocol_test"
+  "ndb_commit_protocol_test.pdb"
+  "ndb_commit_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndb_commit_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

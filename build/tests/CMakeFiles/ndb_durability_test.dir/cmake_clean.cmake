@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndb_durability_test.dir/ndb_durability_test.cc.o"
+  "CMakeFiles/ndb_durability_test.dir/ndb_durability_test.cc.o.d"
+  "ndb_durability_test"
+  "ndb_durability_test.pdb"
+  "ndb_durability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndb_durability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

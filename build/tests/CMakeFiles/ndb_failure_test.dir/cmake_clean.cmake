@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndb_failure_test.dir/ndb_failure_test.cc.o"
+  "CMakeFiles/ndb_failure_test.dir/ndb_failure_test.cc.o.d"
+  "ndb_failure_test"
+  "ndb_failure_test.pdb"
+  "ndb_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndb_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

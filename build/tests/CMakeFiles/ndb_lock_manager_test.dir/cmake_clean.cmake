@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndb_lock_manager_test.dir/ndb_lock_manager_test.cc.o"
+  "CMakeFiles/ndb_lock_manager_test.dir/ndb_lock_manager_test.cc.o.d"
+  "ndb_lock_manager_test"
+  "ndb_lock_manager_test.pdb"
+  "ndb_lock_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndb_lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

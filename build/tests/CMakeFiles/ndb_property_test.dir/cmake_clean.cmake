@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndb_property_test.dir/ndb_property_test.cc.o"
+  "CMakeFiles/ndb_property_test.dir/ndb_property_test.cc.o.d"
+  "ndb_property_test"
+  "ndb_property_test.pdb"
+  "ndb_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndb_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

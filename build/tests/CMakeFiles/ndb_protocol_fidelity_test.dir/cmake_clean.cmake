@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndb_protocol_fidelity_test.dir/ndb_protocol_fidelity_test.cc.o"
+  "CMakeFiles/ndb_protocol_fidelity_test.dir/ndb_protocol_fidelity_test.cc.o.d"
+  "ndb_protocol_fidelity_test"
+  "ndb_protocol_fidelity_test.pdb"
+  "ndb_protocol_fidelity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndb_protocol_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

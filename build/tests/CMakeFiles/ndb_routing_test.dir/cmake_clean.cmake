@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndb_routing_test.dir/ndb_routing_test.cc.o"
+  "CMakeFiles/ndb_routing_test.dir/ndb_routing_test.cc.o.d"
+  "ndb_routing_test"
+  "ndb_routing_test.pdb"
+  "ndb_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndb_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

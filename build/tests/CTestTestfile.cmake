@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/ndb_commit_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/ndb_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/hopsfs_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/cephfs_test[1]_include.cmake")
+include("/root/repo/build/tests/blocks_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/hopsfs_model_test[1]_include.cmake")
+include("/root/repo/build/tests/ndb_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ndb_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/hopsfs_extended_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/ndb_protocol_fidelity_test[1]_include.cmake")
+include("/root/repo/build/tests/hopsfs_permissions_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/ndb_durability_test[1]_include.cmake")
+include("/root/repo/build/tests/ndb_lock_manager_test[1]_include.cmake")
