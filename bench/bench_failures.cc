@@ -6,8 +6,10 @@
 //   * an AZ network partition resolved by the arbitrator,
 //   * a block-storage datanode loss (re-replication).
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
+#include "chaos/schedule.h"
 #include "util/strings.h"
 #include "hopsfs/deployment.h"
 #include "metrics/timeseries.h"
@@ -17,6 +19,10 @@
 namespace repro::bench {
 namespace {
 
+using chaos::FaultEvent;
+using chaos::FaultInjector;
+using chaos::FaultSchedule;
+using chaos::FaultType;
 using hopsfs::Deployment;
 using hopsfs::DeploymentOptions;
 using hopsfs::PaperSetup;
@@ -27,19 +33,32 @@ struct ProbeStats {
 };
 
 // Issues `n` stat+create probes through a client and counts outcomes.
+// Each probe's 30 s deadline is a simulator-scheduled timeout event, and
+// the loop advances exactly the work that is queued (RunOne) — no
+// fixed-step polling, so completion and timeout land at event precision.
 ProbeStats Probe(Simulation& sim, hopsfs::HopsFsClient* client, int n,
                  const char* tag) {
+  struct ProbeState {
+    bool done = false;
+    bool timed_out = false;
+    Status status;
+  };
   ProbeStats stats;
   for (int i = 0; i < n; ++i) {
-    bool done = false;
-    Status status;
-    client->Create(StrFormat("/probe/%s-%d", tag, i), 0, [&](Status s) {
-      status = s;
-      done = true;
+    // Shared state: the reply or the timeout event may fire long after
+    // this iteration finishes (a late reply during a later probe's loop).
+    auto st = std::make_shared<ProbeState>();
+    client->Create(StrFormat("/probe/%s-%d", tag, i), 0, [st](Status s) {
+      st->status = s;
+      st->done = true;
     });
-    const Nanos deadline = sim.now() + 30 * kSecond;
-    while (!done && sim.now() < deadline) sim.RunFor(kMillisecond);
-    if (done && status.ok()) {
+    sim.After(30 * kSecond, [st] {
+      if (!st->done) st->timed_out = true;
+    });
+    while (!st->done && !st->timed_out) {
+      if (!sim.RunOne()) break;
+    }
+    if (st->done && st->status.ok()) {
       ++stats.ok;
     } else {
       ++stats.failed;
@@ -65,16 +84,30 @@ std::unique_ptr<Deployment> MakeCluster(Simulation& sim, int block_dns = 0) {
   return dep;
 }
 
+// Arms a one-event schedule "now" and runs the settle period. All
+// scenarios inject through FaultSchedule/FaultInjector — the same path
+// the chaos harness uses — so their traces are comparable with soak runs.
+void InjectAndSettle(Simulation& sim, FaultInjector& injector,
+                     FaultEvent event, Nanos settle) {
+  FaultSchedule schedule;
+  schedule.Add(event);
+  injector.Arm(schedule, sim.now());
+  sim.RunFor(settle);
+}
+
 void Scenario_NdbNodeCrash() {
   Simulation sim(21);
   auto dep = MakeCluster(sim);
+  FaultInjector injector(*dep);
   auto* client = dep->AddClient(0);
   bool ok = true;
   client->Mkdir("/probe", [&](Status s) { ok = s.ok(); });
   sim.RunFor(Seconds(1));
   const auto before = Probe(sim, client, 10, "ndb-pre");
-  dep->ndb().CrashDatanode(0);
-  sim.RunFor(Seconds(2));  // heartbeat detection + take-over
+  // 2 s settle: heartbeat detection + take-over.
+  InjectAndSettle(sim, injector,
+                  FaultEvent{0, FaultType::kCrashNdbNode, /*a=*/0},
+                  Seconds(2));
   const auto after = Probe(sim, client, 10, "ndb-post");
   Report("NDB datanode crash", before, after,
          "expect: survivors promote backups, all ops succeed");
@@ -100,16 +133,17 @@ void Scenario_LeaderNnCrash() {
 void Scenario_AzOutage() {
   Simulation sim(23);
   auto dep = MakeCluster(sim);
+  FaultInjector injector(*dep);
   auto* client = dep->AddClient(1);  // client in a surviving AZ
   client->Mkdir("/probe", [](Status) {});
   sim.RunFor(Seconds(1));
   const auto before = Probe(sim, client, 10, "az-pre");
   // AZ 0 goes dark: NDB replicas, namenodes and clients in it die.
-  dep->topology().SetAzUp(0, false);
   for (const auto& nn : dep->namenodes()) {
     if (nn->az() == 0) nn->Crash();
   }
-  sim.RunFor(Seconds(3));
+  InjectAndSettle(sim, injector, FaultEvent{0, FaultType::kAzOutage, /*a=*/0},
+                  Seconds(3));
   const auto after = Probe(sim, client, 10, "az-post");
   Report("full AZ outage (CL 3,3)", before, after,
          "expect: RF=3 keeps a replica in every surviving AZ");
@@ -118,14 +152,17 @@ void Scenario_AzOutage() {
 void Scenario_AzPartition() {
   Simulation sim(24);
   auto dep = MakeCluster(sim);
+  FaultInjector injector(*dep);
   auto* client = dep->AddClient(1);
   client->Mkdir("/probe", [](Status) {});
   sim.RunFor(Seconds(1));
   const auto before = Probe(sim, client, 10, "part-pre");
   // AZ 2 is cut off from AZs 0 and 1; the arbitrator (mgmt node in AZ 0)
   // blesses the majority side and AZ 2's NDB nodes shut down.
-  dep->topology().PartitionAzs(2, 0);
-  dep->topology().PartitionAzs(2, 1);
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{0, FaultType::kPartitionAzs, /*a=*/2, /*b=*/0});
+  schedule.Add(FaultEvent{0, FaultType::kPartitionAzs, /*a=*/2, /*b=*/1});
+  injector.Arm(schedule, sim.now());
   sim.RunFor(Seconds(2));
   int az2_alive = 0;
   auto& layout = dep->ndb().layout();
@@ -164,11 +201,16 @@ void Scenario_BlockDnLoss() {
     }
   }
   int64_t lost_blocks = 0;
+  FaultInjector injector(*dep);
   if (victim >= 0) {
     lost_blocks = dep->dn_registry()->dn(victim)->block_count();
-    dep->dn_registry()->dn(victim)->Crash();
+    // 20 s settle: heartbeat timeout + re-replication + copy.
+    InjectAndSettle(sim, injector,
+                    FaultEvent{0, FaultType::kCrashBlockDn, victim},
+                    Seconds(20));
+  } else {
+    sim.RunFor(Seconds(20));
   }
-  sim.RunFor(Seconds(20));  // heartbeat timeout + re-replication + copy
 
   // Count replicas of the lost blocks that now live elsewhere.
   int64_t recovered = 0;
@@ -207,7 +249,11 @@ void Scenario_ThroughputTimelineAcrossFailure() {
         return wl.Next(rng, owned);
       });
   // Crash one NDB datanode 1 s into the 3 s measurement window.
-  sim.After(1500 * kMillisecond, [&dep] { dep.ndb().CrashDatanode(3); });
+  FaultInjector injector(dep);
+  FaultSchedule schedule;
+  schedule.Add(
+      FaultEvent{1500 * kMillisecond, FaultType::kCrashNdbNode, /*a=*/3});
+  injector.Arm(schedule, sim.now());
   auto res = driver.Run(500 * kMillisecond, 3 * kSecond);
 
   std::printf("\nthroughput timeline (100 ms windows, # = peak):\n  [%s]\n",

@@ -1,0 +1,64 @@
+// Chaos harness walkthrough: one seeded fault schedule, end to end.
+//
+// Runs a randomized schedule against HopsFS-CL (3,3), prints the injected
+// fault trace, the availability scorecard and the invariant verdicts,
+// then replays the same seed to show the event trace is byte-identical —
+// a failing seed is a complete reproduction recipe.
+//
+//   ./examples/chaos [seed]
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "chaos/harness.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+
+  // REPRO_LOG=debug|info|warn turns up component logging — combined with
+  // the deterministic replay this gives a full protocol trace of a
+  // failing seed.
+  if (const char* lvl = std::getenv("REPRO_LOG")) {
+    if (std::strcmp(lvl, "debug") == 0) {
+      Logger::Get().set_level(LogLevel::kDebug);
+    } else if (std::strcmp(lvl, "info") == 0) {
+      Logger::Get().set_level(LogLevel::kInfo);
+    }
+  }
+
+  chaos::ChaosOptions opts;
+  opts.seed = 7;
+  if (argc > 1) {
+    // A seed names a specific failing run, so a mistyped one must not be
+    // silently reinterpreted (strtoull maps garbage to 0 and clamps
+    // out-of-range values).
+    char* end = nullptr;
+    errno = 0;
+    opts.seed = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "error: seed '%s' is not a valid uint64\n",
+                   argv[1]);
+      std::fprintf(stderr, "usage: %s [seed]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== chaos run, seed %llu ===\n\n",
+              static_cast<unsigned long long>(opts.seed));
+  chaos::ChaosReport report = chaos::RunChaosSchedule(opts);
+
+  std::printf("event trace (faults as injected, then observations):\n");
+  for (const auto& line : report.trace) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("\nscorecard:\n%s\n", report.Scorecard().c_str());
+
+  std::printf("replaying the same seed...\n");
+  chaos::ChaosReport replay = chaos::RunChaosSchedule(opts);
+  const bool identical = replay.TraceString() == report.TraceString();
+  std::printf("replay trace is %s\n",
+              identical ? "byte-identical (deterministic)" : "DIFFERENT (bug!)");
+  return identical && report.invariants_ok() ? 0 : 1;
+}

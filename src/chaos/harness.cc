@@ -1,0 +1,189 @@
+#include "chaos/harness.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/strings.h"
+#include "workload/fs_interface.h"
+
+namespace repro::chaos {
+namespace {
+
+// Completed-ops rate over [from, to) from a 100 ms-windowed timeline.
+double PhaseRate(const metrics::TimeSeries& ts, Nanos from, Nanos to) {
+  if (to <= from) return 0;
+  int64_t count = 0;
+  for (const auto& w : ts.windows()) {
+    if (w.start >= from && w.start < to) count += w.count;
+  }
+  return static_cast<double>(count) / ToSeconds(to - from);
+}
+
+}  // namespace
+
+std::string ChaosReport::TraceString() const {
+  std::string out;
+  for (const auto& line : trace) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ChaosReport::Scorecard() const {
+  std::string out = StrFormat(
+      "seed %llu: %s\n"
+      "  schedule: %s\n"
+      "  goodput ops/s: warmup %.0f -> faults %.0f -> settle %.0f\n"
+      "  ops: %lld ok, %lld failed; %lld tracked writes acked; "
+      "%lld messages dropped\n",
+      static_cast<unsigned long long>(seed),
+      invariants_ok() ? "ALL INVARIANTS HOLD" : "INVARIANT VIOLATION",
+      schedule_summary.c_str(), goodput.warmup_ops_per_sec,
+      goodput.fault_ops_per_sec, goodput.settle_ops_per_sec,
+      static_cast<long long>(completed), static_cast<long long>(failed),
+      static_cast<long long>(acked_writes),
+      static_cast<long long>(messages_dropped));
+  if (!errors_by_code.empty()) {
+    out += "  errors:";
+    for (const auto& [code, n] : errors_by_code) {
+      out += StrFormat(" %s=%lld", CodeName(code), static_cast<long long>(n));
+    }
+    out += '\n';
+  }
+  out += recovery_time >= 0
+             ? StrFormat("  recovery: %.2fs after last heal\n",
+                         ToSeconds(recovery_time))
+             : std::string("  recovery: goodput did not return to 50% of "
+                           "baseline\n");
+  for (const auto& r : invariants) {
+    out += StrFormat("  [%s] %-11s %s\n", r.ok ? "pass" : "FAIL",
+                     r.name.c_str(), r.detail.c_str());
+  }
+  return out;
+}
+
+ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
+  // Build the schedule first so topology bounds match the deployment the
+  // options describe (3 AZs for every paper setup).
+  RandomFaultOptions fopts = opts.faults;
+  fopts.start = opts.warmup;
+  fopts.window = opts.fault_window;
+  fopts.num_azs = 3;
+  fopts.num_ndb_nodes =
+      hopsfs::DeploymentOptions::FromPaperSetup(opts.setup, opts.num_namenodes)
+          .ndb_datanodes;
+  fopts.num_block_dns = opts.block_datanodes;
+  return RunChaosSchedule(opts, FaultSchedule::Random(opts.seed, fopts));
+}
+
+ChaosReport RunChaosSchedule(const ChaosOptions& opts,
+                             const FaultSchedule& schedule) {
+  Simulation sim(opts.seed);
+  auto dopts = hopsfs::DeploymentOptions::FromPaperSetup(opts.setup,
+                                                         opts.num_namenodes);
+  dopts.block_datanodes = opts.block_datanodes;
+  hopsfs::Deployment dep(sim, dopts);
+  dep.Start();
+
+  workload::SpotifyWorkload wl(opts.ns, opts.seed);
+  std::vector<std::string> dirs = wl.all_dirs();
+  dirs.push_back("/chaos");  // tracked-writer directory
+  dep.BootstrapNamespace(dirs, wl.all_files());
+
+  std::vector<std::unique_ptr<workload::HopsFsTarget>> targets;
+  std::vector<workload::FsTarget*> ptrs;
+  for (int i = 0; i < opts.workload_clients; ++i) {
+    targets.push_back(
+        std::make_unique<workload::HopsFsTarget>(dep.AddClient()));
+    ptrs.push_back(targets.back().get());
+  }
+  hopsfs::HopsFsClient* writer = dep.AddClient();
+  hopsfs::HopsFsClient* probe = dep.AddClient();
+  sim.RunFor(3 * kSecond);  // DN heartbeats register, leader settles
+  const Nanos t0 = sim.now();
+
+  InvariantChecker checker(dep);
+  checker.StartSampling();
+
+  // Schedule times are relative to the driver start (warm-up begins now).
+  FaultInjector injector(dep);
+  injector.Arm(schedule, t0);
+
+  // Tracked writer: a steady trickle of creates whose acks are recorded;
+  // CheckDurability later stats exactly these paths. Writes continue
+  // through the fault window on purpose — acks won during faults are the
+  // interesting ones.
+  int64_t write_counter = 0;
+  auto writer_timer = sim.Every(100 * kMillisecond, [&] {
+    const std::string path =
+        StrFormat("/chaos/w-%lld", static_cast<long long>(write_counter++));
+    writer->Create(path, 0, [&checker, path](Status s) {
+      if (s.ok()) checker.RecordAckedWrite(path);
+    });
+  });
+
+  if (opts.enable_test_ack_loss_bug) {
+    const Nanos burst_start = t0 + opts.warmup + opts.fault_window / 2;
+    sim.At(burst_start, [&dep] {
+      for (ndb::NodeId n = 0; n < dep.ndb().num_datanodes(); ++n) {
+        dep.ndb().datanode(n).set_test_lose_acked_writes(true);
+      }
+    });
+    sim.At(burst_start + opts.ack_loss_burst, [&dep] {
+      for (ndb::NodeId n = 0; n < dep.ndb().num_datanodes(); ++n) {
+        dep.ndb().datanode(n).set_test_lose_acked_writes(false);
+      }
+    });
+  }
+
+  workload::ClosedLoopDriver driver(
+      sim, ptrs, [&wl](Rng& rng, std::vector<std::string>& owned) {
+        return wl.Next(rng, owned);
+      });
+  auto res = driver.Run(opts.warmup, opts.fault_window + opts.settle);
+  writer_timer.Cancel();
+
+  ChaosReport report;
+  report.seed = opts.seed;
+  report.schedule_summary = schedule.Summary();
+  report.fault_types = static_cast<int>(schedule.FaultTypes().size());
+  report.completed = res.completed;
+  report.failed = res.failed;
+  report.errors_by_code = res.errors_by_code;
+  report.acked_writes = checker.acked_writes();
+  report.messages_dropped = dep.network().messages_dropped();
+  report.timeline = res.timeline;
+  report.fail_timeline = res.fail_timeline;
+
+  const Nanos faults_end = t0 + opts.warmup + opts.fault_window;
+  report.goodput.warmup_ops_per_sec =
+      PhaseRate(res.timeline, t0, t0 + opts.warmup);
+  report.goodput.fault_ops_per_sec =
+      PhaseRate(res.timeline, t0 + opts.warmup, faults_end);
+  report.goodput.settle_ops_per_sec =
+      PhaseRate(res.timeline, faults_end, faults_end + opts.settle);
+
+  // Recovery: first 100 ms window at/after the last scheduled event whose
+  // rate is back to half the warm-up baseline.
+  const Nanos last_heal =
+      schedule.empty() ? faults_end : t0 + schedule.end_time();
+  const double baseline = report.goodput.warmup_ops_per_sec;
+  for (const auto& w : report.timeline.windows()) {
+    if (w.start < last_heal || baseline <= 0) continue;
+    const double rate =
+        static_cast<double>(w.count) / ToSeconds(report.timeline.window_width());
+    if (rate >= 0.5 * baseline) {
+      report.recovery_time = w.start - last_heal;
+      break;
+    }
+  }
+
+  report.invariants = checker.CheckAll(*probe, sim.now() + opts.probe_budget);
+
+  report.trace = injector.trace();
+  for (const auto& line : checker.trace()) report.trace.push_back(line);
+  return report;
+}
+
+}  // namespace repro::chaos

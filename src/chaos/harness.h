@@ -1,0 +1,103 @@
+// Chaos harness: one seeded end-to-end chaos episode.
+//
+// RunChaosSchedule builds a full HopsFS-CL deployment, boots the Spotify
+// workload, arms a fault schedule (randomised from the seed, or supplied
+// by the caller), and runs warm-up -> fault window -> settle while a
+// tracked writer records every acknowledged create. After the run the
+// safety invariants (durability, arbitration, leadership, replication)
+// are checked and an availability scorecard — per-phase goodput, error
+// taxonomy by status code, recovery time — is assembled from the
+// workload timeline. The whole run is deterministic: the report's event
+// trace is byte-identical across runs with the same options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "chaos/schedule.h"
+#include "hopsfs/deployment.h"
+#include "workload/driver.h"
+#include "workload/spotify.h"
+
+namespace repro::chaos {
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  hopsfs::PaperSetup setup = hopsfs::PaperSetup::kHopsFsCl_3_3;
+  int num_namenodes = 6;
+  int block_datanodes = 9;
+  int workload_clients = 12;
+  workload::NamespaceConfig ns{/*users=*/128, /*dirs_per_user=*/4,
+                               /*files_per_dir=*/4, /*zipf_theta=*/0.75};
+
+  Nanos warmup = 2 * kSecond;        // fault-free baseline
+  Nanos fault_window = 8 * kSecond;  // faults inject and heal in here
+  Nanos settle = 6 * kSecond;        // fault-free recovery tail
+  Nanos probe_budget = 60 * kSecond; // sim-time budget for durability probes
+
+  // Fault mix toggles and bounds (start/window/topology fields are filled
+  // in by the harness from the deployment).
+  RandomFaultOptions faults;
+
+  // Deliberately enables the lost-acked-write bug (see
+  // NdbDatanode::set_test_lose_acked_writes) on every NDB datanode for a
+  // short burst mid-window. The durability invariant MUST fail — used to
+  // prove the checker detects real violations.
+  bool enable_test_ack_loss_bug = false;
+  Nanos ack_loss_burst = 600 * kMillisecond;
+};
+
+struct PhaseStats {
+  double warmup_ops_per_sec = 0;
+  double fault_ops_per_sec = 0;
+  double settle_ops_per_sec = 0;
+};
+
+struct ChaosReport {
+  uint64_t seed = 0;
+  std::string schedule_summary;
+  int fault_types = 0;  // distinct FaultType values the schedule used
+
+  std::vector<InvariantResult> invariants;
+  bool invariants_ok() const {
+    for (const auto& r : invariants) {
+      if (!r.ok) return false;
+    }
+    return true;
+  }
+
+  // Availability scorecard.
+  PhaseStats goodput;
+  std::map<Code, int64_t> errors_by_code;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t acked_writes = 0;
+  int64_t messages_dropped = 0;
+  // Time from the schedule's last heal until goodput first returns to at
+  // least half the warm-up rate; -1 if it never does.
+  Nanos recovery_time = -1;
+
+  // Deterministic event trace: injected faults in application order, then
+  // the checker's observations. Byte-identical across same-seed runs.
+  std::vector<std::string> trace;
+  std::string TraceString() const;
+
+  // Multi-line human-readable scorecard.
+  std::string Scorecard() const;
+
+  metrics::TimeSeries timeline;       // completions over time
+  metrics::TimeSeries fail_timeline;  // failures over time
+};
+
+// Runs one chaos episode with a schedule randomised from opts.seed.
+ChaosReport RunChaosSchedule(const ChaosOptions& opts);
+
+// Same, with a caller-supplied schedule (event times are absolute sim
+// times; the fault window normally spans [warmup, warmup+fault_window]).
+ChaosReport RunChaosSchedule(const ChaosOptions& opts,
+                             const FaultSchedule& schedule);
+
+}  // namespace repro::chaos

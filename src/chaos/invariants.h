@@ -1,0 +1,83 @@
+// Safety-invariant checking for chaos runs.
+//
+// The checker watches a deployment while a fault schedule plays out and
+// validates, during and after the run, the end-to-end guarantees the
+// paper's design promises (§IV, §V-F):
+//
+//   durability    every write acknowledged to a client is readable after
+//                 all faults heal — no lost acked writes;
+//   arbitration   within one arbitration episode the management node
+//                 blesses at most one surviving view — no NDB split brain;
+//   leadership    no two alive, mutually-reachable namenodes claim
+//                 leadership at the same instant, and after healing
+//                 exactly one leader remains;
+//   replication   block replica counts re-converge to the configured
+//                 replication factor, every listed replica actually holds
+//                 its block, and (AZ-aware placement) every AZ holds a
+//                 copy;
+//   determinism   two runs from the same seed produce byte-identical
+//                 event traces (checked by the caller via trace()).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hopsfs/client.h"
+#include "hopsfs/deployment.h"
+
+namespace repro::chaos {
+
+struct InvariantResult {
+  std::string name;
+  bool ok = true;
+  std::string detail;  // first violation, or a one-line pass summary
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(hopsfs::Deployment& deployment);
+
+  // Starts periodic leadership sampling (call before the fault window).
+  // Violations observed live are folded into the final CheckLeadership.
+  void StartSampling(Nanos interval = 100 * kMillisecond);
+
+  // The tracked writer calls this for every create the cluster ACKED.
+  void RecordAckedWrite(const std::string& path);
+  int64_t acked_writes() const {
+    return static_cast<int64_t>(acked_paths_.size());
+  }
+
+  // ---- final checks: run after faults heal and the system settles ----
+
+  // Stats every acked path through `probe`, driving the simulation until
+  // all probes complete (or `deadline` passes). Probes run a few at a
+  // time so a big backlog cannot time itself out.
+  InvariantResult CheckDurability(hopsfs::HopsFsClient& probe,
+                                  Nanos deadline);
+  InvariantResult CheckArbitration();
+  InvariantResult CheckLeadership();
+  InvariantResult CheckReplication();
+
+  // All four finals in order; stable ordering keeps scorecards diffable.
+  std::vector<InvariantResult> CheckAll(hopsfs::HopsFsClient& probe,
+                                        Nanos deadline);
+
+  // Deterministic observation log (leadership samples, probe outcomes);
+  // concatenated with the injector trace it forms the run's event trace
+  // used by the determinism invariant.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  void SampleLeadership();
+
+  hopsfs::Deployment& deployment_;
+  std::vector<std::string> acked_paths_;
+  std::vector<std::string> trace_;
+  std::vector<std::string> live_leader_violations_;
+  std::string last_leader_set_;
+  bool have_leader_set_ = false;
+  bool sampling_ = false;
+  Simulation::PeriodicHandle sample_timer_;
+};
+
+}  // namespace repro::chaos

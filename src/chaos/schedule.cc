@@ -1,0 +1,326 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace repro::chaos {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kCrashNdbNode: return "crash-ndb";
+    case FaultType::kRestartNdbNode: return "restart-ndb";
+    case FaultType::kAzOutage: return "az-outage";
+    case FaultType::kAzRestore: return "az-restore";
+    case FaultType::kPartitionAzs: return "partition";
+    case FaultType::kPartitionOneWay: return "partition-oneway";
+    case FaultType::kHealPartition: return "heal";
+    case FaultType::kHealAllPartitions: return "heal-all";
+    case FaultType::kLatencyInflate: return "latency-inflate";
+    case FaultType::kLatencyRestore: return "latency-restore";
+    case FaultType::kMessageDrop: return "msg-drop";
+    case FaultType::kMessageDropClear: return "msg-drop-clear";
+    case FaultType::kGreySlowNode: return "grey-slow";
+    case FaultType::kGreyRestoreNode: return "grey-restore";
+    case FaultType::kCrashBlockDn: return "crash-blockdn";
+  }
+  return "?";
+}
+
+std::string FaultEvent::ToString() const {
+  char buf[160];
+  switch (type) {
+    case FaultType::kHealAllPartitions:
+    case FaultType::kLatencyRestore:
+    case FaultType::kMessageDropClear:
+      std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s", ToSeconds(time),
+                    FaultTypeName(type));
+      break;
+    case FaultType::kCrashNdbNode:
+    case FaultType::kRestartNdbNode:
+    case FaultType::kCrashBlockDn:
+      std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s node=%d", ToSeconds(time),
+                    FaultTypeName(type), a);
+      break;
+    case FaultType::kAzOutage:
+    case FaultType::kAzRestore:
+      std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s az=%d", ToSeconds(time),
+                    FaultTypeName(type), a);
+      break;
+    case FaultType::kPartitionAzs:
+    case FaultType::kPartitionOneWay:
+    case FaultType::kHealPartition:
+      std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s az%d%saz%d",
+                    ToSeconds(time), FaultTypeName(type), a,
+                    type == FaultType::kPartitionOneWay ? " -| " : " <-> ", b);
+      break;
+    case FaultType::kLatencyInflate:
+    case FaultType::kMessageDrop:
+      std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s az%d<->az%d x%.3f",
+                    ToSeconds(time), FaultTypeName(type), a, b, factor);
+      break;
+    case FaultType::kGreySlowNode:
+    case FaultType::kGreyRestoreNode:
+      std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s node=%d x%.3f",
+                    ToSeconds(time), FaultTypeName(type), a, factor);
+      break;
+  }
+  return buf;
+}
+
+void FaultSchedule::Add(FaultEvent event) {
+  // Keep sorted by time; stable for equal times so injection order matches
+  // insertion order.
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& x, const FaultEvent& y) { return x.time < y.time; });
+  events_.insert(it, event);
+}
+
+Nanos FaultSchedule::end_time() const {
+  return events_.empty() ? 0 : events_.back().time;
+}
+
+std::vector<FaultType> FaultSchedule::FaultTypes() const {
+  std::vector<FaultType> types;
+  for (const FaultEvent& e : events_) {
+    if (std::find(types.begin(), types.end(), e.type) == types.end()) {
+      types.push_back(e.type);
+    }
+  }
+  return types;
+}
+
+std::string FaultSchedule::Summary() const {
+  std::vector<std::pair<FaultType, int>> counts;
+  for (const FaultEvent& e : events_) {
+    auto it = std::find_if(counts.begin(), counts.end(),
+                           [&](const auto& p) { return p.first == e.type; });
+    if (it == counts.end()) {
+      counts.emplace_back(e.type, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  std::string out;
+  for (const auto& [type, n] : counts) {
+    if (!out.empty()) out += ' ';
+    out += FaultTypeName(type);
+    out += '(';
+    out += std::to_string(n);
+    out += ')';
+  }
+  return out;
+}
+
+FaultSchedule FaultSchedule::Random(uint64_t seed,
+                                    const RandomFaultOptions& opts) {
+  // The schedule RNG is independent of the simulation RNG: the same seed
+  // yields the same schedule no matter what deployment it later runs on.
+  Rng rng(seed);
+  FaultSchedule schedule;
+
+  enum Kind {
+    kKindCrash,
+    kKindAzOutage,
+    kKindPartition,
+    kKindOneWay,
+    kKindLatency,
+    kKindDrop,
+    kKindGrey,
+    kKindBlockDn,
+  };
+  std::vector<Kind> kinds;
+  if (opts.enable_node_crash) kinds.push_back(kKindCrash);
+  if (opts.enable_az_outage) kinds.push_back(kKindAzOutage);
+  if (opts.enable_partition) {
+    kinds.push_back(kKindPartition);
+    kinds.push_back(kKindOneWay);
+  }
+  if (opts.enable_latency_inflation) kinds.push_back(kKindLatency);
+  if (opts.enable_message_drop) kinds.push_back(kKindDrop);
+  if (opts.enable_grey_node) kinds.push_back(kKindGrey);
+  if (opts.enable_block_dn_crash && opts.num_block_dns > 0) {
+    kinds.push_back(kKindBlockDn);
+  }
+  if (kinds.empty() || opts.episodes <= 0) return schedule;
+
+  // Episodes are strictly sequential: each one injects a fault, holds it,
+  // then heals — the next episode starts only after the previous heal.
+  // Sequential episodes guarantee the cluster never sees two node groups
+  // down at once (which would legitimately shut NDB down and void the
+  // availability invariants; that regime has its own directed tests).
+  const Nanos slot = opts.window / opts.episodes;
+  for (int ep = 0; ep < opts.episodes; ++ep) {
+    const Nanos slot_start = opts.start + ep * slot;
+    // Inject in the first third of the slot, heal in the last third: every
+    // fault is held long enough to bite, and fully healed before the slot
+    // ends.
+    const Nanos inject =
+        slot_start + kMillisecond + rng.NextBelow(std::max<uint64_t>(
+                                        1, static_cast<uint64_t>(slot / 3)));
+    const Nanos heal =
+        slot_start + (2 * slot) / 3 +
+        rng.NextBelow(
+            std::max<uint64_t>(1, static_cast<uint64_t>(slot / 3 -
+                                                        2 * kMillisecond)));
+
+    const Kind kind = kinds[rng.NextBelow(kinds.size())];
+    const int az_a = static_cast<int>(rng.NextBelow(opts.num_azs));
+    int az_b = static_cast<int>(rng.NextBelow(opts.num_azs));
+    if (az_b == az_a) az_b = (az_b + 1) % opts.num_azs;
+
+    switch (kind) {
+      case kKindCrash: {
+        const int node = static_cast<int>(rng.NextBelow(opts.num_ndb_nodes));
+        schedule.Add({inject, FaultType::kCrashNdbNode, node, -1, 1.0});
+        schedule.Add({heal, FaultType::kRestartNdbNode, node, -1, 1.0});
+        break;
+      }
+      case kKindAzOutage:
+        // The outage must stay well under the block layer's 10 s DN
+        // heartbeat timeout: a longer outage would make the leader
+        // re-replicate whole AZs of blocks mid-fault, which the
+        // replication invariant would then (correctly) have to wait out.
+        schedule.Add({inject, FaultType::kAzOutage, az_a, -1, 1.0});
+        schedule.Add({heal, FaultType::kAzRestore, az_a, -1, 1.0});
+        break;
+      case kKindPartition:
+        schedule.Add({inject, FaultType::kPartitionAzs, az_a, az_b, 1.0});
+        schedule.Add({heal, FaultType::kHealPartition, az_a, az_b, 1.0});
+        break;
+      case kKindOneWay:
+        schedule.Add({inject, FaultType::kPartitionOneWay, az_a, az_b, 1.0});
+        schedule.Add({heal, FaultType::kHealPartition, az_a, az_b, 1.0});
+        break;
+      case kKindLatency: {
+        const double f = 2.0 + rng.NextDouble() * (opts.max_latency_factor - 2.0);
+        schedule.Add({inject, FaultType::kLatencyInflate, az_a, az_b, f});
+        schedule.Add({heal, FaultType::kLatencyRestore, -1, -1, 1.0});
+        break;
+      }
+      case kKindDrop: {
+        const double p = 0.01 + rng.NextDouble() * (opts.max_drop_probability -
+                                                    0.01);
+        schedule.Add({inject, FaultType::kMessageDrop, az_a, az_b, p});
+        schedule.Add({heal, FaultType::kMessageDropClear, -1, -1, 1.0});
+        break;
+      }
+      case kKindGrey: {
+        const int node = static_cast<int>(rng.NextBelow(opts.num_ndb_nodes));
+        const double f = 2.0 + rng.NextDouble() * (opts.max_grey_slowdown - 2.0);
+        schedule.Add({inject, FaultType::kGreySlowNode, node, -1, f});
+        schedule.Add({heal, FaultType::kGreyRestoreNode, node, -1, 1.0});
+        break;
+      }
+      case kKindBlockDn: {
+        // Permanent loss: the heal is the leader's re-replication, not a
+        // restart — nothing to schedule at `heal`.
+        const int dn = static_cast<int>(rng.NextBelow(opts.num_block_dns));
+        schedule.Add({inject, FaultType::kCrashBlockDn, dn, -1, 1.0});
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+FaultInjector::FaultInjector(hopsfs::Deployment& deployment)
+    : deployment_(deployment) {}
+
+void FaultInjector::Arm(const FaultSchedule& schedule, Nanos base) {
+  assert(!armed_ && "FaultInjector::Arm called twice");
+  armed_ = true;
+  for (const FaultEvent& e : schedule.events()) {
+    deployment_.sim().At(base + e.time, [this, e] { Apply(e); });
+  }
+}
+
+// During a partition the arbitrator shuts down every NDB process on the
+// losing side; healing the network does not resurrect them. Model the
+// operator (or systemd) restarting them once connectivity is back —
+// without this, dead nodes accumulate across episodes until a whole node
+// group is gone and the cluster rightfully shuts itself down.
+// Every heal/restore event restarts NDB processes the failure detector
+// shot during the episode (arbitration losers stay down even after the
+// network recovers; drop storms and latency inflation can also trip the
+// detector on nodes whose hosts never failed). Models the operator or
+// systemd bringing processes back once the fault clears. Hosts that are
+// still down — e.g. a scheduled crash that has not been healed yet — are
+// left alone.
+void FaultInjector::RestartDeadNdbNodes() {
+  ndb::NdbCluster& ndb = deployment_.ndb();
+  for (ndb::NodeId n = 0; n < ndb.num_datanodes(); ++n) {
+    if (!ndb.layout().alive(n) &&
+        deployment_.topology().HostUp(ndb.datanode(n).host())) {
+      ndb.RestartDatanode(n);
+    }
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& e) {
+  trace_.push_back(e.ToString());
+  Topology& topo = deployment_.topology();
+  Network& net = deployment_.network();
+  ndb::NdbCluster& ndb = deployment_.ndb();
+  switch (e.type) {
+    case FaultType::kCrashNdbNode:
+      ndb.CrashDatanode(e.a);
+      break;
+    case FaultType::kRestartNdbNode:
+      ndb.RestartDatanode(e.a);
+      break;
+    case FaultType::kAzOutage:
+      topo.SetAzUp(e.a, false);
+      break;
+    case FaultType::kAzRestore:
+      topo.SetAzUp(e.a, true);
+      RestartDeadNdbNodes();
+      break;
+    case FaultType::kPartitionAzs:
+      topo.PartitionAzs(e.a, e.b);
+      break;
+    case FaultType::kPartitionOneWay:
+      topo.PartitionAzsOneWay(e.a, e.b);
+      break;
+    case FaultType::kHealPartition:
+      topo.HealPartition(e.a, e.b);
+      RestartDeadNdbNodes();
+      break;
+    case FaultType::kHealAllPartitions:
+      topo.HealAllPartitions();
+      RestartDeadNdbNodes();
+      break;
+    case FaultType::kLatencyInflate:
+      topo.SetLatencyFactor(e.a, e.b, e.factor);
+      break;
+    case FaultType::kLatencyRestore:
+      topo.ClearLatencyFactors();
+      RestartDeadNdbNodes();
+      break;
+    case FaultType::kMessageDrop:
+      net.SetDropProbability(e.a, e.b, e.factor);
+      net.SetDropProbability(e.b, e.a, e.factor);
+      break;
+    case FaultType::kMessageDropClear:
+      net.ClearDropProbabilities();
+      RestartDeadNdbNodes();
+      break;
+    case FaultType::kGreySlowNode:
+      ndb.datanode(e.a).SetGreySlowdown(e.factor, e.factor);
+      break;
+    case FaultType::kGreyRestoreNode:
+      ndb.datanode(e.a).SetGreySlowdown(1.0, 1.0);
+      RestartDeadNdbNodes();
+      break;
+    case FaultType::kCrashBlockDn: {
+      auto& dns = deployment_.block_dns();
+      if (e.a >= 0 && e.a < static_cast<int>(dns.size())) {
+        dns[e.a]->Crash();
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace repro::chaos

@@ -20,6 +20,21 @@ constexpr int kMissesForDead = 2;
 }  // namespace
 
 void Namenode::LeaderElectionRound() {
+  // Leader lease: peers declare us dead once our counter stops advancing
+  // for kMissesForDead of their rounds, so we may keep leading only while
+  // our own publishes are landing. Checked up front — a leader whose NDB
+  // access is cut entirely never reaches the election callbacks below and
+  // would otherwise keep claiming leadership through the outage.
+  if (is_leader_ && (le_publish_ok_at_ < 0 ||
+                     sim_.now() - le_publish_ok_at_ >
+                         kMissesForDead * config_.leader_interval)) {
+    RLOG_INFO(kLog, "nn %d relinquishing leadership (own heartbeat row "
+              "not advancing)",
+              nn_id_);
+    is_leader_ = false;
+    rep_timer_.Cancel();
+  }
+
   // Phase 1: publish our heartbeat row.
   NnHeartbeatRow hb;
   hb.nn_id = nn_id_;
@@ -34,7 +49,10 @@ void Namenode::LeaderElectionRound() {
                   api_->Abort(txn);
                   return;
                 }
-                api_->Commit(txn, [this](Code) {
+                api_->Commit(txn, [this](Code commit_code) {
+                  if (commit_code == Code::kOk) {
+                    le_publish_ok_at_ = sim_.now();
+                  }
                   // Phase 2: read the whole membership table.
                   const ndb::TxnId scan_txn =
                       api_->Begin(tables_.vars, std::string(kNnHeartbeatPrefix));
@@ -71,9 +89,27 @@ void Namenode::LeaderElectionRound() {
                                   });
                         active_nns_ = std::move(alive);
 
-                        const bool lead = !active_nns_.empty() &&
+                        // Claiming (or keeping) leadership requires a live
+                        // lease: our own publish must have landed recently,
+                        // not just our row looking fresh in our own scan.
+                        const bool lease_ok =
+                            le_publish_ok_at_ >= 0 &&
+                            sim_.now() - le_publish_ok_at_ <=
+                                kMissesForDead * config_.leader_interval;
+                        const bool lead = lease_ok && !active_nns_.empty() &&
                                           active_nns_.front().nn_id == nn_id_;
-                        if (lead && !is_leader_) {
+                        if (!lead) le_claim_pending_ = false;
+                        if (lead && !is_leader_ && !le_claim_pending_) {
+                          // Deferred claim: a displaced leader only learns
+                          // of our return at ITS next election round, so
+                          // claiming immediately can overlap two leaders
+                          // for up to a round. Claim only after we have
+                          // been the would-be leader for two consecutive
+                          // rounds — the incumbent's round in between sees
+                          // our counter advancing and steps down first.
+                          le_claim_pending_ = true;
+                        } else if (lead && !is_leader_) {
+                          le_claim_pending_ = false;
                           RLOG_INFO(kLog, "nn %d became leader", nn_id_);
                           is_leader_ = true;
                           if (dn_registry_ != nullptr) {

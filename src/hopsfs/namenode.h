@@ -206,6 +206,14 @@ class Namenode {
 
   // Leader election state.
   int64_t le_counter_ = 0;
+  // When this namenode last committed its own heartbeat row. Leadership
+  // is held under a lease bounded by this: a namenode whose counter
+  // writes stop landing will be declared dead by its peers, so it must
+  // stop leading on the same clock or two leaders coexist.
+  Nanos le_publish_ok_at_ = -1;
+  // True when we were the would-be leader last round but deferred the
+  // claim so a displaced incumbent could observe us and step down first.
+  bool le_claim_pending_ = false;
   std::unordered_map<int32_t, std::pair<int64_t, int>> le_seen_;  // id -> (counter, misses)
   std::vector<ActiveNn> active_nns_;
   Simulation::PeriodicHandle le_timer_;

@@ -23,12 +23,16 @@ bool NdbMgmtNode::HandleArbRequest(NodeId requester,
     // New episode: the first claimant's view wins.
     granted_view_ = reachable;
     last_grant_ = now;
+    decision_log_.push_back(
+        ArbDecision{now, requester, true, true, granted_view_});
     return true;
   }
   const bool in_view = requester >= 0 &&
                        requester < static_cast<NodeId>(granted_view_.size()) &&
                        granted_view_[requester];
   if (in_view) last_grant_ = now;
+  decision_log_.push_back(
+      ArbDecision{now, requester, in_view, false, granted_view_});
   return in_view;
 }
 
@@ -201,16 +205,15 @@ void NdbCluster::DeclareNodeFailed(NodeId n) {
   RLOG_INFO(kLog, "declaring datanode %d failed", n);
 
   // Take-over (§II-B2): surviving replicas of transactions coordinated by
-  // the failed node resolve them — modelled as an immediate abort that
-  // releases their locks and pending rows.
+  // the failed node resolve them. Transactions that had reached their
+  // commit point roll forward (the primary may already have applied);
+  // everything else is aborted, releasing locks and pending rows.
   auto rows = datanodes_[n]->DrainTxnRowsForTakeover();
   layout_.set_alive(n, false);
   datanodes_[n]->Shutdown();
   for (const auto& r : rows) {
     if (r.node == n || !layout_.alive(r.node)) continue;
-    NdbDatanode& dn = *datanodes_[r.node];
-    dn.store().Abort(r.table, r.key, r.txn);
-    dn.locks().Release(r.txn, r.table, r.key);
+    datanodes_[r.node]->ResolveTakenOverRow(r);
   }
 
   // Surviving coordinators abort transactions touching the failed node.
@@ -274,8 +277,17 @@ void NdbCluster::RestartDatanode(NodeId n, std::function<void()> done) {
     *wait = [this, n, source, group, weak, done] {
       auto self = weak.lock();
       if (!self) return;
-      if (!cluster_up_ || !layout_.alive(source)) {
+      if (!cluster_up_) {
         if (done) done();
+        return;
+      }
+      if (!layout_.alive(source)) {
+        // Source peer died while we were waiting to adopt its image.
+        // Start over with a fresh source; abandoning here would leave the
+        // node host-up but never rejoined until some later restart call.
+        RLOG_WARN(kLog, "restart of node %d: source %d died mid-copy, "
+                        "retrying with another peer", n, source);
+        RestartDatanode(n, done);
         return;
       }
       for (NodeId peer = 0; peer < num_datanodes(); ++peer) {

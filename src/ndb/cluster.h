@@ -47,12 +47,28 @@ class NdbMgmtNode {
   bool HandleArbRequest(NodeId requester, const std::vector<bool>& reachable,
                         Nanos now);
 
+  // Audit log of every arbitration decision, consumed by the chaos
+  // harness's split-brain invariant: within one episode every grant must
+  // go to a member of the episode's single blessed view.
+  struct ArbDecision {
+    Nanos time;
+    NodeId requester;
+    bool granted;
+    bool new_episode;           // this decision blessed a fresh view
+    std::vector<bool> view;     // the view in force after the decision
+  };
+  const std::vector<ArbDecision>& decision_log() const {
+    return decision_log_;
+  }
+
+  static constexpr Nanos kEpisodeWindow = 1 * kSecond;
+
  private:
   int id_;
   HostId host_;
   std::vector<bool> granted_view_;
   Nanos last_grant_ = -1;
-  static constexpr Nanos kEpisodeWindow = 1 * kSecond;
+  std::vector<ArbDecision> decision_log_;
 };
 
 class NdbCluster {

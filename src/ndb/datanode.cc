@@ -18,6 +18,7 @@ NdbDatanode::NdbDatanode(NdbCluster& cluster, NodeId id, HostId host)
       store_(cluster.catalog().num_tables()),
       locks_(cluster.sim(), cluster.node_config().lock_wait_timeout) {
   cluster_has_durability_ = cluster.node_config().enable_durability;
+  store_.set_debug_owner(id_);
   auto& sim = cluster_.sim();
   const auto& nc = cluster_.node_config();
   const auto name = [this](const char* pool) {
@@ -34,6 +35,22 @@ NdbDatanode::NdbDatanode(NdbCluster& cluster, NodeId id, HostId host)
 }
 
 AzId NdbDatanode::az() const { return cluster_.layout().az_of(id_); }
+
+void NdbDatanode::SetGreySlowdown(double cpu_factor, double disk_factor) {
+  grey_degraded_ = cpu_factor != 1.0 || disk_factor != 1.0;
+  for (ThreadPool* pool :
+       {ldm_.get(), tc_.get(), recv_.get(), send_.get(), rep_.get(),
+        io_.get(), main_.get()}) {
+    pool->set_slowdown(cpu_factor);
+  }
+  disk_->set_slowdown(disk_factor);
+  if (grey_degraded_) {
+    RLOG_INFO(kLog, "datanode %d grey-degraded (cpu x%.1f, disk x%.1f)",
+              id_, cpu_factor, disk_factor);
+  } else {
+    RLOG_INFO(kLog, "datanode %d grey degradation cleared", id_);
+  }
+}
 
 void NdbDatanode::Shutdown() {
   if (!alive_) return;
@@ -53,6 +70,9 @@ bool NdbDatanode::HasTxnTouchingGroup(int group) const {
   for (const auto& [txn, t] : txns_) {
     for (const auto& w : t.writes) {
       if (w.part % groups == group) return true;
+    }
+    for (PartitionId p : t.inflight_parts) {
+      if (p % groups == group) return true;
     }
     for (const auto& rl : t.read_locks) {
       if (rl.part % groups == group) return true;
@@ -290,6 +310,15 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
       return;
     }
 
+    if (test_lose_acked_writes_) {
+      // Deliberate bug (see set_test_lose_acked_writes): swallow the write
+      // and ack success. The transaction later commits "cleanly" with no
+      // staged rows, so the client believes the write is durable.
+      SendToApi(req.api, cost.msg_small,
+                OpReply{req.txn, req.op_id, Code::kOk, {}, {}});
+      return;
+    }
+
     // Write: start the prepare chain (locks taken at the primary first).
     std::vector<NodeId> chain;
     for (NodeId n : layout.ReplicaChain(req.table, part)) {
@@ -319,6 +348,7 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
     prep.value = std::move(req.value);
     prep.chain = std::move(chain);
     prep.pos = 0;
+    t.inflight_parts.push_back(part);
     const int64_t bytes =
         cost.msg_write_base + static_cast<int64_t>(prep.value.size());
     const NodeId first = prep.chain[0];
@@ -616,15 +646,27 @@ std::vector<NdbDatanode::TakeoverRow> NdbDatanode::DrainTxnRowsForTakeover() {
   for (auto& [txn, t] : txns_) {
     for (const auto& w : t.writes) {
       for (NodeId n : w.chain) {
-        rows.push_back(TakeoverRow{txn, w.table, w.key, w.part, n});
+        rows.push_back(
+            TakeoverRow{txn, w.table, w.key, w.part, n, t.committing});
       }
     }
     for (const auto& rl : t.read_locks) {
-      rows.push_back(TakeoverRow{txn, rl.table, rl.key, rl.part, rl.node});
+      rows.push_back(TakeoverRow{txn, rl.table, rl.key, rl.part, rl.node,
+                                 /*commit_forward=*/false});
     }
   }
   txns_.clear();
   return rows;
+}
+
+void NdbDatanode::ResolveTakenOverRow(const TakeoverRow& row) {
+  if (row.commit_forward) {
+    LogRedo(row.table, row.key, store_.Commit(row.table, row.key, row.txn));
+    AccountRedo();
+  } else {
+    store_.Abort(row.table, row.key, row.txn);
+  }
+  locks_.Release(row.txn, row.table, row.key);
 }
 
 void NdbDatanode::SweepInactiveTxns() {
@@ -641,6 +683,61 @@ void NdbDatanode::SweepInactiveTxns() {
                static_cast<unsigned long long>(txn));
     AbortTxnInternal(txn, it->second, /*notify_api=*/false, Code::kTimedOut);
     txns_.erase(it);
+  }
+
+  // Resolve pending writes whose coordinating transaction no longer
+  // exists. Take-over and TC-side aborts roll back only the rows the TC
+  // had recorded, and the TC records a write only once the whole chain
+  // has prepared — so a prepare or complete whose ack was lost with its
+  // coordinator leaves pending slots (and, on the primary, a row lock)
+  // that nothing else will ever free. A pending write is an orphan once
+  // it is older than the inactivity timeout (anything younger may still
+  // have its TcPrepared/Complete legitimately in flight) and its TC is
+  // dead, restarted (empty transaction table), or has forgotten the txn.
+  std::vector<RowStore::PendingRow> orphans;
+  store_.ForEachPending([&](const RowStore::PendingRow& p) {
+    if (p.tc == kNoNode || p.staged_at >= cutoff) return;
+    if (!cluster_.layout().alive(p.tc) ||
+        !cluster_.datanode(p.tc).HasActiveTxn(p.txn)) {
+      orphans.push_back(p);
+    }
+  });
+  for (const auto& o : orphans) {
+    // Roll forward or back? The transaction may have reached its commit
+    // point — primary applied, client acked — with only this replica's
+    // Complete lost, in which case aborting would leave the replica
+    // diverged forever. Consult the other alive replicas
+    // (copy-fragment-style repair): if any of them has already applied
+    // this exact write, commit it here too; otherwise no one acked it
+    // and rollback is safe.
+    bool committed_elsewhere = false;
+    const PartitionId part = cluster_.layout().PartitionOf(o.table, o.key);
+    for (NodeId r : cluster_.layout().ReplicaChain(o.table, part)) {
+      if (r == id_ || !cluster_.layout().alive(r)) continue;
+      const RowStore& other = cluster_.datanode(r).store();
+      if (o.type == WriteType::kPut) {
+        const auto v = other.Read(o.table, o.key, /*reader_txn=*/0);
+        if (v && *v == o.value) {
+          committed_elsewhere = true;
+          break;
+        }
+      } else if (!other.ExistsCommitted(o.table, o.key) &&
+                 store_.ExistsCommitted(o.table, o.key)) {
+        committed_elsewhere = true;
+        break;
+      }
+    }
+    RLOG_DEBUG(kLog, "node %d resolving orphaned pending write on %s (txn "
+               "%llu): %s",
+               id_, o.key.c_str(), static_cast<unsigned long long>(o.txn),
+               committed_elsewhere ? "roll forward" : "roll back");
+    if (committed_elsewhere) {
+      LogRedo(o.table, o.key, store_.Commit(o.table, o.key, o.txn));
+      AccountRedo();
+    } else {
+      store_.Abort(o.table, o.key, o.txn);
+    }
+    locks_.Release(o.txn, o.table, o.key);
   }
 }
 
@@ -719,6 +816,24 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
   if (req.busy_retries == 0) ++proto_stats_.prepares;
   RunLdm(req.part, cluster_.cost().ldm_prepare,
          [this, req = std::move(req)]() mutable {
+           if (!cluster_.layout().alive(req.tc)) {
+             // The coordinator died while this prepare was in flight.
+             // Take-over has already rolled its transactions back, but it
+             // can only see rows the TC had recorded — and the TC records
+             // a write only once the whole chain has prepared. Rows staged
+             // by earlier chain members are therefore invisible to
+             // take-over: unwind them here instead of staging one more
+             // pending write that nobody will ever commit or abort.
+             const auto& cost = cluster_.cost();
+             for (int i = 0; i < req.pos; ++i) {
+               SendToNode(req.chain[i], cost.msg_small,
+                          [txn = req.txn, table = req.table, key = req.key,
+                           part = req.part](NdbDatanode& d) {
+                            d.LdmAbortRow(txn, table, key, part);
+                          });
+             }
+             return;
+           }
            const bool is_primary = req.pos == 0;
            if (!is_primary) {
              // Backups stage the pending write without locking; the
@@ -728,7 +843,7 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
              // predecessor's Complete/Abort is already in flight, and
              // coordinator failure frees the slot via take-over.
              if (!store_.Prepare(req.table, req.key, req.type, req.value,
-                                 req.txn)) {
+                                 req.txn, req.tc, cluster_.sim().now())) {
                req.busy_retries += 1;
                if (req.busy_retries > 1000) {
                  RLOG_WARN(kLog, "node %d: pending slot on %s never freed",
@@ -781,7 +896,8 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
                  // The primary's pending slot is protected by the row
                  // lock we now hold, so this cannot be occupied.
                  const bool staged = store_.Prepare(
-                     req.table, req.key, req.type, req.value, req.txn);
+                     req.table, req.key, req.type, req.value, req.txn,
+                     req.tc, cluster_.sim().now());
                  assert(staged);
                  (void)staged;
                  ForwardPrepare(std::move(req));

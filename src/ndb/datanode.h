@@ -125,6 +125,20 @@ class NdbDatanode {
   AzId az() const;
   bool alive() const { return alive_; }
 
+  // Grey failure injection: degrades this node's compute and disk service
+  // times without killing it — heartbeats still flow (slowly), so the
+  // failure detector does NOT evict the node and the cluster limps along
+  // with a straggler. Factors of 1.0 restore normal speed.
+  void SetGreySlowdown(double cpu_factor, double disk_factor);
+  bool grey_degraded() const { return grey_degraded_; }
+
+  // TEST-ONLY fault hook: when set, this node's TC acknowledges write
+  // operations as kOk without ever staging them on any replica — a
+  // deliberate lost-acked-write bug used to prove the chaos harness's
+  // durability invariant actually detects violations. Never set outside
+  // tests/benchmarks.
+  void set_test_lose_acked_writes(bool v) { test_lose_acked_writes_ = v; }
+
   // Graceful shutdown (lost arbitration / operator stop): stops serving.
   void Shutdown();
   // Brings a stopped node back into service (node recovery; data must
@@ -171,10 +185,21 @@ class NdbDatanode {
     Key key;
     PartitionId part;
     NodeId node;
+    // True if the coordinator had passed its commit point: take-over must
+    // roll the row forward (apply the pending write), not back — the
+    // primary may already have applied, and aborting the backups' pending
+    // copies would leave the replicas diverged forever.
+    bool commit_forward = false;
   };
   std::vector<TakeoverRow> DrainTxnRowsForTakeover();
-  // Aborts transactions whose API client is considered gone.
+  // Applies one drained row on a surviving replica: commit or abort the
+  // pending write per `commit_forward`, release the row lock.
+  void ResolveTakenOverRow(const TakeoverRow& row);
+  // Aborts transactions whose API client is considered gone, and reaps
+  // pending writes whose coordinating transaction no longer exists.
   void SweepInactiveTxns();
+  // Whether this node (as TC) still tracks the transaction.
+  bool HasActiveTxn(TxnId txn) const { return txns_.count(txn) > 0; }
 
   RowStore& store() { return store_; }
   LockManager& locks() { return locks_; }
@@ -250,6 +275,12 @@ class NdbDatanode {
       std::vector<NodeId> chain;
     };
     std::vector<WriteRow> writes;
+    // Partitions with a prepare chain launched but not yet acknowledged.
+    // `writes` is only recorded once the whole chain has prepared, so a
+    // mid-chain transaction is invisible through it — the restart fence
+    // (HasTxnTouchingGroup) must see these too or it can adopt a peer
+    // image that predates a write the chain is about to commit.
+    std::vector<PartitionId> inflight_parts;
     struct HeldLock {
       TableId table;
       Key key;
@@ -295,6 +326,8 @@ class NdbDatanode {
   int64_t gcp_epoch_ = 0;
   int64_t durable_gcp_epoch_ = 0;
   bool cluster_has_durability_ = false;
+  bool grey_degraded_ = false;
+  bool test_lose_acked_writes_ = false;
 };
 
 }  // namespace repro::ndb

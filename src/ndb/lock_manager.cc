@@ -72,10 +72,16 @@ void LockManager::Acquire(TxnId txn, TableId table, const Key& key,
   });
 }
 
-void LockManager::GrantWaiters(const LockKey& lk, Entry& entry) {
-  while (!entry.waiters.empty()) {
+void LockManager::GrantWaiters(const LockKey& lk) {
+  // The granted callback may synchronously re-enter the lock manager
+  // (release, acquire, even erase this entry), so no Entry reference can
+  // be held across it — re-find the entry on every iteration.
+  while (true) {
+    auto it = locks_.find(lk);
+    if (it == locks_.end() || it->second.waiters.empty()) return;
+    Entry& entry = it->second;
     Waiter& w = entry.waiters.front();
-    if (!TryGrant(entry, w.txn, w.mode)) break;
+    if (!TryGrant(entry, w.txn, w.mode)) return;
     auto& held = held_by_txn_[w.txn];
     if (std::find(held.begin(), held.end(), lk) == held.end()) {
       held.push_back(lk);
@@ -111,7 +117,7 @@ void LockManager::Release(TxnId txn, TableId table, const Key& key) {
   held.erase(std::remove(held.begin(), held.end(), lk), held.end());
   if (held.empty()) held_by_txn_.erase(txn);
 
-  GrantWaiters(lk, entry);
+  GrantWaiters(lk);
   EraseIfIdle(lk);
 }
 

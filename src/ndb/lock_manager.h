@@ -68,7 +68,7 @@ class LockManager {
     std::deque<Waiter> waiters;
   };
 
-  void GrantWaiters(const LockKey& lk, Entry& entry);
+  void GrantWaiters(const LockKey& lk);
   bool TryGrant(Entry& entry, TxnId txn, LockMode mode);
   void EraseIfIdle(const LockKey& lk);
 

@@ -1,8 +1,22 @@
 #include "ndb/row_store.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace repro::ndb {
+
+namespace {
+// Row-level debugging for deterministic replays: when $REPRO_TRACE_KEY is
+// set, every state change of rows whose key contains it is printed with
+// the owning node. Combined with a failing chaos seed this pinpoints
+// where a row diverged across replicas. Free when unset (one null check).
+bool TraceKey(const Key& key) {
+  static const char* k = std::getenv("REPRO_TRACE_KEY");
+  return k != nullptr && key.find(k) != Key::npos;
+}
+}  // namespace
 
 RowStore::RowStore(int num_tables) : tables_(num_tables) {}
 
@@ -20,11 +34,19 @@ std::optional<std::string> RowStore::Read(TableId table, const Key& key,
 }
 
 bool RowStore::Prepare(TableId table, const Key& key, WriteType type,
-                       std::string value, TxnId txn) {
+                       std::string value, TxnId txn, NodeId tc,
+                       Nanos staged_at) {
   Row& row = tables_[table][key];
+  if (TraceKey(key)) {
+    std::fprintf(stderr, "[trace] store %d PREPARE %s txn=%lld tc=%d ok=%d\n",
+                 debug_owner_, key.c_str(), (long long)txn, (int)tc,
+                 !(row.has_pending && row.pending_txn != txn));
+  }
   if (row.has_pending && row.pending_txn != txn) return false;
   row.has_pending = true;
   row.pending_txn = txn;
+  row.pending_tc = tc;
+  row.pending_since = staged_at;
   row.pending_type = type;
   row.pending_value = std::move(value);
   return true;
@@ -35,6 +57,12 @@ std::optional<RowStore::AppliedWrite> RowStore::Commit(TableId table,
                                                        TxnId txn) {
   auto& t = tables_[table];
   auto it = t.find(key);
+  if (TraceKey(key)) {
+    std::fprintf(stderr, "[trace] store %d COMMIT %s txn=%lld applied=%d\n",
+                 debug_owner_, key.c_str(), (long long)txn,
+                 it != t.end() && it->second.has_pending &&
+                     it->second.pending_txn == txn);
+  }
   if (it == t.end()) return std::nullopt;
   Row& row = it->second;
   if (!row.has_pending || row.pending_txn != txn) return std::nullopt;
@@ -56,6 +84,12 @@ std::optional<RowStore::AppliedWrite> RowStore::Commit(TableId table,
 void RowStore::Abort(TableId table, const Key& key, TxnId txn) {
   auto& t = tables_[table];
   auto it = t.find(key);
+  if (TraceKey(key)) {
+    std::fprintf(stderr, "[trace] store %d ABORT %s txn=%lld hit=%d\n",
+                 debug_owner_, key.c_str(), (long long)txn,
+                 it != t.end() && it->second.has_pending &&
+                     it->second.pending_txn == txn);
+  }
   if (it == t.end()) return;
   Row& row = it->second;
   if (!row.has_pending || row.pending_txn != txn) return;
@@ -121,8 +155,25 @@ void RowStore::ForEachCommitted(
   }
 }
 
+void RowStore::ForEachPending(
+    const std::function<void(const PendingRow&)>& fn) const {
+  for (size_t table = 0; table < tables_.size(); ++table) {
+    for (const auto& [key, row] : tables_[table]) {
+      if (row.has_pending) {
+        fn(PendingRow{static_cast<TableId>(table), key, row.pending_txn,
+                      row.pending_tc, row.pending_since, row.pending_type,
+                      row.pending_value});
+      }
+    }
+  }
+}
+
 void RowStore::BootstrapPut(TableId table, const Key& key,
                             std::string value) {
+  if (TraceKey(key)) {
+    std::fprintf(stderr, "[trace] store %d BOOTSTRAP %s\n", debug_owner_,
+                 key.c_str());
+  }
   Row& row = tables_[table][key];
   if (row.committed) total_bytes_ -= static_cast<int64_t>(row.committed->size());
   row.committed = std::move(value);

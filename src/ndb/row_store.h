@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ndb/types.h"
+#include "util/time.h"
 
 namespace repro::ndb {
 
@@ -34,9 +35,12 @@ class RowStore {
   // still occupies the row (its Commit/Complete has not landed yet) — the
   // caller must retry shortly; the slot frees when that write applies or
   // aborts. kInsert semantics are enforced by the caller (primary
-  // replica) via ExistsCommitted.
+  // replica) via ExistsCommitted. `tc` and `staged_at` record which
+  // coordinator staged the write and when, so the orphaned-slot sweep can
+  // trace a stuck pending write back to its transaction.
   [[nodiscard]] bool Prepare(TableId table, const Key& key, WriteType type,
-                             std::string value, TxnId txn);
+                             std::string value, TxnId txn,
+                             NodeId tc = kNoNode, Nanos staged_at = 0);
 
   // Applies txn's pending op on the row, making it the committed image.
   // Returns the applied mutation (for redo logging), or nullopt if there
@@ -66,6 +70,9 @@ class RowStore {
   int64_t row_count(TableId table) const;
   int64_t total_bytes() const { return total_bytes_; }
 
+  // Node id stamped on $REPRO_TRACE_KEY row-trace lines (see TraceKey).
+  void set_debug_owner(int id) { debug_owner_ = id; }
+
   // Direct committed write, bypassing the protocol. Used only for bulk
   // namespace bootstrap before an experiment starts and for node-recovery
   // data copy.
@@ -78,12 +85,29 @@ class RowStore {
       TableId table,
       const std::function<void(const Key&, const std::string&)>& fn) const;
 
+  // Iterates every pending (staged, not yet applied) write across all
+  // tables. Used by the orphaned-slot sweep: a pending write whose
+  // transaction no longer exists at its coordinator — and which take-over
+  // never saw — must be resolved or it wedges the row forever.
+  struct PendingRow {
+    TableId table;
+    Key key;
+    TxnId txn;
+    NodeId tc;        // coordinator recorded at Prepare
+    Nanos staged_at;  // when it was staged
+    WriteType type;
+    std::string value;
+  };
+  void ForEachPending(const std::function<void(const PendingRow&)>& fn) const;
+
  private:
   struct Row {
     std::optional<std::string> committed;
     // Pending op staged by the prepare phase.
     bool has_pending = false;
     TxnId pending_txn = 0;
+    NodeId pending_tc = kNoNode;  // coordinator that staged the write
+    Nanos pending_since = 0;      // when it was staged
     WriteType pending_type = WriteType::kPut;
     std::string pending_value;
   };
@@ -92,6 +116,7 @@ class RowStore {
 
   std::vector<std::map<Key, Row>> tables_;
   int64_t total_bytes_ = 0;
+  int debug_owner_ = -1;
 };
 
 }  // namespace repro::ndb

@@ -54,6 +54,14 @@ void Simulation::Run() {
   }
 }
 
+bool Simulation::RunOne() {
+  if (queue_.empty()) return false;
+  Event e = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  Dispatch(e);
+  return true;
+}
+
 void Simulation::RunUntil(Nanos t) {
   while (!queue_.empty() && queue_.top().time <= t) {
     Event e = std::move(const_cast<Event&>(queue_.top()));

@@ -59,6 +59,12 @@ class Simulation {
   void RunUntil(Nanos t);
   void RunFor(Nanos d) { RunUntil(now_ + d); }
 
+  // Dispatches exactly one event (the earliest pending). Returns false if
+  // the queue was empty. Lets callers run the engine until an external
+  // condition holds — e.g. "until this reply arrives or a scheduled
+  // deadline event fires" — without polling in fixed time steps.
+  bool RunOne();
+
   bool Empty() const { return queue_.empty(); }
 
  private:

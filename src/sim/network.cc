@@ -13,6 +13,22 @@ Network::Network(Simulation& sim, Topology& topology, NetworkConfig config)
   link_free_at_.assign(azs, std::vector<Nanos>(azs, 0));
   host_stats_.assign(hosts, HostNetStats{});
   az_pair_bytes_.assign(azs, std::vector<int64_t>(azs, 0));
+  drop_prob_.assign(azs, std::vector<double>(azs, 0.0));
+}
+
+void Network::SetDropProbability(AzId from, AzId to, double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  drop_prob_[from][to] = p;
+  any_drop_prob_ = false;
+  for (const auto& row : drop_prob_) {
+    for (double q : row) any_drop_prob_ |= q > 0.0;
+  }
+}
+
+void Network::SetAllDropProbability(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  for (auto& row : drop_prob_) row.assign(row.size(), p);
+  any_drop_prob_ = p > 0.0;
 }
 
 Nanos Network::Occupy(Nanos& free_at, Nanos now, Nanos tx) {
@@ -38,6 +54,22 @@ void Network::Send(HostId from, HostId to, int64_t payload_bytes,
   const AzId az_from = topology_.az_of(from);
   const AzId az_to = topology_.az_of(to);
 
+  Nanos retransmit_delay = 0;
+  if (any_drop_prob_ && from != to) {
+    const double p = drop_prob_[az_from][az_to];
+    if (p > 0.0) {
+      // Each lost copy costs one retransmission timeout; the message
+      // itself survives unless the transport exhausts its retries and
+      // resets the connection. See SetDropProbability.
+      int losses = 0;
+      while (sim_.rng().NextDouble() < p) {
+        ++messages_dropped_;
+        retransmit_delay += config_.retransmit_timeout;
+        if (++losses >= config_.max_retransmits) return;
+      }
+    }
+  }
+
   host_stats_[from].bytes_sent += bytes;
   host_stats_[from].messages_sent += 1;
   az_pair_bytes_[az_from][az_to] += bytes;
@@ -61,7 +93,8 @@ void Network::Send(HostId from, HostId to, int64_t payload_bytes,
     departure = Occupy(nic_free_at_[from], now, nic_tx);
     departure = Occupy(link_free_at_[az_from][az_to], departure, link_tx);
   }
-  const Nanos arrival = departure + topology_.Latency(from, to, sim_.rng());
+  const Nanos arrival =
+      departure + retransmit_delay + topology_.Latency(from, to, sim_.rng());
 
   sim_.At(arrival, [this, from, to, bytes, deliver = std::move(deliver)] {
     // Re-check: the destination may have died or been partitioned away

@@ -32,6 +32,14 @@ struct NetworkConfig {
   double intra_az_bytes_per_sec = 100.0e9;
   // Fixed per-message framing overhead added to every payload.
   int64_t per_message_overhead_bytes = 120;
+  // Transport retransmission timeout: a message lost on the wire between
+  // reachable hosts (SetDropProbability) is resent after this long, so
+  // loss shows up as added latency — matching TCP, which every protocol
+  // here runs over — not as a silently lost protocol message.
+  Nanos retransmit_timeout = 50 * kMillisecond;
+  // Consecutive losses tolerated before the transport gives up and the
+  // message is genuinely lost (a connection reset).
+  int max_retransmits = 15;
 };
 
 struct HostNetStats {
@@ -64,6 +72,20 @@ class Network {
   }
   void ResetStats();
 
+  // ---- Fault injection: probabilistic message loss ----
+  // Loses each wire transmission on the directed from -> to AZ link with
+  // the given probability (lossy link, not a clean partition). The
+  // transport retransmits after `retransmit_timeout`, so loss between
+  // reachable hosts manifests as latency spikes and failure-detector
+  // flapping — only after `max_retransmits` consecutive losses is the
+  // message genuinely gone (connection reset). Probability 0 restores the
+  // link. Draws from the simulation RNG only when a non-zero probability
+  // is installed, so fault-free runs keep their exact event sequences.
+  void SetDropProbability(AzId from, AzId to, double p);
+  void SetAllDropProbability(double p);
+  void ClearDropProbabilities() { SetAllDropProbability(0.0); }
+  int64_t messages_dropped() const { return messages_dropped_; }
+
   const NetworkConfig& config() const { return config_; }
   Topology& topology() { return topology_; }
   Simulation& sim() { return sim_; }
@@ -88,6 +110,10 @@ class Network {
   std::vector<std::vector<int64_t>> az_pair_bytes_;
   int64_t intra_az_bytes_ = 0;
   int64_t inter_az_bytes_ = 0;
+
+  std::vector<std::vector<double>> drop_prob_;  // [from_az][to_az]
+  bool any_drop_prob_ = false;
+  int64_t messages_dropped_ = 0;
 };
 
 }  // namespace repro

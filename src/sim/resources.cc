@@ -26,6 +26,9 @@ void ThreadPool::Submit(Nanos cost, std::function<void()> done) {
 void ThreadPool::SubmitTo(int thread, Nanos cost, std::function<void()> done) {
   assert(thread >= 0 && thread < num_threads());
   assert(cost >= 0);
+  if (slowdown_ != 1.0) {
+    cost = static_cast<Nanos>(static_cast<double>(cost) * slowdown_);
+  }
   const Nanos start = std::max(free_at_[thread], sim_.now());
   free_at_[thread] = start + cost;
   busy_ns_ += cost;
@@ -65,6 +68,9 @@ Disk::Disk(Simulation& sim, std::string name, Nanos access_time,
       read_rate_(read_bytes_per_sec), write_rate_(write_bytes_per_sec) {}
 
 void Disk::SubmitIo(Nanos service, std::function<void()> done) {
+  if (slowdown_ != 1.0) {
+    service = static_cast<Nanos>(static_cast<double>(service) * slowdown_);
+  }
   const Nanos start = std::max(free_at_, sim_.now());
   free_at_ = start + service;
   stats_.busy_ns += service;

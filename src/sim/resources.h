@@ -51,6 +51,12 @@ class ThreadPool {
 
   void ResetStats();
 
+  // Grey-failure injection: multiplies the service time of every piece of
+  // work submitted while the factor is > 1 (a CPU-stalled node that still
+  // answers heartbeats, just slowly). Factor 1.0 restores normal speed.
+  void set_slowdown(double factor) { slowdown_ = factor; }
+  double slowdown() const { return slowdown_; }
+
  private:
   int EarliestFree() const;
 
@@ -59,6 +65,7 @@ class ThreadPool {
   std::vector<Nanos> free_at_;
   int64_t busy_ns_ = 0;
   int64_t completed_ = 0;
+  double slowdown_ = 1.0;
 };
 
 struct DiskStats {
@@ -83,6 +90,11 @@ class Disk {
   void ResetStats() { stats_ = DiskStats{}; }
   Nanos Backlog() const;
 
+  // Grey-failure injection: a slow disk (degraded media / noisy
+  // neighbour). Multiplies the service time of subsequent I/Os.
+  void set_slowdown(double factor) { slowdown_ = factor; }
+  double slowdown() const { return slowdown_; }
+
  private:
   void SubmitIo(Nanos service, std::function<void()> done);
 
@@ -93,6 +105,7 @@ class Disk {
   double write_rate_;
   Nanos free_at_ = 0;
   DiskStats stats_;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace repro

@@ -33,7 +33,8 @@ AzLatencyTable AzLatencyTable::Uniform(int num_azs, Nanos intra_one_way,
 
 Topology::Topology(int num_azs, AzLatencyTable latency)
     : num_azs_(num_azs), latency_(std::move(latency)), az_up_(num_azs, true),
-      az_partitioned_(num_azs, std::vector<bool>(num_azs, false)) {
+      az_partitioned_(num_azs, std::vector<bool>(num_azs, false)),
+      latency_factor_(num_azs, std::vector<double>(num_azs, 1.0)) {
   assert(static_cast<int>(latency_.one_way.size()) >= num_azs);
 }
 
@@ -57,6 +58,21 @@ void Topology::PartitionAzs(AzId a, AzId b) {
   az_partitioned_[a][b] = az_partitioned_[b][a] = true;
 }
 
+void Topology::PartitionAzsOneWay(AzId from, AzId to) {
+  if (from == to) return;
+  az_partitioned_[from][to] = true;
+}
+
+void Topology::SetLatencyFactor(AzId a, AzId b, double factor) {
+  assert(factor > 0);
+  latency_factor_[a][b] = factor;
+}
+
+void Topology::SetAllLatencyFactor(double factor) {
+  assert(factor > 0);
+  for (auto& row : latency_factor_) row.assign(row.size(), factor);
+}
+
 void Topology::HealPartition(AzId a, AzId b) {
   az_partitioned_[a][b] = az_partitioned_[b][a] = false;
 }
@@ -78,7 +94,13 @@ Nanos Topology::Latency(HostId a, HostId b, Rng& rng) const {
   if (a == b) {
     base = latency_.same_host;
   } else {
-    base = latency_.one_way[hosts_[a].az][hosts_[b].az];
+    const AzId az_a = hosts_[a].az;
+    const AzId az_b = hosts_[b].az;
+    base = latency_.one_way[az_a][az_b];
+    const double factor = latency_factor_[az_a][az_b];
+    if (factor != 1.0) {
+      base = static_cast<Nanos>(static_cast<double>(base) * factor);
+    }
   }
   if (jitter_fraction_ > 0) {
     const double j = 1.0 + jitter_fraction_ * (2.0 * rng.NextDouble() - 1.0);

@@ -55,8 +55,22 @@ class Topology {
   // Installs a network partition between two AZs (both directions).
   // Hosts in partitioned AZs stay up but cannot exchange messages.
   void PartitionAzs(AzId a, AzId b);
+  // Asymmetric (grey) partition: cuts only the from -> to direction, so
+  // `to` can still talk to `from` but never hears back — the classic
+  // half-open link failure detectors struggle with.
+  void PartitionAzsOneWay(AzId from, AzId to);
   void HealPartition(AzId a, AzId b);
   void HealAllPartitions();
+  bool Partitioned(AzId a, AzId b) const { return az_partitioned_[a][b]; }
+
+  // Latency inflation (fault injection): multiplies the one-way latency of
+  // the directed a -> b AZ pair. Factor 1.0 restores normal latency.
+  void SetLatencyFactor(AzId a, AzId b, double factor);
+  void SetAllLatencyFactor(double factor);
+  void ClearLatencyFactors() { SetAllLatencyFactor(1.0); }
+  double latency_factor(AzId a, AzId b) const {
+    return latency_factor_[a][b];
+  }
 
   // True if a message can currently travel from a to b.
   bool Reachable(HostId a, HostId b) const;
@@ -78,8 +92,10 @@ class Topology {
   AzLatencyTable latency_;
   std::vector<Host> hosts_;
   std::vector<bool> az_up_;
-  // az_partitioned_[a][b] = true when the a<->b links are cut.
+  // az_partitioned_[a][b] = true when the a -> b direction is cut.
   std::vector<std::vector<bool>> az_partitioned_;
+  // Multiplicative latency inflation per directed AZ pair (1.0 = normal).
+  std::vector<std::vector<double>> latency_factor_;
   double jitter_fraction_ = 0.05;
 };
 

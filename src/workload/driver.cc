@@ -22,7 +22,12 @@ void ClosedLoopDriver::IssueNext(int client, int generation) {
       op.op, op.path, op.path2, op.size,
       [this, client, start, counted, generation, op_type = op.op](Status s) {
         const Nanos latency = sim_.now() - start;
-        if (s.ok()) results_.timeline.Record(sim_.now(), ToMillis(latency));
+        if (s.ok()) {
+          results_.timeline.Record(sim_.now(), ToMillis(latency));
+        } else {
+          results_.fail_timeline.Record(sim_.now());
+          ++results_.errors_by_code[s.code()];
+        }
         if (counted && measuring_) {
           if (s.ok()) {
             results_.all.Record(latency);

@@ -26,9 +26,15 @@ struct DriverResults {
   int64_t completed = 0;
   int64_t failed = 0;
   Nanos window = 0;
+  // Failure taxonomy: failed operations by status code, over the whole
+  // run (including warm-up) — the chaos scorecard's error breakdown.
+  std::map<Code, int64_t> errors_by_code;
   // Completion timeline (100 ms windows over the whole run, including
   // warm-up): throughput-over-time and failure-dip views.
   metrics::TimeSeries timeline;
+  // Failed-operation timeline on the same windows (error bursts around
+  // injected faults).
+  metrics::TimeSeries fail_timeline;
 
   double ops_per_sec() const {
     return window > 0 ? static_cast<double>(completed) / ToSeconds(window)

@@ -81,6 +81,61 @@ TEST(Topology, SelfPartitionIsIgnored) {
       << "intra-AZ connectivity must survive a nonsensical self-partition";
 }
 
+TEST(Engine, RunOneExecutesExactlyOneEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.After(Millis(1), [&] { ++fired; });
+  sim.After(Millis(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.RunOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Millis(1));
+  EXPECT_TRUE(sim.RunOne());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.RunOne()) << "empty queue must report no work";
+}
+
+TEST(Topology, PartialHealLeavesOtherPartitionsCut) {
+  Topology topo(3, AzLatencyTable::UsWest1());
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  const HostId c = topo.AddHost(2, "c");
+  topo.PartitionAzs(0, 1);
+  topo.PartitionAzs(0, 2);
+  topo.HealPartition(0, 1);
+  EXPECT_TRUE(topo.Reachable(a, b)) << "healed pair must reconnect";
+  EXPECT_FALSE(topo.Reachable(a, c)) << "unhealed pair must stay cut";
+  EXPECT_TRUE(topo.Reachable(b, c));
+  topo.HealAllPartitions();
+  EXPECT_TRUE(topo.Reachable(a, c));
+}
+
+TEST(Topology, OneWayPartitionIsAsymmetric) {
+  Topology topo(3, AzLatencyTable::UsWest1());
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  topo.PartitionAzsOneWay(0, 1);
+  EXPECT_FALSE(topo.Reachable(a, b)) << "cut direction";
+  EXPECT_TRUE(topo.Reachable(b, a)) << "reverse direction stays up";
+  topo.HealPartition(0, 1);
+  EXPECT_TRUE(topo.Reachable(a, b));
+}
+
+TEST(Topology, LatencyFactorInflatesOnePair) {
+  Topology topo(3, AzLatencyTable::Uniform(3, Micros(100), Micros(200)));
+  topo.set_jitter_fraction(0);
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  const HostId c = topo.AddHost(2, "c");
+  Rng rng(1);
+  const Nanos base_ab = topo.Latency(a, b, rng);
+  const Nanos base_ac = topo.Latency(a, c, rng);
+  topo.SetLatencyFactor(0, 1, 4.0);
+  EXPECT_EQ(topo.Latency(a, b, rng), 4 * base_ab);
+  EXPECT_EQ(topo.Latency(a, c, rng), base_ac) << "other pairs unaffected";
+  topo.ClearLatencyFactors();
+  EXPECT_EQ(topo.Latency(a, b, rng), base_ab);
+}
+
 TEST(Topology, AzFailureTakesHostsDown) {
   Topology topo(3, AzLatencyTable::UsWest1());
   const HostId a = topo.AddHost(0, "a");
@@ -128,6 +183,44 @@ TEST(Network, DropsWhenPartitionHappensMidFlight) {
   sim.After(Micros(1), [&] { topo.PartitionAzs(0, 1); });
   sim.Run();
   EXPECT_FALSE(delivered);
+}
+
+TEST(Network, LossyLinkDelaysViaRetransmission) {
+  Simulation sim(3);
+  Topology topo(2, AzLatencyTable::Uniform(2, Micros(10), Micros(100)));
+  topo.set_jitter_fraction(0);
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  Network net(sim, topo);
+  net.SetDropProbability(0, 1, 0.5);
+  // TCP semantics: loss between reachable hosts is retried, so every
+  // message still arrives — late, by one retransmit timeout per loss.
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    net.Send(a, b, 10, [&] { ++delivered; });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 50) << "drops below the retry cap must not lose data";
+  EXPECT_GT(net.messages_dropped(), 0) << "p=0.5 must have dropped some";
+  net.ClearDropProbabilities();
+  const int64_t dropped_before = net.messages_dropped();
+  net.Send(a, b, 10, [] {});
+  sim.Run();
+  EXPECT_EQ(net.messages_dropped(), dropped_before);
+}
+
+TEST(Network, TotalLossResetsAfterMaxRetransmits) {
+  Simulation sim(4);
+  Topology topo(2, AzLatencyTable::Uniform(2, Micros(10), Micros(100)));
+  const HostId a = topo.AddHost(0, "a");
+  const HostId b = topo.AddHost(1, "b");
+  Network net(sim, topo);
+  net.SetDropProbability(0, 1, 1.0);
+  bool delivered = false;
+  net.Send(a, b, 10, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_FALSE(delivered) << "a fully lossy link must eventually give up";
+  EXPECT_EQ(net.messages_dropped(), net.config().max_retransmits);
 }
 
 TEST(Network, AccountsIntraVsInterAzBytes) {
@@ -205,6 +298,31 @@ TEST(ThreadPool, UtilizationWindow) {
   EXPECT_NEAR(pool.Utilization(0), 0.5, 0.01);
   pool.ResetStats();
   EXPECT_EQ(pool.busy_ns(), 0);
+}
+
+TEST(ThreadPool, GreySlowdownStretchesServiceTime) {
+  Simulation sim;
+  ThreadPool pool(sim, "p", 1);
+  pool.set_slowdown(3.0);
+  Nanos done_at = 0;
+  pool.Submit(Millis(10), [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, Millis(30));
+  pool.set_slowdown(1.0);
+  const Nanos t0 = sim.now();
+  pool.Submit(Millis(10), [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(done_at - t0, Millis(10)) << "restore must clear the stretch";
+}
+
+TEST(Disk, GreySlowdownStretchesServiceTime) {
+  Simulation sim;
+  Disk disk(sim, "d", Micros(50), 1e9, 1e9);
+  disk.set_slowdown(4.0);
+  Nanos done_at = 0;
+  disk.Write(1'000'000, [&] { done_at = sim.now(); });  // 1 MB, x4
+  sim.Run();
+  EXPECT_GE(done_at, 4 * Micros(1050));
 }
 
 TEST(Disk, ServiceTimeIncludesAccessAndTransfer) {
