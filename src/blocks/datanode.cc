@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "resilience/deadline.h"
 #include "util/strings.h"
 
 namespace repro::blocks {
@@ -33,9 +34,14 @@ void BlockDatanode::StreamBytes(HostId dst, int64_t bytes,
 
 void BlockDatanode::WriteBlock(uint64_t block_id, int64_t bytes,
                                std::vector<BlockDatanode*> pipeline,
-                               std::function<void(Status)> done) {
+                               std::function<void(Status)> done,
+                               Nanos deadline) {
   if (!alive_) return;  // the client's RPC timeout handles dead DNs
-  cpu_.Submit(config_.cpu_per_request, [this, block_id, bytes,
+  if (resilience::DeadlineExpired(deadline, sim_.now())) {
+    if (done) done(DeadlineExceeded("dn: write past deadline"));
+    return;
+  }
+  cpu_.Submit(config_.cpu_per_request, [this, block_id, bytes, deadline,
                                         pipeline = std::move(pipeline),
                                         done = std::move(done)]() mutable {
     if (!alive_) return;
@@ -48,17 +54,23 @@ void BlockDatanode::WriteBlock(uint64_t block_id, int64_t bytes,
     BlockDatanode* next = pipeline.front();
     pipeline.erase(pipeline.begin());
     StreamBytes(next->host(), bytes,
-                [next, block_id, bytes, pipeline = std::move(pipeline),
+                [next, block_id, bytes, deadline,
+                 pipeline = std::move(pipeline),
                  done = std::move(done)]() mutable {
                   next->WriteBlock(block_id, bytes, std::move(pipeline),
-                                   std::move(done));
+                                   std::move(done), deadline);
                 });
   });
 }
 
 void BlockDatanode::ReadBlock(uint64_t block_id, HostId reader_host,
-                              std::function<void(Expected<int64_t>)> done) {
+                              std::function<void(Expected<int64_t>)> done,
+                              Nanos deadline) {
   if (!alive_) return;
+  if (resilience::DeadlineExpired(deadline, sim_.now())) {
+    done(DeadlineExceeded("dn: read past deadline"));
+    return;
+  }
   cpu_.Submit(config_.cpu_per_request,
               [this, block_id, reader_host, done = std::move(done)] {
                 if (!alive_) return;

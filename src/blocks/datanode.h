@@ -41,12 +41,16 @@ class BlockDatanode {
 
   // Client-facing: writes `bytes` of data for `block_id`, replicating down
   // the remaining pipeline. `pipeline` holds the replicas after this one.
+  // `deadline` is the client op's absolute deadline (0 = none): work whose
+  // deadline already passed is refused before it reaches CPU or disk
+  // (deadline propagation, final hop).
   void WriteBlock(uint64_t block_id, int64_t bytes,
                   std::vector<BlockDatanode*> pipeline,
-                  std::function<void(Status)> done);
+                  std::function<void(Status)> done, Nanos deadline = 0);
 
   void ReadBlock(uint64_t block_id, HostId reader_host,
-                 std::function<void(Expected<int64_t>)> done);
+                 std::function<void(Expected<int64_t>)> done,
+                 Nanos deadline = 0);
 
   void DeleteBlock(uint64_t block_id);
 

@@ -56,6 +56,7 @@ std::string ChaosReport::Scorecard() const {
                          ToSeconds(recovery_time))
              : std::string("  recovery: goodput did not return to 50% of "
                            "baseline\n");
+  out += StrFormat("  longest stall: %.2fs\n", ToSeconds(longest_stall));
   for (const auto& r : invariants) {
     out += StrFormat("  [%s] %-11s %s\n", r.ok ? "pass" : "FAIL",
                      r.name.c_str(), r.detail.c_str());
@@ -179,7 +180,55 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts,
     }
   }
 
+  // Longest stall: the longest run of empty 100 ms completion windows
+  // after warm-up (the timeline materialises empty windows in gaps).
+  {
+    const Nanos width = report.timeline.window_width();
+    Nanos run = 0;
+    Nanos end_of_interest = faults_end + opts.settle;
+    for (const auto& w : report.timeline.windows()) {
+      if (w.start < t0 + opts.warmup || w.start >= end_of_interest) continue;
+      run = w.count == 0 ? run + width : 0;
+      report.longest_stall = std::max(report.longest_stall, run);
+    }
+  }
+
   report.invariants = checker.CheckAll(*probe, sim.now() + opts.probe_budget);
+
+  // Surge-goodput invariant: during every open-loop surge episode the
+  // measured workload must keep at least `surge_goodput_floor` of its
+  // warm-up goodput — overload sheds excess arrivals instead of
+  // collapsing everyone.
+  {
+    bool has_surge = false;
+    double worst_ratio = 1.0;
+    Nanos surge_start = -1;
+    const double baseline = report.goodput.warmup_ops_per_sec;
+    for (const auto& e : schedule.events()) {
+      if (e.type == FaultType::kOpenLoopSurge) surge_start = e.time;
+      if (e.type == FaultType::kOpenLoopSurgeStop && surge_start >= 0) {
+        const double rate =
+            PhaseRate(res.timeline, t0 + surge_start, t0 + e.time);
+        if (baseline > 0) {
+          worst_ratio = std::min(worst_ratio, rate / baseline);
+        }
+        has_surge = true;
+        surge_start = -1;
+      }
+    }
+    if (has_surge) {
+      InvariantResult r;
+      r.name = "surge-goodput";
+      r.ok = worst_ratio >= opts.surge_goodput_floor;
+      r.detail = StrFormat(
+          "goodput under surge held %.0f%% of baseline (floor %.0f%%); "
+          "surge ops issued %lld, completed %lld",
+          100.0 * worst_ratio, 100.0 * opts.surge_goodput_floor,
+          static_cast<long long>(injector.surge_issued()),
+          static_cast<long long>(injector.surge_completed()));
+      report.invariants.push_back(r);
+    }
+  }
 
   report.trace = injector.trace();
   for (const auto& line : checker.trace()) report.trace.push_back(line);

@@ -42,6 +42,16 @@ struct ChaosOptions {
   // in by the harness from the deployment).
   RandomFaultOptions faults;
 
+  // Surge-goodput invariant: while an open-loop surge is active, the
+  // measured workload's goodput must stay at or above this fraction of
+  // the warm-up baseline. Admission is FCFS, so under an overload surge
+  // the foreground workload keeps roughly its arrival-fraction share of
+  // capacity — a small number by design. The invariant therefore guards
+  // against metastable collapse (goodput pinned near zero by queue
+  // backlogs and retry storms, persisting past the surge), not against
+  // fair-share dilution. Only checked when the schedule has a surge.
+  double surge_goodput_floor = 0.02;
+
   // Deliberately enables the lost-acked-write bug (see
   // NdbDatanode::set_test_lose_acked_writes) on every NDB datanode for a
   // short burst mid-window. The durability invariant MUST fail — used to
@@ -79,6 +89,10 @@ struct ChaosReport {
   // Time from the schedule's last heal until goodput first returns to at
   // least half the warm-up rate; -1 if it never does.
   Nanos recovery_time = -1;
+  // Longest run of 100 ms windows with zero completed ops after warm-up —
+  // the availability scorecard's "no stall longer than the failover
+  // detection window" number.
+  Nanos longest_stall = 0;
 
   // Deterministic event trace: injected faults in application order, then
   // the checker's observations. Byte-identical across same-seed runs.

@@ -283,6 +283,30 @@ InvariantResult InvariantChecker::CheckReplication() {
   return result;
 }
 
+InvariantResult InvariantChecker::CheckDeadlines() {
+  InvariantResult result{"deadlines", true, ""};
+  int64_t violations = 0;
+  int64_t clients = 0;
+  for (const auto& c : deployment_.clients()) {
+    ++clients;
+    violations += c->post_deadline_successes();
+  }
+  if (violations > 0) {
+    result.ok = false;
+    result.detail = StrFormat(
+        "%lld success(es) delivered after the op's deadline had passed",
+        static_cast<long long>(violations));
+  } else {
+    result.detail = StrFormat(
+        "no success delivered past its deadline across %lld clients",
+        static_cast<long long>(clients));
+  }
+  trace_.push_back(StrFormat("[t=%.3fs] deadlines: %s",
+                             ToSeconds(deployment_.sim().now()),
+                             result.detail.c_str()));
+  return result;
+}
+
 std::vector<InvariantResult> InvariantChecker::CheckAll(
     hopsfs::HopsFsClient& probe, Nanos deadline) {
   std::vector<InvariantResult> results;
@@ -290,6 +314,7 @@ std::vector<InvariantResult> InvariantChecker::CheckAll(
   results.push_back(CheckArbitration());
   results.push_back(CheckLeadership());
   results.push_back(CheckReplication());
+  results.push_back(CheckDeadlines());
   return results;
 }
 

@@ -15,6 +15,10 @@
 //                 replication factor, every listed replica actually holds
 //                 its block, and (AZ-aware placement) every AZ holds a
 //                 copy;
+//   deadlines     no operation ever delivers a success to its caller
+//                 after the op's absolute deadline passed or after
+//                 DEADLINE_EXCEEDED was already reported — fail-fast
+//                 must be final (src/resilience/ deadline propagation);
 //   determinism   two runs from the same seed produce byte-identical
 //                 event traces (checked by the caller via trace()).
 #pragma once
@@ -57,8 +61,9 @@ class InvariantChecker {
   InvariantResult CheckArbitration();
   InvariantResult CheckLeadership();
   InvariantResult CheckReplication();
+  InvariantResult CheckDeadlines();
 
-  // All four finals in order; stable ordering keeps scorecards diffable.
+  // All finals in order; stable ordering keeps scorecards diffable.
   std::vector<InvariantResult> CheckAll(hopsfs::HopsFsClient& probe,
                                         Nanos deadline);
 

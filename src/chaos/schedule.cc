@@ -23,6 +23,8 @@ const char* FaultTypeName(FaultType type) {
     case FaultType::kGreySlowNode: return "grey-slow";
     case FaultType::kGreyRestoreNode: return "grey-restore";
     case FaultType::kCrashBlockDn: return "crash-blockdn";
+    case FaultType::kOpenLoopSurge: return "open-loop-surge";
+    case FaultType::kOpenLoopSurgeStop: return "surge-stop";
   }
   return "?";
 }
@@ -33,6 +35,7 @@ std::string FaultEvent::ToString() const {
     case FaultType::kHealAllPartitions:
     case FaultType::kLatencyRestore:
     case FaultType::kMessageDropClear:
+    case FaultType::kOpenLoopSurgeStop:
       std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s", ToSeconds(time),
                     FaultTypeName(type));
       break;
@@ -40,6 +43,10 @@ std::string FaultEvent::ToString() const {
     case FaultType::kRestartNdbNode:
     case FaultType::kCrashBlockDn:
       std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s node=%d", ToSeconds(time),
+                    FaultTypeName(type), a);
+      break;
+    case FaultType::kOpenLoopSurge:
+      std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s %d ops/s", ToSeconds(time),
                     FaultTypeName(type), a);
       break;
     case FaultType::kAzOutage:
@@ -129,6 +136,7 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
     kKindDrop,
     kKindGrey,
     kKindBlockDn,
+    kKindSurge,
   };
   std::vector<Kind> kinds;
   if (opts.enable_node_crash) kinds.push_back(kKindCrash);
@@ -143,6 +151,7 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
   if (opts.enable_block_dn_crash && opts.num_block_dns > 0) {
     kinds.push_back(kKindBlockDn);
   }
+  if (opts.enable_surge) kinds.push_back(kKindSurge);
   if (kinds.empty() || opts.episodes <= 0) return schedule;
 
   // Episodes are strictly sequential: each one injects a fault, holds it,
@@ -218,6 +227,15 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
         // restart — nothing to schedule at `heal`.
         const int dn = static_cast<int>(rng.NextBelow(opts.num_block_dns));
         schedule.Add({inject, FaultType::kCrashBlockDn, dn, -1, 1.0});
+        break;
+      }
+      case kKindSurge: {
+        const int span =
+            std::max(1, opts.max_surge_ops_per_sec - opts.min_surge_ops_per_sec);
+        const int rate = opts.min_surge_ops_per_sec +
+                         static_cast<int>(rng.NextBelow(span));
+        schedule.Add({inject, FaultType::kOpenLoopSurge, rate, -1, 1.0});
+        schedule.Add({heal, FaultType::kOpenLoopSurgeStop, -1, -1, 1.0});
         break;
       }
     }
@@ -320,7 +338,42 @@ void FaultInjector::Apply(const FaultEvent& e) {
       }
       break;
     }
+    case FaultType::kOpenLoopSurge:
+      StartSurge(e.a);
+      break;
+    case FaultType::kOpenLoopSurgeStop:
+      StopSurge();
+      break;
   }
+}
+
+// An open-loop surge models a demand spike, not a component failure:
+// extra clients stat the root at a fixed arrival rate, independent of
+// completions. Without admission control this drives namenode queues
+// into collapse; with it, excess arrivals are shed and the cluster's
+// goodput holds (the surge-goodput invariant).
+void FaultInjector::StartSurge(int ops_per_sec) {
+  if (surge_active_ || ops_per_sec <= 0) return;
+  surge_active_ = true;
+  if (surge_clients_.empty()) {
+    for (int i = 0; i < 6; ++i) {
+      surge_clients_.push_back(deployment_.AddClient());
+    }
+  }
+  const Nanos interval = std::max<Nanos>(1, kSecond / ops_per_sec);
+  surge_timer_ = deployment_.sim().Every(interval, [this] {
+    hopsfs::HopsFsClient* c = surge_clients_[surge_rr_++ % surge_clients_.size()];
+    ++surge_issued_;
+    c->Stat("/", [this](Status s) {
+      if (s.ok()) ++surge_completed_;
+    });
+  });
+}
+
+void FaultInjector::StopSurge() {
+  if (!surge_active_) return;
+  surge_active_ = false;
+  surge_timer_.Cancel();
 }
 
 }  // namespace repro::chaos

@@ -39,6 +39,9 @@ enum class FaultType {
   kGreyRestoreNode,   // a: node id — clear the grey degradation
   kCrashBlockDn,      // a: block datanode id — permanent loss, triggers
                       // leader-driven re-replication
+  kOpenLoopSurge,     // a: ops/sec — open-loop metadata-read surge from
+                      // extra clients (overload, not a component failure)
+  kOpenLoopSurgeStop, // the surge traffic stops
 };
 const char* FaultTypeName(FaultType type);
 
@@ -70,11 +73,18 @@ struct RandomFaultOptions {
   bool enable_message_drop = true;
   bool enable_grey_node = true;
   bool enable_block_dn_crash = false;  // needs block_datanodes > 0
+  // Off by default so long-standing pinned seeds keep drawing the same
+  // schedules; overload-focused runs opt in.
+  bool enable_surge = false;
 
   // Bounds for randomised parameters.
   double max_latency_factor = 12.0;
   double max_drop_probability = 0.25;
   double max_grey_slowdown = 20.0;
+  // Sized against the default 6-NN deployment (~175k ops/s of NN CPU):
+  // surges range from near-saturation to ~1.7x overload.
+  int min_surge_ops_per_sec = 120000;
+  int max_surge_ops_per_sec = 300000;
 
   // Topology the schedule targets (validated against the deployment).
   int num_azs = 3;
@@ -123,13 +133,28 @@ class FaultInjector {
   // application order. Deterministic for a given seed.
   const std::vector<std::string>& trace() const { return trace_; }
 
+  // Surge arrivals issued / completed OK while a kOpenLoopSurge episode
+  // was active (the surge-goodput invariant compares the two).
+  int64_t surge_issued() const { return surge_issued_; }
+  int64_t surge_completed() const { return surge_completed_; }
+
  private:
   void Apply(const FaultEvent& event);
   void RestartDeadNdbNodes();
+  void StartSurge(int ops_per_sec);
+  void StopSurge();
 
   hopsfs::Deployment& deployment_;
   std::vector<std::string> trace_;
   bool armed_ = false;
+
+  // Open-loop surge state: lazily created clients hammering Stat("/").
+  std::vector<hopsfs::HopsFsClient*> surge_clients_;
+  Simulation::PeriodicHandle surge_timer_;
+  bool surge_active_ = false;
+  size_t surge_rr_ = 0;
+  int64_t surge_issued_ = 0;
+  int64_t surge_completed_ = 0;
 };
 
 }  // namespace repro::chaos

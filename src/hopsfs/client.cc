@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "resilience/deadline.h"
 #include "util/logging.h"
 
 namespace repro::hopsfs {
@@ -12,7 +13,38 @@ HopsFsClient::HopsFsClient(Simulation& sim, Network& network,
                            ClientConfig config)
     : sim_(sim), network_(network), namenodes_(std::move(namenodes)),
       host_(host), az_(az), dn_registry_(dn_registry), config_(config),
-      rng_(sim.rng().Split()) {}
+      rng_(sim.rng().Split()),
+      budget_(config.retry_budget) {
+  const resilience::CircuitBreakerConfig bc{
+      config_.breaker_failure_threshold, config_.breaker_open_interval};
+  breakers_.assign(namenodes_.size(), resilience::CircuitBreaker(bc));
+  if (config_.metrics != nullptr) {
+    ctr_retries_ = config_.metrics->GetCounter("client.retries");
+    ctr_budget_denied_ =
+        config_.metrics->GetCounter("client.retry_budget_denied");
+    ctr_breaker_transitions_ =
+        config_.metrics->GetCounter("client.breaker_transitions");
+    ctr_hedges_ = config_.metrics->GetCounter("client.hedges_sent");
+    ctr_hedge_wins_ = config_.metrics->GetCounter("client.hedge_wins");
+    ctr_deadline_ = config_.metrics->GetCounter("client.deadline_exceeded");
+    ctr_shed_seen_ = config_.metrics->GetCounter("client.sheds_observed");
+  }
+}
+
+resilience::CircuitBreaker* HopsFsClient::breaker(const Namenode* nn) {
+  if (!config_.breaker_enabled || nn == nullptr) return nullptr;
+  const size_t id = static_cast<size_t>(nn->id());
+  return id < breakers_.size() ? &breakers_[id] : nullptr;
+}
+
+// Runs a breaker mutation and counts the state transition if one happened.
+void HopsFsClient::NoteBreaker(resilience::CircuitBreaker* b,
+                               const std::function<void()>& update) {
+  if (b == nullptr) return;
+  const int64_t before = b->transitions();
+  update();
+  if (b->transitions() != before) metrics::Bump(ctr_breaker_transitions_);
+}
 
 void HopsFsClient::PickNamenode(std::function<void()> then) {
   // Ask a random alive seed namenode for the active list (the leader
@@ -30,6 +62,7 @@ void HopsFsClient::PickNamenode(std::function<void()> then) {
   network_.Send(host_, seed->host(), config_.request_bytes,
                 [this, seed, then = std::move(then)] {
                   const auto& active = seed->active_nns();
+                  const Nanos now = sim_.now();
                   std::vector<Namenode*> candidates;
                   std::vector<Namenode*> local;
                   for (const auto& a : active) {
@@ -39,8 +72,30 @@ void HopsFsClient::PickNamenode(std::function<void()> then) {
                     }
                     Namenode* nn = namenodes_[a.nn_id];
                     if (!nn->alive()) continue;
+                    // The NN we just timed out on is excluded from the
+                    // immediate re-pick (it is usually still in the
+                    // active list — detection lags the failure).
+                    if (a.nn_id == last_failed_nn_) continue;
+                    // Circuit breaker: grey-slow NNs are out of rotation
+                    // until their half-open probe readmits them.
+                    resilience::CircuitBreaker* b = breaker(nn);
+                    if (b != nullptr && !b->CanAttempt(now)) continue;
                     candidates.push_back(nn);
                     if (a.az == az_) local.push_back(nn);
+                  }
+                  if (candidates.empty()) {
+                    // Everything filtered (all breakers open / only the
+                    // failed NN left): degrade to any alive NN rather
+                    // than refusing service.
+                    for (const auto& a : active) {
+                      if (a.nn_id < 0 ||
+                          a.nn_id >=
+                              static_cast<int32_t>(namenodes_.size())) {
+                        continue;
+                      }
+                      Namenode* nn = namenodes_[a.nn_id];
+                      if (nn->alive()) candidates.push_back(nn);
+                    }
                   }
                   if (candidates.empty()) candidates.push_back(seed);
                   // §IV-B3: AZ-local if possible (and AZ-awareness is on
@@ -50,6 +105,10 @@ void HopsFsClient::PickNamenode(std::function<void()> then) {
                   } else {
                     nn_ = candidates[rng_.NextBelow(candidates.size())];
                   }
+                  NoteBreaker(breaker(nn_), [this] {
+                    breaker(nn_)->OnPicked(sim_.now());
+                  });
+                  last_failed_nn_ = -1;
                   // Reply hop back to the client.
                   network_.Send(seed->host(), host_, config_.reply_base_bytes,
                                 [then] { then(); });
@@ -59,48 +118,92 @@ void HopsFsClient::PickNamenode(std::function<void()> then) {
 void HopsFsClient::Submit(FsRequest req, FsResultCb cb) {
   req.client_az = az_;
   if (req.user.empty()) req.user = user_;
-  SendRpc(std::move(req), std::move(cb), 1);
+  if (req.deadline == 0 && config_.op_deadline > 0) {
+    req.deadline = sim_.now() + config_.op_deadline;
+  }
+  budget_.OnRequest();  // first attempts accrue retry tokens
+  auto op = std::make_shared<OpState>();
+  op->req = std::move(req);
+  op->cb = std::move(cb);
+  op->start = sim_.now();
+  StartAttempt(std::move(op));
 }
 
-void HopsFsClient::SendRpc(FsRequest req, FsResultCb cb, int attempt) {
-  if (attempt > config_.max_rpc_attempts) {
+void HopsFsClient::StartAttempt(OpPtr op) {
+  if (op->done) return;
+  const Nanos now = sim_.now();
+  if (resilience::DeadlineExpired(op->req.deadline, now)) {
     FsResult r;
-    r.status = Unavailable("all namenode RPC attempts failed");
-    cb(std::move(r));
+    r.status = DeadlineExceeded("client: deadline passed before attempt");
+    Deliver(std::move(op), std::move(r), false);
     return;
   }
-  if (nn_ == nullptr || !nn_->alive()) {
-    PickNamenode([this, req = std::move(req), cb = std::move(cb),
-                  attempt]() mutable {
+  if (op->attempt > config_.max_rpc_attempts) {
+    FsResult r;
+    r.status = Unavailable("all namenode RPC attempts failed");
+    Deliver(std::move(op), std::move(r), false);
+    return;
+  }
+  // The sticky NN is abandoned when dead or when its breaker is open.
+  if (nn_ != nullptr) {
+    resilience::CircuitBreaker* b = breaker(nn_);
+    if (!nn_->alive() || (b != nullptr && !b->CanAttempt(now))) {
+      nn_ = nullptr;
+    }
+  }
+  if (nn_ == nullptr) {
+    PickNamenode([this, op = std::move(op)]() mutable {
       if (nn_ == nullptr) {
         FsResult r;
         r.status = Unavailable("no namenode available");
-        cb(std::move(r));
+        Deliver(std::move(op), std::move(r), false);
         return;
       }
-      SendRpc(std::move(req), std::move(cb), attempt);
+      Namenode* nn = nn_;
+      SendToNn(std::move(op), nn, /*is_hedge=*/false);
     });
     return;
   }
+  NoteBreaker(breaker(nn_), [this, now] { breaker(nn_)->OnPicked(now); });
+  SendToNn(std::move(op), nn_, /*is_hedge=*/false);
+}
 
+void HopsFsClient::SendToNn(OpPtr op, Namenode* nn, bool is_hedge) {
+  if (op->done) return;
+  const Nanos now = sim_.now();
   const uint64_t rpc_id = next_rpc_id_++;
   rpc_done_[rpc_id] = false;
-  Namenode* nn = nn_;
 
-  sim_.After(config_.rpc_timeout, [this, rpc_id, req, cb, attempt] {
+  // The attempt timer never outlives the deadline: at equal timestamps
+  // the earlier-scheduled timeout wins the event-order tie-break, so a
+  // success can never race past an expired deadline through this path.
+  const Nanos timeout = resilience::ClampToDeadline(
+      config_.rpc_timeout, op->req.deadline, now);
+  sim_.After(timeout, [this, rpc_id, op, nn, is_hedge] {
     auto it = rpc_done_.find(rpc_id);
     if (it == rpc_done_.end() || it->second) return;
     rpc_done_.erase(it);
-    nn_ = nullptr;  // failover: the sticky namenode is gone
-    SendRpc(req, cb, attempt + 1);
+    NoteBreaker(breaker(nn), [this, nn] {
+      breaker(nn)->OnFailure(sim_.now());
+    });
+    if (op->done || is_hedge) return;  // a hedge timeout retries nothing
+    // Failover: drop the sticky NN, exclude it from the re-pick, and
+    // retry under the budget after a jittered delay (herd control).
+    if (nn_ == nn) nn_ = nullptr;
+    last_failed_nn_ = nn->id();
+    RetryAfterFailure(op, Unavailable("namenode RPC timed out"));
   });
+
+  if (!is_hedge) MaybeHedge(op, nn);
 
   network_.Send(
       host_, nn->host(),
-      config_.request_bytes + static_cast<int64_t>(req.path.size()),
-      [this, nn, req, cb, rpc_id]() mutable {
+      config_.request_bytes + static_cast<int64_t>(op->req.path.size()),
+      [this, nn, op, rpc_id, is_hedge]() mutable {
+        FsRequest req = op->req;  // each attempt sends its own copy
         nn->HandleRequest(
-            std::move(req), [this, nn, cb, rpc_id](FsResult result) {
+            std::move(req),
+            [this, nn, op, rpc_id, is_hedge](FsResult result) {
               // Reply hop: size grows with listing / block payloads.
               int64_t bytes = config_.reply_base_bytes;
               for (const auto& c : result.children) {
@@ -110,19 +213,131 @@ void HopsFsClient::SendRpc(FsRequest req, FsResultCb cb, int attempt) {
                                                  result.new_blocks.size());
               network_.Send(
                   nn->host(), host_, bytes,
-                  [this, cb, rpc_id, result = std::move(result)]() mutable {
+                  [this, nn, op, rpc_id, is_hedge,
+                   result = std::move(result)]() mutable {
                     auto it = rpc_done_.find(rpc_id);
-                    if (it == rpc_done_.end()) return;  // timed out already
+                    if (it == rpc_done_.end()) {
+                      // Timed out already: drop, but keep the
+                      // deadline-safety audit (Deliver's done-guard
+                      // counts a success after DEADLINE_EXCEEDED).
+                      Deliver(std::move(op), std::move(result), is_hedge);
+                      return;
+                    }
                     rpc_done_.erase(it);
-                    HandleLargeFileIo(std::move(result), cb);
+                    if (result.status.code() == Code::kResourceExhausted) {
+                      // Server shed us (OVERLOADED). The NN is healthy —
+                      // no breaker strike — but spread the retry to a
+                      // different NN under the budget.
+                      metrics::Bump(ctr_shed_seen_);
+                      if (op->done || is_hedge) return;
+                      if (nn_ == nn) nn_ = nullptr;
+                      last_failed_nn_ = nn->id();
+                      RetryAfterFailure(op, std::move(result.status));
+                      return;
+                    }
+                    NoteBreaker(breaker(nn), [this, nn] {
+                      breaker(nn)->OnSuccess();
+                    });
+                    HandleLargeFileIo(std::move(op), std::move(result));
                   });
             });
       });
 }
 
-void HopsFsClient::HandleLargeFileIo(FsResult result, FsResultCb cb) {
+// Shared failure path for timeouts and server sheds: consult the retry
+// budget, then re-attempt after a jittered backoff.
+void HopsFsClient::RetryAfterFailure(OpPtr op, Status give_up_status) {
+  if (config_.retry_budget_enabled && !budget_.Withdraw()) {
+    metrics::Bump(ctr_budget_denied_);
+    FsResult r;
+    r.status = std::move(give_up_status);
+    Deliver(std::move(op), std::move(r), false);
+    return;
+  }
+  metrics::Bump(ctr_retries_);
+  op->attempt += 1;
+  const Nanos jitter =
+      config_.failover_jitter > 0
+          ? static_cast<Nanos>(rng_.NextBelow(
+                static_cast<uint64_t>(config_.failover_jitter)))
+          : 0;
+  sim_.After(jitter, [this, op = std::move(op)]() mutable {
+    StartAttempt(std::move(op));
+  });
+}
+
+void HopsFsClient::MaybeHedge(OpPtr op, Namenode* primary_nn) {
+  if (!config_.hedged_reads || op->hedge_sent) return;
+  const FsOp fsop = op->req.op;
+  const bool read_only = fsop == FsOp::kOpenRead || fsop == FsOp::kStat ||
+                         fsop == FsOp::kListDir ||
+                         fsop == FsOp::kContentSummary;
+  if (!read_only) return;
+  // Hedge once the primary is slower than the recent p95 ("The Tail at
+  // Scale"). Until enough samples exist the tracker returns 0 → no hedge
+  // (cold hedging would double traffic at startup).
+  Nanos delay = latency_.Percentile(config_.hedge_percentile, 0);
+  if (delay <= 0) return;
+  delay = std::max(delay, config_.hedge_min_delay);
+  op->hedge_sent = true;
+  sim_.After(delay, [this, op, primary_nn] {
+    if (op->done) return;
+    if (resilience::DeadlineExpired(op->req.deadline, sim_.now())) return;
+    // Pick a different, breaker-admitted NN for the hedge.
+    const Nanos now = sim_.now();
+    std::vector<Namenode*> others;
+    for (Namenode* nn : namenodes_) {
+      if (nn == primary_nn || !nn->alive()) continue;
+      resilience::CircuitBreaker* b = breaker(nn);
+      if (b != nullptr && !b->CanAttempt(now)) continue;
+      others.push_back(nn);
+    }
+    if (others.empty()) return;
+    Namenode* alt = others[rng_.NextBelow(others.size())];
+    NoteBreaker(breaker(alt), [this, alt, now] {
+      breaker(alt)->OnPicked(now);
+    });
+    metrics::Bump(ctr_hedges_);
+    SendToNn(op, alt, /*is_hedge=*/true);
+  });
+}
+
+// Single completion choke point: enforces first-response-wins, converts
+// successes that slipped past the deadline, and audits the invariant
+// that nothing completes successfully after DEADLINE_EXCEEDED was
+// reported.
+void HopsFsClient::Deliver(OpPtr op, FsResult result, bool is_hedge) {
+  if (op->done) return;  // first response won; later ones are dropped
+  const Nanos now = sim_.now();
+  if (result.status.ok() &&
+      resilience::DeadlineExpired(op->req.deadline, now)) {
+    // Block-IO continuations can finish past the deadline; the caller
+    // must still see DEADLINE_EXCEEDED, never a late success.
+    result.status = DeadlineExceeded("client: completed past deadline");
+  }
+  op->done = true;
+  if (result.status.code() == Code::kDeadlineExceeded) {
+    op->reported_deadline_exceeded = true;
+    metrics::Bump(ctr_deadline_);
+  }
+  if (result.status.ok()) {
+    // Tripwire for the chaos invariant: by this point any success past
+    // the deadline (or after a DEADLINE_EXCEEDED report) must have been
+    // converted or dropped; a non-zero count means a delivery path
+    // bypassed the enforcement above.
+    if (resilience::DeadlineExpired(op->req.deadline, now) ||
+        op->reported_deadline_exceeded) {
+      ++post_deadline_successes_;
+    }
+    latency_.Record(now - op->start);
+    if (is_hedge) metrics::Bump(ctr_hedge_wins_);
+  }
+  op->cb(std::move(result));
+}
+
+void HopsFsClient::HandleLargeFileIo(OpPtr op, FsResult result) {
   if (dn_registry_ == nullptr || !result.status.ok()) {
-    cb(std::move(result));
+    Deliver(std::move(op), std::move(result), false);
     return;
   }
   // Writes: push each new block through its replication pipeline.
@@ -132,20 +347,29 @@ void HopsFsClient::HandleLargeFileIo(FsResult result, FsResultCb cb) {
   const std::vector<BlockRow>* to_read =
       result.blocks.empty() ? nullptr : &result.blocks;
   if (to_write == nullptr && to_read == nullptr) {
-    cb(std::move(result));
+    Deliver(std::move(op), std::move(result), false);
     return;
   }
 
+  const Nanos deadline = op->req.deadline;
   auto res = std::make_shared<FsResult>(std::move(result));
   auto next = std::make_shared<std::function<void(size_t)>>();
   std::weak_ptr<std::function<void(size_t)>> weak_next = next;
   const bool writing = to_write != nullptr;
-  *next = [this, res, weak_next, cb, writing](size_t i) {
+  *next = [this, res, weak_next, op, writing, deadline](size_t i) {
     auto next = weak_next.lock();
     if (!next) return;
+    if (op->done) return;  // a hedge already answered this op
     const auto& blocks = writing ? res->new_blocks : res->blocks;
     if (i >= blocks.size()) {
-      cb(std::move(*res));
+      Deliver(op, std::move(*res), false);
+      return;
+    }
+    // Deadline check between blocks: a multi-block transfer must not
+    // keep streaming for an op nobody is waiting on anymore.
+    if (resilience::DeadlineExpired(deadline, sim_.now())) {
+      res->status = DeadlineExceeded("client: block io past deadline");
+      Deliver(op, std::move(*res), false);
       return;
     }
     const BlockRow& b = blocks[i];
@@ -163,9 +387,11 @@ void HopsFsClient::HandleLargeFileIo(FsResult result, FsResultCb cb) {
       // Stream the data to the first replica, which forwards downstream.
       const int64_t bytes = b.num_bytes;
       network_.Send(host_, first->host(), std::max<int64_t>(bytes, 1),
-                    [first, id = b.block_id, bytes, pipeline, next, i] {
+                    [first, id = b.block_id, bytes, pipeline, next, i,
+                     deadline] {
                       first->WriteBlock(id, bytes, pipeline,
-                                        [next, i](Status) { (*next)(i + 1); });
+                                        [next, i](Status) { (*next)(i + 1); },
+                                        deadline);
                     });
     } else {
       // AZ-closest replica (§IV-C): replicas in our AZ first.
@@ -180,11 +406,12 @@ void HopsFsClient::HandleLargeFileIo(FsResult result, FsResultCb cb) {
       }
       blocks::BlockDatanode* dn = dn_registry_->dn(chosen);
       network_.Send(host_, dn->host(), 128,
-                    [this, dn, id = b.block_id, next, i] {
+                    [this, dn, id = b.block_id, next, i, deadline] {
                       dn->ReadBlock(id, host_,
                                     [next, i](Expected<int64_t>) {
                                       (*next)(i + 1);
-                                    });
+                                    },
+                                    deadline);
                     });
     }
   };

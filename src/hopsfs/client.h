@@ -7,6 +7,14 @@
 // falling back to a random one. Large-file data flows through the block
 // layer: writes run a replication pipeline, reads pick the AZ-closest
 // replica (§IV-C).
+//
+// Overload protection (src/resilience/): every op carries an absolute
+// deadline; retries draw from a token-bucket retry budget instead of
+// retrying unboundedly; a per-NN circuit breaker evicts grey-slow
+// namenodes from rotation (AZ-local first, cross-AZ fallback); server
+// sheds (OVERLOADED) are retried against a different NN under the same
+// budget; and read-only ops can hedge to a second NN past a latency
+// percentile threshold, first response wins.
 #pragma once
 
 #include <functional>
@@ -16,6 +24,10 @@
 
 #include "blocks/datanode.h"
 #include "hopsfs/namenode.h"
+#include "metrics/counters.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/latency_tracker.h"
+#include "resilience/retry_budget.h"
 #include "sim/network.h"
 #include "util/rng.h"
 
@@ -27,6 +39,33 @@ struct ClientConfig {
   int max_rpc_attempts = 4;
   int64_t request_bytes = 280;
   int64_t reply_base_bytes = 220;
+
+  // Default absolute deadline stamped on each op at Submit (0 = none).
+  // Far above healthy latencies: it only binds when the system is in
+  // real trouble, converting doomed work into fast failures.
+  Nanos op_deadline = 30 * kSecond;
+
+  // Token-bucket retry budget (≈10% of request rate by default).
+  bool retry_budget_enabled = true;
+  resilience::RetryBudgetConfig retry_budget;
+
+  // Per-NN circuit breaker.
+  bool breaker_enabled = true;
+  int breaker_failure_threshold = 3;
+  Nanos breaker_open_interval = 2 * kSecond;
+
+  // Failover re-pick jitter: spreads the stampede when a popular NN dies
+  // (all its clients would otherwise re-pick at the same instant).
+  Nanos failover_jitter = 50 * kMillisecond;
+
+  // Hedged reads to a second namenode (off by default: hedging perturbs
+  // traffic-shape experiments; benches opt in).
+  bool hedged_reads = false;
+  double hedge_percentile = 0.95;
+  Nanos hedge_min_delay = 1 * kMillisecond;
+
+  // Optional resilience counter registry (shared per deployment).
+  metrics::Registry* metrics = nullptr;
 };
 
 class HopsFsClient {
@@ -46,6 +85,14 @@ class HopsFsClient {
 
   // Full-result entry point (includes RPC retry / failover).
   void Submit(FsRequest req, FsResultCb cb);
+
+  // Deadline-safety audit: number of times a *successful* completion
+  // arrived after this op had already reported DEADLINE_EXCEEDED to the
+  // caller. Must stay zero — the chaos harness asserts it as an
+  // invariant.
+  int64_t post_deadline_successes() const { return post_deadline_successes_; }
+
+  const resilience::RetryBudget& retry_budget() const { return budget_; }
 
   // Convenience wrappers. Data movement for large files (block pipeline
   // writes / AZ-local replica reads) is included in the callback time.
@@ -68,9 +115,28 @@ class HopsFsClient {
   void ContentSummary(const std::string& path, SummaryCb cb);
 
  private:
+  // One client operation across all its attempts and hedges.
+  struct OpState {
+    FsRequest req;
+    FsResultCb cb;
+    int attempt = 1;
+    Nanos start = 0;
+    bool done = false;    // first completion wins; later ones are dropped
+    bool hedge_sent = false;
+    bool reported_deadline_exceeded = false;
+  };
+  using OpPtr = std::shared_ptr<OpState>;
+
+  void StartAttempt(OpPtr op);
+  void SendToNn(OpPtr op, Namenode* nn, bool is_hedge);
+  void MaybeHedge(OpPtr op, Namenode* primary_nn);
+  void RetryAfterFailure(OpPtr op, Status give_up_status);
+  void Deliver(OpPtr op, FsResult result, bool is_hedge);
+  void HandleLargeFileIo(OpPtr op, FsResult result);
   void PickNamenode(std::function<void()> then);
-  void SendRpc(FsRequest req, FsResultCb cb, int attempt);
-  void HandleLargeFileIo(FsResult result, FsResultCb cb);
+  resilience::CircuitBreaker* breaker(const Namenode* nn);
+  void NoteBreaker(resilience::CircuitBreaker* b,
+                   const std::function<void()>& update);
 
   Simulation& sim_;
   Network& network_;
@@ -85,6 +151,21 @@ class HopsFsClient {
   std::string user_;
   uint64_t next_rpc_id_ = 1;
   std::unordered_map<uint64_t, bool> rpc_done_;  // id -> answered
+
+  // Resilience state.
+  resilience::RetryBudget budget_;
+  std::vector<resilience::CircuitBreaker> breakers_;  // indexed by nn id
+  resilience::LatencyTracker latency_;
+  int32_t last_failed_nn_ = -1;  // excluded from the immediate re-pick
+  int64_t post_deadline_successes_ = 0;
+
+  metrics::Counter* ctr_retries_ = nullptr;
+  metrics::Counter* ctr_budget_denied_ = nullptr;
+  metrics::Counter* ctr_breaker_transitions_ = nullptr;
+  metrics::Counter* ctr_hedges_ = nullptr;
+  metrics::Counter* ctr_hedge_wins_ = nullptr;
+  metrics::Counter* ctr_deadline_ = nullptr;
+  metrics::Counter* ctr_shed_seen_ = nullptr;
 };
 
 }  // namespace repro::hopsfs

@@ -64,6 +64,19 @@ DeploymentOptions DeploymentOptions::FromPaperSetup(PaperSetup setup,
 
 Deployment::Deployment(Simulation& sim, DeploymentOptions options)
     : sim_(sim), options_(std::move(options)) {
+  // Resilience wiring: all layers share one counter registry, and the
+  // master switch turns the whole overload-protection stack off for
+  // baseline ("pre-PR") comparisons.
+  if (options_.nn.metrics == nullptr) options_.nn.metrics = &metrics_;
+  if (!options_.resilience) {
+    options_.nn.admission_enabled = false;
+    options_.nn.ndb_hedge_delay = 0;
+    options_.client.op_deadline = 0;
+    options_.client.retry_budget_enabled = false;
+    options_.client.breaker_enabled = false;
+    options_.client.hedged_reads = false;
+  }
+
   topology_ = std::make_unique<Topology>(3, AzLatencyTable::UsWest1());
   network_ = std::make_unique<Network>(sim_, *topology_, options_.net);
 
@@ -168,10 +181,11 @@ HopsFsClient* Deployment::AddClient(AzId az) {
   std::vector<Namenode*> nns;
   nns.reserve(namenodes_.size());
   for (auto& nn : namenodes_) nns.push_back(nn.get());
-  ClientConfig cfg;
+  ClientConfig cfg = options_.client;
   cfg.az_aware = options_.override_az_nn_selection >= 0
                      ? options_.override_az_nn_selection != 0
                      : options_.az_aware;
+  if (cfg.metrics == nullptr) cfg.metrics = &metrics_;
   clients_.push_back(std::make_unique<HopsFsClient>(
       sim_, *network_, std::move(nns), host, az, dn_registry_.get(), cfg));
   return clients_.back().get();

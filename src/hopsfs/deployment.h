@@ -18,6 +18,7 @@
 #include "hopsfs/client.h"
 #include "hopsfs/fsschema.h"
 #include "hopsfs/namenode.h"
+#include "metrics/counters.h"
 #include "ndb/cluster.h"
 #include "sim/network.h"
 #include "sim/topology.h"
@@ -55,6 +56,15 @@ struct DeploymentOptions {
   ndb::CostModel ndb_cost;
   NetworkConfig net;
   int ndb_partitions_per_ldm = 2;
+
+  // Overload-protection stack (bench_overload's "pre-PR" baseline turns
+  // this off to demonstrate congestion collapse). Individual knobs live
+  // in `nn` / `client`; this master switch disables deadlines, retry
+  // budgets, breakers and admission control together.
+  bool resilience = true;
+  // Base ClientConfig applied by AddClient (az_aware is still derived
+  // from the setup's override flags).
+  ClientConfig client;
 
   static DeploymentOptions FromPaperSetup(PaperSetup setup,
                                           int num_namenodes);
@@ -96,13 +106,21 @@ class Deployment {
       const {
     return block_dns_;
   }
+  const std::vector<std::unique_ptr<HopsFsClient>>& clients() const {
+    return clients_;
+  }
   const DeploymentOptions& options() const { return options_; }
+
+  // Shared resilience counter registry (sheds, retries, breaker
+  // transitions, hedges, deadline-exceeded per layer).
+  metrics::Registry& metrics() { return metrics_; }
 
   void ResetStats();
 
  private:
   Simulation& sim_;
   DeploymentOptions options_;
+  metrics::Registry metrics_;
   std::unique_ptr<Topology> topology_;
   std::unique_ptr<Network> network_;
   ndb::Catalog catalog_;

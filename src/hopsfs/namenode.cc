@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "hopsfs/op_context.h"
+#include "resilience/deadline.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -40,10 +41,27 @@ Namenode::Namenode(Simulation& sim, Network& network, ndb::NdbCluster& ndb,
     : sim_(sim), network_(network), ndb_(ndb), tables_(tables),
       nn_id_(nn_id), host_(host), az_(az), dn_registry_(dn_registry),
       placement_(placement), config_(config),
-      rng_(sim.rng().Split()) {
+      rng_(sim.rng().Split()),
+      limiter_(resilience::AimdLimiterConfig{
+          config.admission_min_limit, config.admission_max_limit,
+          config.admission_initial_limit, config.admission_latency_target,
+          /*backoff_ratio=*/0.9, /*increase_per_ok=*/0.25,
+          config.admission_decrease_cooldown}) {
   cpu_ = std::make_unique<ThreadPool>(sim, StrFormat("nn%d.cpu", nn_id),
                                       config_.cpu_threads);
   api_ = std::make_unique<ndb::NdbApiNode>(ndb, host, az);
+  if (config_.ndb_hedge_delay > 0) {
+    api_->set_hedge_read_delay(config_.ndb_hedge_delay);
+  }
+  if (config_.metrics != nullptr) {
+    ctr_shed_ = config_.metrics->GetCounter("nn.admission.shed");
+    ctr_deadline_ = config_.metrics->GetCounter("nn.deadline_exceeded");
+    ctr_txn_retries_ = config_.metrics->GetCounter("nn.txn_retries");
+    api_->set_counters(
+        config_.metrics->GetCounter("ndb.hedges_sent"),
+        config_.metrics->GetCounter("ndb.hedge_wins"),
+        config_.metrics->GetCounter("ndb.deadline_exceeded"));
+  }
   if (dn_registry_ != nullptr) {
     dn_known_dead_.assign(dn_registry_->size(), false);
   }
@@ -93,15 +111,48 @@ void Namenode::PrimePathCache(const std::string& path, InodeId id,
 
 void Namenode::HandleRequest(FsRequest req, FsResultCb done) {
   if (!alive_) return;  // the client's RPC timeout covers dead servers
+  const Nanos now = sim_.now();
+  // Deadline check *before* queueing: an op whose remaining budget cannot
+  // even cover the CPU queue is doomed — fail fast instead of wasting a
+  // thread slot on it (deadline propagation, hop 2).
+  if (resilience::HasDeadline(req.deadline) &&
+      now + cpu_->Backlog() + config_.op_cpu_cost >= req.deadline) {
+    metrics::Bump(ctr_deadline_);
+    FsResult r;
+    r.status = DeadlineExceeded("nn: queue would overrun deadline");
+    done(std::move(r));
+    return;
+  }
   auto ctx = std::make_shared<OpCtx>();
   ctx->req = std::move(req);
   ctx->done = std::move(done);
+  // Admission control: shed excess load with a retryable OVERLOADED
+  // status honoured by the client's retry budget, instead of queueing
+  // unboundedly and collapsing.
+  if (config_.admission_enabled) {
+    if (!limiter_.TryAcquire()) {
+      metrics::Bump(ctr_shed_);
+      FsResult r;
+      r.status = ResourceExhausted("nn: overloaded, shedding");
+      ctx->done(std::move(r));
+      return;
+    }
+    ctx->admitted = true;
+    ctx->admit_time = now;
+  }
   cpu_->Submit(config_.op_cpu_cost, [this, ctx] {
     if (alive_) RunAttempt(ctx);
   });
 }
 
 void Namenode::Finish(std::shared_ptr<OpCtx> ctx, FsResult result) {
+  if (ctx->admitted) {
+    ctx->admitted = false;
+    limiter_.Release(sim_.now() - ctx->admit_time, sim_.now());
+  }
+  if (result.status.code() == Code::kDeadlineExceeded) {
+    metrics::Bump(ctr_deadline_);
+  }
   ++ops_served_;
   ctx->done(std::move(result));
 }
@@ -120,17 +171,30 @@ void Namenode::MaybeRetry(std::shared_ptr<OpCtx> ctx, const Status& failure) {
     RunAttempt(ctx);
     return;
   }
+  const Nanos now = sim_.now();
+  if (resilience::DeadlineExpired(ctx->req.deadline, now)) {
+    FsResult r;
+    r.status = DeadlineExceeded("nn: deadline passed during txn");
+    Finish(ctx, std::move(r));
+    return;
+  }
   if (!failure.retryable() || ctx->attempt >= config_.max_txn_retries) {
     FsResult r;
     r.status = failure;
     Finish(ctx, std::move(r));
     return;
   }
-  // Retry with exponential backoff + jitter: HopsFS's backpressure to NDB.
+  // Retry with exponential backoff + jitter: HopsFS's backpressure to
+  // NDB. Cap and ceiling are configurable, and the wait never exceeds
+  // the op's remaining deadline (a retry scheduled past the deadline
+  // would burn a slot on work nobody is waiting for).
   ++txn_retries_;
-  const Nanos backoff =
-      config_.retry_backoff * (1 << std::min(ctx->attempt - 1, 4)) +
-      static_cast<Nanos>(rng_.NextBelow(config_.retry_backoff));
+  metrics::Bump(ctr_txn_retries_);
+  const Nanos backoff = resilience::RetryBackoff(
+      config_.retry_backoff, ctx->attempt, config_.retry_backoff_exp_cap,
+      config_.max_retry_backoff,
+      static_cast<Nanos>(rng_.NextBelow(config_.retry_backoff)),
+      ctx->req.deadline, now);
   sim_.After(backoff, [this, ctx] {
     if (alive_) RunAttempt(ctx);
   });
@@ -229,6 +293,12 @@ void Namenode::ResolveDir(std::shared_ptr<OpCtx> ctx, const std::string& path,
 // ---------------------------------------------------------------------------
 
 void Namenode::RunAttempt(std::shared_ptr<OpCtx> ctx) {
+  if (resilience::DeadlineExpired(ctx->req.deadline, sim_.now())) {
+    FsResult r;
+    r.status = DeadlineExceeded("nn: deadline passed before attempt");
+    Finish(ctx, std::move(r));
+    return;
+  }
   ++ctx->attempt;
   ctx->used_cache = false;
 
@@ -257,6 +327,9 @@ void Namenode::RunAttempt(std::shared_ptr<OpCtx> ctx) {
     MaybeRetry(ctx, Unavailable("no NDB datanode reachable"));
     return;
   }
+  // Deadline propagation, hop 3: every NDB op of this transaction carries
+  // the deadline and clamps its timeout to the remaining budget.
+  api_->SetTxnDeadline(ctx->txn, ctx->req.deadline);
 
   auto dispatch = [this, ctx] {
     switch (ctx->req.op) {

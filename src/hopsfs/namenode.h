@@ -21,7 +21,9 @@
 #include "blocks/datanode.h"
 #include "blocks/placement.h"
 #include "hopsfs/fsschema.h"
+#include "metrics/counters.h"
 #include "ndb/client.h"
+#include "resilience/admission.h"
 #include "sim/resources.h"
 #include "util/histogram.h"
 #include "util/status.h"
@@ -57,6 +59,9 @@ struct FsRequest {
   // default, so infrastructure paths and benchmarks are unaffected).
   std::string user;
   AzId client_az = kNoAz;
+  // Absolute deadline stamped by the client (0 = none); propagated down
+  // through NDB and the block layer, checked before each queueing point.
+  Nanos deadline = 0;
 };
 
 struct FsResult {
@@ -82,8 +87,31 @@ struct NamenodeConfig {
   Nanos op_cpu_cost = 1100 * kMicrosecond;
   int max_txn_retries = 10;
   Nanos retry_backoff = 15 * kMillisecond;
+  // Exponent cap and absolute ceiling for the txn retry backoff (was a
+  // hard-coded `1 << min(attempt-1, 4)`); total backoff is additionally
+  // clamped to the op's remaining deadline.
+  int retry_backoff_exp_cap = 4;
+  Nanos max_retry_backoff = 2 * kSecond;
   Nanos leader_interval = 2 * kSecond;   // leader election round (§IV-B3)
   int block_replication = 3;
+
+  // Admission control: in-flight ops are bounded by an AIMD limit on
+  // observed completion latency; excess arrivals are shed with a
+  // retryable OVERLOADED (kResourceExhausted) status. The floor is kept
+  // above any closed-loop bench's per-NN concurrency so admission only
+  // engages under genuine overload.
+  bool admission_enabled = true;
+  int admission_min_limit = 128;
+  int admission_max_limit = 4096;
+  int admission_initial_limit = 512;
+  Nanos admission_latency_target = 40 * kMillisecond;
+  Nanos admission_decrease_cooldown = 100 * kMillisecond;
+
+  // NDB committed-read hedging delay for this NN's API node (0 = off).
+  Nanos ndb_hedge_delay = 0;
+
+  // Optional resilience counter registry (shared per deployment).
+  metrics::Registry* metrics = nullptr;
 };
 
 // Cross-namenode view of the active-NN set, rebuilt from the heartbeat
@@ -133,6 +161,7 @@ class Namenode {
   void ResetStats() { cpu_->ResetStats(); }
   int64_t ops_served() const { return ops_served_; }
   int64_t txn_retries() const { return txn_retries_; }
+  const resilience::AimdLimiter& limiter() const { return limiter_; }
 
  private:
   struct OpCtx;
@@ -195,6 +224,12 @@ class Namenode {
   bool alive_ = true;
   bool is_leader_ = false;
   Rng rng_;
+
+  // Admission control + resilience accounting.
+  resilience::AimdLimiter limiter_;
+  metrics::Counter* ctr_shed_ = nullptr;
+  metrics::Counter* ctr_deadline_ = nullptr;
+  metrics::Counter* ctr_txn_retries_ = nullptr;
 
   // Path -> inode hint cache; entries are validated by the locked read
   // each operation performs, so staleness only costs a retry.

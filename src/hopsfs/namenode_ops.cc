@@ -12,6 +12,7 @@
 
 #include "hopsfs/namenode.h"
 #include "hopsfs/op_context.h"
+#include "resilience/deadline.h"
 #include "util/strings.h"
 
 namespace repro::hopsfs {
@@ -898,6 +899,12 @@ void Namenode::DoContentSummary(std::shared_ptr<OpCtx> ctx) {
         *step = [this, ctx, result, frontier, weak] {
           auto self = weak.lock();
           if (!self) return;
+          // A du over a huge subtree can outlive its deadline mid-walk:
+          // stop between scan batches rather than finishing doomed work.
+          if (resilience::DeadlineExpired(ctx->req.deadline, sim_.now())) {
+            MaybeRetry(ctx, DeadlineExceeded("du: deadline passed"));
+            return;
+          }
           if (frontier->empty()) {
             api_->Commit(ctx->txn, [this, ctx, result](Code c) {
               ctx->txn = 0;
@@ -996,6 +1003,11 @@ void Namenode::DoDeleteRecursive(std::shared_ptr<OpCtx> ctx) {
               *step = [this, ctx, g, weak] {
                 auto self = weak.lock();
                 if (!self) return;
+                if (resilience::DeadlineExpired(ctx->req.deadline,
+                                                sim_.now())) {
+                  MaybeRetry(ctx, DeadlineExceeded("rmr: deadline passed"));
+                  return;
+                }
                 if (!g->frontier.empty()) {
                   const InodeId dir = g->frontier.back();
                   g->frontier.pop_back();

@@ -31,6 +31,8 @@ struct Namenode::OpCtx {
   ndb::TxnId txn = 0;
   bool used_cache = false;      // this attempt relied on the path cache
   bool cache_retry_done = false;
+  bool admitted = false;        // holds an admission-limiter slot
+  Nanos admit_time = 0;         // when the slot was acquired
 
   // Filled by path resolution (parent directory of the target).
   InodeId dir = 0;

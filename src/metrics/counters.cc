@@ -1,0 +1,31 @@
+#include "metrics/counters.h"
+
+namespace repro::metrics {
+
+Counter* Registry::GetCounter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::Snapshot() const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::string Registry::Report(const std::string& prefix) const {
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
+    out += "  " + name + " = " + std::to_string(counter->value()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace repro::metrics

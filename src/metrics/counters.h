@@ -1,0 +1,58 @@
+// Named counter registry for resilience observability.
+//
+// Components (client, namenode, NDB nodes, block datanodes) register
+// counters by name — sheds, retries vs. budget, breaker transitions,
+// hedge wins, deadline-exceeded per layer — and benches print one sorted
+// report at the end of a run. Counter pointers are stable for the life of
+// the registry so hot paths pay one hash lookup at setup, not per event.
+//
+// The registry is optional everywhere: components take a nullable
+// `metrics::Registry*` through their config structs and skip accounting
+// when absent, so unit tests and existing call sites are untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace repro::metrics {
+
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Registry {
+ public:
+  // Returns the counter registered under `name`, creating it on first use.
+  // The returned pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+
+  // (name, value) pairs sorted by name; zero-valued counters included so
+  // reports have a stable shape across runs.
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+  // Multi-line "  name = value" report for bench stdout. Only counters
+  // matching `prefix` (empty = all).
+  std::string Report(const std::string& prefix = "") const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+// Null-safe helpers so call sites do not need to branch on registry
+// presence.
+inline void Bump(Counter* c, int64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+inline Counter* GetCounter(Registry* r, const std::string& name) {
+  return r != nullptr ? r->GetCounter(name) : nullptr;
+}
+
+}  // namespace repro::metrics

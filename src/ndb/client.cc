@@ -1,7 +1,9 @@
 #include "ndb/client.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "resilience/deadline.h"
 #include "util/logging.h"
 
 namespace repro::ndb {
@@ -68,18 +70,36 @@ NdbApiNode::TxnState* NdbApiNode::FindTxn(TxnId txn) {
   return it == txns_.end() ? nullptr : &it->second;
 }
 
+void NdbApiNode::SetTxnDeadline(TxnId txn, Nanos deadline) {
+  if (TxnState* t = FindTxn(txn)) t->deadline = deadline;
+}
+
 uint64_t NdbApiNode::RegisterOp(TxnId txn, PendingOp op) {
   const uint64_t op_id = next_op_id_++;
   op.txn = txn;
   pending_.emplace(op_id, std::move(op));
-  if (TxnState* t = FindTxn(txn)) t->inflight += 1;
+  // The local timer never outlives the op's deadline: the op fails
+  // exactly at the deadline with no extra pending events.
+  Nanos timeout = op_timeout_;
+  if (TxnState* t = FindTxn(txn)) {
+    t->inflight += 1;
+    timeout = resilience::ClampToDeadline(timeout, t->deadline,
+                                          cluster_.sim().now());
+  }
 
-  cluster_.sim().After(op_timeout_, [this, op_id] {
+  cluster_.sim().After(timeout, [this, op_id] {
     auto it = pending_.find(op_id);
     if (it == pending_.end()) return;  // already answered
     ++timeouts_;
-    if (TxnState* t = FindTxn(it->second.txn)) t->broken = true;
-    FailOp(op_id, Code::kTimedOut);
+    TxnState* t = FindTxn(it->second.txn);
+    if (t != nullptr) t->broken = true;
+    // An op that ran out of *deadline* (not the op timeout) reports
+    // kDeadlineExceeded so the caller fails fast instead of retrying.
+    const bool past_deadline =
+        t != nullptr &&
+        resilience::DeadlineExpired(t->deadline, cluster_.sim().now());
+    if (past_deadline) metrics::Bump(deadline_exceeded_);
+    FailOp(op_id, past_deadline ? Code::kDeadlineExceeded : Code::kTimedOut);
   });
   return op_id;
 }
@@ -116,13 +136,53 @@ void NdbApiNode::SendKeyOp(TxnId txn, KeyOpReq req, PendingOp op) {
     if (op.scan_cb) op.scan_cb(code, {});
     return;
   }
+  // Fail fast before spending a network round trip on doomed work.
+  if (resilience::DeadlineExpired(t->deadline, cluster_.sim().now())) {
+    metrics::Bump(deadline_exceeded_);
+    if (op.read_cb) op.read_cb(Code::kDeadlineExceeded, std::nullopt);
+    if (op.write_cb) op.write_cb(Code::kDeadlineExceeded);
+    if (op.scan_cb) op.scan_cb(Code::kDeadlineExceeded, {});
+    return;
+  }
   req.txn = txn;
   req.api = id_;
+  req.deadline = t->deadline;
   req.op_id = RegisterOp(txn, std::move(op));
+  const bool hedgeable = hedge_read_delay_ > 0 && !req.is_write &&
+                         req.mode == LockMode::kReadCommitted;
   const int64_t bytes =
       cluster_.cost().msg_read_req + static_cast<int64_t>(req.value.size());
+  if (hedgeable) MaybeHedgeRead(txn, req.op_id, req);
   SendToTc(txn, t->tc, bytes, [req = std::move(req)](NdbDatanode& n) mutable {
     n.TcKeyOp(std::move(req));
+  });
+}
+
+void NdbApiNode::MaybeHedgeRead(TxnId txn, uint64_t op_id,
+                                const KeyOpReq& req) {
+  cluster_.sim().After(hedge_read_delay_, [this, txn, op_id, req] {
+    auto it = pending_.find(op_id);
+    if (it == pending_.end()) return;  // answered in time: no hedge
+    TxnState* t = FindTxn(txn);
+    if (t == nullptr || t->broken || !cluster_.cluster_up()) return;
+    // Send the same op (same op_id) to a backup replica of the
+    // partition; OnOpReply's pending-op erase makes the race benign.
+    auto& layout = cluster_.layout();
+    const PartitionId part = layout.PartitionOf(req.table, req.key);
+    NodeId alt = kNoNode;
+    for (NodeId n : layout.ReplicaChain(part)) {
+      if (n != t->tc && layout.alive(n)) {
+        alt = n;
+        break;
+      }
+    }
+    if (alt == kNoNode) return;  // no second replica to hedge to
+    it->second.hedge_tc = alt;
+    metrics::Bump(hedges_sent_);
+    const int64_t bytes = cluster_.cost().msg_read_req;
+    SendToTc(txn, alt, bytes, [req](NdbDatanode& n) mutable {
+      n.TcKeyOp(std::move(req));
+    });
   });
 }
 
@@ -197,11 +257,17 @@ void NdbApiNode::ScanPrefix(TxnId txn, TableId table, Key prefix, ScanCb cb) {
     cb(t == nullptr || t->broken ? Code::kAborted : Code::kUnavailable, {});
     return;
   }
+  if (resilience::DeadlineExpired(t->deadline, cluster_.sim().now())) {
+    metrics::Bump(deadline_exceeded_);
+    cb(Code::kDeadlineExceeded, {});
+    return;
+  }
   ScanReq req;
   req.txn = txn;
   req.api = id_;
   req.table = table;
   req.prefix = std::move(prefix);
+  req.deadline = t->deadline;
   PendingOp op;
   op.scan_cb = std::move(cb);
   req.op_id = RegisterOp(txn, std::move(op));
@@ -221,6 +287,12 @@ void NdbApiNode::Commit(TxnId txn, WriteCb cb) {
       !cluster_.layout().alive(t->tc)) {
     Abort(txn);
     cb(Code::kAborted);
+    return;
+  }
+  if (resilience::DeadlineExpired(t->deadline, cluster_.sim().now())) {
+    metrics::Bump(deadline_exceeded_);
+    Abort(txn);
+    cb(Code::kDeadlineExceeded);
     return;
   }
   PendingOp op;
@@ -248,10 +320,13 @@ void NdbApiNode::Abort(TxnId txn) {
 
 void NdbApiNode::OnOpReply(OpReply reply) {
   auto it = pending_.find(reply.op_id);
-  if (it == pending_.end()) return;  // late reply after timeout
+  if (it == pending_.end()) return;  // late reply after timeout / hedge loss
   PendingOp op = std::move(it->second);
   pending_.erase(it);
   if (TxnState* t = FindTxn(op.txn)) t->inflight -= 1;
+  if (op.hedge_tc != kNoNode && reply.from == op.hedge_tc) {
+    metrics::Bump(hedge_wins_);
+  }
 
   if (op.read_cb) {
     if (reply.code == Code::kOk || reply.code == Code::kNotFound) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "metrics/counters.h"
 #include "ndb/cluster.h"
 #include "ndb/datanode.h"
 #include "ndb/types.h"
@@ -64,17 +65,40 @@ class NdbApiNode {
   void set_op_timeout(Nanos t) { op_timeout_ = t; }
   int64_t timeouts() const { return timeouts_; }
 
+  // Deadline propagation: every op of this transaction carries the
+  // deadline on the wire, the per-op timeout is clamped to the remaining
+  // budget, and expired ops fail fast with kDeadlineExceeded before any
+  // message is sent. 0 clears the deadline.
+  void SetTxnDeadline(TxnId txn, Nanos deadline);
+
+  // Hedged committed reads ("The Tail at Scale"): when a committed read
+  // is still unanswered after `delay`, resend it (same op_id) to a backup
+  // replica of the partition; first reply wins, the loser's reply is
+  // dropped by the pending-op dedup. 0 disables hedging.
+  void set_hedge_read_delay(Nanos delay) { hedge_read_delay_ = delay; }
+
+  // Optional resilience counters (null = no accounting).
+  void set_counters(metrics::Counter* hedges_sent,
+                    metrics::Counter* hedge_wins,
+                    metrics::Counter* deadline_exceeded) {
+    hedges_sent_ = hedges_sent;
+    hedge_wins_ = hedge_wins;
+    deadline_exceeded_ = deadline_exceeded;
+  }
+
  private:
   struct TxnState {
     NodeId tc = kNoNode;
     bool broken = false;   // a timeout poisoned this txn
     int inflight = 0;
+    Nanos deadline = 0;    // absolute; 0 = none
   };
   struct PendingOp {
     TxnId txn = 0;
     ReadCb read_cb;
     WriteCb write_cb;
     ScanCb scan_cb;
+    NodeId hedge_tc = kNoNode;  // where the hedge went (kNoNode = none)
   };
 
   NodeId PickTc(const TableDef* td, TableId table, const Key* hint_key);
@@ -85,11 +109,17 @@ class NdbApiNode {
   void FailOp(uint64_t op_id, Code code);
   void SendKeyOp(TxnId txn, KeyOpReq req, PendingOp op);
 
+  void MaybeHedgeRead(TxnId txn, uint64_t op_id, const KeyOpReq& req);
+
   NdbCluster& cluster_;
   ApiNodeId id_;
   HostId host_;
   AzId az_;
   Nanos op_timeout_ = 1500 * kMillisecond;
+  Nanos hedge_read_delay_ = 0;  // 0 = hedging off
+  metrics::Counter* hedges_sent_ = nullptr;
+  metrics::Counter* hedge_wins_ = nullptr;
+  metrics::Counter* deadline_exceeded_ = nullptr;
 
   uint64_t next_op_id_ = 1;
   uint64_t rr_ = 0;

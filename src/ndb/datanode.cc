@@ -5,6 +5,7 @@
 
 #include "ndb/client.h"
 #include "ndb/cluster.h"
+#include "resilience/deadline.h"
 #include "util/logging.h"
 
 namespace repro::ndb {
@@ -130,6 +131,7 @@ void NdbDatanode::SendToNode(NodeId dst, int64_t bytes,
 
 void NdbDatanode::SendToApi(ApiNodeId api, int64_t bytes, OpReply reply) {
   if (!alive_) return;
+  reply.from = id_;  // hedged-read win attribution (see OpReply::from)
   const auto& cost = cluster_.cost();
   send_->Submit(cost.send_per_msg, [this, api, bytes,
                                     reply = std::move(reply)]() mutable {
@@ -260,6 +262,13 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
   RunTc(cluster_.cost().tc_route_op, [this, req = std::move(req)]() mutable {
     const auto& cost = cluster_.cost();
     auto& layout = cluster_.layout();
+    // Deadline propagation: refuse doomed work before routing it to an
+    // LDM (the API node already gave up at the same instant).
+    if (resilience::DeadlineExpired(req.deadline, cluster_.sim().now())) {
+      SendToApi(req.api, cost.msg_small,
+                OpReply{req.txn, req.op_id, Code::kDeadlineExceeded, {}, {}});
+      return;
+    }
     const PartitionId part = layout.PartitionOf(req.table, req.key);
     TcTxn& t = Txn(req.txn, req.api);
     Touch(t);
@@ -361,6 +370,11 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
 void NdbDatanode::TcScan(ScanReq req) {
   RunTc(cluster_.cost().tc_route_op, [this, req = std::move(req)]() mutable {
     const auto& cost = cluster_.cost();
+    if (resilience::DeadlineExpired(req.deadline, cluster_.sim().now())) {
+      SendToApi(req.api, cost.msg_small,
+                OpReply{req.txn, req.op_id, Code::kDeadlineExceeded, {}, {}});
+      return;
+    }
     const PartitionId part =
         cluster_.layout().PartitionOf(req.table, req.prefix);
     TcTxn& t = Txn(req.txn, req.api);

@@ -57,6 +57,9 @@ struct KeyOpReq {
   bool insert_only = false;   // fail with kAlreadyExists if row exists
   bool must_exist = false;    // fail with kNotFound (delete/update strict)
   std::string value;
+  // Absolute deadline propagated from the client op (0 = none). The TC
+  // rejects work whose deadline already passed instead of routing it.
+  Nanos deadline = 0;
 };
 
 // API -> TC: partition-pruned prefix scan (directory listing).
@@ -66,6 +69,7 @@ struct ScanReq {
   uint64_t op_id = 0;
   TableId table = 0;
   Key prefix;
+  Nanos deadline = 0;  // see KeyOpReq::deadline
 };
 
 // TC/LDM -> API: completion of one operation (or of commit/abort).
@@ -75,6 +79,9 @@ struct OpReply {
   Code code = Code::kOk;
   std::optional<std::string> value;
   std::vector<std::pair<Key, std::string>> rows;  // scans
+  // Responding datanode, stamped by SendToApi: lets the API node tell a
+  // hedged read's winner from the original.
+  NodeId from = kNoNode;
 };
 
 // Chain messages (Fig. 2).

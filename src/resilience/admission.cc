@@ -1,0 +1,36 @@
+#include "resilience/admission.h"
+
+#include <algorithm>
+
+namespace repro::resilience {
+
+AimdLimiter::AimdLimiter(const AimdLimiterConfig& config)
+    : config_(config),
+      limit_(std::clamp(config.initial_limit, config.min_limit,
+                        config.max_limit)) {}
+
+bool AimdLimiter::TryAcquire() {
+  if (inflight_ >= limit()) {
+    ++shed_;
+    return false;
+  }
+  ++inflight_;
+  return true;
+}
+
+void AimdLimiter::Release(Nanos latency, Nanos now) {
+  if (inflight_ > 0) --inflight_;
+  if (config_.latency_target <= 0) return;  // controller disabled
+  if (latency > config_.latency_target) {
+    if (last_decrease_ >= 0 && now - last_decrease_ < config_.decrease_cooldown)
+      return;
+    last_decrease_ = now;
+    limit_ = std::max<double>(config_.min_limit,
+                              limit_ * config_.backoff_ratio);
+  } else {
+    limit_ = std::min<double>(config_.max_limit,
+                              limit_ + config_.increase_per_ok);
+  }
+}
+
+}  // namespace repro::resilience

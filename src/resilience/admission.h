@@ -1,0 +1,54 @@
+// AIMD concurrency limiter for namenode admission control.
+//
+// The namenode tracks in-flight op count against an adaptive limit driven
+// by observed completion latency (a simplified gradient/AIMD controller in
+// the spirit of Netflix's concurrency-limits): completions faster than the
+// latency target grow the limit additively; completions slower than the
+// target shrink it multiplicatively (rate-limited by a cooldown so one
+// burst of slow ops doesn't collapse the limit to the floor). Excess
+// arrivals are shed with a retryable OVERLOADED status that the client's
+// retry budget honours.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace repro::resilience {
+
+struct AimdLimiterConfig {
+  int min_limit = 128;
+  int max_limit = 4096;
+  int initial_limit = 512;
+  // Completion latency above which the limiter backs off.
+  Nanos latency_target = 0;
+  double backoff_ratio = 0.9;     // multiplicative decrease factor
+  double increase_per_ok = 0.25;  // additive increase per fast completion
+  Nanos decrease_cooldown = 0;    // min spacing between decreases
+};
+
+class AimdLimiter {
+ public:
+  AimdLimiter() : AimdLimiter(AimdLimiterConfig{}) {}
+  explicit AimdLimiter(const AimdLimiterConfig& config);
+
+  // Admit one op, or refuse (shed) when in-flight would exceed the limit.
+  bool TryAcquire();
+
+  // Completion: release the slot and feed the latency sample into the
+  // controller. `now` is only used to space decreases.
+  void Release(Nanos latency, Nanos now);
+
+  int limit() const { return static_cast<int>(limit_); }
+  int inflight() const { return inflight_; }
+  int64_t shed() const { return shed_; }
+
+ private:
+  AimdLimiterConfig config_;
+  double limit_;
+  int inflight_ = 0;
+  int64_t shed_ = 0;
+  Nanos last_decrease_ = -1;
+};
+
+}  // namespace repro::resilience

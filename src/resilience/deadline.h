@@ -1,0 +1,53 @@
+// Deadline arithmetic shared by every hop (client, namenode, NDB TC,
+// block datanode).
+//
+// A deadline is an *absolute* simulated timestamp carried with the request
+// (gRPC-style deadline propagation rather than per-hop timeouts). Each hop
+// enforces it locally: before queueing or issuing downstream work it checks
+// the remaining budget and fails fast with DEADLINE_EXCEEDED instead of
+// doing doomed work. The sentinel 0 means "no deadline" so that plain
+// structs can default it away and pre-PR call sites stay valid.
+#pragma once
+
+#include <algorithm>
+
+#include "util/time.h"
+
+namespace repro::resilience {
+
+constexpr Nanos kNoDeadline = 0;
+
+inline bool HasDeadline(Nanos deadline) { return deadline != kNoDeadline; }
+
+inline bool DeadlineExpired(Nanos deadline, Nanos now) {
+  return HasDeadline(deadline) && now >= deadline;
+}
+
+// Remaining budget; never negative. Ops without a deadline get "infinite"
+// remaining so min() against a configured timeout is a no-op.
+inline Nanos DeadlineRemaining(Nanos deadline, Nanos now) {
+  if (!HasDeadline(deadline)) return INT64_MAX;
+  return std::max<Nanos>(0, deadline - now);
+}
+
+// A per-hop timeout clamped so the local timer never outlives the op's
+// deadline: the op fails exactly at its deadline with no extra events.
+inline Nanos ClampToDeadline(Nanos timeout, Nanos deadline, Nanos now) {
+  return std::min(timeout, DeadlineRemaining(deadline, now));
+}
+
+// Exponential backoff with a configurable exponent cap and an absolute
+// ceiling, clamped to the op's remaining deadline. `jitter` is a raw draw
+// in [0, base) supplied by the caller (the RNG lives with the caller so
+// replay determinism is preserved). Returns 0 when no budget remains —
+// callers treat that as "do not retry".
+inline Nanos RetryBackoff(Nanos base, int attempt, int exp_cap,
+                          Nanos max_backoff, Nanos jitter, Nanos deadline,
+                          Nanos now) {
+  const int exponent = std::min(std::max(attempt - 1, 0), exp_cap);
+  Nanos backoff = base * (Nanos{1} << exponent) + jitter;
+  if (max_backoff > 0) backoff = std::min(backoff, max_backoff);
+  return std::min(backoff, DeadlineRemaining(deadline, now));
+}
+
+}  // namespace repro::resilience

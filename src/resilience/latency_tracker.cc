@@ -1,0 +1,27 @@
+#include "resilience/latency_tracker.h"
+
+#include <algorithm>
+
+namespace repro::resilience {
+
+void LatencyTracker::Record(Nanos latency) {
+  if (samples_.size() < window_) {
+    samples_.push_back(latency);
+  } else {
+    samples_[next_] = latency;
+  }
+  next_ = (next_ + 1) % window_;
+}
+
+Nanos LatencyTracker::Percentile(double q, Nanos fallback,
+                                 size_t min_samples) const {
+  if (samples_.size() < min_samples) return fallback;
+  std::vector<Nanos> sorted = samples_;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+  return sorted[idx];
+}
+
+}  // namespace repro::resilience

@@ -1,0 +1,38 @@
+// Rolling latency percentile over a fixed window of recent samples,
+// used to derive the hedged-read trigger delay ("The Tail at Scale":
+// hedge after the 95th-percentile expected latency).
+//
+// A ring buffer of the last N samples keeps the estimate adaptive — a
+// long-lived histogram would freeze the threshold on stale history after
+// a load shift.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/time.h"
+
+namespace repro::resilience {
+
+class LatencyTracker {
+ public:
+  explicit LatencyTracker(size_t window = 128) : window_(window) {
+    samples_.reserve(window_);
+  }
+
+  void Record(Nanos latency);
+
+  // Value at quantile q in [0,1] over the current window, or `fallback`
+  // until min_samples have been observed (hedging too eagerly on a cold
+  // estimate would double traffic at startup).
+  Nanos Percentile(double q, Nanos fallback, size_t min_samples = 16) const;
+
+  size_t size() const { return samples_.size(); }
+
+ private:
+  size_t window_;
+  size_t next_ = 0;
+  std::vector<Nanos> samples_;
+};
+
+}  // namespace repro::resilience

@@ -1,0 +1,25 @@
+#include "resilience/retry_budget.h"
+
+#include <algorithm>
+
+namespace repro::resilience {
+
+RetryBudget::RetryBudget(const RetryBudgetConfig& config)
+    : config_(config),
+      tokens_(std::min(config.initial_tokens, config.max_tokens)) {}
+
+void RetryBudget::OnRequest() {
+  tokens_ = std::min(tokens_ + config_.token_ratio, config_.max_tokens);
+}
+
+bool RetryBudget::Withdraw() {
+  if (tokens_ < 1.0) {
+    ++denied_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  ++withdrawn_;
+  return true;
+}
+
+}  // namespace repro::resilience

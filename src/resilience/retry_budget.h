@@ -1,0 +1,45 @@
+// Client-side retry token bucket (the "retry budget" from the SRE
+// playbook, also adopted by gRPC): retries may consume at most a fixed
+// fraction of the request rate, so a struggling backend sees load shed
+// instead of a retry storm multiplying its overload.
+#pragma once
+
+#include <cstdint>
+
+namespace repro::resilience {
+
+struct RetryBudgetConfig {
+  // Fraction of a token earned per first-attempt request. 0.1 means
+  // retries may amplify offered load by at most ~10%.
+  double token_ratio = 0.1;
+  // Bucket capacity: bounds the burst of retries after a quiet period.
+  double max_tokens = 50.0;
+  // Initial fill so cold clients can ride out an early blip.
+  double initial_tokens = 10.0;
+};
+
+class RetryBudget {
+ public:
+  RetryBudget() : RetryBudget(RetryBudgetConfig{}) {}
+  explicit RetryBudget(const RetryBudgetConfig& config);
+
+  // Call once per *first* attempt: accrues token_ratio tokens.
+  void OnRequest();
+
+  // Attempt to withdraw one token for a retry. Returns false (and leaves
+  // the bucket unchanged) when fewer than 1.0 tokens remain — the caller
+  // must give up instead of retrying.
+  bool Withdraw();
+
+  double tokens() const { return tokens_; }
+  int64_t denied() const { return denied_; }
+  int64_t withdrawn() const { return withdrawn_; }
+
+ private:
+  RetryBudgetConfig config_;
+  double tokens_;
+  int64_t denied_ = 0;
+  int64_t withdrawn_ = 0;
+};
+
+}  // namespace repro::resilience

@@ -14,6 +14,7 @@ const char* CodeName(Code code) {
     case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
     case Code::kPermissionDenied: return "PERMISSION_DENIED";
     case Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Code::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case Code::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -24,6 +24,7 @@ enum class Code {
   kFailedPrecondition,// e.g. delete of non-empty directory
   kPermissionDenied,
   kResourceExhausted, // admission control / queue overflow
+  kDeadlineExceeded,  // op's absolute deadline passed: fail fast, never retry
   kInternal,
 };
 
@@ -74,6 +75,12 @@ inline Status InvalidArgument(std::string m) {
 }
 inline Status FailedPrecondition(std::string m) {
   return {Code::kFailedPrecondition, std::move(m)};
+}
+inline Status ResourceExhausted(std::string m) {
+  return {Code::kResourceExhausted, std::move(m)};
+}
+inline Status DeadlineExceeded(std::string m) {
+  return {Code::kDeadlineExceeded, std::move(m)};
 }
 inline Status Internal(std::string m) { return {Code::kInternal, std::move(m)}; }
 

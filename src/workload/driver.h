@@ -1,10 +1,16 @@
-// Closed-loop benchmark driver (the paper's benchmarking tool, §V-A).
+// Benchmark drivers (the paper's benchmarking tool, §V-A).
 //
-// Each simulated client issues one operation at a time against its
-// FsTarget, drawn from a workload generator; completion immediately
-// triggers the next operation. Latencies are recorded per operation type
-// during the measurement window only (after warm-up), matching standard
-// closed-loop throughput methodology.
+// ClosedLoopDriver: each simulated client issues one operation at a time
+// against its FsTarget, drawn from a workload generator; completion
+// immediately triggers the next operation. Latencies are recorded per
+// operation type during the measurement window only (after warm-up),
+// matching standard closed-loop throughput methodology.
+//
+// OpenLoopDriver: operations arrive at a fixed offered rate regardless of
+// completions — the driver for overload experiments, where a closed loop
+// would self-throttle and hide congestion collapse. Tracks goodput
+// (completions that returned OK), failure taxonomy (sheds, deadline
+// misses, timeouts) and the latency distribution of successes.
 #pragma once
 
 #include <functional>
@@ -74,6 +80,56 @@ class ClosedLoopDriver {
   bool stopped_ = false;
   int generation_ = 0;
   DriverResults results_;
+};
+
+struct OpenLoopResults {
+  Histogram ok_latency;  // end-to-end latency of successful ops
+  int64_t issued = 0;    // arrivals during the measurement window
+  int64_t completed = 0; // OK completions inside the window (goodput)
+  int64_t late_ok = 0;   // OK completions after the window — too late to
+                         // count as goodput, the congestion-collapse tell
+  int64_t failed = 0;
+  Nanos window = 0;
+  std::map<Code, int64_t> errors_by_code;
+  metrics::TimeSeries timeline;  // OK completions over time (whole run)
+
+  double offered_ops_per_sec() const {
+    return window > 0 ? static_cast<double>(issued) / ToSeconds(window) : 0.0;
+  }
+  double goodput_ops_per_sec() const {
+    return window > 0 ? static_cast<double>(completed) / ToSeconds(window)
+                      : 0.0;
+  }
+  int64_t sheds() const {
+    auto it = errors_by_code.find(Code::kResourceExhausted);
+    return it == errors_by_code.end() ? 0 : it->second;
+  }
+  int64_t deadline_exceeded() const {
+    auto it = errors_by_code.find(Code::kDeadlineExceeded);
+    return it == errors_by_code.end() ? 0 : it->second;
+  }
+};
+
+class OpenLoopDriver {
+ public:
+  OpenLoopDriver(Simulation& sim, std::vector<FsTarget*> targets,
+                 OpSource source);
+
+  // Offers `ops_per_sec` arrivals (round-robin over the targets) through
+  // warm-up + measure; stats cover arrivals inside the measurement window
+  // only, but the run keeps draining until those complete or fail.
+  OpenLoopResults Run(double ops_per_sec, Nanos warmup, Nanos measure);
+
+ private:
+  struct ClientState {
+    FsTarget* target;
+    Rng rng;
+    std::vector<std::string> owned;
+  };
+
+  Simulation& sim_;
+  OpSource source_;
+  std::vector<ClientState> clients_;
 };
 
 }  // namespace repro::workload
