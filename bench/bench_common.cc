@@ -91,6 +91,7 @@ RunOutput RunHopsFsWorkload(const RunConfig& config) {
                          : (FullScale() ? 1 * kSecond : 500 * kMillisecond);
 
   Simulation sim(config.seed);
+  if (config.sim_setup) config.sim_setup(sim);
   auto options = hopsfs::DeploymentOptions::FromPaperSetup(
       config.setup, config.num_namenodes);
   if (config.tweak) config.tweak(options);

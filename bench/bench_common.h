@@ -33,6 +33,10 @@ struct RunConfig {
   uint64_t seed = 1;
   // Optional overrides applied to the deployment options.
   std::function<void(hopsfs::DeploymentOptions&)> tweak;
+  // Optional hook invoked on the freshly built Simulation before the
+  // deployment exists — the place to arm the tracer (sampling knob, sink)
+  // for observability benches.
+  std::function<void(Simulation&)> sim_setup;
   // Optional replacement op source (micro-benchmarks); default Spotify.
   // The factory receives the run's workload/namespace so single-op
   // sources can pick valid paths.

@@ -16,18 +16,41 @@ BlockDatanode::BlockDatanode(Simulation& sim, Network& network, DnId id,
 
 void BlockDatanode::Crash() { alive_ = false; }
 
+void BlockDatanode::TraceBooking(trace::SpanId parent, const char* what,
+                                 trace::Cause cause, const Booking& b) {
+  if (parent == 0) return;
+  trace::Tracer& tr = sim_.tracer();
+  if (b.queued() > 0) {
+    tr.AddSpanAt(parent, StrFormat("%s.queue", what), trace::Layer::kBlocks,
+                 trace::Cause::kCpuQueue, host_, az_, b.submit, b.start);
+  }
+  tr.AddSpanAt(parent, what, trace::Layer::kBlocks, cause, host_, az_,
+               b.start, b.finish);
+}
+
 void BlockDatanode::StreamBytes(HostId dst, int64_t bytes,
-                                std::function<void()> done) {
+                                std::function<void()> done,
+                                trace::SpanId span) {
   // Chunked transfer: each chunk occupies the NIC/link independently; the
   // completion fires when the last chunk lands.
+  trace::SpanId net = 0;
+  if (span != 0) {
+    const AzId dst_az = network_.topology().az_of(dst);
+    net = sim_.tracer().StartSpan(span, "net.stream", trace::Layer::kBlocks,
+                                  trace::NetCause(az_, dst_az), host_, az_,
+                                  dst_az);
+  }
   const int64_t chunk = config_.chunk_bytes;
   const int64_t chunks = std::max<int64_t>(1, (bytes + chunk - 1) / chunk);
   auto remaining = std::make_shared<int64_t>(chunks);
   for (int64_t i = 0; i < chunks; ++i) {
     const int64_t this_chunk = std::min(chunk, bytes - i * chunk);
     network_.Send(host_, dst, std::max<int64_t>(this_chunk, 1),
-                  [remaining, done] {
-                    if (--*remaining == 0 && done) done();
+                  [this, remaining, done, net] {
+                    if (--*remaining == 0) {
+                      sim_.tracer().EndSpan(net);
+                      if (done) done();
+                    }
                   });
   }
 }
@@ -35,58 +58,64 @@ void BlockDatanode::StreamBytes(HostId dst, int64_t bytes,
 void BlockDatanode::WriteBlock(uint64_t block_id, int64_t bytes,
                                std::vector<BlockDatanode*> pipeline,
                                std::function<void(Status)> done,
-                               Nanos deadline) {
+                               Nanos deadline, trace::SpanId span) {
   if (!alive_) return;  // the client's RPC timeout handles dead DNs
   if (resilience::DeadlineExpired(deadline, sim_.now())) {
     if (done) done(DeadlineExceeded("dn: write past deadline"));
     return;
   }
-  cpu_.Submit(config_.cpu_per_request, [this, block_id, bytes, deadline,
-                                        pipeline = std::move(pipeline),
-                                        done = std::move(done)]() mutable {
-    if (!alive_) return;
-    blocks_[block_id] = bytes;
-    disk_.Write(bytes, nullptr);
-    if (pipeline.empty()) {
-      if (done) done(OkStatus());
-      return;
-    }
-    BlockDatanode* next = pipeline.front();
-    pipeline.erase(pipeline.begin());
-    StreamBytes(next->host(), bytes,
-                [next, block_id, bytes, deadline,
-                 pipeline = std::move(pipeline),
-                 done = std::move(done)]() mutable {
-                  next->WriteBlock(block_id, bytes, std::move(pipeline),
-                                   std::move(done), deadline);
-                });
-  });
+  const Booking b = cpu_.Submit(
+      config_.cpu_per_request,
+      [this, block_id, bytes, deadline, span,
+       pipeline = std::move(pipeline), done = std::move(done)]() mutable {
+        if (!alive_) return;
+        blocks_[block_id] = bytes;
+        const Booking w = disk_.Write(bytes, nullptr);
+        TraceBooking(span, "dn.disk_write", trace::Cause::kDisk, w);
+        if (pipeline.empty()) {
+          if (done) done(OkStatus());
+          return;
+        }
+        BlockDatanode* next = pipeline.front();
+        pipeline.erase(pipeline.begin());
+        StreamBytes(next->host(), bytes,
+                    [next, block_id, bytes, deadline, span,
+                     pipeline = std::move(pipeline),
+                     done = std::move(done)]() mutable {
+                      next->WriteBlock(block_id, bytes, std::move(pipeline),
+                                       std::move(done), deadline, span);
+                    },
+                    span);
+      });
+  TraceBooking(span, "dn.cpu", trace::Cause::kCpu, b);
 }
 
 void BlockDatanode::ReadBlock(uint64_t block_id, HostId reader_host,
                               std::function<void(Expected<int64_t>)> done,
-                              Nanos deadline) {
+                              Nanos deadline, trace::SpanId span) {
   if (!alive_) return;
   if (resilience::DeadlineExpired(deadline, sim_.now())) {
     done(DeadlineExceeded("dn: read past deadline"));
     return;
   }
-  cpu_.Submit(config_.cpu_per_request,
-              [this, block_id, reader_host, done = std::move(done)] {
-                if (!alive_) return;
-                auto it = blocks_.find(block_id);
-                if (it == blocks_.end()) {
-                  done(NotFound(StrFormat("block %llu not on dn %d",
-                                          static_cast<unsigned long long>(
-                                              block_id),
-                                          id_)));
-                  return;
-                }
-                const int64_t bytes = it->second;
-                disk_.Read(bytes, nullptr);
-                StreamBytes(reader_host, bytes,
-                            [bytes, done] { done(bytes); });
-              });
+  const Booking b = cpu_.Submit(
+      config_.cpu_per_request,
+      [this, block_id, reader_host, span, done = std::move(done)] {
+        if (!alive_) return;
+        auto it = blocks_.find(block_id);
+        if (it == blocks_.end()) {
+          done(NotFound(StrFormat("block %llu not on dn %d",
+                                  static_cast<unsigned long long>(block_id),
+                                  id_)));
+          return;
+        }
+        const int64_t bytes = it->second;
+        const Booking r = disk_.Read(bytes, nullptr);
+        TraceBooking(span, "dn.disk_read", trace::Cause::kDisk, r);
+        StreamBytes(reader_host, bytes, [bytes, done] { done(bytes); },
+                    span);
+      });
+  TraceBooking(span, "dn.cpu", trace::Cause::kCpu, b);
 }
 
 void BlockDatanode::DeleteBlock(uint64_t block_id) {

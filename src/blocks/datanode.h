@@ -14,6 +14,7 @@
 #include "sim/engine.h"
 #include "sim/network.h"
 #include "sim/resources.h"
+#include "trace/trace.h"
 #include "util/status.h"
 
 namespace repro::blocks {
@@ -43,14 +44,16 @@ class BlockDatanode {
   // the remaining pipeline. `pipeline` holds the replicas after this one.
   // `deadline` is the client op's absolute deadline (0 = none): work whose
   // deadline already passed is refused before it reaches CPU or disk
-  // (deadline propagation, final hop).
+  // (deadline propagation, final hop). `span` (0 = unsampled) parents the
+  // per-DN cpu/disk spans and the pipeline-stream network spans.
   void WriteBlock(uint64_t block_id, int64_t bytes,
                   std::vector<BlockDatanode*> pipeline,
-                  std::function<void(Status)> done, Nanos deadline = 0);
+                  std::function<void(Status)> done, Nanos deadline = 0,
+                  trace::SpanId span = 0);
 
   void ReadBlock(uint64_t block_id, HostId reader_host,
                  std::function<void(Expected<int64_t>)> done,
-                 Nanos deadline = 0);
+                 Nanos deadline = 0, trace::SpanId span = 0);
 
   void DeleteBlock(uint64_t block_id);
 
@@ -66,7 +69,12 @@ class BlockDatanode {
 
  private:
   // Streams `bytes` from this DN's host to `dst` host, then runs `done`.
-  void StreamBytes(HostId dst, int64_t bytes, std::function<void()> done);
+  // `span` != 0 wraps the whole chunked transfer in one network span.
+  void StreamBytes(HostId dst, int64_t bytes, std::function<void()> done,
+                   trace::SpanId span = 0);
+  // Emits queue/service spans for a cpu/disk booking under `parent`.
+  void TraceBooking(trace::SpanId parent, const char* what,
+                    trace::Cause cause, const Booking& b);
 
   Simulation& sim_;
   Network& network_;

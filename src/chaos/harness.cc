@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "trace/chrome_trace.h"
 #include "util/strings.h"
 #include "workload/fs_interface.h"
 
@@ -81,6 +82,10 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
 ChaosReport RunChaosSchedule(const ChaosOptions& opts,
                              const FaultSchedule& schedule) {
   Simulation sim(opts.seed);
+  if (opts.trace_sample_every > 0) {
+    sim.tracer().set_sample_every(opts.trace_sample_every);
+    sim.tracer().set_keep_last(opts.trace_keep_last);
+  }
   auto dopts = hopsfs::DeploymentOptions::FromPaperSetup(opts.setup,
                                                          opts.num_namenodes);
   dopts.block_datanodes = opts.block_datanodes;
@@ -232,6 +237,24 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts,
 
   report.trace = injector.trace();
   for (const auto& line : checker.trace()) report.trace.push_back(line);
+
+  // Flight recorder: when tracing was on and an invariant failed, dump
+  // the retained span trees (the ops closest to the violation) as
+  // Chrome-trace JSON for offline inspection.
+  if (opts.trace_sample_every > 0) {
+    report.traces_captured =
+        static_cast<int64_t>(sim.tracer().traces_finished());
+    if (!report.invariants_ok() && !opts.trace_dump_path.empty()) {
+      const std::vector<trace::Trace> kept(sim.tracer().finished().begin(),
+                                           sim.tracer().finished().end());
+      if (trace::WriteChromeTrace(opts.trace_dump_path, kept)) {
+        report.trace_dump_path = opts.trace_dump_path;
+        report.trace.push_back(StrFormat(
+            "trace: dumped %zu span trees to %s", kept.size(),
+            opts.trace_dump_path.c_str()));
+      }
+    }
+  }
   return report;
 }
 

@@ -58,6 +58,16 @@ struct ChaosOptions {
   // prove the checker detects real violations.
   bool enable_test_ack_loss_bug = false;
   Nanos ack_loss_burst = 600 * kMillisecond;
+
+  // Distributed tracing during the chaos run: sample one in N operations
+  // (0 = off; tracing never perturbs the schedule — spans draw no RNG and
+  // schedule no events, so the report is byte-identical either way). The
+  // last `trace_keep_last` sampled traces are retained, and when an
+  // invariant fails and `trace_dump_path` is set they are written there
+  // as Chrome-trace JSON — the flight recorder for the offending ops.
+  uint64_t trace_sample_every = 0;
+  size_t trace_keep_last = 64;
+  std::string trace_dump_path;
 };
 
 struct PhaseStats {
@@ -98,6 +108,12 @@ struct ChaosReport {
   // the checker's observations. Byte-identical across same-seed runs.
   std::vector<std::string> trace;
   std::string TraceString() const;
+
+  // Distributed-tracing capture (when ChaosOptions::trace_sample_every
+  // is set): how many span trees finished, and where the flight-recorder
+  // Chrome-trace JSON was written on invariant failure ("" = none).
+  int64_t traces_captured = 0;
+  std::string trace_dump_path;
 
   // Multi-line human-readable scorecard.
   std::string Scorecard() const;

@@ -46,7 +46,8 @@ void HopsFsClient::NoteBreaker(resilience::CircuitBreaker* b,
   if (b->transitions() != before) metrics::Bump(ctr_breaker_transitions_);
 }
 
-void HopsFsClient::PickNamenode(std::function<void()> then) {
+void HopsFsClient::PickNamenode(trace::SpanId span,
+                                std::function<void()> then) {
   // Ask a random alive seed namenode for the active list (the leader
   // election gossips each NN's AZ), then prefer an AZ-local namenode.
   std::vector<Namenode*> alive;
@@ -59,8 +60,12 @@ void HopsFsClient::PickNamenode(std::function<void()> then) {
     return;
   }
   Namenode* seed = alive[rng_.NextBelow(alive.size())];
+  const trace::SpanId req_hop = sim_.tracer().StartSpan(
+      span, "net.nn_list_req", trace::Layer::kClient,
+      trace::NetCause(az_, seed->az()), host_, az_, seed->az());
   network_.Send(host_, seed->host(), config_.request_bytes,
-                [this, seed, then = std::move(then)] {
+                [this, seed, span, req_hop, then = std::move(then)] {
+                  sim_.tracer().EndSpan(req_hop);
                   const auto& active = seed->active_nns();
                   const Nanos now = sim_.now();
                   std::vector<Namenode*> candidates;
@@ -110,8 +115,15 @@ void HopsFsClient::PickNamenode(std::function<void()> then) {
                   });
                   last_failed_nn_ = -1;
                   // Reply hop back to the client.
+                  const trace::SpanId reply_hop = sim_.tracer().StartSpan(
+                      span, "net.nn_list_reply", trace::Layer::kClient,
+                      trace::NetCause(seed->az(), az_), seed->host(),
+                      seed->az(), az_);
                   network_.Send(seed->host(), host_, config_.reply_base_bytes,
-                                [then] { then(); });
+                                [this, reply_hop, then] {
+                                  sim_.tracer().EndSpan(reply_hop);
+                                  then();
+                                });
                 });
 }
 
@@ -126,6 +138,10 @@ void HopsFsClient::Submit(FsRequest req, FsResultCb cb) {
   op->req = std::move(req);
   op->cb = std::move(cb);
   op->start = sim_.now();
+  // Deterministic 1-in-N sampling decides here; 0 makes every tracer
+  // call below a no-op.
+  op->span = sim_.tracer().StartTrace(FsOpName(op->req.op),
+                                      trace::Layer::kClient, host_, az_);
   StartAttempt(std::move(op));
 }
 
@@ -152,7 +168,11 @@ void HopsFsClient::StartAttempt(OpPtr op) {
     }
   }
   if (nn_ == nullptr) {
-    PickNamenode([this, op = std::move(op)]() mutable {
+    const trace::SpanId pick = sim_.tracer().StartSpan(
+        op->span, "pick_nn", trace::Layer::kClient, trace::Cause::kWork,
+        host_, az_);
+    PickNamenode(pick, [this, pick, op = std::move(op)]() mutable {
+      sim_.tracer().EndSpan(pick);
       if (nn_ == nullptr) {
         FsResult r;
         r.status = Unavailable("no namenode available");
@@ -174,15 +194,22 @@ void HopsFsClient::SendToNn(OpPtr op, Namenode* nn, bool is_hedge) {
   const uint64_t rpc_id = next_rpc_id_++;
   rpc_done_[rpc_id] = false;
 
+  // One span per RPC attempt; a hedge attempt is blamed on the resilience
+  // stack (kRetry), so hedge-won ops attribute the duplicated work.
+  const trace::SpanId attempt = sim_.tracer().StartSpan(
+      op->span, is_hedge ? "rpc.hedge" : "rpc", trace::Layer::kClient,
+      is_hedge ? trace::Cause::kRetry : trace::Cause::kWork, host_, az_);
+
   // The attempt timer never outlives the deadline: at equal timestamps
   // the earlier-scheduled timeout wins the event-order tie-break, so a
   // success can never race past an expired deadline through this path.
   const Nanos timeout = resilience::ClampToDeadline(
       config_.rpc_timeout, op->req.deadline, now);
-  sim_.After(timeout, [this, rpc_id, op, nn, is_hedge] {
+  sim_.After(timeout, [this, rpc_id, op, nn, is_hedge, attempt] {
     auto it = rpc_done_.find(rpc_id);
     if (it == rpc_done_.end() || it->second) return;
     rpc_done_.erase(it);
+    sim_.tracer().EndSpan(attempt);
     NoteBreaker(breaker(nn), [this, nn] {
       breaker(nn)->OnFailure(sim_.now());
     });
@@ -196,14 +223,19 @@ void HopsFsClient::SendToNn(OpPtr op, Namenode* nn, bool is_hedge) {
 
   if (!is_hedge) MaybeHedge(op, nn);
 
+  const trace::SpanId net_req = sim_.tracer().StartSpan(
+      attempt, "net.request", trace::Layer::kClient,
+      trace::NetCause(az_, nn->az()), host_, az_, nn->az());
   network_.Send(
       host_, nn->host(),
       config_.request_bytes + static_cast<int64_t>(op->req.path.size()),
-      [this, nn, op, rpc_id, is_hedge]() mutable {
+      [this, nn, op, rpc_id, is_hedge, attempt, net_req]() mutable {
+        sim_.tracer().EndSpan(net_req);
         FsRequest req = op->req;  // each attempt sends its own copy
+        req.span = attempt;  // the NN parents its spans under the attempt
         nn->HandleRequest(
             std::move(req),
-            [this, nn, op, rpc_id, is_hedge](FsResult result) {
+            [this, nn, op, rpc_id, is_hedge, attempt](FsResult result) {
               // Reply hop: size grows with listing / block payloads.
               int64_t bytes = config_.reply_base_bytes;
               for (const auto& c : result.children) {
@@ -211,10 +243,15 @@ void HopsFsClient::SendToNn(OpPtr op, Namenode* nn, bool is_hedge) {
               }
               bytes += 48 * static_cast<int64_t>(result.blocks.size() +
                                                  result.new_blocks.size());
+              const trace::SpanId net_reply = sim_.tracer().StartSpan(
+                  attempt, "net.reply", trace::Layer::kClient,
+                  trace::NetCause(nn->az(), az_), nn->host(), nn->az(), az_);
               network_.Send(
                   nn->host(), host_, bytes,
-                  [this, nn, op, rpc_id, is_hedge,
+                  [this, nn, op, rpc_id, is_hedge, attempt, net_reply,
                    result = std::move(result)]() mutable {
+                    sim_.tracer().EndSpan(net_reply);
+                    sim_.tracer().EndSpan(attempt);
                     auto it = rpc_done_.find(rpc_id);
                     if (it == rpc_done_.end()) {
                       // Timed out already: drop, but keep the
@@ -261,6 +298,12 @@ void HopsFsClient::RetryAfterFailure(OpPtr op, Status give_up_status) {
           ? static_cast<Nanos>(rng_.NextBelow(
                 static_cast<uint64_t>(config_.failover_jitter)))
           : 0;
+  if (jitter > 0) {
+    const Nanos now = sim_.now();
+    sim_.tracer().AddSpanAt(op->span, "retry.backoff", trace::Layer::kClient,
+                            trace::Cause::kRetry, host_, az_, now,
+                            now + jitter);
+  }
   sim_.After(jitter, [this, op = std::move(op)]() mutable {
     StartAttempt(std::move(op));
   });
@@ -332,6 +375,9 @@ void HopsFsClient::Deliver(OpPtr op, FsResult result, bool is_hedge) {
     latency_.Record(now - op->start);
     if (is_hedge) metrics::Bump(ctr_hedge_wins_);
   }
+  // Finalize the trace at the moment the caller observes completion; any
+  // still-open span (losing hedge, in-flight reply) is clamped to now.
+  sim_.tracer().EndTrace(op->span);
   op->cb(std::move(result));
 }
 
@@ -386,12 +432,22 @@ void HopsFsClient::HandleLargeFileIo(OpPtr op, FsResult result) {
       pipeline.erase(pipeline.begin());
       // Stream the data to the first replica, which forwards downstream.
       const int64_t bytes = b.num_bytes;
+      const trace::SpanId bspan = sim_.tracer().StartSpan(
+          op->span, "block.write", trace::Layer::kBlocks,
+          trace::Cause::kWork, host_, az_);
+      const trace::SpanId xfer = sim_.tracer().StartSpan(
+          bspan, "net.block_data", trace::Layer::kBlocks,
+          trace::NetCause(az_, first->az()), host_, az_, first->az());
       network_.Send(host_, first->host(), std::max<int64_t>(bytes, 1),
-                    [first, id = b.block_id, bytes, pipeline, next, i,
-                     deadline] {
+                    [this, first, id = b.block_id, bytes, pipeline, next, i,
+                     deadline, bspan, xfer] {
+                      sim_.tracer().EndSpan(xfer);
                       first->WriteBlock(id, bytes, pipeline,
-                                        [next, i](Status) { (*next)(i + 1); },
-                                        deadline);
+                                        [this, next, i, bspan](Status) {
+                                          sim_.tracer().EndSpan(bspan);
+                                          (*next)(i + 1);
+                                        },
+                                        deadline, bspan);
                     });
     } else {
       // AZ-closest replica (§IV-C): replicas in our AZ first.
@@ -405,13 +461,22 @@ void HopsFsClient::HandleLargeFileIo(OpPtr op, FsResult result) {
         }
       }
       blocks::BlockDatanode* dn = dn_registry_->dn(chosen);
+      const trace::SpanId bspan = sim_.tracer().StartSpan(
+          op->span, "block.read", trace::Layer::kBlocks, trace::Cause::kWork,
+          host_, az_);
+      const trace::SpanId rreq = sim_.tracer().StartSpan(
+          bspan, "net.read_req", trace::Layer::kBlocks,
+          trace::NetCause(az_, dn->az()), host_, az_, dn->az());
       network_.Send(host_, dn->host(), 128,
-                    [this, dn, id = b.block_id, next, i, deadline] {
+                    [this, dn, id = b.block_id, next, i, deadline, bspan,
+                     rreq] {
+                      sim_.tracer().EndSpan(rreq);
                       dn->ReadBlock(id, host_,
-                                    [next, i](Expected<int64_t>) {
+                                    [this, next, i, bspan](Expected<int64_t>) {
+                                      sim_.tracer().EndSpan(bspan);
                                       (*next)(i + 1);
                                     },
-                                    deadline);
+                                    deadline, bspan);
                     });
     }
   };

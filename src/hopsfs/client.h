@@ -124,6 +124,7 @@ class HopsFsClient {
     bool done = false;    // first completion wins; later ones are dropped
     bool hedge_sent = false;
     bool reported_deadline_exceeded = false;
+    trace::SpanId span = 0;  // root span of the op's trace (0 = unsampled)
   };
   using OpPtr = std::shared_ptr<OpState>;
 
@@ -133,7 +134,7 @@ class HopsFsClient {
   void RetryAfterFailure(OpPtr op, Status give_up_status);
   void Deliver(OpPtr op, FsResult result, bool is_hedge);
   void HandleLargeFileIo(OpPtr op, FsResult result);
-  void PickNamenode(std::function<void()> then);
+  void PickNamenode(trace::SpanId span, std::function<void()> then);
   resilience::CircuitBreaker* breaker(const Namenode* nn);
   void NoteBreaker(resilience::CircuitBreaker* b,
                    const std::function<void()>& update);

@@ -140,12 +140,23 @@ void Namenode::HandleRequest(FsRequest req, FsResultCb done) {
     ctx->admitted = true;
     ctx->admit_time = now;
   }
-  cpu_->Submit(config_.op_cpu_cost, [this, ctx] {
+  const Booking b = cpu_->Submit(config_.op_cpu_cost, [this, ctx] {
     if (alive_) RunAttempt(ctx);
   });
+  if (ctx->req.span != 0) {
+    trace::Tracer& tr = sim_.tracer();
+    if (b.queued() > 0) {
+      tr.AddSpanAt(ctx->req.span, "nn.queue", trace::Layer::kNamenode,
+                   trace::Cause::kCpuQueue, host_, az_, b.submit, b.start);
+    }
+    tr.AddSpanAt(ctx->req.span, "nn.cpu", trace::Layer::kNamenode,
+                 trace::Cause::kCpu, host_, az_, b.start, b.finish);
+  }
 }
 
 void Namenode::Finish(std::shared_ptr<OpCtx> ctx, FsResult result) {
+  sim_.tracer().EndSpan(ctx->txn_span);
+  ctx->txn_span = 0;
   if (ctx->admitted) {
     ctx->admitted = false;
     limiter_.Release(sim_.now() - ctx->admit_time, sim_.now());
@@ -158,6 +169,8 @@ void Namenode::Finish(std::shared_ptr<OpCtx> ctx, FsResult result) {
 }
 
 void Namenode::MaybeRetry(std::shared_ptr<OpCtx> ctx, const Status& failure) {
+  sim_.tracer().EndSpan(ctx->txn_span);
+  ctx->txn_span = 0;
   if (ctx->txn != 0) {
     api_->Abort(ctx->txn);
     ctx->txn = 0;
@@ -195,6 +208,9 @@ void Namenode::MaybeRetry(std::shared_ptr<OpCtx> ctx, const Status& failure) {
       config_.max_retry_backoff,
       static_cast<Nanos>(rng_.NextBelow(config_.retry_backoff)),
       ctx->req.deadline, now);
+  sim_.tracer().AddSpanAt(ctx->req.span, "nn.retry_backoff",
+                          trace::Layer::kNamenode, trace::Cause::kRetry,
+                          host_, az_, now, now + backoff);
   sim_.After(backoff, [this, ctx] {
     if (alive_) RunAttempt(ctx);
   });
@@ -301,6 +317,11 @@ void Namenode::RunAttempt(std::shared_ptr<OpCtx> ctx) {
   }
   ++ctx->attempt;
   ctx->used_cache = false;
+  // One span per transaction attempt; NDB op spans hang under it via
+  // SetTxnTrace below.
+  ctx->txn_span = sim_.tracer().StartSpan(
+      ctx->req.span, "nn.txn", trace::Layer::kNamenode, trace::Cause::kWork,
+      host_, az_);
 
   const std::string& path = ctx->req.path;
   std::string parent;
@@ -330,6 +351,7 @@ void Namenode::RunAttempt(std::shared_ptr<OpCtx> ctx) {
   // Deadline propagation, hop 3: every NDB op of this transaction carries
   // the deadline and clamps its timeout to the remaining budget.
   api_->SetTxnDeadline(ctx->txn, ctx->req.deadline);
+  api_->SetTxnTrace(ctx->txn, ctx->txn_span);
 
   auto dispatch = [this, ctx] {
     switch (ctx->req.op) {

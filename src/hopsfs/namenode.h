@@ -62,6 +62,9 @@ struct FsRequest {
   // Absolute deadline stamped by the client (0 = none); propagated down
   // through NDB and the block layer, checked before each queueing point.
   Nanos deadline = 0;
+  // Trace span of the client RPC attempt carrying this request (0 = the
+  // operation is not sampled). The namenode parents its spans under it.
+  trace::SpanId span = 0;
 };
 
 struct FsResult {

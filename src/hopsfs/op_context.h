@@ -33,6 +33,7 @@ struct Namenode::OpCtx {
   bool cache_retry_done = false;
   bool admitted = false;        // holds an admission-limiter slot
   Nanos admit_time = 0;         // when the slot was acquired
+  trace::SpanId txn_span = 0;   // current transaction attempt's span
 
   // Filled by path resolution (parent directory of the target).
   InodeId dir = 0;

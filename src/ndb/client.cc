@@ -74,6 +74,10 @@ void NdbApiNode::SetTxnDeadline(TxnId txn, Nanos deadline) {
   if (TxnState* t = FindTxn(txn)) t->deadline = deadline;
 }
 
+void NdbApiNode::SetTxnTrace(TxnId txn, trace::SpanId span) {
+  if (TxnState* t = FindTxn(txn)) t->span = span;
+}
+
 uint64_t NdbApiNode::RegisterOp(TxnId txn, PendingOp op) {
   const uint64_t op_id = next_op_id_++;
   op.txn = txn;
@@ -105,11 +109,17 @@ uint64_t NdbApiNode::RegisterOp(TxnId txn, PendingOp op) {
 }
 
 void NdbApiNode::SendToTc(TxnId txn, NodeId tc, int64_t bytes,
-                          std::function<void(NdbDatanode&)> fn) {
+                          std::function<void(NdbDatanode&)> fn,
+                          trace::SpanId parent) {
   (void)txn;
   NdbDatanode& node = cluster_.datanode(tc);
+  const AzId dst_az = cluster_.layout().az_of(tc);
+  const trace::SpanId hop = cluster_.sim().tracer().StartSpan(
+      parent, "net.api_tc", trace::Layer::kNdb, trace::NetCause(az_, dst_az),
+      host_, az_, dst_az);
   cluster_.network().Send(host_, node.host(), bytes,
-                          [&node, fn = std::move(fn)] {
+                          [this, &node, hop, fn = std::move(fn)] {
+                            cluster_.sim().tracer().EndSpan(hop);
                             node.ReceiveMsg([&node, fn] { fn(node); });
                           });
 }
@@ -119,6 +129,8 @@ void NdbApiNode::FailOp(uint64_t op_id, Code code) {
   if (it == pending_.end()) return;
   PendingOp op = std::move(it->second);
   pending_.erase(it);
+  cluster_.sim().tracer().EndSpan(op.span);
+  cluster_.sim().tracer().EndSpan(op.hedge_span);
   if (TxnState* t = FindTxn(op.txn)) t->inflight -= 1;
   if (op.read_cb) op.read_cb(code, std::nullopt);
   if (op.write_cb) op.write_cb(code);
@@ -147,15 +159,22 @@ void NdbApiNode::SendKeyOp(TxnId txn, KeyOpReq req, PendingOp op) {
   req.txn = txn;
   req.api = id_;
   req.deadline = t->deadline;
+  op.span = cluster_.sim().tracer().StartSpan(
+      t->span, req.is_write ? "ndb.write" : "ndb.read", trace::Layer::kNdb,
+      trace::Cause::kWork, host_, az_);
+  req.span = op.span;
   req.op_id = RegisterOp(txn, std::move(op));
   const bool hedgeable = hedge_read_delay_ > 0 && !req.is_write &&
                          req.mode == LockMode::kReadCommitted;
   const int64_t bytes =
       cluster_.cost().msg_read_req + static_cast<int64_t>(req.value.size());
   if (hedgeable) MaybeHedgeRead(txn, req.op_id, req);
-  SendToTc(txn, t->tc, bytes, [req = std::move(req)](NdbDatanode& n) mutable {
-    n.TcKeyOp(std::move(req));
-  });
+  const trace::SpanId span = req.span;
+  SendToTc(txn, t->tc, bytes,
+           [req = std::move(req)](NdbDatanode& n) mutable {
+             n.TcKeyOp(std::move(req));
+           },
+           span);
 }
 
 void NdbApiNode::MaybeHedgeRead(TxnId txn, uint64_t op_id,
@@ -180,9 +199,18 @@ void NdbApiNode::MaybeHedgeRead(TxnId txn, uint64_t op_id,
     it->second.hedge_tc = alt;
     metrics::Bump(hedges_sent_);
     const int64_t bytes = cluster_.cost().msg_read_req;
-    SendToTc(txn, alt, bytes, [req](NdbDatanode& n) mutable {
-      n.TcKeyOp(std::move(req));
-    });
+    // The duplicated work is blamed on the resilience stack (kRetry).
+    const trace::SpanId hspan = cluster_.sim().tracer().StartSpan(
+        req.span, "ndb.read_hedge", trace::Layer::kNdb, trace::Cause::kRetry,
+        host_, az_);
+    it->second.hedge_span = hspan;
+    KeyOpReq hreq = req;
+    hreq.span = hspan;
+    SendToTc(txn, alt, bytes,
+             [hreq = std::move(hreq)](NdbDatanode& n) mutable {
+               n.TcKeyOp(std::move(hreq));
+             },
+             hspan);
   });
 }
 
@@ -270,11 +298,17 @@ void NdbApiNode::ScanPrefix(TxnId txn, TableId table, Key prefix, ScanCb cb) {
   req.deadline = t->deadline;
   PendingOp op;
   op.scan_cb = std::move(cb);
+  op.span = cluster_.sim().tracer().StartSpan(
+      t->span, "ndb.scan", trace::Layer::kNdb, trace::Cause::kWork, host_,
+      az_);
+  req.span = op.span;
   req.op_id = RegisterOp(txn, std::move(op));
+  const trace::SpanId span = req.span;
   SendToTc(txn, t->tc, cluster_.cost().msg_scan_req,
            [req = std::move(req)](NdbDatanode& n) mutable {
              n.TcScan(std::move(req));
-           });
+           },
+           span);
 }
 
 void NdbApiNode::Commit(TxnId txn, WriteCb cb) {
@@ -300,12 +334,17 @@ void NdbApiNode::Commit(TxnId txn, WriteCb cb) {
     txns_.erase(txn);
     cb(code);
   };
+  op.span = cluster_.sim().tracer().StartSpan(
+      t->span, "ndb.commit", trace::Layer::kNdb, trace::Cause::kWork, host_,
+      az_);
+  const trace::SpanId cspan = op.span;
   const uint64_t op_id = RegisterOp(txn, std::move(op));
   const NodeId tc = t->tc;
   SendToTc(txn, tc, cluster_.cost().msg_small,
-           [txn, op_id, api = id_](NdbDatanode& n) {
-             n.TcCommit(txn, op_id, api);
-           });
+           [txn, op_id, api = id_, cspan](NdbDatanode& n) {
+             n.TcCommit(txn, op_id, api, cspan);
+           },
+           cspan);
 }
 
 void NdbApiNode::Abort(TxnId txn) {
@@ -323,6 +362,8 @@ void NdbApiNode::OnOpReply(OpReply reply) {
   if (it == pending_.end()) return;  // late reply after timeout / hedge loss
   PendingOp op = std::move(it->second);
   pending_.erase(it);
+  cluster_.sim().tracer().EndSpan(op.span);
+  cluster_.sim().tracer().EndSpan(op.hedge_span);
   if (TxnState* t = FindTxn(op.txn)) t->inflight -= 1;
   if (op.hedge_tc != kNoNode && reply.from == op.hedge_tc) {
     metrics::Bump(hedge_wins_);

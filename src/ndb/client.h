@@ -71,6 +71,10 @@ class NdbApiNode {
   // message is sent. 0 clears the deadline.
   void SetTxnDeadline(TxnId txn, Nanos deadline);
 
+  // Trace parent for this transaction's operation spans (the caller's
+  // per-attempt span; 0 = not sampled).
+  void SetTxnTrace(TxnId txn, trace::SpanId span);
+
   // Hedged committed reads ("The Tail at Scale"): when a committed read
   // is still unanswered after `delay`, resend it (same op_id) to a backup
   // replica of the partition; first reply wins, the loser's reply is
@@ -92,6 +96,7 @@ class NdbApiNode {
     bool broken = false;   // a timeout poisoned this txn
     int inflight = 0;
     Nanos deadline = 0;    // absolute; 0 = none
+    trace::SpanId span = 0;  // parent span for op spans (0 = unsampled)
   };
   struct PendingOp {
     TxnId txn = 0;
@@ -99,13 +104,16 @@ class NdbApiNode {
     WriteCb write_cb;
     ScanCb scan_cb;
     NodeId hedge_tc = kNoNode;  // where the hedge went (kNoNode = none)
+    trace::SpanId span = 0;     // this op's span, closed at reply/failure
+    trace::SpanId hedge_span = 0;  // hedge resend span (kRetry)
   };
 
   NodeId PickTc(const TableDef* td, TableId table, const Key* hint_key);
   TxnState* FindTxn(TxnId txn);
   uint64_t RegisterOp(TxnId txn, PendingOp op);
   void SendToTc(TxnId txn, NodeId tc, int64_t bytes,
-                std::function<void(NdbDatanode&)> fn);
+                std::function<void(NdbDatanode&)> fn,
+                trace::SpanId parent = 0);
   void FailOp(uint64_t op_id, Code code);
   void SendKeyOp(TxnId txn, KeyOpReq req, PendingOp op);
 

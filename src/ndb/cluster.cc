@@ -63,6 +63,8 @@ NdbCluster::~NdbCluster() {
   for (auto& t : timers_) t.Cancel();
 }
 
+trace::Tracer& NdbCluster::tracer() { return sim_.tracer(); }
+
 ApiNodeId NdbCluster::RegisterApi(NdbApiNode* api) {
   apis_.push_back(api);
   return static_cast<ApiNodeId>(apis_.size()) - 1;

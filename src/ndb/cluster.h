@@ -86,6 +86,8 @@ class NdbCluster {
   void StartProtocols();
 
   Simulation& sim() { return sim_; }
+  // The deployment-wide tracer (owned by the simulation).
+  trace::Tracer& tracer();
   Network& network() { return network_; }
   const Catalog& catalog() const { return *catalog_; }
   ClusterLayout& layout() { return layout_; }

@@ -106,7 +106,8 @@ void NdbDatanode::ReceiveMsg(std::function<void()> handle) {
 }
 
 void NdbDatanode::SendToNode(NodeId dst, int64_t bytes,
-                             std::function<void(NdbDatanode&)> fn) {
+                             std::function<void(NdbDatanode&)> fn,
+                             trace::SpanId span) {
   if (!alive_) return;
   if (dst == id_) {
     // In-process signal between the TC and LDM blocks of this node.
@@ -120,44 +121,71 @@ void NdbDatanode::SendToNode(NodeId dst, int64_t bytes,
       rep_->Backlog() < send_->Backlog()) {
     pool = rep_.get();
   }
-  pool->Submit(cost.send_per_msg, [this, dst, bytes, fn = std::move(fn)] {
+  const AzId dst_az = cluster_.layout().az_of(dst);
+  const trace::SpanId hop = cluster_.tracer().StartSpan(
+      span, "net.hop", trace::Layer::kNdb, trace::NetCause(az(), dst_az),
+      host_, az(), dst_az);
+  pool->Submit(cost.send_per_msg, [this, dst, bytes, hop,
+                                   fn = std::move(fn)] {
     NdbDatanode& peer = cluster_.datanode(dst);
     cluster_.network().Send(host_, peer.host(), bytes,
-                            [&peer, fn = std::move(fn)] {
+                            [this, &peer, hop, fn = std::move(fn)] {
+                              cluster_.tracer().EndSpan(hop);
                               peer.ReceiveMsg([&peer, fn] { fn(peer); });
                             });
   });
 }
 
-void NdbDatanode::SendToApi(ApiNodeId api, int64_t bytes, OpReply reply) {
+void NdbDatanode::SendToApi(ApiNodeId api, int64_t bytes, OpReply reply,
+                            trace::SpanId span) {
   if (!alive_) return;
   reply.from = id_;  // hedged-read win attribution (see OpReply::from)
   const auto& cost = cluster_.cost();
-  send_->Submit(cost.send_per_msg, [this, api, bytes,
+  NdbApiNode* dst = cluster_.api(api);
+  const trace::SpanId hop =
+      dst == nullptr ? 0
+                     : cluster_.tracer().StartSpan(
+                           span, "net.reply", trace::Layer::kNdb,
+                           trace::NetCause(az(), dst->az()), host_, az(),
+                           dst->az());
+  send_->Submit(cost.send_per_msg, [this, api, bytes, hop,
                                     reply = std::move(reply)]() mutable {
     NdbApiNode* a = cluster_.api(api);
     if (a == nullptr) return;
     cluster_.network().Send(host_, a->host(), bytes,
-                            [a, reply = std::move(reply)]() mutable {
+                            [this, a, hop, reply = std::move(reply)]() mutable {
+                              cluster_.tracer().EndSpan(hop);
                               a->OnOpReply(std::move(reply));
                             });
   });
 }
 
-void NdbDatanode::RunTc(Nanos cost, std::function<void()> fn) {
-  if (!alive_) return;
-  tc_->Submit(cost, [this, fn = std::move(fn)] {
+Booking NdbDatanode::RunTc(Nanos cost, std::function<void()> fn) {
+  if (!alive_) return Booking{};
+  return tc_->Submit(cost, [this, fn = std::move(fn)] {
     if (alive_) fn();
   });
 }
 
-void NdbDatanode::RunLdm(PartitionId part, Nanos cost,
-                         std::function<void()> fn) {
-  if (!alive_) return;
+Booking NdbDatanode::RunLdm(PartitionId part, Nanos cost,
+                            std::function<void()> fn) {
+  if (!alive_) return Booking{};
   const int thread = cluster_.layout().LdmThreadOf(part);
-  ldm_->SubmitTo(thread, cost, [this, fn = std::move(fn)] {
+  return ldm_->SubmitTo(thread, cost, [this, fn = std::move(fn)] {
     if (alive_) fn();
   });
+}
+
+void NdbDatanode::TraceCpu(trace::SpanId parent, const char* what,
+                           const Booking& b) {
+  if (parent == 0) return;
+  trace::Tracer& tr = cluster_.tracer();
+  if (b.queued() > 0) {
+    tr.AddSpanAt(parent, StrFormat("%s.queue", what), trace::Layer::kNdb,
+                 trace::Cause::kCpuQueue, host_, az(), b.submit, b.start);
+  }
+  tr.AddSpanAt(parent, what, trace::Layer::kNdb, trace::Cause::kCpu, host_,
+               az(), b.start, b.finish);
 }
 
 void NdbDatanode::RunIo(Nanos cost, std::function<void()> fn) {
@@ -259,7 +287,9 @@ NodeId NdbDatanode::RouteCommittedRead(TableId table, PartitionId part,
 }
 
 void NdbDatanode::TcKeyOp(KeyOpReq req) {
-  RunTc(cluster_.cost().tc_route_op, [this, req = std::move(req)]() mutable {
+  const trace::SpanId op_span = req.span;
+  const Booking b = RunTc(cluster_.cost().tc_route_op,
+                          [this, req = std::move(req)]() mutable {
     const auto& cost = cluster_.cost();
     auto& layout = cluster_.layout();
     // Deadline propagation: refuse doomed work before routing it to an
@@ -287,10 +317,12 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
         return;
       }
       cluster_.RecordReplicaRead(part, replica_idx);
+      const trace::SpanId s = req.span;
       SendToNode(serving, cost.msg_read_req,
                  [req = std::move(req), replica_idx](NdbDatanode& n) mutable {
                    n.LdmCommittedRead(std::move(req), replica_idx);
-                 });
+                 },
+                 s);
       return;
     }
 
@@ -312,10 +344,13 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
       probe.key = std::move(req.key);
       probe.part = part;
       probe.insert_only = req.mode == LockMode::kExclusive;  // X vs S marker
+      probe.span = req.span;
+      const trace::SpanId s = probe.span;
       SendToNode(primary, cost.msg_read_req,
                  [probe = std::move(probe)](NdbDatanode& n) mutable {
                    n.LdmLockedRead(std::move(probe));
-                 });
+                 },
+                 s);
       return;
     }
 
@@ -357,18 +392,25 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
     prep.value = std::move(req.value);
     prep.chain = std::move(chain);
     prep.pos = 0;
+    prep.span = req.span;
     t.inflight_parts.push_back(part);
     const int64_t bytes =
         cost.msg_write_base + static_cast<int64_t>(prep.value.size());
     const NodeId first = prep.chain[0];
-    SendToNode(first, bytes, [prep = std::move(prep)](NdbDatanode& n) mutable {
-      n.LdmPrepare(std::move(prep));
-    });
+    const trace::SpanId s = prep.span;
+    SendToNode(first, bytes,
+               [prep = std::move(prep)](NdbDatanode& n) mutable {
+                 n.LdmPrepare(std::move(prep));
+               },
+               s);
   });
+  TraceCpu(op_span, "tc.route", b);
 }
 
 void NdbDatanode::TcScan(ScanReq req) {
-  RunTc(cluster_.cost().tc_route_op, [this, req = std::move(req)]() mutable {
+  const trace::SpanId op_span = req.span;
+  const Booking b = RunTc(cluster_.cost().tc_route_op,
+                          [this, req = std::move(req)]() mutable {
     const auto& cost = cluster_.cost();
     if (resilience::DeadlineExpired(req.deadline, cluster_.sim().now())) {
       SendToApi(req.api, cost.msg_small,
@@ -387,53 +429,62 @@ void NdbDatanode::TcScan(ScanReq req) {
       return;
     }
     cluster_.RecordReplicaRead(part, replica_idx);
+    const trace::SpanId s = req.span;
     SendToNode(serving, cost.msg_scan_req,
-               [req = std::move(req), part, replica_idx](NdbDatanode& n) mutable {
+               [req = std::move(req), part,
+                replica_idx](NdbDatanode& n) mutable {
                  n.LdmScanExec(std::move(req), part, replica_idx);
-               });
+               },
+               s);
   });
+  TraceCpu(op_span, "tc.route", b);
 }
 
 void NdbDatanode::TcPrepared(TxnId txn, uint64_t op_id, Code code,
                              TableId table, Key key, PartitionId part,
-                             std::vector<NodeId> chain) {
-  RunTc(cluster_.cost().tc_route_op, [this, txn, op_id, code, table,
-                                      key = std::move(key), part,
-                                      chain = std::move(chain)]() mutable {
-    auto it = txns_.find(txn);
-    const auto& cost = cluster_.cost();
-    if (it == txns_.end() || it->second.aborted) {
-      // Txn gone (aborted/timed out): roll the prepared row back.
-      for (NodeId n : chain) {
-        SendToNode(n, cost.msg_small,
-                   [txn, table, key, part](NdbDatanode& d) {
-                     d.LdmAbortRow(txn, table, key, part);
-                   });
-      }
-      return;
-    }
-    TcTxn& t = it->second;
-    Touch(t);
-    if (code != Code::kOk) {
-      AbortTxnInternal(txn, t, /*notify_api=*/false, code);
-      // The failed op itself is answered with the specific code.
-      SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, code, {}, {}});
-      txns_.erase(txn);
-      return;
-    }
-    t.writes.push_back(
-        TcTxn::WriteRow{table, std::move(key), part, std::move(chain)});
-    SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, Code::kOk, {}, {}});
-  });
+                             std::vector<NodeId> chain, trace::SpanId span) {
+  const Booking b = RunTc(
+      cluster_.cost().tc_route_op,
+      [this, txn, op_id, code, table, key = std::move(key), part,
+       chain = std::move(chain), span]() mutable {
+        auto it = txns_.find(txn);
+        const auto& cost = cluster_.cost();
+        if (it == txns_.end() || it->second.aborted) {
+          // Txn gone (aborted/timed out): roll the prepared row back.
+          for (NodeId n : chain) {
+            SendToNode(n, cost.msg_small,
+                       [txn, table, key, part](NdbDatanode& d) {
+                         d.LdmAbortRow(txn, table, key, part);
+                       });
+          }
+          return;
+        }
+        TcTxn& t = it->second;
+        Touch(t);
+        if (code != Code::kOk) {
+          AbortTxnInternal(txn, t, /*notify_api=*/false, code);
+          // The failed op itself is answered with the specific code.
+          SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, code, {}, {}},
+                    span);
+          txns_.erase(txn);
+          return;
+        }
+        t.writes.push_back(
+            TcTxn::WriteRow{table, std::move(key), part, std::move(chain)});
+        SendToApi(t.api, cost.msg_small,
+                  OpReply{txn, op_id, Code::kOk, {}, {}}, span);
+      });
+  TraceCpu(span, "tc.prepared", b);
 }
 
 void NdbDatanode::TcLockedReadResult(TxnId txn, uint64_t op_id, Code code,
                                      std::optional<std::string> value,
-                                     TableId table, Key key,
-                                     PartitionId part) {
-  RunTc(cluster_.cost().tc_route_op,
-        [this, txn, op_id, code, value = std::move(value), table,
-         key = std::move(key), part]() mutable {
+                                     TableId table, Key key, PartitionId part,
+                                     trace::SpanId span) {
+  const Booking b = RunTc(
+      cluster_.cost().tc_route_op,
+      [this, txn, op_id, code, value = std::move(value), table,
+       key = std::move(key), part, span]() mutable {
           const auto& cost = cluster_.cost();
           auto it = txns_.find(txn);
           if (it == txns_.end() || it->second.aborted) {
@@ -453,7 +504,8 @@ void NdbDatanode::TcLockedReadResult(TxnId txn, uint64_t op_id, Code code,
           Touch(t);
           if (code == Code::kTimedOut) {
             AbortTxnInternal(txn, t, /*notify_api=*/false, code);
-            SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, code, {}, {}});
+            SendToApi(t.api, cost.msg_small,
+                      OpReply{txn, op_id, code, {}, {}}, span);
             txns_.erase(txn);
             return;
           }
@@ -465,30 +517,34 @@ void NdbDatanode::TcLockedReadResult(TxnId txn, uint64_t op_id, Code code,
               cost.msg_small +
               (value ? static_cast<int64_t>(value->size()) : 0);
           SendToApi(t.api, bytes,
-                    OpReply{txn, op_id, code, std::move(value), {}});
+                    OpReply{txn, op_id, code, std::move(value), {}}, span);
         });
+  TraceCpu(span, "tc.read_result", b);
 }
 
-void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api) {
-  RunTc(cluster_.cost().tc_begin, [this, txn, op_id, api] {
+void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api,
+                           trace::SpanId span) {
+  const Booking b = RunTc(cluster_.cost().tc_begin,
+                          [this, txn, op_id, api, span] {
     const auto& cost = cluster_.cost();
     auto it = txns_.find(txn);
     if (it == txns_.end()) {
       // Nothing known (e.g. freshly aborted): report failure.
       SendToApi(api, cost.msg_small,
-                OpReply{txn, op_id, Code::kAborted, {}, {}});
+                OpReply{txn, op_id, Code::kAborted, {}, {}}, span);
       return;
     }
     TcTxn& t = it->second;
     Touch(t);
     if (t.aborted) {
       SendToApi(api, cost.msg_small,
-                OpReply{txn, op_id, Code::kAborted, {}, {}});
+                OpReply{txn, op_id, Code::kAborted, {}, {}}, span);
       txns_.erase(txn);
       return;
     }
     t.committing = true;
     t.commit_op_id = op_id;
+    t.commit_span = span;
 
     // Release shared/exclusive read locks: the commit point is reached.
     // Rows that were read-locked *and* written keep their lock until the
@@ -512,7 +568,8 @@ void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api) {
     t.read_locks.clear();
 
     if (t.writes.empty()) {
-      SendToApi(t.api, cost.msg_small, OpReply{txn, op_id, Code::kOk, {}, {}});
+      SendToApi(t.api, cost.msg_small,
+                OpReply{txn, op_id, Code::kOk, {}, {}}, span);
       txns_.erase(txn);
       return;
     }
@@ -530,13 +587,16 @@ void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api) {
       creq.part = w.part;
       creq.chain = w.chain;
       creq.pos = static_cast<int>(w.chain.size()) - 1;
+      creq.span = span;
       const NodeId last = w.chain.back();
       SendToNode(last, cost.msg_small,
                  [creq = std::move(creq)](NdbDatanode& n) mutable {
                    n.LdmCommitChain(std::move(creq));
-                 });
+                 },
+                 span);
     }
   });
+  TraceCpu(span, "tc.commit", b);
 }
 
 void NdbDatanode::TcCommitted(TxnId txn) {
@@ -567,10 +627,12 @@ void NdbDatanode::StartCompletePhase(TxnId txn, TcTxn& t) {
       creq.key = w.key;
       creq.part = w.part;
       creq.is_primary = i == 0;
+      creq.span = t.commit_span;
       SendToNode(w.chain[i], cost.msg_small,
                  [creq = std::move(creq)](NdbDatanode& n) mutable {
                    n.LdmComplete(std::move(creq));
-                 });
+                 },
+                 t.commit_span);
     }
   }
   if (t.pending_completes == 0 && t.delay_ack) {
@@ -592,8 +654,9 @@ void NdbDatanode::TcCompleted(TxnId txn) {
 
 void NdbDatanode::FinishCommit(TxnId txn, TcTxn& t) {
   SendToApi(t.api, cluster_.cost().msg_small,
-            OpReply{txn, t.commit_op_id, Code::kOk, {}, {}});
+            OpReply{txn, t.commit_op_id, Code::kOk, {}, {}}, t.commit_span);
   t.commit_op_id = 0;
+  t.commit_span = 0;
 }
 
 void NdbDatanode::TcAbort(TxnId txn) {
@@ -763,14 +826,17 @@ void NdbDatanode::LdmCommittedRead(KeyOpReq req, int replica_idx) {
   (void)replica_idx;
   ++proto_stats_.committed_reads;
   const PartitionId part = cluster_.layout().PartitionOf(req.table, req.key);
-  RunLdm(part, cluster_.cost().ldm_read, [this, req = std::move(req)] {
-    const auto value = store_.Read(req.table, req.key, req.txn);
-    const int64_t bytes =
-        cluster_.cost().msg_small +
-        (value ? static_cast<int64_t>(value->size()) : 0);
-    SendToApi(req.api, bytes,
-              OpReply{req.txn, req.op_id, Code::kOk, value, {}});
-  });
+  const trace::SpanId span = req.span;
+  const Booking b =
+      RunLdm(part, cluster_.cost().ldm_read, [this, req = std::move(req)] {
+        const auto value = store_.Read(req.table, req.key, req.txn);
+        const int64_t bytes =
+            cluster_.cost().msg_small +
+            (value ? static_cast<int64_t>(value->size()) : 0);
+        SendToApi(req.api, bytes,
+                  OpReply{req.txn, req.op_id, Code::kOk, value, {}}, req.span);
+      });
+  TraceCpu(span, "ldm.read", b);
 }
 
 void NdbDatanode::LdmLockedRead(PrepareReq probe) {
@@ -778,34 +844,43 @@ void NdbDatanode::LdmLockedRead(PrepareReq probe) {
   // `insert_only` doubles as the exclusive-mode marker for lock probes.
   const LockMode mode =
       probe.insert_only ? LockMode::kExclusive : LockMode::kShared;
-  RunLdm(probe.part, cluster_.cost().ldm_read,
-         [this, probe = std::move(probe), mode] {
-           locks_.Acquire(
-               probe.txn, probe.table, probe.key, mode,
-               [this, probe](Status s) {
-                 std::optional<std::string> value;
-                 Code code = Code::kOk;
-                 if (s.ok()) {
-                   value = store_.Read(probe.table, probe.key, probe.txn);
-                   if (!value) {
-                     // Missing row: do not retain a lock on a ghost.
-                     locks_.Release(probe.txn, probe.table, probe.key);
-                     code = Code::kNotFound;
-                   }
-                 } else {
-                   code = s.code();
-                 }
-                 const int64_t bytes =
-                     cluster_.cost().msg_small +
-                     (value ? static_cast<int64_t>(value->size()) : 0);
-                 SendToNode(probe.tc, bytes,
-                            [probe, code, value](NdbDatanode& tc) {
-                              tc.TcLockedReadResult(probe.txn, probe.op_id,
-                                                    code, value, probe.table,
-                                                    probe.key, probe.part);
-                            });
-               });
-         });
+  const trace::SpanId op_span = probe.span;
+  const Booking b = RunLdm(
+      probe.part, cluster_.cost().ldm_read,
+      [this, probe = std::move(probe), mode] {
+        const trace::SpanId wait = cluster_.tracer().StartSpan(
+            probe.span, "lock.wait", trace::Layer::kNdb,
+            trace::Cause::kLockWait, host_, az());
+        locks_.Acquire(
+            probe.txn, probe.table, probe.key, mode,
+            [this, probe, wait](Status s) {
+              cluster_.tracer().EndSpan(wait);
+              std::optional<std::string> value;
+              Code code = Code::kOk;
+              if (s.ok()) {
+                value = store_.Read(probe.table, probe.key, probe.txn);
+                if (!value) {
+                  // Missing row: do not retain a lock on a ghost.
+                  locks_.Release(probe.txn, probe.table, probe.key);
+                  code = Code::kNotFound;
+                }
+              } else {
+                code = s.code();
+              }
+              const int64_t bytes =
+                  cluster_.cost().msg_small +
+                  (value ? static_cast<int64_t>(value->size()) : 0);
+              const trace::SpanId s2 = probe.span;
+              SendToNode(probe.tc, bytes,
+                         [probe, code, value](NdbDatanode& tc) {
+                           tc.TcLockedReadResult(probe.txn, probe.op_id, code,
+                                                 value, probe.table, probe.key,
+                                                 probe.part, probe.span);
+                         },
+                         s2);
+            });
+      });
+  TraceCpu(op_span, "ldm.read", b);
 }
 
 void NdbDatanode::ForwardPrepare(PrepareReq req) {
@@ -815,21 +890,29 @@ void NdbDatanode::ForwardPrepare(PrepareReq req) {
     const NodeId next = req.chain[req.pos];
     const int64_t bytes =
         cost.msg_write_base + static_cast<int64_t>(req.value.size());
-    SendToNode(next, bytes, [req = std::move(req)](NdbDatanode& n) mutable {
-      n.LdmPrepare(std::move(req));
-    });
+    const trace::SpanId s = req.span;
+    SendToNode(next, bytes,
+               [req = std::move(req)](NdbDatanode& n) mutable {
+                 n.LdmPrepare(std::move(req));
+               },
+               s);
   } else {
-    SendToNode(req.tc, cost.msg_small, [req = std::move(req)](NdbDatanode& tc) {
-      tc.TcPrepared(req.txn, req.op_id, Code::kOk, req.table, req.key,
-                    req.part, req.chain);
-    });
+    const trace::SpanId s = req.span;
+    SendToNode(req.tc, cost.msg_small,
+               [req = std::move(req)](NdbDatanode& tc) {
+                 tc.TcPrepared(req.txn, req.op_id, Code::kOk, req.table,
+                               req.key, req.part, req.chain, req.span);
+               },
+               s);
   }
 }
 
 void NdbDatanode::LdmPrepare(PrepareReq req) {
   if (req.busy_retries == 0) ++proto_stats_.prepares;
-  RunLdm(req.part, cluster_.cost().ldm_prepare,
-         [this, req = std::move(req)]() mutable {
+  const trace::SpanId op_span = req.busy_retries == 0 ? req.span : 0;
+  const Booking b = RunLdm(
+      req.part, cluster_.cost().ldm_prepare,
+      [this, req = std::move(req)]() mutable {
            if (!cluster_.layout().alive(req.tc)) {
              // The coordinator died while this prepare was in flight.
              // Take-over has already rolled its transactions back, but it
@@ -848,6 +931,7 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
              }
              return;
            }
+           trace::Tracer& tracer = cluster_.tracer();
            const bool is_primary = req.pos == 0;
            if (!is_primary) {
              // Backups stage the pending write without locking; the
@@ -862,14 +946,21 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
                if (req.busy_retries > 1000) {
                  RLOG_WARN(kLog, "node %d: pending slot on %s never freed",
                            id_, req.key.c_str());
+                 const trace::SpanId s = req.span;
                  SendToNode(req.tc, cluster_.cost().msg_small,
                             [req](NdbDatanode& tc) {
                               tc.TcPrepared(req.txn, req.op_id,
                                             Code::kTimedOut, req.table,
-                                            req.key, req.part, req.chain);
-                            });
+                                            req.key, req.part, req.chain,
+                                            req.span);
+                            },
+                            s);
                  return;
                }
+               const Nanos now = cluster_.sim().now();
+               tracer.AddSpanAt(req.span, "prepare.busy_wait",
+                                trace::Layer::kNdb, trace::Cause::kRetry,
+                                host_, az(), now, now + 200 * kMicrosecond);
                cluster_.sim().After(200 * kMicrosecond,
                                     [this, req = std::move(req)]() mutable {
                                       if (alive_) LdmPrepare(std::move(req));
@@ -884,9 +975,13 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
            const TxnId txn = req.txn;
            const TableId table = req.table;
            const Key key = req.key;
+           const trace::SpanId wait =
+               tracer.StartSpan(req.span, "lock.wait", trace::Layer::kNdb,
+                                trace::Cause::kLockWait, host_, az());
            locks_.Acquire(
                txn, table, key, LockMode::kExclusive,
-               [this, req = std::move(req)](Status s) mutable {
+               [this, req = std::move(req), wait](Status s) mutable {
+                 cluster_.tracer().EndSpan(wait);
                  Code code = Code::kOk;
                  if (!s.ok()) {
                    code = s.code();
@@ -899,12 +994,14 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
                  }
                  if (code != Code::kOk) {
                    if (s.ok()) locks_.Release(req.txn, req.table, req.key);
+                   const trace::SpanId sp = req.span;
                    SendToNode(req.tc, cluster_.cost().msg_small,
                               [req, code](NdbDatanode& tc) {
                                 tc.TcPrepared(req.txn, req.op_id, code,
                                               req.table, req.key, req.part,
-                                              req.chain);
-                              });
+                                              req.chain, req.span);
+                              },
+                              sp);
                    return;
                  }
                  // The primary's pending slot is protected by the row
@@ -917,51 +1014,62 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
                  ForwardPrepare(std::move(req));
                });
          });
+  TraceCpu(op_span, "ldm.prepare", b);
 }
 
 void NdbDatanode::LdmCommitChain(CommitChainReq req) {
   ++proto_stats_.commit_hops;
-  RunLdm(req.part, cluster_.cost().ldm_commit,
-         [this, req = std::move(req)]() mutable {
-           const auto& cost = cluster_.cost();
-           if (req.pos == 0) {
-             // The primary is the commit point: apply, unlock, confirm.
-             LogRedo(req.table, req.key,
-                     store_.Commit(req.table, req.key, req.txn));
-             locks_.Release(req.txn, req.table, req.key);
-             AccountRedo();
-             SendToNode(req.tc, cost.msg_small,
-                        [txn = req.txn](NdbDatanode& tc) {
-                          tc.TcCommitted(txn);
-                        });
-             return;
-           }
-           // Backups only pass the Commit along; their pending write is
-           // applied at Complete — the window behind the primary-read
-           // redirection rule (§II-B2).
-           req.pos -= 1;
-           const NodeId next = req.chain[req.pos];
-           SendToNode(next, cost.msg_small,
-                      [req = std::move(req)](NdbDatanode& n) mutable {
-                        n.LdmCommitChain(std::move(req));
-                      });
-         });
+  const trace::SpanId op_span = req.span;
+  const Booking b = RunLdm(
+      req.part, cluster_.cost().ldm_commit,
+      [this, req = std::move(req)]() mutable {
+        const auto& cost = cluster_.cost();
+        if (req.pos == 0) {
+          // The primary is the commit point: apply, unlock, confirm.
+          LogRedo(req.table, req.key,
+                  store_.Commit(req.table, req.key, req.txn));
+          locks_.Release(req.txn, req.table, req.key);
+          AccountRedo();
+          SendToNode(req.tc, cost.msg_small,
+                     [txn = req.txn](NdbDatanode& tc) {
+                       tc.TcCommitted(txn);
+                     },
+                     req.span);
+          return;
+        }
+        // Backups only pass the Commit along; their pending write is
+        // applied at Complete — the window behind the primary-read
+        // redirection rule (§II-B2).
+        req.pos -= 1;
+        const NodeId next = req.chain[req.pos];
+        const trace::SpanId s = req.span;
+        SendToNode(next, cost.msg_small,
+                   [req = std::move(req)](NdbDatanode& n) mutable {
+                     n.LdmCommitChain(std::move(req));
+                   },
+                   s);
+      });
+  TraceCpu(op_span, "ldm.commit", b);
 }
 
 void NdbDatanode::LdmComplete(CompleteReq req) {
   ++proto_stats_.completes;
-  RunLdm(req.part, cluster_.cost().ldm_complete,
-         [this, req = std::move(req)] {
-           if (!req.is_primary) {
-             LogRedo(req.table, req.key,
-                     store_.Commit(req.table, req.key, req.txn));
-             AccountRedo();
-           }
-           SendToNode(req.tc, cluster_.cost().msg_small,
-                      [txn = req.txn](NdbDatanode& tc) {
-                        tc.TcCompleted(txn);
-                      });
-         });
+  const trace::SpanId op_span = req.span;
+  const Booking b = RunLdm(
+      req.part, cluster_.cost().ldm_complete,
+      [this, req = std::move(req)] {
+        if (!req.is_primary) {
+          LogRedo(req.table, req.key,
+                  store_.Commit(req.table, req.key, req.txn));
+          AccountRedo();
+        }
+        SendToNode(req.tc, cluster_.cost().msg_small,
+                   [txn = req.txn](NdbDatanode& tc) {
+                     tc.TcCompleted(txn);
+                   },
+                   req.span);
+      });
+  TraceCpu(op_span, "ldm.complete", b);
 }
 
 void NdbDatanode::LdmAbortRow(TxnId txn, TableId table, Key key,
@@ -989,15 +1097,17 @@ void NdbDatanode::LdmScanExec(ScanReq req, PartitionId part, int replica_idx) {
   const auto& cost = cluster_.cost();
   const Nanos work = cost.ldm_scan_base +
                      cost.ldm_scan_row * static_cast<Nanos>(rows.size());
-  RunLdm(part, work, [this, req = std::move(req),
-                      rows = std::move(rows)]() mutable {
+  const trace::SpanId op_span = req.span;
+  const Booking b = RunLdm(part, work, [this, req = std::move(req),
+                                        rows = std::move(rows)]() mutable {
     int64_t bytes = cluster_.cost().msg_small;
     for (const auto& [k, v] : rows) {
       bytes += static_cast<int64_t>(k.size() + v.size());
     }
     OpReply reply{req.txn, req.op_id, Code::kOk, {}, std::move(rows)};
-    SendToApi(req.api, bytes, std::move(reply));
+    SendToApi(req.api, bytes, std::move(reply), req.span);
   });
+  TraceCpu(op_span, "ldm.scan", b);
 }
 
 }  // namespace repro::ndb

@@ -60,6 +60,9 @@ struct KeyOpReq {
   // Absolute deadline propagated from the client op (0 = none). The TC
   // rejects work whose deadline already passed instead of routing it.
   Nanos deadline = 0;
+  // Trace span of this operation at the API node (0 = not sampled); TC
+  // and LDM work on the op parents its spans here.
+  trace::SpanId span = 0;
 };
 
 // API -> TC: partition-pruned prefix scan (directory listing).
@@ -69,7 +72,8 @@ struct ScanReq {
   uint64_t op_id = 0;
   TableId table = 0;
   Key prefix;
-  Nanos deadline = 0;  // see KeyOpReq::deadline
+  Nanos deadline = 0;       // see KeyOpReq::deadline
+  trace::SpanId span = 0;   // see KeyOpReq::span
 };
 
 // TC/LDM -> API: completion of one operation (or of commit/abort).
@@ -100,6 +104,7 @@ struct PrepareReq {
   std::vector<NodeId> chain;  // primary first
   int pos = 0;                // index of the receiving replica
   int busy_retries = 0;       // waits on a predecessor's pending write
+  trace::SpanId span = 0;     // op span the chain hops trace under
 };
 
 struct CommitChainReq {
@@ -110,6 +115,7 @@ struct CommitChainReq {
   PartitionId part = 0;
   std::vector<NodeId> chain;
   int pos = 0;  // traverses from chain.size()-1 down to 0 (the primary)
+  trace::SpanId span = 0;  // the txn's ndb.commit span
 };
 
 struct CompleteReq {
@@ -119,6 +125,7 @@ struct CompleteReq {
   Key key;
   PartitionId part = 0;
   bool is_primary = false;
+  trace::SpanId span = 0;  // the txn's ndb.commit span
 };
 
 // ---- Datanode -----------------------------------------------------------
@@ -158,7 +165,8 @@ class NdbDatanode {
   // -- entry points (invoked after RECV-thread queueing) --
   void TcKeyOp(KeyOpReq req);
   void TcScan(ScanReq req);
-  void TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api);
+  void TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api,
+                trace::SpanId span = 0);
   void TcAbort(TxnId txn);
 
   void LdmCommittedRead(KeyOpReq req, int replica_idx);
@@ -175,9 +183,10 @@ class NdbDatanode {
   // TC-side protocol confirmations.
   void TcLockedReadResult(TxnId txn, uint64_t op_id, Code code,
                           std::optional<std::string> value, TableId table,
-                          Key key, PartitionId part);
+                          Key key, PartitionId part, trace::SpanId span = 0);
   void TcPrepared(TxnId txn, uint64_t op_id, Code code, TableId table,
-                  Key key, PartitionId part, std::vector<NodeId> chain);
+                  Key key, PartitionId part, std::vector<NodeId> chain,
+                  trace::SpanId span = 0);
   void TcCommitted(TxnId txn);
   void TcCompleted(TxnId txn);
 
@@ -239,11 +248,15 @@ class NdbDatanode {
 
   // -- infrastructure used by the cluster --
   void ReceiveMsg(std::function<void()> handle);
+  // `span` != 0 wraps the hop (SEND-thread queue + wire) in a network
+  // span under it; local delivery (dst == this node) records nothing.
   void SendToNode(NodeId dst, int64_t bytes,
-                  std::function<void(NdbDatanode&)> fn);
-  void SendToApi(ApiNodeId api, int64_t bytes, OpReply reply);
-  void RunTc(Nanos cost, std::function<void()> fn);
-  void RunLdm(PartitionId part, Nanos cost, std::function<void()> fn);
+                  std::function<void(NdbDatanode&)> fn,
+                  trace::SpanId span = 0);
+  void SendToApi(ApiNodeId api, int64_t bytes, OpReply reply,
+                 trace::SpanId span = 0);
+  Booking RunTc(Nanos cost, std::function<void()> fn);
+  Booking RunLdm(PartitionId part, Nanos cost, std::function<void()> fn);
   void RunIo(Nanos cost, std::function<void()> fn);
   void FlushRedo();
 
@@ -298,6 +311,7 @@ class NdbDatanode {
     int pending_commits = 0;
     int pending_completes = 0;
     uint64_t commit_op_id = 0;
+    trace::SpanId commit_span = 0;  // ndb.commit span (0 = unsampled)
     Nanos last_activity = 0;
   };
 
@@ -311,6 +325,10 @@ class NdbDatanode {
   void AbortTxnInternal(TxnId txn, TcTxn& t, bool notify_api, Code code);
   void ForwardPrepare(PrepareReq req);
   void AccountRedo();
+  // Emits queue/service spans for a thread-pool booking under `parent`
+  // (no-op when the op is unsampled). `what` names the span: "<what>" for
+  // the service slice, "<what>.queue" for any wait before it.
+  void TraceCpu(trace::SpanId parent, const char* what, const Booking& b);
 
   NdbCluster& cluster_;
   NodeId id_;

@@ -1,10 +1,15 @@
 #include "resilience/latency_tracker.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace repro::resilience {
 
 void LatencyTracker::Record(Nanos latency) {
+  // window_ == 0 means the tracker is disabled: keep no samples (and
+  // never divide by zero below) so Percentile always returns the
+  // fallback.
+  if (window_ == 0) return;
   if (samples_.size() < window_) {
     samples_.push_back(latency);
   } else {
@@ -15,11 +20,16 @@ void LatencyTracker::Record(Nanos latency) {
 
 Nanos LatencyTracker::Percentile(double q, Nanos fallback,
                                  size_t min_samples) const {
-  if (samples_.size() < min_samples) return fallback;
+  if (samples_.empty() || samples_.size() < min_samples) return fallback;
   std::vector<Nanos> sorted = samples_;
-  const size_t idx = std::min(
-      sorted.size() - 1,
-      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  const size_t n = sorted.size();
+  // Nearest-rank percentile: 0-based index ceil(q*n) - 1. Truncating
+  // q*n instead picks one rank too high whenever q*n is integral (e.g.
+  // p95 over a full 100-sample window), inflating the hedge trigger.
+  const double rank = std::ceil(std::clamp(q, 0.0, 1.0) *
+                                static_cast<double>(n));
+  const size_t idx =
+      std::min(n - 1, rank <= 1.0 ? 0 : static_cast<size_t>(rank) - 1);
   std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
   return sorted[idx];
 }

@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "trace/trace.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -26,6 +27,13 @@ class Simulation {
   Nanos now() const { return now_; }
   Rng& rng() { return rng_; }
   uint64_t events_processed() const { return events_processed_; }
+
+  // Per-run distributed tracer, clocked by simulated time. Sampling is
+  // off by default (sample_every == 0); benches and the chaos harness
+  // turn it on. A deterministic counter — never the sim RNG — decides
+  // sampling, so enabling traces cannot perturb the run being traced.
+  trace::Tracer& tracer() { return tracer_; }
+  const trace::Tracer& tracer() const { return tracer_; }
 
   // Schedules fn at an absolute simulated time (>= now).
   void At(Nanos time, std::function<void()> fn);
@@ -87,6 +95,7 @@ class Simulation {
   uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Rng rng_;
+  trace::Tracer tracer_{[this] { return now_; }};
 };
 
 }  // namespace repro

@@ -19,11 +19,12 @@ int ThreadPool::EarliestFree() const {
   return best;
 }
 
-void ThreadPool::Submit(Nanos cost, std::function<void()> done) {
-  SubmitTo(EarliestFree(), cost, std::move(done));
+Booking ThreadPool::Submit(Nanos cost, std::function<void()> done) {
+  return SubmitTo(EarliestFree(), cost, std::move(done));
 }
 
-void ThreadPool::SubmitTo(int thread, Nanos cost, std::function<void()> done) {
+Booking ThreadPool::SubmitTo(int thread, Nanos cost,
+                             std::function<void()> done) {
   assert(thread >= 0 && thread < num_threads());
   assert(cost >= 0);
   if (slowdown_ != 1.0) {
@@ -36,6 +37,7 @@ void ThreadPool::SubmitTo(int thread, Nanos cost, std::function<void()> done) {
   if (done) {
     sim_.At(free_at_[thread], std::move(done));
   }
+  return Booking{sim_.now(), start, start + cost};
 }
 
 Nanos ThreadPool::Backlog() const {
@@ -67,7 +69,7 @@ Disk::Disk(Simulation& sim, std::string name, Nanos access_time,
     : sim_(sim), name_(std::move(name)), access_time_(access_time),
       read_rate_(read_bytes_per_sec), write_rate_(write_bytes_per_sec) {}
 
-void Disk::SubmitIo(Nanos service, std::function<void()> done) {
+Booking Disk::SubmitIo(Nanos service, std::function<void()> done) {
   if (slowdown_ != 1.0) {
     service = static_cast<Nanos>(static_cast<double>(service) * slowdown_);
   }
@@ -76,22 +78,23 @@ void Disk::SubmitIo(Nanos service, std::function<void()> done) {
   stats_.busy_ns += service;
   ++stats_.ops;
   if (done) sim_.At(free_at_, std::move(done));
+  return Booking{sim_.now(), start, start + service};
 }
 
-void Disk::Read(int64_t bytes, std::function<void()> done) {
+Booking Disk::Read(int64_t bytes, std::function<void()> done) {
   stats_.bytes_read += bytes;
   const Nanos service =
       access_time_ +
       static_cast<Nanos>(static_cast<double>(bytes) / read_rate_ * 1e9);
-  SubmitIo(service, std::move(done));
+  return SubmitIo(service, std::move(done));
 }
 
-void Disk::Write(int64_t bytes, std::function<void()> done) {
+Booking Disk::Write(int64_t bytes, std::function<void()> done) {
   stats_.bytes_written += bytes;
   const Nanos service =
       access_time_ +
       static_cast<Nanos>(static_cast<double>(bytes) / write_rate_ * 1e9);
-  SubmitIo(service, std::move(done));
+  return SubmitIo(service, std::move(done));
 }
 
 double Disk::Utilization(Nanos window_start) const {

@@ -21,16 +21,28 @@
 
 namespace repro {
 
+// How one piece of submitted work was scheduled: when it started waiting,
+// when a server (thread / disk) picked it up, and when it finishes.
+// Returned so callers can emit exact queue-vs-service trace spans without
+// the resource knowing anything about tracing.
+struct Booking {
+  Nanos submit = 0;   // submission time (queue-wait start)
+  Nanos start = 0;    // service start (queue-wait end)
+  Nanos finish = 0;   // service end == completion callback time
+  Nanos queued() const { return start - submit; }
+  Nanos service() const { return finish - start; }
+};
+
 class ThreadPool {
  public:
   ThreadPool(Simulation& sim, std::string name, int num_threads);
 
   // Runs `cost` of CPU work on the earliest-free thread; `done` fires when
   // the work completes (after queueing). `done` may be null.
-  void Submit(Nanos cost, std::function<void()> done);
+  Booking Submit(Nanos cost, std::function<void()> done);
 
   // Runs work on a specific thread (partition affinity).
-  void SubmitTo(int thread, Nanos cost, std::function<void()> done);
+  Booking SubmitTo(int thread, Nanos cost, std::function<void()> done);
 
   // How far ahead of `now` the least-loaded thread is booked. Used for
   // overflow decisions (NDB's idle helper threads) and backpressure.
@@ -82,8 +94,8 @@ class Disk {
        Nanos access_time = 50 * kMicrosecond,
        double read_bytes_per_sec = 2.4e9, double write_bytes_per_sec = 1.2e9);
 
-  void Read(int64_t bytes, std::function<void()> done);
-  void Write(int64_t bytes, std::function<void()> done);
+  Booking Read(int64_t bytes, std::function<void()> done);
+  Booking Write(int64_t bytes, std::function<void()> done);
 
   const DiskStats& stats() const { return stats_; }
   double Utilization(Nanos window_start) const;
@@ -96,7 +108,7 @@ class Disk {
   double slowdown() const { return slowdown_; }
 
  private:
-  void SubmitIo(Nanos service, std::function<void()> done);
+  Booking SubmitIo(Nanos service, std::function<void()> done);
 
   Simulation& sim_;
   std::string name_;

@@ -1,0 +1,23 @@
+// Chrome-trace (chrome://tracing / Perfetto) JSON exporter.
+//
+// Each span becomes one "X" (complete) event: ts/dur in microseconds of
+// simulated time, pid = simulated host id, tid = layer. Cause, AZ and
+// trace id ride along in args, and process-name metadata events label
+// hosts with their AZ so the Perfetto track list reads like the
+// deployment diagram.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace repro::trace {
+
+std::string ChromeTraceJson(const std::vector<Trace>& traces);
+
+// Writes ChromeTraceJson to `path`; returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<Trace>& traces);
+
+}  // namespace repro::trace

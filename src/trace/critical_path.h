@@ -1,0 +1,80 @@
+// Critical-path analysis over finished span trees.
+//
+// CriticalPath partitions an operation's wall-clock interval into
+// segments, each attributed to the deepest span responsible for that
+// slice of time: wherever a span's children cover an instant, the
+// covering child that ends last is the one the parent is actually
+// blocked on, and the walk recurses into it; uncovered time belongs to
+// the span itself (its own cause tag). Because every elementary interval
+// of the root window is assigned to exactly one segment, the segment
+// durations sum to the end-to-end latency EXACTLY — the invariant the
+// trace tests and the trace-smoke CI job assert.
+//
+// BreakdownAggregator streams finished traces (Tracer sink) into
+// per-op-type cause breakdowns and per-AZ-pair network-hop histograms —
+// the Fig. 8/9-style decomposition ("where did the p99 go?").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/histogram.h"
+
+namespace repro::trace {
+
+// One attributed slice of an operation's latency. `span` points into the
+// Trace passed to CriticalPath and lives only as long as it does.
+struct PathSegment {
+  const Span* span;
+  Nanos start;
+  Nanos end;
+  Nanos duration() const { return end - start; }
+};
+
+std::vector<PathSegment> CriticalPath(const Trace& t);
+
+struct OpBreakdown {
+  int64_t ops = 0;
+  Nanos total = 0;  // summed end-to-end latency
+  std::map<Cause, Nanos> by_cause;   // critical-path time per cause
+  std::map<Layer, Nanos> by_layer;   // critical-path time per layer
+  Histogram latency;                 // end-to-end per-op histogram
+};
+
+class BreakdownAggregator {
+ public:
+  // Streams one finished trace (suitable as a Tracer sink).
+  void Add(const Trace& t);
+
+  const std::map<std::string, OpBreakdown>& per_op() const {
+    return per_op_;
+  }
+  // Network-hop durations keyed by (src AZ, dst AZ); every network span
+  // in the trace contributes, critical or not.
+  const std::map<std::pair<int, int>, Histogram>& az_pair_net() const {
+    return az_pair_net_;
+  }
+
+  int64_t traces() const { return traces_; }
+  // Sum of critical-path segment durations across every trace seen.
+  Nanos attributed_total() const { return attributed_; }
+  // Sum of measured end-to-end (root) durations — must equal the above.
+  Nanos measured_total() const { return measured_; }
+
+  // Multi-line human-readable report: per-op-type top critical-path
+  // contributors plus the per-AZ-pair network table.
+  std::string Report(size_t top_causes = 4) const;
+
+ private:
+  std::map<std::string, OpBreakdown> per_op_;
+  std::map<std::pair<int, int>, Histogram> az_pair_net_;
+  int64_t traces_ = 0;
+  Nanos attributed_ = 0;
+  Nanos measured_ = 0;
+};
+
+}  // namespace repro::trace

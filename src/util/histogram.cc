@@ -79,12 +79,20 @@ double Histogram::MeanMillis() const {
 Nanos Histogram::Percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const int64_t target = static_cast<int64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  // Nearest-rank: smallest recorded value whose cumulative count reaches
+  // ceil(q*n), clamped to rank 1 — without the clamp q=0 hits the empty
+  // rank-0 prefix and reports bucket 0 (i.e. 0 ns) instead of the min.
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  if (target <= 1) return min_;
   int64_t seen = 0;
   for (int i = 0; i < kMaxBuckets; ++i) {
     seen += buckets_[i];
-    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+    // Rank 1 is exactly min_ and rank n exactly max_; interior ranks
+    // report the bucket's upper bound, clamped into [min_, max_] so a
+    // boundary-straddling bucket never reports a value outside the
+    // observed range.
+    if (seen >= target) return std::clamp(BucketUpperBound(i), min_, max_);
   }
   return max_;
 }

@@ -1,6 +1,10 @@
 // Unit tests for util: status, rng, histogram, codec, strings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "util/codec.h"
 #include "util/histogram.h"
 #include "util/rng.h"
@@ -85,6 +89,84 @@ TEST(Histogram, MergeCombinesCounts) {
   a.Merge(b);
   EXPECT_EQ(a.count(), 2);
   EXPECT_EQ(a.max(), Millis(100));
+}
+
+// Nearest-rank oracle over random samples: for every quantile the
+// histogram must select the *same rank* as a sorted vector — the bucketed
+// answer may exceed the exact value by at most one bucket's width (~3%),
+// and must never come in below it. A rank-selection off-by-one would pick
+// a neighbouring sample and (for spread-out samples) land outside this
+// window.
+TEST(Histogram, NearestRankMatchesSortedOracle) {
+  Rng rng(42);
+  Histogram h;
+  std::vector<Nanos> samples;
+  for (int i = 0; i < 500; ++i) {
+    const Nanos v = static_cast<Nanos>(rng.NextBelow(Millis(200))) + 1;
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(q * static_cast<double>(n))));
+    const Nanos oracle = samples[std::min(n, rank) - 1];
+    const Nanos got = h.Percentile(q);
+    EXPECT_GE(got, oracle) << "q=" << q;
+    EXPECT_LE(got, oracle + oracle / 32 + 1) << "q=" << q;
+  }
+}
+
+// Values below 32 ns are bucketed exactly, so every rank must round-trip
+// bit-exact — including q=0, which the old code reported as 0 instead of
+// the min (ceil(0*n) hit the empty rank-0 prefix).
+TEST(Histogram, SmallValueRanksAreExact) {
+  Histogram h;
+  std::vector<Nanos> samples;
+  for (Nanos v = 1; v <= 20; ++v) {
+    samples.push_back(v);
+    h.Record(v);
+  }
+  for (double q : {0.0, 0.05, 0.5, 0.95, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(q * 20.0)));
+    EXPECT_EQ(h.Percentile(q), samples[rank - 1]) << "q=" << q;
+  }
+}
+
+// Values exactly on a power-of-two bucket boundary: the bucket's upper
+// bound overshoots the boundary value, so low quantiles must clamp back
+// to the observed min (64 here, not 65).
+TEST(Histogram, BucketBoundaryValuesClampToObservedRange) {
+  Histogram h;
+  h.Record(64);
+  h.Record(Millis(200));
+  EXPECT_EQ(h.Percentile(0.0), 64);
+  EXPECT_EQ(h.Percentile(0.5), 64);  // rank 1 of 2 == min, exactly
+  EXPECT_EQ(h.Percentile(1.0), Millis(200));
+  Histogram one;
+  one.Record(4096);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(one.Percentile(q), 4096) << "q=" << q;
+  }
+}
+
+// Merge into a default-constructed histogram must adopt the source's min
+// rather than keeping the empty-state min_ = 0, and merging an empty
+// histogram in must be a no-op.
+TEST(Histogram, MergeIntoEmptyPreservesMin) {
+  Histogram a, b;
+  b.Record(Millis(3));
+  b.Record(Millis(9));
+  a.Merge(b);
+  EXPECT_EQ(a.min(), Millis(3));
+  EXPECT_EQ(a.Percentile(0.0), Millis(3));
+  EXPECT_EQ(a.max(), Millis(9));
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), Millis(3));
 }
 
 TEST(Codec, RoundTrip) {
