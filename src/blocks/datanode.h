@@ -66,6 +66,9 @@ class BlockDatanode {
   }
   int64_t block_count() const { return static_cast<int64_t>(blocks_.size()); }
   Disk& disk() { return disk_; }
+  const Disk& disk() const { return disk_; }
+  // Exposed for telemetry (queue-depth gauge callbacks).
+  const ThreadPool& cpu_pool() const { return cpu_; }
 
  private:
   // Streams `bytes` from this DN's host to `dst` host, then runs `done`.

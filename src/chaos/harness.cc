@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <memory>
 
+#include "telemetry/export.h"
 #include "trace/chrome_trace.h"
 #include "util/strings.h"
 #include "workload/fs_interface.h"
 
 namespace repro::chaos {
+
+telemetry::TelemetryOptions ChaosTelemetryOptions() {
+  telemetry::TelemetryOptions t;
+  t.enabled = true;
+  t.scraper.period = 50 * kMillisecond;
+  t.slo = telemetry::SloConfig::Production().ScaledDown(1200);
+  // Chaos episodes run a dozen closed-loop clients, so a dark AZ
+  // silences a third of them instead of turning their load into errors —
+  // the bad-event volume of a real outage is small here. Four nines
+  // keeps the burn-rate math meaningful at that sample size; steady
+  // state produces zero unavailability errors, so the tighter target
+  // costs nothing in false positives (the soak asserts exactly that).
+  t.availability_target = 0.9999;
+  return t;
+}
+
 namespace {
 
 // Completed-ops rate over [from, to) from a 100 ms-windowed timeline.
@@ -58,6 +75,19 @@ std::string ChaosReport::Scorecard() const {
              : std::string("  recovery: goodput did not return to 50% of "
                            "baseline\n");
   out += StrFormat("  longest stall: %.2fs\n", ToSeconds(longest_stall));
+  if (scrapes > 0) {
+    out += StrFormat("  telemetry: %lld scrapes, %zu alert(s); %s\n",
+                     static_cast<long long>(scrapes), alerts.size(),
+                     final_health.ToString().c_str());
+    for (const auto& a : alerts) {
+      out += StrFormat(
+          "    alert %s/%s fired %.2fs%s\n", a.objective.c_str(),
+          a.rule.c_str(), ToSeconds(a.fired_at),
+          a.active() ? " (still firing)"
+                     : StrFormat(" resolved %.2fs", ToSeconds(a.resolved_at))
+                           .c_str());
+    }
+  }
   for (const auto& r : invariants) {
     out += StrFormat("  [%s] %-11s %s\n", r.ok ? "pass" : "FAIL",
                      r.name.c_str(), r.detail.c_str());
@@ -89,6 +119,16 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts,
   auto dopts = hopsfs::DeploymentOptions::FromPaperSetup(opts.setup,
                                                          opts.num_namenodes);
   dopts.block_datanodes = opts.block_datanodes;
+  if (opts.client_rpc_timeout > 0) {
+    dopts.client.rpc_timeout = opts.client_rpc_timeout;
+  }
+  if (opts.client_op_deadline > 0) {
+    dopts.client.op_deadline = opts.client_op_deadline;
+  }
+  if (opts.telemetry) {
+    dopts.telemetry = opts.telemetry_options;
+    dopts.telemetry.enabled = true;
+  }
   hopsfs::Deployment dep(sim, dopts);
   dep.Start();
 
@@ -235,6 +275,120 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts,
     }
   }
 
+  // Telemetry invariants. These read only the scraper/SLO/health state —
+  // alerts and health go into dedicated report fields, never the event
+  // trace, so TraceString() is byte-identical with telemetry on or off.
+  if (telemetry::Telemetry* tel = dep.telemetry(); tel != nullptr) {
+    tel->Tick();  // final settled sample after the probes
+    report.scrapes = tel->scraper().scrape_count();
+    report.alerts = tel->slo().alerts();
+    report.final_health = tel->health();
+    for (const auto& [name, series] : tel->scraper().series()) {
+      if (name.rfind("health.", 0) != 0 && name != "slo.active_alerts") {
+        continue;
+      }
+      auto& points = report.health_series[name];
+      points.reserve(series.ring.size());
+      for (size_t i = 0; i < series.ring.size(); ++i) {
+        points.push_back(series.ring.at(i));
+      }
+    }
+    if (!opts.telemetry_export_prefix.empty()) {
+      telemetry::WriteTextFile(opts.telemetry_export_prefix + ".json",
+                               telemetry::ScrapeArchiveJson(tel->scraper()));
+      telemetry::WriteTextFile(opts.telemetry_export_prefix + ".prom",
+                               telemetry::PrometheusText(dep.metrics()));
+      telemetry::WriteScrapeCsv(opts.telemetry_export_prefix + ".csv",
+                                tel->scraper());
+    }
+
+    if (schedule.empty()) {
+      // Steady state must be silent: any alert on a fault-free run is a
+      // false positive.
+      InvariantResult r;
+      r.name = "slo-silence";
+      r.ok = report.alerts.empty();
+      r.detail = r.ok ? "no alerts on a fault-free run"
+                      : StrFormat("%zu alert(s) fired with no faults",
+                                  report.alerts.size());
+      report.invariants.push_back(r);
+    }
+
+    // slo-detects: every AZ outage that took real hosts down must be seen
+    // by the availability burn-rate alert while the outage (plus one fast
+    // short-window of detection lag) is in effect.
+    {
+      const Nanos grace = opts.telemetry_options.slo.rules.empty()
+                              ? 0
+                              : opts.telemetry_options.slo.rules[0].short_window;
+      int outages = 0, detected = 0;
+      Nanos outage_start = -1;
+      for (const auto& e : schedule.events()) {
+        if (e.type == FaultType::kAzOutage) {
+          int hosts_in_az = 0;
+          for (HostId h = 0; h < dep.topology().num_hosts(); ++h) {
+            if (dep.topology().az_of(h) == e.a) ++hosts_in_az;
+          }
+          if (hosts_in_az > 0) outage_start = t0 + e.time;
+        } else if (e.type == FaultType::kAzRestore && outage_start >= 0) {
+          ++outages;
+          const Nanos outage_end = t0 + e.time;
+          for (const auto& a : report.alerts) {
+            if (a.objective == "availability" && a.fired_at >= outage_start &&
+                a.fired_at <= outage_end + grace) {
+              ++detected;
+              break;
+            }
+          }
+          outage_start = -1;
+        }
+      }
+      if (outages > 0) {
+        InvariantResult r;
+        r.name = "slo-detects";
+        r.ok = detected == outages;
+        r.detail = StrFormat(
+            "availability alert fired for %d of %d AZ outage(s)", detected,
+            outages);
+        report.invariants.push_back(r);
+      }
+    }
+
+    // telemetry-settle: after every heal and the settle phase, the health
+    // rollup must match the injected fault set — only permanently crashed
+    // block DNs may still be unavailable.
+    {
+      std::vector<std::string> expected_dead;
+      for (const auto& e : schedule.events()) {
+        if (e.type == FaultType::kCrashBlockDn) {
+          expected_dead.push_back(StrFormat("dn-%d", e.a));
+        }
+      }
+      std::vector<std::string> unexpected;
+      for (const auto& h : report.final_health.hosts) {
+        if (h.state != telemetry::HealthState::kUnavailable) continue;
+        if (std::find(expected_dead.begin(), expected_dead.end(), h.host) ==
+            expected_dead.end()) {
+          unexpected.push_back(h.host + "(" + h.reason + ")");
+        }
+      }
+      InvariantResult r;
+      r.name = "telemetry-settle";
+      r.ok = unexpected.empty();
+      if (r.ok) {
+        r.detail = StrFormat(
+            "final health matches the fault set (%zu expected-dead block "
+            "DN(s)); cluster %s",
+            expected_dead.size(),
+            telemetry::HealthStateName(report.final_health.cluster));
+      } else {
+        r.detail = "hosts unexpectedly unavailable after settle:";
+        for (const auto& u : unexpected) r.detail += " " + u;
+      }
+      report.invariants.push_back(r);
+    }
+  }
+
   report.trace = injector.trace();
   for (const auto& line : checker.trace()) report.trace.push_back(line);
 
@@ -254,6 +408,17 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts,
             opts.trace_dump_path.c_str()));
       }
     }
+  }
+
+  // Telemetry flight recorder: on invariant failure, drop the scrape
+  // archive (the last ring_capacity snapshots of every series) next to
+  // the trace ring so the violation comes with its metrics context.
+  if (dep.telemetry() != nullptr && !report.invariants_ok() &&
+      !opts.telemetry_dump_path.empty() &&
+      telemetry::WriteTextFile(
+          opts.telemetry_dump_path,
+          telemetry::ScrapeArchiveJson(dep.telemetry()->scraper()))) {
+    report.telemetry_dump_path = opts.telemetry_dump_path;
   }
   return report;
 }

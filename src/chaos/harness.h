@@ -19,10 +19,16 @@
 #include "chaos/invariants.h"
 #include "chaos/schedule.h"
 #include "hopsfs/deployment.h"
+#include "telemetry/telemetry.h"
 #include "workload/driver.h"
 #include "workload/spotify.h"
 
 namespace repro::chaos {
+
+// Telemetry defaults for chaos-scale runs: 50 ms scrape period and the
+// production SLO burn-rate windows compressed 1200x (fast 250ms/3s, slow
+// 1.5s/18s) so multi-window alerting operates inside a ~16 s episode.
+telemetry::TelemetryOptions ChaosTelemetryOptions();
 
 struct ChaosOptions {
   uint64_t seed = 1;
@@ -68,6 +74,37 @@ struct ChaosOptions {
   uint64_t trace_sample_every = 0;
   size_t trace_keep_last = 64;
   std::string trace_dump_path;
+
+  // Cluster telemetry during the run (scrape -> health -> SLO burn-rate).
+  // Like tracing, the telemetry tick is read-only: the event trace and
+  // workload results are byte-identical with telemetry on or off. When
+  // enabled the harness also checks the telemetry invariants: slo-silence
+  // (an empty schedule must raise zero alerts), slo-detects (an AZ outage
+  // must fire an availability alert while it is active), and
+  // telemetry-settle (after the heals and the settle phase, the only
+  // hosts still rolled up as unavailable are permanently crashed block
+  // DNs — the health view matches the injected fault set).
+  bool telemetry = false;
+  telemetry::TelemetryOptions telemetry_options = ChaosTelemetryOptions();
+  // Client failure-detection timeout overrides (0 = keep the deployment
+  // defaults). The stock 5 s rpc_timeout and 30 s op_deadline are longer
+  // than a whole chaos fault window, so ops issued into a dark AZ hang
+  // past the episode instead of failing in a client-visible way — and
+  // the availability SLI never sees the outage. Telemetry benches set
+  // these to episode scale (e.g. 250 ms / 1 s) on BOTH their
+  // telemetry-on and telemetry-off runs, so the on/off byte-identity
+  // comparison still simulates the same cluster. Deliberately NOT tied
+  // to `telemetry`: observing a run must never change it.
+  Nanos client_rpc_timeout = 0;
+  Nanos client_op_deadline = 0;
+  // On invariant failure, dump the scrape archive JSON (the last
+  // ring_capacity snapshots of every series) here, next to the trace
+  // ring ("" = none).
+  std::string telemetry_dump_path;
+  // When set, ALWAYS export the run's telemetry as <prefix>.json (scrape
+  // archive), <prefix>.prom (Prometheus text exposition) and <prefix>.csv
+  // (wide per-scrape grid) — the CI artifacts of bench_telemetry.
+  std::string telemetry_export_prefix;
 };
 
 struct PhaseStats {
@@ -114,6 +151,19 @@ struct ChaosReport {
   // Chrome-trace JSON was written on invariant failure ("" = none).
   int64_t traces_captured = 0;
   std::string trace_dump_path;
+
+  // Telemetry capture (when ChaosOptions::telemetry is set). Alerts and
+  // health live OUTSIDE the event trace so TraceString() stays
+  // byte-identical with telemetry on or off.
+  int64_t scrapes = 0;
+  std::vector<telemetry::SloAlert> alerts;
+  telemetry::HealthSnapshot final_health;
+  // The derived rollup series (health.host/health.az/health.cluster and
+  // slo.active_alerts), copied out of the scrape archive so callers can
+  // assert on mid-run health without keeping the deployment alive.
+  std::map<std::string, std::vector<telemetry::RingSeries::Point>>
+      health_series;
+  std::string telemetry_dump_path;  // archive written on invariant failure
 
   // Multi-line human-readable scorecard.
   std::string Scorecard() const;

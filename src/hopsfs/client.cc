@@ -19,15 +19,25 @@ HopsFsClient::HopsFsClient(Simulation& sim, Network& network,
       config_.breaker_failure_threshold, config_.breaker_open_interval};
   breakers_.assign(namenodes_.size(), resilience::CircuitBreaker(bc));
   if (config_.metrics != nullptr) {
-    ctr_retries_ = config_.metrics->GetCounter("client.retries");
+    ctr_retries_ = config_.metrics->GetCounter("hopsfs.client.retries");
     ctr_budget_denied_ =
-        config_.metrics->GetCounter("client.retry_budget_denied");
+        config_.metrics->GetCounter("hopsfs.client.retry_budget_denied");
     ctr_breaker_transitions_ =
-        config_.metrics->GetCounter("client.breaker_transitions");
-    ctr_hedges_ = config_.metrics->GetCounter("client.hedges_sent");
-    ctr_hedge_wins_ = config_.metrics->GetCounter("client.hedge_wins");
-    ctr_deadline_ = config_.metrics->GetCounter("client.deadline_exceeded");
-    ctr_shed_seen_ = config_.metrics->GetCounter("client.sheds_observed");
+        config_.metrics->GetCounter("hopsfs.client.breaker_transitions");
+    ctr_hedges_ = config_.metrics->GetCounter("hopsfs.client.hedges_sent");
+    ctr_hedge_wins_ = config_.metrics->GetCounter("hopsfs.client.hedge_wins");
+    ctr_deadline_ =
+        config_.metrics->GetCounter("hopsfs.client.deadline_exceeded");
+    ctr_shed_seen_ =
+        config_.metrics->GetCounter("hopsfs.client.sheds_observed");
+    ctr_slo_total_ = config_.metrics->GetCounter("slo.requests.total");
+    ctr_slo_good_ = config_.metrics->GetCounter("slo.requests.good");
+    ctr_slo_latency_total_ = config_.metrics->GetCounter("slo.latency.total");
+    ctr_slo_latency_good_ = config_.metrics->GetCounter("slo.latency.good");
+    hist_latency_ = config_.metrics->GetHistogram(
+        "hopsfs.client.op_latency_seconds",
+        {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+         5.0, 10.0});
   }
 }
 
@@ -134,6 +144,7 @@ void HopsFsClient::Submit(FsRequest req, FsResultCb cb) {
     req.deadline = sim_.now() + config_.op_deadline;
   }
   budget_.OnRequest();  // first attempts accrue retry tokens
+  ++ops_submitted_;
   auto op = std::make_shared<OpState>();
   op->req = std::move(req);
   op->cb = std::move(cb);
@@ -214,6 +225,12 @@ void HopsFsClient::SendToNn(OpPtr op, Namenode* nn, bool is_hedge) {
       breaker(nn)->OnFailure(sim_.now());
     });
     if (op->done || is_hedge) return;  // a hedge timeout retries nothing
+    // A timed-out attempt is a request the client observed to fail, even
+    // though the op will be retried: it burns availability error budget
+    // (total without good) exactly like a load balancer counting each
+    // 5xx/timeout per try. Without this, requests stuck against a dark
+    // AZ are invisible to the SLI until their final deadline.
+    metrics::Bump(ctr_slo_total_);
     // Failover: drop the sticky NN, exclude it from the re-pick, and
     // retry under the budget after a jittered delay (herd control).
     if (nn_ == nn) nn_ = nullptr;
@@ -374,6 +391,22 @@ void HopsFsClient::Deliver(OpPtr op, FsResult result, bool is_hedge) {
     }
     latency_.Record(now - op->start);
     if (is_hedge) metrics::Bump(ctr_hedge_wins_);
+  }
+  // SLO accounting: availability counts every completion; application
+  // outcomes (NotFound, AlreadyExists, ...) are correct service and stay
+  // "good" — only unavailability-class failures burn error budget. The
+  // latency objective is judged on successful ops only.
+  metrics::Bump(ctr_slo_total_);
+  if (!result.status.counts_against_availability()) {
+    metrics::Bump(ctr_slo_good_);
+  }
+  if (result.status.ok()) {
+    const Nanos lat = now - op->start;
+    metrics::Bump(ctr_slo_latency_total_);
+    if (lat <= config_.slo_latency_threshold) {
+      metrics::Bump(ctr_slo_latency_good_);
+    }
+    if (hist_latency_ != nullptr) hist_latency_->Observe(ToSeconds(lat));
   }
   // Finalize the trace at the moment the caller observes completion; any
   // still-open span (losing hedge, in-flight reply) is clamped to now.

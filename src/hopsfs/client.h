@@ -64,6 +64,11 @@ struct ClientConfig {
   double hedge_percentile = 0.95;
   Nanos hedge_min_delay = 1 * kMillisecond;
 
+  // Latency-SLO threshold: a completed op slower than this counts against
+  // the latency objective (recorded into the shared slo.latency.*
+  // counters the telemetry SLO engine consumes).
+  Nanos slo_latency_threshold = 100 * kMillisecond;
+
   // Optional resilience counter registry (shared per deployment).
   metrics::Registry* metrics = nullptr;
 };
@@ -91,6 +96,10 @@ class HopsFsClient {
   // caller. Must stay zero — the chaos harness asserts it as an
   // invariant.
   int64_t post_deadline_successes() const { return post_deadline_successes_; }
+
+  // Ops submitted through Submit() — the telemetry scraper polls this as
+  // the client host's progress counter.
+  int64_t ops_submitted() const { return ops_submitted_; }
 
   const resilience::RetryBudget& retry_budget() const { return budget_; }
 
@@ -159,6 +168,7 @@ class HopsFsClient {
   resilience::LatencyTracker latency_;
   int32_t last_failed_nn_ = -1;  // excluded from the immediate re-pick
   int64_t post_deadline_successes_ = 0;
+  int64_t ops_submitted_ = 0;
 
   metrics::Counter* ctr_retries_ = nullptr;
   metrics::Counter* ctr_budget_denied_ = nullptr;
@@ -167,6 +177,13 @@ class HopsFsClient {
   metrics::Counter* ctr_hedge_wins_ = nullptr;
   metrics::Counter* ctr_deadline_ = nullptr;
   metrics::Counter* ctr_shed_seen_ = nullptr;
+  // Cluster-wide SLO counters (shared across clients; the SLO engine
+  // evaluates burn rates over their scraped series).
+  metrics::Counter* ctr_slo_total_ = nullptr;
+  metrics::Counter* ctr_slo_good_ = nullptr;
+  metrics::Counter* ctr_slo_latency_total_ = nullptr;
+  metrics::Counter* ctr_slo_latency_good_ = nullptr;
+  metrics::HistogramMetric* hist_latency_ = nullptr;
 };
 
 }  // namespace repro::hopsfs

@@ -126,6 +126,129 @@ Deployment::Deployment(Simulation& sim, DeploymentOptions options)
         sim_, *network_, *ndb_, tables_, i, host, az, dn_registry_.get(),
         placement_.get(), options_.nn));
   }
+
+  if (options_.telemetry.enabled) {
+    telemetry_ = std::make_unique<telemetry::Telemetry>(sim_, metrics_,
+                                                        options_.telemetry);
+    RegisterHostTelemetry();
+  }
+}
+
+void Deployment::RegisterHostTelemetry() {
+  using metrics::MetricKind;
+  const Topology* topo = topology_.get();
+  auto host_labels = [&](AzId az, HostId host) {
+    return metrics::Labels{{"az", std::to_string(az)},
+                           {"host", topo->name_of(host)}};
+  };
+
+  for (auto& nn_ptr : namenodes_) {
+    Namenode* nn = nn_ptr.get();
+    const metrics::Labels labels = host_labels(nn->az(), nn->host());
+    metrics_.RegisterCallback("host.up", labels, MetricKind::kGauge,
+                              [nn, topo] {
+                                return nn->alive() && topo->HostUp(nn->host())
+                                           ? 1.0
+                                           : 0.0;
+                              });
+    metrics_.RegisterCallback(
+        "host.queue_ns", labels, MetricKind::kGauge,
+        [nn] { return static_cast<double>(nn->cpu_pool().Backlog()); });
+    metrics_.RegisterCallback(
+        "host.ops", labels, MetricKind::kCounter,
+        [nn] { return static_cast<double>(nn->ops_served()); });
+    // Service-time pair for the grey-slow detector: busy ns and items
+    // completed by the serving pool, scraped as counters so the health
+    // model can form a per-window mean service time.
+    metrics_.RegisterCallback(
+        "host.busy_ns", labels, MetricKind::kCounter,
+        [nn] { return static_cast<double>(nn->cpu_pool().busy_ns()); });
+    metrics_.RegisterCallback(
+        "host.work", labels, MetricKind::kCounter,
+        [nn] { return static_cast<double>(nn->cpu_pool().completed()); });
+  }
+
+  for (ndb::NodeId n = 0; n < ndb_->num_datanodes(); ++n) {
+    ndb::NdbDatanode* node = &ndb_->datanode(n);
+    const metrics::Labels labels = host_labels(node->az(), node->host());
+    metrics_.RegisterCallback("host.up", labels, MetricKind::kGauge,
+                              [node, topo] {
+                                return node->alive() &&
+                                               topo->HostUp(node->host())
+                                           ? 1.0
+                                           : 0.0;
+                              });
+    metrics_.RegisterCallback(
+        "host.queue_ns", labels, MetricKind::kGauge, [node] {
+          return static_cast<double>(std::max(node->tc_pool().Backlog(),
+                                              node->ldm_pool().Backlog()));
+        });
+    metrics_.RegisterCallback("host.ops", labels, MetricKind::kCounter,
+                              [node] {
+                                const auto& s = node->protocol_stats();
+                                return static_cast<double>(
+                                    s.prepares + s.commit_hops + s.completes +
+                                    s.committed_reads + s.locked_reads +
+                                    s.scans);
+                              });
+    metrics_.RegisterCallback(
+        "host.busy_ns", labels, MetricKind::kCounter, [node] {
+          return static_cast<double>(node->tc_pool().busy_ns() +
+                                     node->ldm_pool().busy_ns());
+        });
+    metrics_.RegisterCallback(
+        "host.work", labels, MetricKind::kCounter, [node] {
+          return static_cast<double>(node->tc_pool().completed() +
+                                     node->ldm_pool().completed());
+        });
+    // NDB protocol series, labelled per node so per-AZ commit/prepare
+    // traffic is visible in the archive (ndb.tc.commits{az=..,node=..}).
+    const metrics::Labels node_labels{{"az", std::to_string(node->az())},
+                                      {"node", std::to_string(n)}};
+    metrics_.RegisterCallback(
+        "ndb.tc.commits", node_labels, MetricKind::kCounter, [node] {
+          return static_cast<double>(node->protocol_stats().commit_hops);
+        });
+    metrics_.RegisterCallback(
+        "ndb.ldm.prepares", node_labels, MetricKind::kCounter, [node] {
+          return static_cast<double>(node->protocol_stats().prepares);
+        });
+    metrics_.RegisterCallback(
+        "ndb.tc.active_txns", node_labels, MetricKind::kGauge,
+        [node] { return static_cast<double>(node->active_txns()); });
+  }
+
+  for (auto& dn_ptr : block_dns_) {
+    blocks::BlockDatanode* dn = dn_ptr.get();
+    const metrics::Labels labels = host_labels(dn->az(), dn->host());
+    metrics_.RegisterCallback("host.up", labels, MetricKind::kGauge,
+                              [dn, topo] {
+                                return dn->alive() && topo->HostUp(dn->host())
+                                           ? 1.0
+                                           : 0.0;
+                              });
+    metrics_.RegisterCallback(
+        "host.queue_ns", labels, MetricKind::kGauge, [dn] {
+          return static_cast<double>(
+              std::max(dn->cpu_pool().Backlog(), dn->disk().Backlog()));
+        });
+    metrics_.RegisterCallback(
+        "host.ops", labels, MetricKind::kCounter,
+        [dn] { return static_cast<double>(dn->disk().stats().ops); });
+  }
+}
+
+void Deployment::RegisterClientTelemetry(HopsFsClient* client) {
+  using metrics::MetricKind;
+  const Topology* topo = topology_.get();
+  const metrics::Labels labels{{"az", std::to_string(client->az())},
+                               {"host", topo->name_of(client->host())}};
+  metrics_.RegisterCallback(
+      "host.up", labels, MetricKind::kGauge,
+      [client, topo] { return topo->HostUp(client->host()) ? 1.0 : 0.0; });
+  metrics_.RegisterCallback(
+      "host.ops", labels, MetricKind::kCounter,
+      [client] { return static_cast<double>(client->ops_submitted()); });
 }
 
 Deployment::~Deployment() {
@@ -143,6 +266,7 @@ void Deployment::Start() {
   ndb_->BootstrapPut(tables_.inodes, InodeKey(0, ""), root.Encode());
 
   for (auto& nn : namenodes_) nn->Start();
+  if (telemetry_ != nullptr) telemetry_->Start();
 
   // Datanode heartbeats: routed to the current leader namenode.
   for (auto& dn : block_dns_) {
@@ -188,6 +312,7 @@ HopsFsClient* Deployment::AddClient(AzId az) {
   if (cfg.metrics == nullptr) cfg.metrics = &metrics_;
   clients_.push_back(std::make_unique<HopsFsClient>(
       sim_, *network_, std::move(nns), host, az, dn_registry_.get(), cfg));
+  if (telemetry_ != nullptr) RegisterClientTelemetry(clients_.back().get());
   return clients_.back().get();
 }
 

@@ -22,6 +22,7 @@
 #include "ndb/cluster.h"
 #include "sim/network.h"
 #include "sim/topology.h"
+#include "telemetry/telemetry.h"
 
 namespace repro::hopsfs {
 
@@ -65,6 +66,11 @@ struct DeploymentOptions {
   // Base ClientConfig applied by AddClient (az_aware is still derived
   // from the setup's override flags).
   ClientConfig client;
+
+  // Cluster telemetry: scraped time-series, health rollups and SLO
+  // burn-rate alerting (off by default; the scrape tick is read-only, so
+  // enabling it cannot change simulation results).
+  telemetry::TelemetryOptions telemetry;
 
   static DeploymentOptions FromPaperSetup(PaperSetup setup,
                                           int num_namenodes);
@@ -115,9 +121,16 @@ class Deployment {
   // transitions, hedges, deadline-exceeded per layer).
   metrics::Registry& metrics() { return metrics_; }
 
+  // Telemetry pipeline (nullptr unless options.telemetry.enabled).
+  telemetry::Telemetry* telemetry() { return telemetry_.get(); }
+
   void ResetStats();
 
  private:
+  // Registers the per-host callback metrics (host.up / host.queue_ns /
+  // host.ops and the NDB protocol series) that the scraper snapshots.
+  void RegisterHostTelemetry();
+  void RegisterClientTelemetry(HopsFsClient* client);
   Simulation& sim_;
   DeploymentOptions options_;
   metrics::Registry metrics_;
@@ -131,6 +144,7 @@ class Deployment {
   std::vector<std::unique_ptr<blocks::BlockDatanode>> block_dns_;
   std::vector<std::unique_ptr<Namenode>> namenodes_;
   std::vector<std::unique_ptr<HopsFsClient>> clients_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::vector<Simulation::PeriodicHandle> timers_;
   int next_client_az_ = 0;
   uint64_t next_inode_id_ = 1000;

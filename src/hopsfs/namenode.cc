@@ -54,13 +54,20 @@ Namenode::Namenode(Simulation& sim, Network& network, ndb::NdbCluster& ndb,
     api_->set_hedge_read_delay(config_.ndb_hedge_delay);
   }
   if (config_.metrics != nullptr) {
-    ctr_shed_ = config_.metrics->GetCounter("nn.admission.shed");
-    ctr_deadline_ = config_.metrics->GetCounter("nn.deadline_exceeded");
-    ctr_txn_retries_ = config_.metrics->GetCounter("nn.txn_retries");
+    ctr_shed_ = config_.metrics->GetCounter("hopsfs.nn.admission_shed");
+    ctr_deadline_ = config_.metrics->GetCounter("hopsfs.nn.deadline_exceeded");
+    ctr_txn_retries_ = config_.metrics->GetCounter("hopsfs.nn.txn_retries");
     api_->set_counters(
-        config_.metrics->GetCounter("ndb.hedges_sent"),
-        config_.metrics->GetCounter("ndb.hedge_wins"),
-        config_.metrics->GetCounter("ndb.deadline_exceeded"));
+        config_.metrics->GetCounter("ndb.api.hedges_sent"),
+        config_.metrics->GetCounter("ndb.api.hedge_wins"),
+        config_.metrics->GetCounter("ndb.api.deadline_exceeded"));
+    // Per-host unavailability-error counter: the health model's
+    // error-rate signal (scraped alongside the host.up / host.queue_ns /
+    // host.ops callbacks the deployment registers).
+    ctr_host_errors_ = config_.metrics->GetCounter(
+        "host.errors",
+        metrics::Labels{{"az", std::to_string(az)},
+                        {"host", network.topology().name_of(host)}});
   }
   if (dn_registry_ != nullptr) {
     dn_known_dead_.assign(dn_registry_->size(), false);
@@ -163,6 +170,12 @@ void Namenode::Finish(std::shared_ptr<OpCtx> ctx, FsResult result) {
   }
   if (result.status.code() == Code::kDeadlineExceeded) {
     metrics::Bump(ctr_deadline_);
+  }
+  // Health signal: final unavailability-class failures served by this
+  // host (admission sheds are flow control, not host sickness, and are
+  // counted separately above).
+  if (result.status.counts_against_availability()) {
+    metrics::Bump(ctr_host_errors_);
   }
   ++ops_served_;
   ctx->done(std::move(result));

@@ -233,6 +233,7 @@ class Namenode {
   metrics::Counter* ctr_shed_ = nullptr;
   metrics::Counter* ctr_deadline_ = nullptr;
   metrics::Counter* ctr_txn_retries_ = nullptr;
+  metrics::Counter* ctr_host_errors_ = nullptr;
 
   // Path -> inode hint cache; entries are validated by the locked read
   // each operation performs, so staleness only costs a retry.

@@ -1,13 +1,170 @@
 #include "metrics/counters.h"
 
+#include <algorithm>
+#include <array>
+
 namespace repro::metrics {
+namespace {
+
+// Pre-rename counter names -> canonical `layer.component.event` names.
+// The 2026 naming sweep moved every counter onto the dotted hierarchy the
+// telemetry scraper exports; these aliases keep old call sites (and old
+// bench invocations of Report("client"), Report("nn"), ...) working.
+constexpr std::array<std::pair<const char*, const char*>, 13>
+    kLegacyCounterNames{{
+        {"client.retries", "hopsfs.client.retries"},
+        {"client.retry_budget_denied", "hopsfs.client.retry_budget_denied"},
+        {"client.breaker_transitions", "hopsfs.client.breaker_transitions"},
+        {"client.hedges_sent", "hopsfs.client.hedges_sent"},
+        {"client.hedge_wins", "hopsfs.client.hedge_wins"},
+        {"client.deadline_exceeded", "hopsfs.client.deadline_exceeded"},
+        {"client.sheds_observed", "hopsfs.client.sheds_observed"},
+        {"nn.admission.shed", "hopsfs.nn.admission_shed"},
+        {"nn.deadline_exceeded", "hopsfs.nn.deadline_exceeded"},
+        {"nn.txn_retries", "hopsfs.nn.txn_retries"},
+        {"ndb.hedges_sent", "ndb.api.hedges_sent"},
+        {"ndb.hedge_wins", "ndb.api.hedge_wins"},
+        {"ndb.deadline_exceeded", "ndb.api.deadline_exceeded"},
+    }};
+
+}  // namespace
+
+std::string CanonicalCounterName(const std::string& name) {
+  for (const auto& [legacy, canonical] : kLegacyCounterNames) {
+    if (name == legacy) return canonical;
+  }
+  return "";
+}
+
+std::string LegacyCounterName(const std::string& name) {
+  for (const auto& [legacy, canonical] : kLegacyCounterNames) {
+    if (name == canonical) return legacy;
+  }
+  return "";
+}
+
+bool MatchesSegmentPrefix(const std::string& name,
+                          const std::string& prefix) {
+  if (prefix.empty()) return true;
+  if (name.size() < prefix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.size() == prefix.size()) return true;
+  // Whole-segment boundary: the next character must end the path segment
+  // ('.' continues the hierarchy, '{' starts a label suffix).
+  const char next = name[prefix.size()];
+  return next == '.' || next == '{';
+}
+
+// ---- HistogramMetric ------------------------------------------------------
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size(), 0) {}
+
+void HistogramMetric::Observe(double value) {
+  ++count_;
+  sum_ += value;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) ++counts_[i];
+  }
+}
+
+// ---- Labels ---------------------------------------------------------------
+
+Labels::Labels(
+    std::initializer_list<std::pair<std::string, std::string>> init)
+    : kv(init) {
+  std::sort(kv.begin(), kv.end());
+}
+
+std::string Labels::Encode() const {
+  if (kv.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < kv.size(); ++i) {
+    if (i > 0) out += ',';
+    out += kv[i].first;
+    out += '=';
+    out += kv[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+std::string FullName(const std::string& name, const Labels& labels) {
+  return name + labels.Encode();
+}
+
+// ---- Registry -------------------------------------------------------------
 
 Counter* Registry::GetCounter(const std::string& name) {
-  auto it = counters_.find(name);
+  const std::string canonical = CanonicalCounterName(name);
+  const std::string& key = canonical.empty() ? name : canonical;
+  auto it = counters_.find(key);
   if (it == counters_.end()) {
-    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    it = counters_.emplace(key, std::make_unique<Counter>()).first;
   }
   return it->second.get();
+}
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels) {
+  return GetCounter(FullName(name, labels));
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels) {
+  const std::string key = FullName(name, labels);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(key, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+HistogramMetric* Registry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds,
+                                        const Labels& labels) {
+  const std::string key = FullName(name, labels);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(key, std::make_unique<HistogramMetric>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Registry::RegisterCallback(const std::string& name, const Labels& labels,
+                                MetricKind kind, std::function<double()> fn) {
+  callbacks_[FullName(name, labels)] = CallbackMetric{kind, std::move(fn)};
+}
+
+std::vector<Registry::Sample> Registry::Collect() const {
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size() +
+              callbacks_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, MetricKind::kCounter,
+                   static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, MetricKind::kGauge, g->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name + ".count", MetricKind::kCounter,
+                   static_cast<double>(h->count())});
+    out.push_back({name + ".sum", MetricKind::kCounter, h->sum()});
+  }
+  for (const auto& [name, cb] : callbacks_) {
+    out.push_back({name, cb.kind, cb.fn()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+std::vector<Registry::HistogramSample> Registry::CollectHistograms() const {
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.push_back({name, h.get()});
+  return out;
 }
 
 std::vector<std::pair<std::string, int64_t>> Registry::Snapshot() const {
@@ -22,8 +179,16 @@ std::vector<std::pair<std::string, int64_t>> Registry::Snapshot() const {
 std::string Registry::Report(const std::string& prefix) const {
   std::string out;
   for (const auto& [name, counter] : counters_) {
-    if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
-    out += "  " + name + " = " + std::to_string(counter->value()) + "\n";
+    const std::string legacy = LegacyCounterName(name);
+    // A prefix selects a counter through its canonical name or (compat
+    // shim) through the legacy name old bench invocations used.
+    if (!MatchesSegmentPrefix(name, prefix) &&
+        (legacy.empty() || !MatchesSegmentPrefix(legacy, prefix))) {
+      continue;
+    }
+    out += "  " + name + " = " + std::to_string(counter->value());
+    if (!legacy.empty()) out += "  (was " + legacy + ")";
+    out += "\n";
   }
   return out;
 }

@@ -1,13 +1,30 @@
 #include "metrics/timeseries.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sys/stat.h>
 
 namespace repro::metrics {
 
+double TimeSeries::Window::mean() const {
+  if (count <= 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(count);
+}
+
+std::optional<double> TimeSeries::MeanAt(Nanos t) const {
+  if (t < 0) return std::nullopt;
+  const size_t idx = static_cast<size_t>(t / window_);
+  if (idx >= windows_.size() || !windows_[idx].has_data()) return std::nullopt;
+  return windows_[idx].mean();
+}
+
 void TimeSeries::Record(Nanos t, double value) {
+  assert(t >= 0 && "TimeSeries samples must carry non-negative sim time");
+  // Half-open bucketing: t == i*window_ lands in window i (see header).
   const size_t idx = static_cast<size_t>(t / window_);
   if (idx >= windows_.size()) {
     const size_t old = windows_.size();
@@ -68,7 +85,11 @@ bool WriteCsv(const std::string& path,
     for (size_t c = 0; c < columns.size(); ++c) {
       if (c) std::fprintf(f, ",");
       const auto& series = columns[c].second;
-      if (r < series.size()) std::fprintf(f, "%.6g", series[r]);
+      // NaN marks "no data" (e.g. an empty latency window): emit a blank
+      // cell so plots show a gap instead of a bogus zero.
+      if (r < series.size() && !std::isnan(series[r])) {
+        std::fprintf(f, "%.6g", series[r]);
+      }
     }
     std::fprintf(f, "\n");
   }

@@ -3,9 +3,18 @@
 // Records (time, value) observations into fixed-width windows so benches
 // can report throughput/latency over time — e.g. the dip and recovery
 // around an injected failure — and export the series as CSV artifacts.
+//
+// Window convention (pinned by metrics_test): window i covers the
+// half-open interval [i*width, (i+1)*width). A sample landing exactly on
+// a window edge t == i*width belongs to window i — the window it opens —
+// never to the one it closes, so edge samples bucket deterministically.
+// Queries against windows that hold no samples report "no data" (NaN /
+// nullopt), not zero: an empty latency window means nothing completed,
+// which is the opposite of a 0 ns latency.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,7 +27,7 @@ class TimeSeries {
   explicit TimeSeries(Nanos window = 100 * kMillisecond)
       : window_(window) {}
 
-  // Adds one observation at simulated time t.
+  // Adds one observation at simulated time t (>= 0).
   void Record(Nanos t, double value = 1.0);
 
   struct Window {
@@ -26,15 +35,23 @@ class TimeSeries {
     int64_t count = 0;
     double sum = 0;
 
-    double mean() const { return count > 0 ? sum / count : 0; }
+    bool has_data() const { return count > 0; }
+    // NaN when the window is empty ("no data", not zero).
+    double mean() const;
   };
 
   const std::vector<Window>& windows() const { return windows_; }
   Nanos window_width() const { return window_; }
 
-  // Events per second in each window (throughput view).
+  // Mean of the window covering time t; nullopt when no window covers t
+  // or the covering window holds no samples.
+  std::optional<double> MeanAt(Nanos t) const;
+
+  // Events per second in each window (throughput view). Rates are true
+  // zeros for empty windows: "nothing happened" is data for a rate.
   std::vector<double> RatePerSecond() const;
-  // Mean value in each window (latency view when values are latencies).
+  // Mean value in each window (latency view when values are latencies);
+  // NaN marks empty windows (rendered as blank cells by WriteCsv).
   std::vector<double> MeanPerWindow() const;
 
   // Compact ASCII sparkline of the rate series (for bench stdout).

@@ -1,0 +1,191 @@
+#include "telemetry/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace repro::telemetry {
+namespace {
+
+// "hopsfs.client.retries" -> "hopsfs_client_retries" (Prometheus metric
+// names cannot contain dots).
+std::string PromName(const std::string& dotted) {
+  std::string out = dotted;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+// Canonical "{k=v,...}" label suffix -> Prometheus '{k="v",...}'.
+std::string PromLabels(const ParsedName& parsed,
+                       const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (parsed.labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : parsed.labels) {
+    if (!first) out += ',';
+    out += k + "=\"" + v + "\"";
+    first = false;
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  if (v == static_cast<int64_t>(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+void AppendTypeLine(std::string& out, std::set<std::string>& typed,
+                    const std::string& prom_name, const char* type) {
+  if (!typed.insert(prom_name).second) return;
+  out += "# TYPE " + prom_name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string PrometheusText(const metrics::Registry& registry) {
+  std::string out;
+  std::set<std::string> typed;
+
+  // Histograms expand to _bucket/_sum/_count; the flattened .count/.sum
+  // samples Collect() emits for them are skipped to avoid double export.
+  const auto histograms = registry.CollectHistograms();
+  std::set<std::string> flattened;
+  for (const auto& h : histograms) {
+    flattened.insert(h.name + ".count");
+    flattened.insert(h.name + ".sum");
+  }
+
+  for (const auto& sample : registry.Collect()) {
+    if (flattened.count(sample.name) != 0) continue;
+    const ParsedName parsed = ParseSeriesName(sample.name);
+    const std::string prom = PromName(parsed.base);
+    AppendTypeLine(out, typed, prom,
+                   sample.kind == metrics::MetricKind::kCounter ? "counter"
+                                                                : "gauge");
+    out += prom + PromLabels(parsed) + " " + FormatValue(sample.value) + "\n";
+  }
+
+  for (const auto& h : histograms) {
+    const ParsedName parsed = ParseSeriesName(h.name);
+    const std::string prom = PromName(parsed.base);
+    AppendTypeLine(out, typed, prom, "histogram");
+    const auto& bounds = h.histogram->bounds();
+    const auto& counts = h.histogram->bucket_counts();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      out += prom + "_bucket" +
+             PromLabels(parsed, "le", FormatValue(bounds[i])) + " " +
+             FormatValue(static_cast<double>(counts[i])) + "\n";
+    }
+    out += prom + "_bucket" + PromLabels(parsed, "le", "+Inf") + " " +
+           FormatValue(static_cast<double>(h.histogram->count())) + "\n";
+    out += prom + "_sum" + PromLabels(parsed) + " " +
+           FormatValue(h.histogram->sum()) + "\n";
+    out += prom + "_count" + PromLabels(parsed) + " " +
+           FormatValue(static_cast<double>(h.histogram->count())) + "\n";
+  }
+  return out;
+}
+
+std::string ScrapeArchiveJson(const Scraper& scraper) {
+  std::string out = "{\n  \"scrapes\": " +
+                    std::to_string(scraper.scrape_count()) +
+                    ",\n  \"period_ns\": " +
+                    std::to_string(scraper.options().period) +
+                    ",\n  \"series\": [\n";
+  bool first_series = true;
+  for (const auto& [name, series] : scraper.series()) {
+    if (!first_series) out += ",\n";
+    first_series = false;
+    out += "    {\"name\": \"" + name + "\", \"kind\": \"";
+    switch (series.kind) {
+      case metrics::MetricKind::kCounter: out += "counter"; break;
+      case metrics::MetricKind::kGauge: out += "gauge"; break;
+      case metrics::MetricKind::kHistogram: out += "histogram"; break;
+    }
+    out += "\", \"points\": [";
+    for (size_t i = 0; i < series.ring.size(); ++i) {
+      const auto& p = series.ring.at(i);
+      if (i > 0) out += ", ";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "[%.6f, %s]", ToSeconds(p.t),
+                    FormatValue(p.v).c_str());
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool WriteScrapeCsv(const std::string& path, const Scraper& scraper) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  // Collect the union of scrape timestamps (rings can start late — a
+  // series appears on the first tick after its metric is registered).
+  std::set<Nanos> times;
+  for (const auto& [name, series] : scraper.series()) {
+    for (size_t i = 0; i < series.ring.size(); ++i) {
+      times.insert(series.ring.at(i).t);
+    }
+  }
+
+  // Labelled series names carry commas inside the braces
+  // ("host.up{az=0,host=nn-0}"), so header cells are RFC 4180-quoted.
+  std::fprintf(f, "time_s");
+  for (const auto& [name, series] : scraper.series()) {
+    if (name.find(',') != std::string::npos) {
+      std::fprintf(f, ",\"%s\"", name.c_str());
+    } else {
+      std::fprintf(f, ",%s", name.c_str());
+    }
+  }
+  std::fprintf(f, "\n");
+
+  // Per-series cursor walk: rings are time-ordered, so one pass emits the
+  // whole grid without per-cell searches.
+  std::vector<std::pair<const RingSeries*, size_t>> cursors;
+  cursors.reserve(scraper.series().size());
+  for (const auto& [name, series] : scraper.series()) {
+    cursors.emplace_back(&series.ring, 0);
+  }
+  for (const Nanos t : times) {
+    std::fprintf(f, "%.6f", ToSeconds(t));
+    for (auto& [ring, idx] : cursors) {
+      if (idx < ring->size() && ring->at(idx).t == t) {
+        std::fprintf(f, ",%s", FormatValue(ring->at(idx).v).c_str());
+        ++idx;
+      } else {
+        std::fprintf(f, ",");
+      }
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return written == content.size();
+}
+
+}  // namespace repro::telemetry

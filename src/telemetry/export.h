@@ -1,0 +1,30 @@
+// Telemetry exporters: Prometheus text exposition, JSON scrape archive,
+// and per-run CSV artifacts under bench_out/.
+#pragma once
+
+#include <string>
+
+#include "metrics/counters.h"
+#include "telemetry/scraper.h"
+
+namespace repro::telemetry {
+
+// Prometheus text exposition format (version 0.0.4) of the registry's
+// current state: dotted names become underscore-separated, labels are
+// rendered as {k="v"}, histograms expand to _bucket/_sum/_count with an
+// le="+Inf" terminal bucket, and each family gets a # TYPE line.
+std::string PrometheusText(const metrics::Registry& registry);
+
+// Full scrape archive as JSON: every series with its kind and
+// [time_seconds, value] points, sorted by name (deterministic).
+std::string ScrapeArchiveJson(const Scraper& scraper);
+
+// Scrape archive as a wide CSV: one row per scrape tick, one column per
+// series (blank cells before a series first appeared). Returns false on
+// I/O failure.
+bool WriteScrapeCsv(const std::string& path, const Scraper& scraper);
+
+// Small helper for dropping exposition/JSON artifacts next to the CSVs.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace repro::telemetry

@@ -1,0 +1,117 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace repro::telemetry {
+
+SloConfig SloConfig::Production() {
+  SloConfig c;
+  c.rules = {
+      {"fast", 5 * 60 * kSecond, 60 * 60 * kSecond, 14.4},
+      {"slow", 30 * 60 * kSecond, 6 * 60 * 60 * kSecond, 6.0},
+  };
+  return c;
+}
+
+SloConfig SloConfig::ScaledDown(int64_t divisor) const {
+  SloConfig c = *this;
+  for (auto& r : c.rules) {
+    r.short_window = std::max<Nanos>(1, r.short_window / divisor);
+    r.long_window = std::max<Nanos>(1, r.long_window / divisor);
+  }
+  return c;
+}
+
+std::optional<double> SloEngine::BurnRate(const RingSeries* total,
+                                          const RingSeries* good, Nanos window,
+                                          Nanos now, double target) {
+  if (total == nullptr || good == nullptr || total->empty() || good->empty()) {
+    return std::nullopt;
+  }
+  const Nanos start = now - window;
+  // Baseline = newest sample at or before the window start; when the
+  // series is younger than the window, fall back to its oldest retained
+  // point (a partial window — better than silence during warm-up).
+  const RingSeries::Point t1 = total->latest();
+  const RingSeries::Point g1 = good->latest();
+  const RingSeries::Point t0 = total->AtOrBefore(start).value_or(total->at(0));
+  const RingSeries::Point g0 = good->AtOrBefore(start).value_or(good->at(0));
+  const double total_delta = t1.v - t0.v;
+  const double good_delta = g1.v - g0.v;
+  if (total_delta <= 0 || t1.t <= t0.t) return std::nullopt;  // no traffic
+  const double error_fraction =
+      std::clamp(1.0 - good_delta / total_delta, 0.0, 1.0);
+  const double budget = 1.0 - target;
+  if (budget <= 0) return std::nullopt;
+  return error_fraction / budget;
+}
+
+void SloEngine::Evaluate(const Scraper& scraper, Nanos now) {
+  for (const auto& obj : objectives_) {
+    const RingSeries* total = scraper.Find(obj.total_series);
+    const RingSeries* good = scraper.Find(obj.good_series);
+    for (const auto& rule : obj.rules) {
+      const auto burn_short =
+          BurnRate(total, good, rule.short_window, now, obj.target);
+      const auto burn_long =
+          BurnRate(total, good, rule.long_window, now, obj.target);
+
+      SloAlert* active = nullptr;
+      for (auto& a : alerts_) {
+        if (a.active() && a.objective == obj.name && a.rule == rule.name) {
+          active = &a;
+          break;
+        }
+      }
+      if (active == nullptr) {
+        if (burn_short && burn_long && *burn_short >= rule.threshold &&
+            *burn_long >= rule.threshold) {
+          SloAlert a;
+          a.objective = obj.name;
+          a.rule = rule.name;
+          a.fired_at = now;
+          a.burn_short_at_fire = *burn_short;
+          a.burn_long_at_fire = *burn_long;
+          alerts_.push_back(std::move(a));
+        }
+      } else if (burn_short && *burn_short < rule.threshold) {
+        // Resolve on the short window only: once errors stop, the short
+        // window clears within its own width while the long window may
+        // stay hot for hours. "No data" does not resolve — a silent
+        // cluster is not a recovered one.
+        active->resolved_at = now;
+      }
+    }
+  }
+}
+
+int SloEngine::active_alert_count() const {
+  int n = 0;
+  for (const auto& a : alerts_) n += a.active() ? 1 : 0;
+  return n;
+}
+
+std::string SloEngine::Report() const {
+  if (alerts_.empty()) return "slo: no alerts\n";
+  std::string out;
+  for (const auto& a : alerts_) {
+    char line[256];
+    if (a.active()) {
+      std::snprintf(line, sizeof(line),
+                    "slo: %s/%s FIRING since %.3fs (burn %.1f/%.1f)\n",
+                    a.objective.c_str(), a.rule.c_str(), ToSeconds(a.fired_at),
+                    a.burn_short_at_fire, a.burn_long_at_fire);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "slo: %s/%s fired %.3fs resolved %.3fs (burn %.1f/%.1f)\n",
+                    a.objective.c_str(), a.rule.c_str(), ToSeconds(a.fired_at),
+                    ToSeconds(a.resolved_at), a.burn_short_at_fire,
+                    a.burn_long_at_fire);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace repro::telemetry

@@ -1,0 +1,102 @@
+// SLO burn-rate engine (multi-window, multi-burn-rate alerting).
+//
+// An objective is a good/total counter pair scraped into the telemetry
+// archive — e.g. availability (requests that did not fail with an
+// unavailability-class status) or latency (requests under the latency
+// threshold) — plus a target fraction. The *burn rate* over a window is
+//
+//   burn = error_fraction(window) / error_budget,  budget = 1 - target
+//
+// so burn 1.0 consumes exactly the budget over the SLO period and
+// burn 14.4 on a 99.9% target consumes a 30-day budget in ~2 days. Each
+// rule pairs a short and a long window (the SRE workbook pattern): the
+// long window keeps one transient spike from paging, the short window
+// makes the alert *resolve* quickly once the error stops. An alert fires
+// when BOTH windows exceed the rule's threshold and resolves when the
+// short window drops back below it.
+//
+// Windows with no traffic yield "no data" (nullopt), never burn 0 — a
+// cluster that stopped serving entirely must not look healthy. Alerts
+// carry fired/resolved sim timestamps so benches and chaos invariants can
+// assert detection latency against the injected fault schedule.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/scraper.h"
+#include "util/time.h"
+
+namespace repro::telemetry {
+
+struct BurnRule {
+  std::string name;  // "fast", "slow"
+  Nanos short_window = 5 * 60 * kSecond;
+  Nanos long_window = 60 * 60 * kSecond;
+  double threshold = 14.4;
+};
+
+struct SloConfig {
+  std::vector<BurnRule> rules;
+
+  // Google SRE workbook defaults for a 30-day, 99.9%-style objective:
+  // fast = 5m/1h @ 14.4x, slow = 30m/6h @ 6x.
+  static SloConfig Production();
+  // The same rule shape compressed for sub-minute simulation runs (and
+  // the chaos harness): every window divided by `divisor`.
+  SloConfig ScaledDown(int64_t divisor) const;
+};
+
+struct SloObjective {
+  std::string name;          // "availability", "latency"
+  std::string total_series;  // full scraped name of the total counter
+  std::string good_series;   // full scraped name of the good counter
+  double target = 0.999;     // required good fraction
+  std::vector<BurnRule> rules;
+};
+
+struct SloAlert {
+  std::string objective;
+  std::string rule;
+  Nanos fired_at = -1;
+  Nanos resolved_at = -1;  // -1 while still firing
+  double burn_short_at_fire = 0;
+  double burn_long_at_fire = 0;
+
+  bool active() const { return resolved_at < 0; }
+};
+
+class SloEngine {
+ public:
+  void AddObjective(SloObjective objective) {
+    objectives_.push_back(std::move(objective));
+  }
+
+  // Re-evaluates every (objective, rule) pair against the scraped series
+  // at sim time `now`, firing and resolving alerts. Deterministic; call
+  // from the telemetry tick after ScrapeOnce().
+  void Evaluate(const Scraper& scraper, Nanos now);
+
+  // All alerts ever fired, in firing order (resolved ones keep their
+  // timestamps — this is the run's alert history).
+  const std::vector<SloAlert>& alerts() const { return alerts_; }
+  int active_alert_count() const;
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+
+  // Human-readable alert history for bench stdout / chaos reports.
+  std::string Report() const;
+
+  // Burn rate of the good/total pair over [now - window, now]; nullopt
+  // when the series do not yet cover any of the window or no requests
+  // landed in it (no data != zero burn).
+  static std::optional<double> BurnRate(const RingSeries* total,
+                                        const RingSeries* good, Nanos window,
+                                        Nanos now, double target);
+
+ private:
+  std::vector<SloObjective> objectives_;
+  std::vector<SloAlert> alerts_;
+};
+
+}  // namespace repro::telemetry

@@ -49,6 +49,17 @@ class [[nodiscard]] Status {
            code_ == Code::kAborted;
   }
 
+  // True for failure classes that count against an availability SLO: the
+  // service failed to serve the request (unreachable, overloaded, timed
+  // out, gave up). Application outcomes the service *correctly* produced
+  // — kNotFound, kAlreadyExists, permission and argument errors — are
+  // successful service from the SLO's point of view.
+  bool counts_against_availability() const {
+    return code_ == Code::kUnavailable || code_ == Code::kTimedOut ||
+           code_ == Code::kAborted || code_ == Code::kResourceExhausted ||
+           code_ == Code::kDeadlineExceeded || code_ == Code::kInternal;
+  }
+
   std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {

@@ -1,9 +1,12 @@
-// Tests for the windowed time-series metrics and CSV export.
+// Tests for the windowed time-series metrics, CSV export, and the
+// counter/gauge/histogram registry (labels, legacy-name shim, reports).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
+#include "metrics/counters.h"
 #include "metrics/timeseries.h"
 
 namespace repro::metrics {
@@ -50,6 +53,31 @@ TEST(TimeSeries, SparklineTracksLoad) {
   EXPECT_NE(spark[1], '#');
 }
 
+TEST(TimeSeries, EdgeSampleBelongsToTheWindowItOpens) {
+  // Windows are half-open [i*w, (i+1)*w): a sample at exactly t = w
+  // lands in window 1, never window 0.
+  TimeSeries ts(Millis(100));
+  ts.Record(0);
+  ts.Record(Millis(100));
+  ASSERT_EQ(ts.windows().size(), 2u);
+  EXPECT_EQ(ts.windows()[0].count, 1);
+  EXPECT_EQ(ts.windows()[1].count, 1);
+}
+
+TEST(TimeSeries, EmptyWindowsAreNoDataNotZero) {
+  TimeSeries ts(Millis(100));
+  ts.Record(Millis(50), 4.0);
+  ts.Record(Millis(250), 8.0);
+  ASSERT_EQ(ts.windows().size(), 3u);
+  EXPECT_TRUE(std::isnan(ts.windows()[1].mean()));
+  EXPECT_TRUE(std::isnan(ts.MeanPerWindow()[1]));
+  EXPECT_DOUBLE_EQ(ts.RatePerSecond()[1], 0.0);  // rates ARE true zeros
+  ASSERT_TRUE(ts.MeanAt(Millis(50)).has_value());
+  EXPECT_DOUBLE_EQ(*ts.MeanAt(Millis(50)), 4.0);
+  EXPECT_FALSE(ts.MeanAt(Millis(150)).has_value());  // covered but empty
+  EXPECT_FALSE(ts.MeanAt(Millis(999)).has_value());  // past coverage
+}
+
 TEST(Csv, WritesAlignedColumns) {
   const std::string path = "/tmp/repro_metrics_test.csv";
   ASSERT_TRUE(WriteCsv(path, {{"t", {0, 1, 2}}, {"ops", {10, 20}}}));
@@ -64,6 +92,67 @@ TEST(Csv, WritesAlignedColumns) {
   std::getline(in, line);
   EXPECT_EQ(line, "2,");  // padded
   std::remove(path.c_str());
+}
+
+TEST(Registry, LabelsEncodeSortedIntoFullNames) {
+  const Labels labels{{"zone", "b"}, {"az", "1"}};
+  EXPECT_EQ(labels.Encode(), "{az=1,zone=b}");
+  EXPECT_EQ(FullName("host.up", labels), "host.up{az=1,zone=b}");
+  EXPECT_EQ(Labels{}.Encode(), "");
+}
+
+TEST(Registry, GaugesAndHistograms) {
+  Registry reg;
+  Gauge* g = reg.GetGauge("ndb.tc.queue_depth");
+  g->Set(5);
+  g->Add(2);
+  EXPECT_DOUBLE_EQ(g->value(), 7);
+  EXPECT_EQ(reg.GetGauge("ndb.tc.queue_depth"), g);
+
+  HistogramMetric* h = reg.GetHistogram("op.latency", {10, 100});
+  h->Observe(5);
+  h->Observe(50);
+  h->Observe(500);
+  EXPECT_EQ(h->count(), 3);
+  EXPECT_DOUBLE_EQ(h->sum(), 555);
+  ASSERT_EQ(h->bucket_counts().size(), 2u);
+  EXPECT_EQ(h->bucket_counts()[0], 1);  // cumulative: <= 10
+  EXPECT_EQ(h->bucket_counts()[1], 2);  // <= 100
+}
+
+TEST(Registry, LegacyCounterNamesAliasToCanonical) {
+  EXPECT_EQ(CanonicalCounterName("client.retries"), "hopsfs.client.retries");
+  EXPECT_EQ(LegacyCounterName("hopsfs.client.retries"), "client.retries");
+  EXPECT_EQ(CanonicalCounterName("hopsfs.client.retries"), "");
+  EXPECT_EQ(LegacyCounterName("never.renamed"), "");
+
+  // Old call sites and new ones share ONE counter.
+  Registry reg;
+  Counter* legacy = reg.GetCounter("nn.admission.shed");
+  legacy->Add(3);
+  Counter* canonical = reg.GetCounter("hopsfs.nn.admission_shed");
+  EXPECT_EQ(legacy, canonical);
+  EXPECT_EQ(canonical->value(), 3);
+}
+
+TEST(Registry, ReportMatchesWholeDottedSegments) {
+  EXPECT_TRUE(MatchesSegmentPrefix("ndb.tc.commits", "ndb.tc"));
+  EXPECT_TRUE(MatchesSegmentPrefix("ndb.tc", "ndb.tc"));
+  EXPECT_TRUE(MatchesSegmentPrefix("ndb.tc{az=1}", "ndb.tc"));
+  EXPECT_FALSE(MatchesSegmentPrefix("ndb.tcp_retrans", "ndb.tc"));
+  EXPECT_TRUE(MatchesSegmentPrefix("anything.at.all", ""));
+
+  Registry reg;
+  reg.GetCounter("ndb.tc.commits")->Add(1);
+  reg.GetCounter("ndb.tcp_retrans")->Add(1);
+  reg.GetCounter("client.retries")->Add(2);  // legacy spelling
+  const std::string tc = reg.Report("ndb.tc");
+  EXPECT_NE(tc.find("ndb.tc.commits"), std::string::npos);
+  EXPECT_EQ(tc.find("ndb.tcp_retrans"), std::string::npos);
+  // A legacy prefix still selects the renamed counter, annotated.
+  const std::string client = reg.Report("client");
+  EXPECT_NE(client.find("hopsfs.client.retries = 2"), std::string::npos);
+  EXPECT_NE(client.find("(was client.retries)"), std::string::npos);
 }
 
 }  // namespace
