@@ -75,6 +75,23 @@ std::string ChaosReport::Scorecard() const {
              : std::string("  recovery: goodput did not return to 50% of "
                            "baseline\n");
   out += StrFormat("  longest stall: %.2fs\n", ToSeconds(longest_stall));
+  if (!recoveries.empty()) {
+    int64_t served = 0, abandoned = 0, entries = 0;
+    Nanos worst = 0;
+    for (const auto& rec : recoveries) {
+      if (rec.aborted) ++abandoned;
+      if (rec.serving_at >= 0) {
+        ++served;
+        entries += rec.replay_entries;
+        worst = std::max(worst, rec.serving_at - rec.started);
+      }
+    }
+    out += StrFormat(
+        "  node recoveries: %lld served (worst %.2fs, %lld entries "
+        "replayed), %lld abandoned\n",
+        static_cast<long long>(served), ToSeconds(worst),
+        static_cast<long long>(entries), static_cast<long long>(abandoned));
+  }
   if (scrapes > 0) {
     out += StrFormat("  telemetry: %lld scrapes, %zu alert(s); %s\n",
                      static_cast<long long>(scrapes), alerts.size(),
@@ -391,6 +408,7 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts,
 
   report.trace = injector.trace();
   for (const auto& line : checker.trace()) report.trace.push_back(line);
+  report.recoveries = dep.ndb().recovery_log();
 
   // Flight recorder: when tracing was on and an invariant failed, dump
   // the retained span trees (the ops closest to the violation) as

@@ -146,6 +146,11 @@ struct ChaosReport {
   std::vector<std::string> trace;
   std::string TraceString() const;
 
+  // Node-recovery timeline: one entry per RestartDatanode that began
+  // recovering (phases, replay/resync volumes, digests). The CI
+  // recovery-smoke job uploads this as its recovery-timeline artifact.
+  std::vector<ndb::NdbCluster::RecoveryStats> recoveries;
+
   // Distributed-tracing capture (when ChaosOptions::trace_sample_every
   // is set): how many span trees finished, and where the flight-recorder
   // Chrome-trace JSON was written on invariant failure ("" = none).

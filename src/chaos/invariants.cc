@@ -307,6 +307,74 @@ InvariantResult InvariantChecker::CheckDeadlines() {
   return result;
 }
 
+InvariantResult InvariantChecker::CheckRecovery() {
+  InvariantResult result{"recovery", true, ""};
+  const auto& log = deployment_.ndb().recovery_log();
+  int64_t completed = 0;
+  int64_t abandoned = 0;
+  for (size_t i = 0; i < log.size(); ++i) {
+    const auto& rec = log[i];
+    // One deterministic timeline line per recovery, in start order —
+    // part of the run's event trace and the CI recovery artifact.
+    std::string outcome;
+    if (rec.aborted) {
+      outcome = "abandoned: " + rec.abort_reason;
+    } else if (rec.serving_at >= 0) {
+      outcome = StrFormat("served at %.3fs", ToSeconds(rec.serving_at));
+    } else {
+      outcome = "in flight";
+    }
+    trace_.push_back(StrFormat(
+        "[t=%.3fs] recovery node=%d attempts=%d replay=%lld entries "
+        "%lld+%lld bytes resync=%lld bytes %s",
+        ToSeconds(rec.started), rec.node, rec.attempts,
+        static_cast<long long>(rec.replay_entries),
+        static_cast<long long>(rec.replay_log_bytes),
+        static_cast<long long>(rec.replay_image_bytes),
+        static_cast<long long>(rec.resync_bytes), outcome.c_str()));
+    if (rec.aborted) {
+      ++abandoned;
+      if (rec.abort_reason.empty()) {
+        result.ok = false;
+        if (result.detail.empty()) {
+          result.detail =
+              StrFormat("recovery #%d of node %d abandoned without a reason",
+                        static_cast<int>(i), rec.node);
+        }
+      }
+      continue;
+    }
+    if (rec.serving_at < 0) continue;  // still in flight at check time
+    ++completed;
+    if (!rec.replay_deterministic) {
+      result.ok = false;
+      if (result.detail.empty()) {
+        result.detail = StrFormat(
+            "node %d replay non-deterministic (digest mismatch, recovery #%d)",
+            rec.node, static_cast<int>(i));
+      }
+    }
+    if (!rec.replay_covered) {
+      result.ok = false;
+      if (result.detail.empty()) {
+        result.detail = StrFormat(
+            "node %d replay did not cover the durable prefix (recovery #%d)",
+            rec.node, static_cast<int>(i));
+      }
+    }
+  }
+  if (result.ok) {
+    result.detail = StrFormat(
+        "%lld recover(ies) replayed deterministically over the durable "
+        "prefix, %lld abandoned with reason",
+        static_cast<long long>(completed), static_cast<long long>(abandoned));
+  }
+  trace_.push_back(StrFormat("[t=%.3fs] recovery: %s",
+                             ToSeconds(deployment_.sim().now()),
+                             result.detail.c_str()));
+  return result;
+}
+
 std::vector<InvariantResult> InvariantChecker::CheckAll(
     hopsfs::HopsFsClient& probe, Nanos deadline) {
   std::vector<InvariantResult> results;
@@ -315,6 +383,7 @@ std::vector<InvariantResult> InvariantChecker::CheckAll(
   results.push_back(CheckLeadership());
   results.push_back(CheckReplication());
   results.push_back(CheckDeadlines());
+  results.push_back(CheckRecovery());
   return results;
 }
 

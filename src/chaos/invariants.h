@@ -62,6 +62,14 @@ class InvariantChecker {
   InvariantResult CheckLeadership();
   InvariantResult CheckReplication();
   InvariantResult CheckDeadlines();
+  // Every node recovery in the cluster's recovery log must have replayed
+  // deterministically (two replays of the same journal → identical row
+  // images) and covered exactly the durable prefix — i.e. every
+  // acknowledged commit the node's disk attests is in a flushed log
+  // segment or a checkpoint, nothing more, nothing less. Abandoned
+  // recoveries are allowed only for a recorded reason (re-crash,
+  // cluster shutdown, whole group lost).
+  InvariantResult CheckRecovery();
 
   // All finals in order; stable ordering keeps scorecards diffable.
   std::vector<InvariantResult> CheckAll(hopsfs::HopsFsClient& probe,

@@ -137,6 +137,7 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
     kKindGrey,
     kKindBlockDn,
     kKindSurge,
+    kKindRecoveryStorm,
   };
   std::vector<Kind> kinds;
   if (opts.enable_node_crash) kinds.push_back(kKindCrash);
@@ -152,6 +153,7 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
     kinds.push_back(kKindBlockDn);
   }
   if (opts.enable_surge) kinds.push_back(kKindSurge);
+  if (opts.enable_recovery_storm) kinds.push_back(kKindRecoveryStorm);
   if (kinds.empty() || opts.episodes <= 0) return schedule;
 
   // Episodes are strictly sequential: each one injects a fault, holds it,
@@ -236,6 +238,25 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
                          static_cast<int>(rng.NextBelow(span));
         schedule.Add({inject, FaultType::kOpenLoopSurge, rate, -1, 1.0});
         schedule.Add({heal, FaultType::kOpenLoopSurgeStop, -1, -1, 1.0});
+        break;
+      }
+      case kKindRecoveryStorm: {
+        // 2-3 crash/restart rounds against one node inside the slot; the
+        // restart gap is short enough that later crashes can land while
+        // the node is still replaying or resyncing (the restart call then
+        // re-enters the in-flight recovery and must handle it cleanly).
+        const int node = static_cast<int>(rng.NextBelow(opts.num_ndb_nodes));
+        const int rounds = 2 + static_cast<int>(rng.NextBelow(2));
+        const Nanos span = heal - inject;
+        for (int r = 0; r < rounds; ++r) {
+          const Nanos crash_at = inject + (span * r) / rounds;
+          const Nanos restart_at =
+              crash_at + kMillisecond +
+              rng.NextBelow(static_cast<uint64_t>(
+                  std::max<Nanos>(1, span / (2 * rounds))));
+          schedule.Add({crash_at, FaultType::kCrashNdbNode, node, -1, 1.0});
+          schedule.Add({restart_at, FaultType::kRestartNdbNode, node, -1, 1.0});
+        }
         break;
       }
     }

@@ -76,6 +76,11 @@ struct RandomFaultOptions {
   // Off by default so long-standing pinned seeds keep drawing the same
   // schedules; overload-focused runs opt in.
   bool enable_surge = false;
+  // Recovery storms: crash a node and restart it almost immediately,
+  // several times per episode (possibly re-crashing a node that is still
+  // replaying/resyncing). Exercises the timed-recovery state machine and
+  // its abandon/retry paths. Off by default for pinned-seed stability.
+  bool enable_recovery_storm = false;
 
   // Bounds for randomised parameters.
   double max_latency_factor = 12.0;

@@ -171,13 +171,19 @@ void Deployment::RegisterHostTelemetry() {
   for (ndb::NodeId n = 0; n < ndb_->num_datanodes(); ++n) {
     ndb::NdbDatanode* node = &ndb_->datanode(n);
     const metrics::Labels labels = host_labels(node->az(), node->host());
+    // A recovering node reads as up: its host is reachable and it will
+    // serve again — the health model should see it as degraded (via
+    // host.recovering), not dead.
     metrics_.RegisterCallback("host.up", labels, MetricKind::kGauge,
                               [node, topo] {
-                                return node->alive() &&
+                                return (node->alive() || node->recovering()) &&
                                                topo->HostUp(node->host())
                                            ? 1.0
                                            : 0.0;
                               });
+    metrics_.RegisterCallback(
+        "host.recovering", labels, MetricKind::kGauge,
+        [node] { return node->recovering() ? 1.0 : 0.0; });
     metrics_.RegisterCallback(
         "host.queue_ns", labels, MetricKind::kGauge, [node] {
           return static_cast<double>(std::max(node->tc_pool().Backlog(),
@@ -216,6 +222,21 @@ void Deployment::RegisterHostTelemetry() {
     metrics_.RegisterCallback(
         "ndb.tc.active_txns", node_labels, MetricKind::kGauge,
         [node] { return static_cast<double>(node->active_txns()); });
+    // Durability pipeline: group-commit backlog (appended, not yet on
+    // disk) and checkpoint lag (durable log not yet folded into an LCP —
+    // the replay debt a crash right now would incur).
+    metrics_.RegisterCallback(
+        "ndb.redo.backlog_bytes", node_labels, MetricKind::kGauge, [node] {
+          return static_cast<double>(node->journal().backlog_bytes());
+        });
+    metrics_.RegisterCallback(
+        "ndb.lcp.lag", node_labels, MetricKind::kGauge, [node] {
+          return static_cast<double>(node->journal().lag_bytes());
+        });
+    metrics_.RegisterCallback(
+        "ndb.recovery.phase", node_labels, MetricKind::kGauge, [node] {
+          return static_cast<double>(static_cast<int>(node->recovery_phase()));
+        });
   }
 
   for (auto& dn_ptr : block_dns_) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <climits>
+#include <set>
 
 #include "ndb/client.h"
 #include "util/logging.h"
@@ -13,7 +14,10 @@ namespace {
 constexpr const char* kLog = "ndb.cluster";
 constexpr int64_t kHeartbeatBytes = 48;
 constexpr int64_t kArbBytes = 96;
-constexpr int64_t kGcpBytesPerNode = 128 << 10;
+// Per-node epoch-close bookkeeping on the IO thread. Epoch durability
+// itself comes from the flushed redo log covering the epoch, not from a
+// marker write.
+constexpr Nanos kGcpCloseCpu = 5 * kMicrosecond;
 }  // namespace
 
 bool NdbMgmtNode::HandleArbRequest(NodeId requester,
@@ -86,9 +90,19 @@ void NdbCluster::StartProtocols() {
     timers_.push_back(sim_.Every(500 * kMillisecond, [this, i] {
       if (datanodes_[i]->alive()) datanodes_[i]->SweepInactiveTxns();
     }));
+    // Local checkpoints: fold the durable log prefix into the base image
+    // and truncate the journal (bounds its memory; sets replay cost).
+    if (nc.enable_durability) {
+      timers_.push_back(sim_.Every(nc.lcp_interval, [this, i] {
+        datanodes_[i]->StartLocalCheckpoint(DurableGcpEpoch());
+      }));
+    }
   }
-  // Global checkpoint: periodic durable epoch across node groups. Each
-  // node marks the epoch durable when its checkpoint write hits disk.
+  // Global checkpoint: close the epoch on every node. An epoch becomes
+  // durable on a node once the flushed redo log covers its boundary;
+  // cluster-wide durability (DurableGcpEpoch) is the minimum over nodes
+  // — the epoch only advances when every node's log covering it is on
+  // disk.
   timers_.push_back(sim_.Every(nc.gcp_interval, [this] {
     if (!cluster_up_) return;
     ++gcp_epoch_;
@@ -96,12 +110,20 @@ void NdbCluster::StartProtocols() {
       if (!dn->alive()) continue;
       NdbDatanode* node = dn.get();
       node->set_gcp_epoch(gcp_epoch_);
-      node->RunIo(5 * kMicrosecond, [node] {
-        node->disk().Write(kGcpBytesPerNode,
-                           [node] { node->MarkGcpDurable(); });
-      });
+      node->RunIo(kGcpCloseCpu, nullptr);
     }
   }));
+}
+
+int64_t NdbCluster::DurableGcpEpoch() const {
+  int64_t epoch = INT64_MAX;
+  bool any = false;
+  for (NodeId n = 0; n < static_cast<NodeId>(datanodes_.size()); ++n) {
+    if (!layout_.alive(n)) continue;
+    any = true;
+    epoch = std::min(epoch, datanodes_[n]->durable_gcp_epoch());
+  }
+  return any ? epoch : 0;
 }
 
 void NdbCluster::HeartbeatTick(NodeId i) {
@@ -234,22 +256,115 @@ void NdbCluster::CrashDatanode(NodeId n) {
   datanodes_[n]->Shutdown();
 }
 
+bool NdbCluster::RecoveryStillValid(NodeId n, uint64_t gen) const {
+  return cluster_up_ && datanodes_[n]->recovery_generation() == gen &&
+         datanodes_[n]->recovering();
+}
+
+void NdbCluster::AbandonRecovery(size_t slot, const std::string& reason,
+                                 const std::function<void()>& done) {
+  RecoveryStats& rec = recovery_log_[slot];
+  rec.aborted = true;
+  rec.abort_reason = reason;
+  RLOG_WARN(kLog, "recovery of node %d abandoned: %s", rec.node,
+            reason.c_str());
+  tracer().EndTrace(rec.trace_root);
+  if (done) done();
+}
+
 void NdbCluster::RestartDatanode(NodeId n, std::function<void()> done) {
-  if (layout_.alive(n)) {
+  // Guard on the process state, not the failure detector's view: a node
+  // can restart before its crash was ever detected (layout_.alive may
+  // still read true for a dead process).
+  if (datanodes_[n]->alive()) {
     RLOG_WARN(kLog, "restart of node %d ignored: node is alive", n);
     if (done) done();
     return;
   }
   NdbDatanode& node = *datanodes_[n];
+  if (node.recovering()) {
+    RLOG_INFO(kLog, "restart of node %d ignored: recovery in progress "
+                    "(phase %d)", n, static_cast<int>(node.recovery_phase()));
+    if (done) done();
+    return;
+  }
   network_.topology().SetHostUp(node.host(), true);
+  node.BeginRecovery();
+  const uint64_t gen = node.recovery_generation();
 
-  // Source peer: a surviving member of the node group (it holds exactly
-  // the partitions — and fully-replicated copy fragments — we need).
-  NodeId source = kNoNode;
+  // Phase 1 — replay: what this node's own disk attests. The durability
+  // invariant in one line: replay covers exactly checkpoint image +
+  // flushed log; anything else must come from a live replica.
+  const RedoJournal::ReplayPlan plan = node.journal().PlanReplay(INT64_MAX);
+  RecoveryStats rec;
+  rec.node = n;
+  rec.started = sim_.now();
+  rec.replay_entries = plan.entries;
+  rec.replay_log_bytes = plan.log_bytes;
+  rec.replay_image_bytes = plan.image_bytes;
+  rec.trace_root = tracer().StartTrace("ndb.recovery", trace::Layer::kNdb,
+                                       node.host(), layout_.az_of(n));
+  recovery_log_.push_back(std::move(rec));
+  const size_t slot = recovery_log_.size() - 1;
+  RLOG_INFO(kLog, "restarting node %d: replaying %lld entries (%lld log + "
+                  "%lld image bytes) since last LCP",
+            n, static_cast<long long>(plan.entries),
+            static_cast<long long>(plan.log_bytes),
+            static_cast<long long>(plan.image_bytes));
+
+  const Nanos read_start = sim_.now();
+  node.disk().Read(
+      plan.image_bytes + plan.log_bytes,
+      [this, n, slot, gen, plan, done, read_start] {
+        if (!RecoveryStillValid(n, gen)) {
+          AbandonRecovery(slot, "node lost during log read", done);
+          return;
+        }
+        NdbDatanode& node = *datanodes_[n];
+        tracer().AddSpanAt(recovery_log_[slot].trace_root,
+                           "recovery.replay.read", trace::Layer::kNdb,
+                           trace::Cause::kDisk, node.host(),
+                           layout_.az_of(n), read_start, sim_.now());
+        const Nanos apply_cpu = config_.cost.recovery_setup +
+                                plan.entries * config_.cost.replay_per_entry;
+        const Nanos apply_start = sim_.now();
+        sim_.After(apply_cpu, [this, n, slot, gen, done, apply_start] {
+          if (!RecoveryStillValid(n, gen)) {
+            AbandonRecovery(slot, "node lost during replay", done);
+            return;
+          }
+          NdbDatanode& node = *datanodes_[n];
+          const NdbDatanode::ReplayResult res =
+              node.ReplayFromJournal(INT64_MAX);
+          RecoveryStats& rec = recovery_log_[slot];
+          rec.replay_digest = res.digest;
+          rec.replay_deterministic = res.deterministic;
+          rec.replay_covered = res.covered;
+          rec.replay_done = sim_.now();
+          tracer().AddSpanAt(rec.trace_root, "recovery.replay.apply",
+                             trace::Layer::kNdb, trace::Cause::kCpu,
+                             node.host(), layout_.az_of(n), apply_start,
+                             sim_.now());
+          node.SetRecoveryPhase(NdbDatanode::RecoveryPhase::kResyncing);
+          RecoveryResync(n, slot, gen, done);
+        });
+      });
+}
+
+// Phase 2 — resync: copy the delta (rows written or deleted while the
+// node was down, plus anything its log lost) from a live node-group
+// peer, fence on in-flight transactions, adopt, checkpoint, serve.
+void NdbCluster::RecoveryResync(NodeId n, size_t slot, uint64_t gen,
+                                std::function<void()> done) {
+  if (!RecoveryStillValid(n, gen)) {
+    AbandonRecovery(slot, "node lost before resync", done);
+    return;
+  }
   const int group = layout_.group_of(n);
+  NodeId source = kNoNode;
   for (NodeId peer = 0; peer < num_datanodes(); ++peer) {
     if (peer != n && layout_.group_of(peer) == group &&
-        layout_.alive(peer)) {
+        layout_.alive(peer) && datanodes_[peer]->alive()) {
       source = peer;
       break;
     }
@@ -257,39 +372,46 @@ void NdbCluster::RestartDatanode(NodeId n, std::function<void()> done) {
   if (source == kNoNode) {
     RLOG_ERROR(kLog, "restart of node %d: whole node group lost, cannot "
                      "recover from peers", n);
-    if (done) done();
+    datanodes_[n]->SetRecoveryPhase(NdbDatanode::RecoveryPhase::kDown);
+    AbandonRecovery(slot, "whole node group lost", done);
     return;
   }
 
-  // Simulated copy time: peer data volume over the NIC (plus setup).
-  const int64_t bytes = datanodes_[source]->store().total_bytes();
-  const Nanos copy_time =
-      50 * kMillisecond +
-      static_cast<Nanos>(static_cast<double>(bytes) /
+  // Transfer time: the delta volume over the NIC (plus setup) — replay
+  // already restored everything this node's own disk could attest.
+  const ResyncDelta estimate = ComputeResync(n, source, /*apply=*/false);
+  const Nanos xfer_time =
+      config_.cost.recovery_setup +
+      static_cast<Nanos>(static_cast<double>(estimate.bytes) /
                          network_.config().nic_bytes_per_sec * 1e9);
-  RLOG_INFO(kLog, "restarting node %d: copying ~%lld bytes from node %d",
-            n, static_cast<long long>(bytes), source);
+  RLOG_INFO(kLog, "resyncing node %d from node %d: ~%lld delta bytes "
+                  "(%lld rows, %lld deletes)",
+            n, source, static_cast<long long>(estimate.bytes),
+            static_cast<long long>(estimate.rows),
+            static_cast<long long>(estimate.deletes));
+  const Nanos xfer_start = sim_.now();
 
-  sim_.After(copy_time, [this, n, source, group, done = std::move(done)] {
+  sim_.After(xfer_time, [this, n, slot, gen, source, group, done,
+                         xfer_start] {
     // Fence: wait until no in-flight transaction touches the group, then
-    // adopt the peer's partition images atomically. (The incremental
-    // catch-up log of real NDB is summarised by this final copy.)
+    // adopt the peer's current image atomically. (Real NDB's incremental
+    // catch-up log is summarised by this final delta copy.)
     auto wait = std::make_shared<std::function<void()>>();
     std::weak_ptr<std::function<void()>> weak = wait;
-    *wait = [this, n, source, group, weak, done] {
+    *wait = [this, n, slot, gen, source, group, weak, done, xfer_start] {
       auto self = weak.lock();
       if (!self) return;
-      if (!cluster_up_) {
-        if (done) done();
+      if (!RecoveryStillValid(n, gen)) {
+        AbandonRecovery(slot, "node lost during resync", done);
         return;
       }
-      if (!layout_.alive(source)) {
-        // Source peer died while we were waiting to adopt its image.
-        // Start over with a fresh source; abandoning here would leave the
-        // node host-up but never rejoined until some later restart call.
+      if (!layout_.alive(source) || !datanodes_[source]->alive()) {
+        // Source peer died mid-copy: retry the resync phase with a
+        // fresh source (the replayed image is still valid).
         RLOG_WARN(kLog, "restart of node %d: source %d died mid-copy, "
                         "retrying with another peer", n, source);
-        RestartDatanode(n, done);
+        recovery_log_[slot].attempts += 1;
+        RecoveryResync(n, slot, gen, done);
         return;
       }
       for (NodeId peer = 0; peer < num_datanodes(); ++peer) {
@@ -299,34 +421,110 @@ void NdbCluster::RestartDatanode(NodeId n, std::function<void()> done) {
           return;
         }
       }
-      // Quiesced: copy and rejoin.
+      // Quiesced: adopt the delta and record what moved.
+      const ResyncDelta applied = ComputeResync(n, source, /*apply=*/true);
+      RecoveryStats& rec = recovery_log_[slot];
+      rec.resync_rows = applied.rows;
+      rec.resync_bytes = applied.bytes;
+      rec.resync_deletes = applied.deletes;
       NdbDatanode& node = *datanodes_[n];
-      NdbDatanode& peer = *datanodes_[source];
-      for (TableId t = 0; t < catalog_->num_tables(); ++t) {
-        peer.store().ForEachCommitted(t, [this, t, n, &node](
-                                             const Key& key,
-                                             const std::string& value) {
-          const PartitionId p = layout_.PartitionOf(t, key);
-          for (NodeId r : layout_.ReplicaChain(t, p)) {
-            if (r == n) {
-              node.store().BootstrapPut(t, key, value);
-              break;
-            }
-          }
-        });
-      }
-      node.Revive();
-      layout_.set_alive(n, true);
-      // Reset failure-detector state so peers do not instantly re-suspect.
-      const Nanos now = sim_.now();
-      for (NodeId i = 0; i < num_datanodes(); ++i) {
-        last_heard_[i][n] = now;
-        last_heard_[n][i] = now;
-      }
-      if (done) done();
+      tracer().AddSpanAt(
+          rec.trace_root, "recovery.resync", trace::Layer::kNdb,
+          trace::NetCause(layout_.az_of(source), layout_.az_of(n)),
+          node.host(), layout_.az_of(n), xfer_start, sim_.now(),
+          layout_.az_of(n));
+      FinishRecovery(n, slot, gen, done);
     };
     (*wait)();
   });
+}
+
+// Phase 3 — checkpoint the adopted image (a restarting node completes an
+// LCP before it is recoverable, as real NDB does) and rejoin.
+void NdbCluster::FinishRecovery(NodeId n, size_t slot, uint64_t gen,
+                                std::function<void()> done) {
+  NdbDatanode& node = *datanodes_[n];
+  const int64_t image_bytes = node.store().total_bytes();
+  const Nanos write_start = sim_.now();
+  node.disk().Write(image_bytes, [this, n, slot, gen, done, write_start] {
+    if (!RecoveryStillValid(n, gen)) {
+      AbandonRecovery(slot, "node lost during rejoin checkpoint", done);
+      return;
+    }
+    NdbDatanode& node = *datanodes_[n];
+    // NOTE: the adopted image may contain commits newer than the durable
+    // epoch; a whole-cluster recovery immediately after a rejoin keeps
+    // them on this node (bounded by the resync window). See DESIGN §12.
+    node.CheckpointAdoptedImage(DurableGcpEpoch());
+    node.set_gcp_epoch(gcp_epoch_);
+    RecoveryStats& rec = recovery_log_[slot];
+    tracer().AddSpanAt(rec.trace_root, "recovery.checkpoint",
+                       trace::Layer::kNdb, trace::Cause::kDisk, node.host(),
+                       layout_.az_of(n), write_start, sim_.now());
+    node.Revive();
+    layout_.set_alive(n, true);
+    rec.serving_at = sim_.now();
+    // Reset failure-detector state so peers do not instantly re-suspect.
+    const Nanos now = sim_.now();
+    for (NodeId i = 0; i < num_datanodes(); ++i) {
+      last_heard_[i][n] = now;
+      last_heard_[n][i] = now;
+    }
+    tracer().EndTrace(rec.trace_root);
+    RLOG_INFO(kLog, "node %d serving again after %.3f s (replayed %lld, "
+                    "resynced %lld bytes)",
+              n, (rec.serving_at - rec.started) / 1e9,
+              static_cast<long long>(rec.replay_entries),
+              static_cast<long long>(rec.resync_bytes));
+    if (done) done();
+  });
+}
+
+NdbCluster::ResyncDelta NdbCluster::ComputeResync(NodeId n, NodeId source,
+                                                  bool apply) {
+  ResyncDelta delta;
+  NdbDatanode& node = *datanodes_[n];
+  NdbDatanode& peer = *datanodes_[source];
+  for (TableId t = 0; t < catalog_->num_tables(); ++t) {
+    std::vector<std::pair<Key, std::string>> puts;
+    std::vector<Key> dels;
+    // Rows the peer holds for n's partitions that n lacks or holds stale.
+    peer.store().ForEachCommitted(t, [&](const Key& key,
+                                         const std::string& value) {
+      const PartitionId p = layout_.PartitionOf(t, key);
+      bool mine = false;
+      for (NodeId r : layout_.ReplicaChain(t, p)) {
+        if (r == n) {
+          mine = true;
+          break;
+        }
+      }
+      if (!mine) return;
+      const auto held = node.store().Read(t, key, 0);
+      if (!held || *held != value) {
+        delta.rows += 1;
+        delta.bytes += static_cast<int64_t>(key.size()) +
+                       static_cast<int64_t>(value.size());
+        if (apply) puts.emplace_back(key, value);
+      }
+    });
+    // Rows n replayed that the cluster has since deleted.
+    node.store().ForEachCommitted(t, [&](const Key& key,
+                                         const std::string&) {
+      if (!peer.store().ExistsCommitted(t, key)) {
+        delta.deletes += 1;
+        delta.bytes += static_cast<int64_t>(key.size()) + 16;
+        if (apply) dels.push_back(key);
+      }
+    });
+    if (apply) {
+      for (auto& [key, value] : puts) {
+        node.store().BootstrapPut(t, key, std::move(value));
+      }
+      for (const Key& key : dels) node.store().BootstrapDelete(t, key);
+    }
+  }
+  return delta;
 }
 
 void NdbCluster::ShutdownCluster() {
@@ -355,23 +553,59 @@ void NdbCluster::BootstrapPut(TableId table, const Key& key,
   }
 }
 
-void NdbCluster::RecoverFromCheckpoint() {
+NdbCluster::ClusterRecoveryReport NdbCluster::RecoverFromCheckpoint() {
   assert(config_.node.enable_durability &&
          "recovery requires enable_durability");
-  // The recovery epoch: the newest checkpoint durable on EVERY node.
-  int64_t epoch = INT64_MAX;
+  ClusterRecoveryReport report;
+  // The recovery epoch: the newest epoch whose redo log is flushed on
+  // EVERY node — except that a completed local checkpoint is itself
+  // durable, so a node whose LCP already covers a newer epoch raises
+  // the floor (its pre-LCP log segments are truncated).
+  int64_t min_durable = INT64_MAX;
+  int64_t max_base = 0;
   for (auto& dn : datanodes_) {
-    epoch = std::min(epoch, dn->durable_gcp_epoch());
+    min_durable = std::min(min_durable, dn->durable_gcp_epoch());
+    max_base = std::max(max_base, dn->journal().base_epoch());
   }
-  RLOG_INFO(kLog, "cluster recovery from GCP epoch %lld",
-            static_cast<long long>(epoch));
+  report.epoch = std::max(min_durable, max_base);
+  // Tally what the cut drops — acknowledged commits newer than the cut
+  // (or appended but never flushed). Distinct transactions are counted
+  // once even when several replicas logged them.
+  std::set<TxnId> dropped;
+  Nanos oldest_drop = -1;
+  for (auto& dn : datanodes_) {
+    const RedoJournal::LossReport loss =
+        dn->journal().LossBeyond(report.epoch);
+    report.dropped_entries += loss.entries;
+    for (TxnId t : loss.txns) dropped.insert(t);
+    if (loss.oldest_append >= 0 &&
+        (oldest_drop < 0 || loss.oldest_append < oldest_drop)) {
+      oldest_drop = loss.oldest_append;
+    }
+  }
+  report.dropped_commits = static_cast<int64_t>(dropped.size());
+  report.dropped_txns.assign(dropped.begin(), dropped.end());
+  report.loss_window = oldest_drop >= 0 ? sim_.now() - oldest_drop : 0;
+  RLOG_INFO(kLog, "cluster recovery from GCP epoch %lld: dropping %lld "
+                  "post-cut commits (loss window %.3f s)",
+            static_cast<long long>(report.epoch),
+            static_cast<long long>(report.dropped_commits),
+            report.loss_window / 1e9);
+
   const Nanos now = sim_.now();
   for (NodeId n = 0; n < num_datanodes(); ++n) {
     NdbDatanode& dn = *datanodes_[n];
     network_.topology().SetHostUp(dn.host(), true);
     dn.Shutdown();
-    dn.RestoreFromRedo(epoch);
+    const NdbDatanode::ReplayResult res = dn.ReplayFromJournal(report.epoch);
+    report.replayed_entries += res.entries;
+    report.replay_deterministic =
+        report.replay_deterministic && res.deterministic;
+    // The surviving image becomes the node's restart checkpoint; the
+    // dropped log tail is gone for good.
+    dn.CheckpointAdoptedImage(report.epoch);
     dn.Revive();
+    dn.set_gcp_epoch(gcp_epoch_);
     layout_.set_alive(n, true);
     for (NodeId i = 0; i < num_datanodes(); ++i) {
       last_heard_[i][n] = now;
@@ -379,6 +613,7 @@ void NdbCluster::RecoverFromCheckpoint() {
     }
   }
   cluster_up_ = true;
+  return report;
 }
 
 NdbCluster::ThreadUtilization NdbCluster::AverageThreadUtilization(

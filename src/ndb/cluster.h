@@ -119,21 +119,64 @@ class NdbCluster {
   void CrashDatanode(NodeId n);
   void ShutdownCluster();
 
-  // Node recovery: brings a failed datanode back. The node's host is
-  // restored, the copy of its node group's data from a surviving peer is
-  // simulated (transfer time proportional to the data volume), in-flight
-  // transactions on the group are drained, and the node rejoins with a
-  // consistent partition image. `done` fires once the node serves again.
+  // Node recovery: brings a failed datanode back through a timed state
+  // machine (down -> replaying -> resyncing -> serving). Replay reads
+  // the node's checkpoint image + durable redo log from its disk and
+  // re-applies entries (cost proportional to bytes + entries since the
+  // last LCP); resync copies only the delta from a live node-group peer
+  // over the NIC; the node then completes a checkpoint of the adopted
+  // image and rejoins. `done` fires once the node serves again (or the
+  // recovery is abandoned — whole group lost, or re-crashed mid-way).
   void RestartDatanode(NodeId n, std::function<void()> done = nullptr);
 
-  // Global-checkpoint epoch (§II-B2). Commits become durable only once a
-  // GCP covering them reaches disk on every node.
+  // One entry per RestartDatanode invocation that started recovering —
+  // the recovery timeline consumed by chaos invariants, benchmarks and
+  // the CI artifact. Timestamps are -1 until the phase completes.
+  struct RecoveryStats {
+    NodeId node = kNoNode;
+    int attempts = 1;            // resync retries after source death
+    Nanos started = 0;
+    Nanos replay_done = -1;
+    Nanos serving_at = -1;
+    int64_t replay_entries = 0;
+    int64_t replay_log_bytes = 0;
+    int64_t replay_image_bytes = 0;
+    int64_t resync_rows = 0;
+    int64_t resync_bytes = 0;
+    int64_t resync_deletes = 0;
+    uint64_t replay_digest = 0;
+    bool replay_deterministic = false;  // replay-twice digests agreed
+    bool replay_covered = false;        // exactly the durable prefix
+    bool aborted = false;
+    std::string abort_reason;
+    trace::SpanId trace_root = 0;
+  };
+  const std::vector<RecoveryStats>& recovery_log() const {
+    return recovery_log_;
+  }
+
+  // Global-checkpoint epoch (§II-B2). Commits become durable only once
+  // every node's flushed redo log covers the epoch.
   int64_t gcp_epoch() const { return gcp_epoch_; }
-  // Simulates a whole-cluster outage and restart: every datanode restores
-  // its partitions from the redo log up to the last globally durable
-  // checkpoint. Transactions committed after it are LOST — NDB's
-  // documented durability boundary. Requires enable_durability.
-  void RecoverFromCheckpoint();
+  // The newest epoch whose log is on disk on every layout-alive node —
+  // the cluster-wide durability boundary local checkpoints cut at.
+  int64_t DurableGcpEpoch() const;
+
+  // Simulates a whole-cluster outage and restart: every datanode
+  // replays checkpoint + redo log up to the last globally durable
+  // epoch. Transactions committed after it are LOST — NDB's documented
+  // durability boundary — and reported instead of silently dropped.
+  // Requires enable_durability.
+  struct ClusterRecoveryReport {
+    int64_t epoch = 0;              // the recovery cut
+    int64_t dropped_commits = 0;    // distinct post-cut transactions
+    std::vector<TxnId> dropped_txns;
+    int64_t dropped_entries = 0;    // redo records dropped (all replicas)
+    Nanos loss_window = 0;          // age of the oldest dropped record
+    int64_t replayed_entries = 0;
+    bool replay_deterministic = true;
+  };
+  ClusterRecoveryReport RecoverFromCheckpoint();
 
   // ---- statistics ----
   void RecordReplicaRead(PartitionId part, int replica_idx);
@@ -162,6 +205,25 @@ class NdbCluster {
   void HeartbeatTick(NodeId n);
   void RequestArbitration(NodeId requester);
 
+  // ---- node-recovery state machine steps ----
+  // True while the recovery started with `gen` on node n is still the
+  // one in flight (no re-crash, no cluster shutdown).
+  bool RecoveryStillValid(NodeId n, uint64_t gen) const;
+  void AbandonRecovery(size_t slot, const std::string& reason,
+                       const std::function<void()>& done);
+  void RecoveryResync(NodeId n, size_t slot, uint64_t gen,
+                      std::function<void()> done);
+  void FinishRecovery(NodeId n, size_t slot, uint64_t gen,
+                      std::function<void()> done);
+  // Rows the restarted node must copy from (or drop relative to) the
+  // live peer to converge; applies the delta when `apply` is true.
+  struct ResyncDelta {
+    int64_t rows = 0;
+    int64_t bytes = 0;
+    int64_t deletes = 0;
+  };
+  ResyncDelta ComputeResync(NodeId n, NodeId source, bool apply);
+
   Simulation& sim_;
   Network& network_;
   const Catalog* catalog_;
@@ -178,6 +240,7 @@ class NdbCluster {
 
   std::vector<Simulation::PeriodicHandle> timers_;
   std::vector<std::vector<int64_t>> replica_reads_;
+  std::vector<RecoveryStats> recovery_log_;
   uint64_t txn_counter_ = 0;
   int64_t gcp_epoch_ = 0;
   bool cluster_up_ = true;

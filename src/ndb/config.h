@@ -34,6 +34,12 @@ struct CostModel {
   Nanos io_redo_per_commit = 1 * kMicrosecond;
   int64_t redo_bytes_per_commit = 320;
 
+  // Write-ahead journal framing and node-recovery costs.
+  int64_t redo_record_overhead_bytes = 32;   // per-record on-disk header
+  int64_t redo_flush_overhead_bytes = 4096;  // fsync + page pad per group commit
+  Nanos replay_per_entry = 2 * kMicrosecond; // CPU to re-apply one record
+  Nanos recovery_setup = 20 * kMillisecond;  // per-phase protocol setup
+
   // Wire sizes (payload bytes; the network adds framing).
   int64_t msg_small = 64;      // Commit/Committed/Complete/Completed/acks
   int64_t msg_read_req = 160;
@@ -57,12 +63,16 @@ struct NdbNodeConfig {
   int heartbeat_misses_for_failure = 4;
   Nanos arbitration_timeout = 150 * kMillisecond;
   Nanos gcp_interval = 500 * kMillisecond;        // global checkpoints
-  Nanos redo_flush_interval = 100 * kMillisecond;
-  // Record per-replica redo entries so the cluster can be recovered from
-  // its global checkpoints (§II-B2). Off by default: benchmarks do not
-  // restart clusters, and an unbounded in-memory redo log at benchmark op
-  // rates would be pure overhead.
-  bool enable_durability = false;
+  Nanos redo_flush_interval = 100 * kMillisecond; // group-commit cadence
+  Nanos lcp_interval = 2 * kSecond;               // local checkpoints (LCP)
+  // Redo-journal segment roll size; truncation at LCP drops whole
+  // flushed segments, so memory overhang is about one segment per node.
+  int64_t redo_segment_bytes = 256 << 10;
+  // Record per-replica redo entries so nodes and the cluster can be
+  // recovered from checkpoints + redo replay (§II-B2). On by default:
+  // local checkpoints truncate the journal, so the in-memory footprint
+  // is bounded by the checkpoint image plus one LCP interval of log.
+  bool enable_durability = true;
 };
 
 struct FeatureFlags {

@@ -14,10 +14,21 @@ namespace {
 constexpr const char* kLog = "ndb.dn";
 }
 
+namespace {
+RedoJournal::Config JournalConfig(const NdbCluster& cluster) {
+  RedoJournal::Config jc;
+  jc.record_overhead_bytes = cluster.cost().redo_record_overhead_bytes;
+  jc.flush_overhead_bytes = cluster.cost().redo_flush_overhead_bytes;
+  jc.segment_bytes = cluster.node_config().redo_segment_bytes;
+  return jc;
+}
+}  // namespace
+
 NdbDatanode::NdbDatanode(NdbCluster& cluster, NodeId id, HostId host)
     : cluster_(cluster), id_(id), host_(host),
       store_(cluster.catalog().num_tables()),
-      locks_(cluster.sim(), cluster.node_config().lock_wait_timeout) {
+      locks_(cluster.sim(), cluster.node_config().lock_wait_timeout),
+      journal_(cluster.catalog().num_tables(), JournalConfig(cluster)) {
   cluster_has_durability_ = cluster.node_config().enable_durability;
   store_.set_debug_owner(id_);
   auto& sim = cluster_.sim();
@@ -54,16 +65,30 @@ void NdbDatanode::SetGreySlowdown(double cpu_factor, double disk_factor) {
 }
 
 void NdbDatanode::Shutdown() {
-  if (!alive_) return;
+  // A shutdown mid-recovery must still run: it aborts the recovery (the
+  // generation bump invalidates its continuations) and drops whatever
+  // the interrupted replay had not made durable.
+  if (!alive_ && !recovering()) return;
   alive_ = false;
+  recovery_phase_ = RecoveryPhase::kDown;
+  ++recovery_gen_;
+  lcp_inflight_ = false;
   txns_.clear();
+  // Crash semantics: the un-flushed journal tail never reached disk.
+  journal_.DropUnflushed();
   RLOG_INFO(kLog, "datanode %d shutting down", id_);
 }
 
 void NdbDatanode::Revive() {
   alive_ = true;
+  recovery_phase_ = RecoveryPhase::kServing;
   redo_pending_bytes_ = 0;
   RLOG_INFO(kLog, "datanode %d rejoined", id_);
+}
+
+void NdbDatanode::BeginRecovery() {
+  recovery_phase_ = RecoveryPhase::kReplaying;
+  ++recovery_gen_;
 }
 
 bool NdbDatanode::HasTxnTouchingGroup(int group) const {
@@ -196,39 +221,100 @@ void NdbDatanode::RunIo(Nanos cost, std::function<void()> fn) {
 }
 
 void NdbDatanode::AccountRedo() {
+  // With durability on, the journal accounts real record bytes and the
+  // group-commit flush charges them; this legacy path only models the
+  // disk traffic for durability-off clusters.
+  if (cluster_has_durability_) return;
   redo_pending_bytes_ += cluster_.cost().redo_bytes_per_commit;
 }
 
 void NdbDatanode::LogRedo(
-    TableId table, const Key& key,
+    TxnId txn, TableId table, const Key& key,
     const std::optional<RowStore::AppliedWrite>& applied) {
-  if (!cluster_.node_config().enable_durability || !applied) return;
+  if (!cluster_has_durability_ || !applied) return;
   // Writes applied after checkpoint N was cut belong to epoch N+1: they
-  // are durable only once the *next* checkpoint reaches disk.
-  redo_log_.push_back(RedoEntry{gcp_epoch_ + 1, table, key,
-                                applied->type == WriteType::kDelete,
-                                applied->value});
-}
-
-void NdbDatanode::RestoreFromRedo(int64_t epoch) {
-  // Entries are appended in epoch order; replay everything up to and
-  // including the recovery epoch.
-  store_.Clear();
-  for (const auto& e : redo_log_) {
-    if (e.epoch > epoch) break;
-    if (e.deleted) {
-      store_.BootstrapDelete(e.table, e.key);
-    } else {
-      store_.BootstrapPut(e.table, e.key, e.value);
-    }
-  }
+  // are durable only once the flushed log covers the *next* epoch.
+  journal_.Append(gcp_epoch_ + 1, txn, table, key,
+                  applied->type == WriteType::kDelete, applied->value,
+                  cluster_.sim().now());
 }
 
 void NdbDatanode::FlushRedo() {
-  if (!alive_ || redo_pending_bytes_ == 0) return;
+  if (!alive_) return;
+  if (cluster_has_durability_) {
+    // Group commit: one disk write covers every record appended since
+    // the previous flush (plus the fsync overhead). The batch counts as
+    // durable only when the write lands; a crash in between loses it.
+    const RedoJournal::FlushBatch batch = journal_.PrepareFlush();
+    if (batch.upto_seqno == 0) return;
+    const uint64_t gen = journal_.generation();
+    RunIo(cluster_.cost().io_redo_per_commit, [this, batch, gen] {
+      disk_->Write(batch.disk_bytes, [this, batch, gen] {
+        if (journal_.generation() == gen) journal_.MarkFlushed(batch);
+      });
+    });
+    return;
+  }
+  if (redo_pending_bytes_ == 0) return;
   const int64_t bytes = std::exchange(redo_pending_bytes_, 0);
   RunIo(cluster_.cost().io_redo_per_commit,
         [this, bytes] { disk_->Write(bytes, nullptr); });
+}
+
+void NdbDatanode::StartLocalCheckpoint(int64_t cluster_durable_epoch) {
+  if (!alive_ || !cluster_has_durability_ || lcp_inflight_) return;
+  const int64_t cut = journal_.CheckpointCutSeqno(cluster_durable_epoch);
+  if (cut <= journal_.base_seqno()) return;
+  lcp_inflight_ = true;
+  const int64_t image_bytes = journal_.CheckpointBytes(cut);
+  const uint64_t gen = journal_.generation();
+  RunIo(cluster_.cost().io_redo_per_commit, [this, cut, image_bytes, gen] {
+    disk_->Write(image_bytes, [this, cut, gen] {
+      lcp_inflight_ = false;
+      if (!alive_ || journal_.generation() != gen) return;
+      journal_.CompleteCheckpoint(cut, cluster_.sim().now());
+    });
+  });
+}
+
+NdbDatanode::ReplayResult NdbDatanode::ReplayFromJournal(int64_t max_epoch) {
+  const RedoJournal::ReplayPlan plan = journal_.PlanReplay(max_epoch);
+  // Replay determinism audit: an independent replay into a scratch image
+  // must produce byte-for-byte the same rows as the store replay below.
+  const uint64_t expected = journal_.ReplayDigest(max_epoch);
+  store_.Clear();
+  ReplayResult result;
+  result.entries = journal_.Replay(
+      max_epoch,
+      [this](TableId t, const Key& k, const std::string& v) {
+        store_.BootstrapPut(t, k, v);
+      },
+      [this](TableId t, const Key& k) { store_.BootstrapDelete(t, k); });
+  result.digest = DigestStore();
+  result.deterministic = (result.digest == expected);
+  result.covered = (result.entries == plan.entries);
+  return result;
+}
+
+void NdbDatanode::CheckpointAdoptedImage(int64_t epoch) {
+  journal_.InstallImageBegin(epoch, cluster_.sim().now());
+  for (TableId t = 0; t < cluster_.catalog().num_tables(); ++t) {
+    store_.ForEachCommitted(t, [this, t](const Key& key,
+                                         const std::string& value) {
+      journal_.InstallImageRow(t, key, value);
+    });
+  }
+}
+
+uint64_t NdbDatanode::DigestStore() const {
+  ImageDigest digest;
+  for (TableId t = 0; t < cluster_.catalog().num_tables(); ++t) {
+    store_.ForEachCommitted(t, [&digest, t](const Key& key,
+                                            const std::string& value) {
+      digest.AddRow(t, key, value);
+    });
+  }
+  return digest.value();
 }
 
 void NdbDatanode::ResetStats() {
@@ -738,7 +824,8 @@ std::vector<NdbDatanode::TakeoverRow> NdbDatanode::DrainTxnRowsForTakeover() {
 
 void NdbDatanode::ResolveTakenOverRow(const TakeoverRow& row) {
   if (row.commit_forward) {
-    LogRedo(row.table, row.key, store_.Commit(row.table, row.key, row.txn));
+    LogRedo(row.txn, row.table, row.key,
+            store_.Commit(row.table, row.key, row.txn));
     AccountRedo();
   } else {
     store_.Abort(row.table, row.key, row.txn);
@@ -809,7 +896,7 @@ void NdbDatanode::SweepInactiveTxns() {
                id_, o.key.c_str(), static_cast<unsigned long long>(o.txn),
                committed_elsewhere ? "roll forward" : "roll back");
     if (committed_elsewhere) {
-      LogRedo(o.table, o.key, store_.Commit(o.table, o.key, o.txn));
+      LogRedo(o.txn, o.table, o.key, store_.Commit(o.table, o.key, o.txn));
       AccountRedo();
     } else {
       store_.Abort(o.table, o.key, o.txn);
@@ -1026,7 +1113,7 @@ void NdbDatanode::LdmCommitChain(CommitChainReq req) {
         const auto& cost = cluster_.cost();
         if (req.pos == 0) {
           // The primary is the commit point: apply, unlock, confirm.
-          LogRedo(req.table, req.key,
+          LogRedo(req.txn, req.table, req.key,
                   store_.Commit(req.table, req.key, req.txn));
           locks_.Release(req.txn, req.table, req.key);
           AccountRedo();
@@ -1059,7 +1146,7 @@ void NdbDatanode::LdmComplete(CompleteReq req) {
       req.part, cluster_.cost().ldm_complete,
       [this, req = std::move(req)] {
         if (!req.is_primary) {
-          LogRedo(req.table, req.key,
+          LogRedo(req.txn, req.table, req.key,
                   store_.Commit(req.table, req.key, req.txn));
           AccountRedo();
         }

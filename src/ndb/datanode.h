@@ -30,6 +30,7 @@
 
 #include "ndb/config.h"
 #include "ndb/lock_manager.h"
+#include "ndb/redo_journal.h"
 #include "ndb/row_store.h"
 #include "ndb/schema.h"
 #include "ndb/types.h"
@@ -221,30 +222,58 @@ class NdbDatanode {
   LockManager& locks() { return locks_; }
   Disk& disk() { return *disk_; }
 
-  // ---- durability (enable_durability only) ----
-  // One redo entry per write applied at this replica, stamped with the
-  // global-checkpoint epoch current at apply time.
-  struct RedoEntry {
-    int64_t epoch;
-    TableId table;
-    Key key;
-    bool deleted;
-    std::string value;
-  };
-  const std::vector<RedoEntry>& redo_log() const { return redo_log_; }
-  void set_gcp_epoch(int64_t epoch) { gcp_epoch_ = epoch; }
-  int64_t durable_gcp_epoch() const { return durable_gcp_epoch_; }
-  void MarkGcpDurable() { durable_gcp_epoch_ = gcp_epoch_; }
-  // Restores the committed image from the redo log up to `epoch`
-  // inclusive (cluster recovery).
-  void RestoreFromRedo(int64_t epoch);
+  // ---- durability: write-ahead redo journal (enable_durability) ----
+  RedoJournal& journal() { return journal_; }
+  const RedoJournal& journal() const { return journal_; }
+  // The cluster announced a new GCP epoch; closes the epoch in the
+  // journal so its durability can be attested by the flushed log.
+  void set_gcp_epoch(int64_t epoch) {
+    gcp_epoch_ = epoch;
+    if (cluster_has_durability_) journal_.CloseEpoch(epoch);
+  }
+  // Highest GCP epoch this node's flushed log + checkpoint cover.
+  int64_t durable_gcp_epoch() const { return journal_.durable_epoch(); }
+  // Starts a local checkpoint if one is due: captures the image at the
+  // cluster-durable epoch boundary, charges the image write to the disk,
+  // then truncates the journal. No-op while one is already running.
+  void StartLocalCheckpoint(int64_t cluster_durable_epoch);
+  bool lcp_in_progress() const { return lcp_inflight_; }
   // Bootstrap data is durable by definition (loaded before the run).
   void LogBootstrap(TableId table, const Key& key, const std::string& value) {
-    if (cluster_has_durability_) {
-      redo_log_.push_back(RedoEntry{0, table, key, false, value});
-    }
+    if (cluster_has_durability_) journal_.BootstrapRow(table, key, value);
   }
   void set_cluster_has_durability(bool v) { cluster_has_durability_ = v; }
+
+  // ---- node recovery state machine (down -> replaying -> resyncing ->
+  // serving), driven by NdbCluster::RestartDatanode ----
+  enum class RecoveryPhase { kServing, kDown, kReplaying, kResyncing };
+  RecoveryPhase recovery_phase() const { return recovery_phase_; }
+  bool recovering() const {
+    return recovery_phase_ == RecoveryPhase::kReplaying ||
+           recovery_phase_ == RecoveryPhase::kResyncing;
+  }
+  // Bumped whenever a crash/install invalidates in-flight recovery or
+  // flush continuations; they compare generations and bail when stale.
+  uint64_t recovery_generation() const { return recovery_gen_; }
+  void BeginRecovery();
+  void SetRecoveryPhase(RecoveryPhase phase) { recovery_phase_ = phase; }
+
+  // Replays checkpoint + durable log (epoch <= max_epoch) into the row
+  // store, auditing that two independent replays produce byte-identical
+  // images and that exactly the planned durable prefix was applied.
+  struct ReplayResult {
+    int64_t entries = 0;
+    uint64_t digest = 0;
+    bool deterministic = false;  // replay-twice digests agreed
+    bool covered = false;        // applied == planned durable entries
+  };
+  ReplayResult ReplayFromJournal(int64_t max_epoch);
+  // Collapses the journal onto the store's current committed image "as
+  // of `epoch`" — the checkpoint a restarting node completes after
+  // adopting the resync image, before it serves again.
+  void CheckpointAdoptedImage(int64_t epoch);
+  // Order-sensitive digest of the committed row image.
+  uint64_t DigestStore() const;
 
   // -- infrastructure used by the cluster --
   void ReceiveMsg(std::function<void()> handle);
@@ -324,6 +353,8 @@ class NdbDatanode {
   void FinishCommit(TxnId txn, TcTxn& t);
   void AbortTxnInternal(TxnId txn, TcTxn& t, bool notify_api, Code code);
   void ForwardPrepare(PrepareReq req);
+  // Legacy cost-only redo accounting for durability-off clusters (the
+  // journal tracks real record bytes when durability is on).
   void AccountRedo();
   // Emits queue/service spans for a thread-pool booking under `parent`
   // (no-op when the op is unsampled). `what` names the span: "<what>" for
@@ -340,16 +371,18 @@ class NdbDatanode {
   RowStore store_;
   LockManager locks_;
 
-  void LogRedo(TableId table, const Key& key,
+  void LogRedo(TxnId txn, TableId table, const Key& key,
                const std::optional<RowStore::AppliedWrite>& applied);
 
   std::unordered_map<TxnId, TcTxn> txns_;
   uint64_t rr_counter_ = 0;      // proximity tie-break round robin
   int64_t redo_pending_bytes_ = 0;
   ProtocolStats proto_stats_;
-  std::vector<RedoEntry> redo_log_;
+  RedoJournal journal_;
   int64_t gcp_epoch_ = 0;
-  int64_t durable_gcp_epoch_ = 0;
+  RecoveryPhase recovery_phase_ = RecoveryPhase::kServing;
+  uint64_t recovery_gen_ = 0;
+  bool lcp_inflight_ = false;
   bool cluster_has_durability_ = false;
   bool grey_degraded_ = false;
   bool test_lose_acked_writes_ = false;

@@ -102,6 +102,9 @@ HealthSnapshot HealthModel::Evaluate(const Scraper& scraper, Nanos now) const {
     const RingSeries* ops = scraper.Find("host.ops" + suffix);
     const RingSeries* errors = scraper.Find("host.errors" + suffix);
     const RingSeries* queue = scraper.Find("host.queue_ns" + suffix);
+    const RingSeries* recovering = scraper.Find("host.recovering" + suffix);
+    h.recovering = recovering != nullptr && !recovering->empty() &&
+                   recovering->latest().v > 0.5;
     h.has_queue = queue != nullptr;
     h.ops_delta = DeltaOver(ops, config_.window_samples);
     if (ops != nullptr && !ops->empty()) h.ops_total = ops->latest().v;
@@ -123,6 +126,9 @@ HealthSnapshot HealthModel::Evaluate(const Scraper& scraper, Nanos now) const {
     if (!up) {
       h.state = HealthState::kUnavailable;
       h.reason = "down";
+    } else if (h.recovering) {
+      h.state = HealthState::kDegraded;
+      h.reason = "recovering";
     } else if (h.error_rate >= config_.error_rate_unavailable) {
       h.state = HealthState::kUnavailable;
       h.reason = "error-rate " + Fmt("%.2f", h.error_rate);

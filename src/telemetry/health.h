@@ -82,6 +82,10 @@ struct HostHealth {
   // Mean busy ns per completed work item over the window; -1 when the
   // host exports no host.busy_ns/host.work pair or moved too little work.
   double service_ns = -1;
+  // Host exports host.recovering and it reads 1: the process is back up
+  // but replaying its redo log / resyncing from peers — degraded, not
+  // dead (crash recovery, not an outage).
+  bool recovering = false;
   // Host exports host.queue_ns (servers do, clients don't). Staleness is
   // only judged for such hosts: a client that legitimately stopped
   // submitting (probe / surge traffic) must not be called grey.

@@ -1,0 +1,353 @@
+// Redo-journal and timed node-recovery tests: group-commit flush
+// boundaries, LCP truncation, replay-to-exact-row-state equality, and
+// recovery time scaling linearly with the replay work (log entries +
+// bytes since the last local checkpoint).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ndb/client.h"
+#include "ndb/cluster.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+#include "util/strings.h"
+
+namespace repro::ndb {
+namespace {
+
+// Like tests/ndb_test_util.h's TestCluster, but with the node config
+// (flush cadence, LCP interval, segment size) under test control.
+struct RecoveryCluster {
+  explicit RecoveryCluster(NdbNodeConfig node_config = {}) {
+    sim = std::make_unique<Simulation>(42);
+    topology = std::make_unique<Topology>(3, AzLatencyTable::UsWest1());
+    topology->set_jitter_fraction(0);
+    network = std::make_unique<Network>(*sim, *topology);
+
+    TableDef inodes;
+    inodes.name = "inodes";
+    inodes.part_key = PartKeyRule::kPrefixBeforeSlash;
+    inodes.read_backup = true;
+    table = catalog.AddTable(inodes);
+
+    NdbClusterConfig config;
+    config.layout.num_datanodes = 6;
+    config.layout.replication_factor = 3;
+    config.layout.node_az = AssignNodeAzs(6, 3, {0, 1, 2});
+    config.layout.num_ldm_threads = 4;
+    config.flags.az_aware = true;
+    config.node = node_config;
+    cluster = std::make_unique<NdbCluster>(*sim, *network, &catalog, config);
+    cluster->StartProtocols();
+
+    const HostId api_host = topology->AddHost(0, "api-0");
+    api = std::make_unique<NdbApiNode>(*cluster, api_host, /*az=*/0);
+  }
+
+  Code InsertCommit(const Key& key, const std::string& value) {
+    const TxnId txn = api->Begin(table, key);
+    Code result = Code::kInternal;
+    bool done = false;
+    // Write (upsert) so re-running a key overwrites instead of failing.
+    api->Write(txn, table, key, value, [&](Code c) {
+      if (c != Code::kOk) {
+        api->Abort(txn);
+        result = c;
+        done = true;
+        return;
+      }
+      api->Commit(txn, [&](Code c2) {
+        result = c2;
+        done = true;
+      });
+    });
+    RunUntil(done);
+    return result;
+  }
+
+  void RunUntil(bool& flag, Nanos limit = 60 * kSecond) {
+    const Nanos deadline = sim->now() + limit;
+    while (!flag && sim->now() < deadline && !sim->Empty()) {
+      sim->RunUntil(sim->now() + kMillisecond);
+    }
+    ASSERT_TRUE(flag) << "operation did not finish within the time limit";
+  }
+
+  // Drives the sim until the failure detector declares node n dead, so
+  // follow-up transactions route around it instead of stalling on a
+  // crashed-but-undetected replica.
+  void WaitUntilDetectedDead(NodeId n, Nanos limit = 60 * kSecond) {
+    const Nanos deadline = sim->now() + limit;
+    while (cluster->layout().alive(n) && sim->now() < deadline &&
+           !sim->Empty()) {
+      sim->RunUntil(sim->now() + 10 * kMillisecond);
+    }
+    ASSERT_FALSE(cluster->layout().alive(n)) << "node " << n
+                                             << " never detected dead";
+  }
+
+  // Crashes node n, restarts it, and drives the sim until it serves.
+  void CrashAndRecover(NodeId n) {
+    cluster->CrashDatanode(n);
+    sim->RunFor(kMillisecond);
+    bool served = false;
+    cluster->RestartDatanode(n, [&] { served = true; });
+    RunUntil(served);
+  }
+
+  Catalog catalog;
+  TableId table = 0;
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<Network> network;
+  std::unique_ptr<NdbCluster> cluster;
+  std::unique_ptr<NdbApiNode> api;
+};
+
+TEST(NdbRecoveryTest, GroupCommitFlushBoundaries) {
+  RecoveryCluster tc;
+  ASSERT_EQ(tc.InsertCommit("1/a", "va"), Code::kOk);
+
+  // Right after the commit the record sits in the group-commit window of
+  // at least one replica: appended, not yet on disk.
+  int64_t backlog = 0;
+  for (NodeId n = 0; n < tc.cluster->num_datanodes(); ++n) {
+    backlog += tc.cluster->datanode(n).journal().backlog_bytes();
+  }
+  EXPECT_GT(backlog, 0) << "commit should be in the un-flushed window";
+
+  // One flush interval (plus the disk write) later the whole log is
+  // durable on every node — the group commit landed.
+  tc.sim->RunFor(tc.cluster->node_config().redo_flush_interval +
+                 50 * kMillisecond);
+  for (NodeId n = 0; n < tc.cluster->num_datanodes(); ++n) {
+    const RedoJournal& j = tc.cluster->datanode(n).journal();
+    EXPECT_EQ(j.durable_seqno(), j.last_seqno()) << "node " << n;
+    EXPECT_EQ(j.backlog_bytes(), 0) << "node " << n;
+  }
+}
+
+TEST(NdbRecoveryTest, LcpTruncatesRedoLog) {
+  NdbNodeConfig node;
+  node.redo_segment_bytes = 4 << 10;  // small segments so truncation bites
+  RecoveryCluster tc(node);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(tc.InsertCommit(StrFormat("%d/f", i), std::string(200, 'x')),
+              Code::kOk);
+  }
+  // Run past two LCP intervals so every node checkpoints at least once.
+  tc.sim->RunFor(2 * tc.cluster->node_config().lcp_interval + kSecond);
+
+  for (NodeId n = 0; n < tc.cluster->num_datanodes(); ++n) {
+    const RedoJournal& j = tc.cluster->datanode(n).journal();
+    EXPECT_GT(j.base_seqno(), 0) << "node " << n << " never checkpointed";
+    EXPECT_GT(j.base_rows(), 0) << "node " << n;
+    // Truncation: the log retains at most ~one segment of overhang past
+    // the checkpoint cut, not the whole history.
+    EXPECT_LT(j.live_records(), j.last_seqno()) << "node " << n;
+    EXPECT_LE(j.lag_bytes(),
+              j.config().segment_bytes + 2 * j.config().flush_overhead_bytes)
+        << "node " << n << " log not truncated at the LCP";
+  }
+}
+
+TEST(NdbRecoveryTest, ReplayRestoresExactRowState) {
+  RecoveryCluster tc;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_EQ(tc.InsertCommit(StrFormat("%d/f", i), StrFormat("v%d", i)),
+              Code::kOk);
+  }
+  // Quiesce: flush and checkpoint whatever the cadence produced, then
+  // snapshot the committed image of node 0.
+  tc.sim->RunFor(kSecond);
+  const uint64_t before = tc.cluster->datanode(0).DigestStore();
+
+  tc.CrashAndRecover(0);
+
+  // The rejoined node's committed row image is byte-identical to the
+  // pre-crash one (replay of checkpoint+log, then delta resync).
+  EXPECT_EQ(tc.cluster->datanode(0).DigestStore(), before);
+  ASSERT_FALSE(tc.cluster->recovery_log().empty());
+  const auto& rec = tc.cluster->recovery_log().back();
+  EXPECT_EQ(rec.node, 0);
+  EXPECT_FALSE(rec.aborted);
+  EXPECT_GT(rec.replay_entries, 0) << "recovery should replay its own log";
+  EXPECT_TRUE(rec.replay_deterministic)
+      << "two replays of the same journal must produce identical images";
+  EXPECT_TRUE(rec.replay_covered)
+      << "replay must cover exactly the durable prefix (every acked commit "
+         "is in a flushed segment or a checkpoint)";
+}
+
+TEST(NdbRecoveryTest, RejoinedNodeConvergesWithLiveReplicas) {
+  RecoveryCluster tc;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(tc.InsertCommit(StrFormat("%d/f", i), "v1"), Code::kOk);
+  }
+  tc.sim->RunFor(kSecond);
+  tc.cluster->CrashDatanode(0);
+  tc.WaitUntilDetectedDead(0);
+  // Overwrites land while the node is down: its replayed log is stale
+  // for these keys and resync must supply the newer versions.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(tc.InsertCommit(StrFormat("%d/f", i), "v2"), Code::kOk);
+  }
+  bool served = false;
+  tc.cluster->RestartDatanode(0, [&] { served = true; });
+  tc.RunUntil(served);
+
+  auto& layout = tc.cluster->layout();
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = StrFormat("%d/f", i);
+    const PartitionId p = layout.PartitionOf(tc.table, key);
+    bool mine = false;
+    for (NodeId r : layout.ReplicaChain(p)) mine |= (r == 0);
+    if (!mine) continue;
+    auto v = tc.cluster->datanode(0).store().Read(tc.table, key, 0);
+    ASSERT_TRUE(v.has_value()) << key << " missing on the rejoined node";
+    EXPECT_EQ(*v, "v2") << key << " stale on the rejoined node";
+  }
+}
+
+TEST(NdbRecoveryTest, RecoveryPhasesAreVisible) {
+  RecoveryCluster tc;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(tc.InsertCommit(StrFormat("%d/f", i), "v"), Code::kOk);
+  }
+  tc.sim->RunFor(kSecond);
+  tc.cluster->CrashDatanode(0);
+  tc.sim->RunFor(kMillisecond);
+  EXPECT_EQ(tc.cluster->datanode(0).recovery_phase(),
+            NdbDatanode::RecoveryPhase::kDown);
+
+  bool served = false;
+  tc.cluster->RestartDatanode(0, [&] { served = true; });
+  EXPECT_EQ(tc.cluster->datanode(0).recovery_phase(),
+            NdbDatanode::RecoveryPhase::kReplaying);
+  EXPECT_TRUE(tc.cluster->datanode(0).recovering());
+  EXPECT_FALSE(tc.cluster->datanode(0).alive())
+      << "a recovering node must not serve transactions yet";
+  tc.RunUntil(served);
+  EXPECT_EQ(tc.cluster->datanode(0).recovery_phase(),
+            NdbDatanode::RecoveryPhase::kServing);
+  EXPECT_TRUE(tc.cluster->datanode(0).alive());
+}
+
+TEST(NdbRecoveryTest, RecoveryTimeLinearInLogSize) {
+  // No LCPs: the whole log must be replayed, so replay work scales with
+  // the number of commits. Three log sizes must land on a line.
+  double entries[3] = {0, 0, 0};
+  double replay_s[3] = {0, 0, 0};
+  const int kCommits[3] = {60, 120, 240};
+  for (int run = 0; run < 3; ++run) {
+    NdbNodeConfig node;
+    node.lcp_interval = 1000 * kSecond;  // never checkpoint
+    RecoveryCluster tc(node);
+    for (int i = 0; i < kCommits[run]; ++i) {
+      ASSERT_EQ(tc.InsertCommit(StrFormat("%d/f", i), std::string(120, 'y')),
+                Code::kOk);
+    }
+    tc.sim->RunFor(kSecond);  // flush everything
+    tc.CrashAndRecover(0);
+    ASSERT_FALSE(tc.cluster->recovery_log().empty());
+    const auto& rec = tc.cluster->recovery_log().back();
+    ASSERT_FALSE(rec.aborted);
+    ASSERT_GT(rec.replay_done, rec.started);
+    entries[run] = static_cast<double>(rec.replay_entries);
+    replay_s[run] = ToSeconds(rec.replay_done - rec.started);
+  }
+  ASSERT_GT(entries[1], entries[0]);
+  ASSERT_GT(entries[2], entries[1]);
+  EXPECT_GT(replay_s[1], replay_s[0]);
+  EXPECT_GT(replay_s[2], replay_s[1]);
+  // Collinearity: predict the middle point from the line through the
+  // endpoints; replay cost is per-entry CPU + per-byte disk, both linear.
+  const double slope =
+      (replay_s[2] - replay_s[0]) / (entries[2] - entries[0]);
+  const double predicted =
+      replay_s[0] + slope * (entries[1] - entries[0]);
+  EXPECT_NEAR(replay_s[1], predicted, 0.2 * replay_s[1])
+      << "recovery time must be linear in replay work";
+}
+
+TEST(NdbRecoveryTest, ClusterRecoveryReportsBoundedLoss) {
+  // Micro-GCP config: epochs close as fast as the log flushes, so the
+  // documented loss window shrinks to the group-commit cadence.
+  NdbNodeConfig node;
+  node.gcp_interval = 100 * kMillisecond;
+  node.redo_flush_interval = 100 * kMillisecond;
+  RecoveryCluster tc(node);
+
+  ASSERT_EQ(tc.InsertCommit("7/old", "v"), Code::kOk);
+  tc.sim->RunFor(2 * kSecond);  // "7/old" durable everywhere
+
+  // Commit and recover immediately: the fresh commit cannot be durable
+  // yet and must be reported as dropped, with a loss window bounded by
+  // the group-commit interval (plus epoch-close skew).
+  ASSERT_EQ(tc.InsertCommit("7/new", "v"), Code::kOk);
+  const auto report = tc.cluster->RecoverFromCheckpoint();
+
+  EXPECT_GE(report.dropped_commits, 1);
+  EXPECT_EQ(report.dropped_commits,
+            static_cast<int64_t>(report.dropped_txns.size()));
+  EXPECT_GT(report.dropped_entries, 0);
+  EXPECT_TRUE(report.replay_deterministic);
+  EXPECT_LE(report.loss_window,
+            2 * tc.cluster->node_config().redo_flush_interval +
+                50 * kMillisecond)
+      << "with group commit, acked-commit loss is bounded by roughly one "
+         "flush interval";
+
+  // The durable row survived; the dropped row is gone everywhere.
+  auto& layout = tc.cluster->layout();
+  const PartitionId p_old = layout.PartitionOf(tc.table, "7/old");
+  for (NodeId n : layout.ReplicaChain(p_old)) {
+    EXPECT_TRUE(
+        tc.cluster->datanode(n).store().Read(tc.table, "7/old", 0).has_value())
+        << "durable commit lost at node " << n;
+  }
+  const PartitionId p_new = layout.PartitionOf(tc.table, "7/new");
+  for (NodeId n : layout.ReplicaChain(p_new)) {
+    EXPECT_FALSE(
+        tc.cluster->datanode(n).store().Read(tc.table, "7/new", 0).has_value())
+        << "dropped commit resurrected at node " << n;
+  }
+
+  // The recovered cluster serves new writes.
+  EXPECT_EQ(tc.InsertCommit("7/after", "v"), Code::kOk);
+}
+
+TEST(NdbRecoveryTest, CrashDuringRecoveryAbandonsAndRetries) {
+  RecoveryCluster tc;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(tc.InsertCommit(StrFormat("%d/f", i), "v"), Code::kOk);
+  }
+  tc.sim->RunFor(kSecond);
+  tc.cluster->CrashDatanode(0);
+  tc.sim->RunFor(kMillisecond);
+
+  // First restart: crash the node again while it is still replaying.
+  bool first_done = false;
+  tc.cluster->RestartDatanode(0, [&] { first_done = true; });
+  ASSERT_TRUE(tc.cluster->datanode(0).recovering());
+  tc.cluster->CrashDatanode(0);
+  tc.RunUntil(first_done);  // the abandoned recovery still fires `done`
+  ASSERT_FALSE(tc.cluster->recovery_log().empty());
+  EXPECT_TRUE(tc.cluster->recovery_log().back().aborted);
+  EXPECT_FALSE(tc.cluster->datanode(0).alive());
+  EXPECT_FALSE(tc.cluster->datanode(0).recovering());
+
+  // Second restart completes normally.
+  bool served = false;
+  tc.cluster->RestartDatanode(0, [&] { served = true; });
+  tc.RunUntil(served);
+  EXPECT_TRUE(tc.cluster->layout().alive(0));
+  const auto& rec = tc.cluster->recovery_log().back();
+  EXPECT_FALSE(rec.aborted);
+  EXPECT_TRUE(rec.replay_deterministic);
+}
+
+}  // namespace
+}  // namespace repro::ndb
