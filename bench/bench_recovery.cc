@@ -13,20 +13,36 @@
 //      in the replay work — the points land on a line (max residual
 //      printed, CSV recovery_scaling.csv).
 //
-//   3. A restart-fault chaos soak: seeded schedules restricted to node
-//      crash/restart (plus recovery storms — re-crashing nodes that are
-//      still replaying), full invariant check per seed. Zero acked-commit
-//      loss expected with group commit at the default flush interval.
-//      The per-recovery timeline goes to recovery_timeline.csv — the CI
-//      recovery-smoke artifact.
+//   3. The durability loss window: a whole-cluster crash right after a
+//      commit burst. The recovery cut is epoch-exact, so everything lost
+//      is younger than flush-interval + GCP-interval (plus epoch-close
+//      slack) — the age of the oldest dropped record is printed and
+//      bounded.
 //
-// REPRO_RECOVERY_SEEDS=n overrides the soak seed count; REPRO_FULL=1
-// runs the 40-seed version. Non-zero exit on any violated expectation.
+//   4. Streaming catch-up availability: a rejoining node under a real
+//      resync backlog must serve committed reads for already-resynced
+//      partitions BEFORE it is fully alive (mid-resync reads > 0).
+//
+//   5. A restart-fault chaos soak: seeded schedules restricted to node
+//      crash/restart, recovery storms (re-crashing nodes that are still
+//      replaying) and grey-slow redo-log disks, full invariant check per
+//      seed — including the bounded-redo-backlog invariant. Zero
+//      acked-commit loss expected with group commit at the default flush
+//      interval. The per-recovery timeline goes to recovery_timeline.csv
+//      — the CI recovery-smoke artifact.
+//
+// The headline numbers land in BENCH_recovery.json (REPRO_BENCH_JSON
+// overrides the path) — sim-time quantities only, byte-identical across
+// runs. REPRO_RECOVERY_SEEDS=n overrides the soak seed count;
+// REPRO_FULL=1 runs the 40-seed version. Non-zero exit on any violated
+// expectation.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -46,6 +62,16 @@ int SoakSeeds() {
   }
   return FullScale() ? 40 : 12;
 }
+
+// JSON fragments assembled by the parts and written by Main. Every value
+// is sim-time-derived, so the file is byte-identical across runs.
+struct BenchJsonBits {
+  std::string scaling;  // array body
+  std::string loss;     // object body
+  std::string catchup;  // object body
+  std::string soak;     // object body
+};
+BenchJsonBits g_json;
 
 // Bare NDB cluster + API node for the journal-level parts.
 struct MicroCluster {
@@ -77,6 +103,28 @@ struct MicroCluster {
     const ndb::TxnId txn = api->Begin(table, key);
     bool ok = false, done = false;
     api->Insert(txn, table, key, value, [&](Code c) {
+      if (c != Code::kOk) {
+        api->Abort(txn);
+        done = true;
+        return;
+      }
+      api->Commit(txn, [&](Code c2) {
+        ok = (c2 == Code::kOk);
+        done = true;
+      });
+    });
+    Drive(done);
+    return ok;
+  }
+
+  // Upsert variant (overwrites an existing key); returns the txn id via
+  // *out_txn so callers can correlate with recovery drop reports.
+  bool UpsertCommit(const ndb::Key& key, const std::string& value,
+                    ndb::TxnId* out_txn = nullptr) {
+    const ndb::TxnId txn = api->Begin(table, key);
+    if (out_txn != nullptr) *out_txn = txn;
+    bool ok = false, done = false;
+    api->Write(txn, table, key, value, [&](Code c) {
       if (c != Code::kOk) {
         api->Abort(txn);
         done = true;
@@ -194,6 +242,12 @@ int ScalingCurve() {
     col_log_bytes.push_back(static_cast<double>(rec->replay_log_bytes));
     col_replay_ms.push_back(replay_ms);
     col_total_ms.push_back(total_ms);
+    if (!g_json.scaling.empty()) g_json.scaling += ", ";
+    g_json.scaling += StrFormat(
+        "{\"commits\": %d, \"replay_entries\": %lld, \"replay_ms\": %.3f, "
+        "\"total_ms\": %.3f}",
+        commits, static_cast<long long>(rec->replay_entries), replay_ms,
+        total_ms);
   }
   metrics::WriteCsv(metrics::CsvDir() + "/recovery_scaling.csv",
                     {{"commits", col_commits},
@@ -220,14 +274,142 @@ int ScalingCurve() {
   return worst < 0.2 ? 0 : 1;
 }
 
+int LossWindow() {
+  std::printf("\n--- durability loss window (cluster crash after a commit "
+              "burst) ---\n");
+  MicroCluster mc;
+  std::vector<std::pair<ndb::TxnId, Nanos>> acked;  // txn -> ack time
+  for (int i = 0; i < 200; ++i) {
+    ndb::TxnId txn = 0;
+    if (!mc.UpsertCommit(StrFormat("%d/f", i), std::string(160, 'c'), &txn)) {
+      std::printf("FAIL: commit %d rejected\n", i);
+      return 1;
+    }
+    acked.emplace_back(txn, mc.sim->now());
+    // Pace the burst across several GCP epochs so the head of it is
+    // durable by the crash and only the tail falls past the cut.
+    mc.sim->RunFor(20 * kMillisecond);
+  }
+  // Crash the whole cluster immediately: the freshest commits cannot be
+  // durable yet, but the cut is transaction-exact and the loss is bounded
+  // by the flush + GCP cadence (plus epoch-close slack).
+  const Nanos crash_at = mc.sim->now();
+  const auto report = mc.cluster->RecoverFromCheckpoint();
+  const double loss_ms = report.loss_window / 1e6;
+  const ndb::NdbNodeConfig defaults;
+  const double bound_ms =
+      (defaults.redo_flush_interval + 2 * defaults.gcp_interval) / 1e6 + 500;
+  // Cross-check: every acked commit older than the loss window survived.
+  int64_t old_lost = 0;
+  for (const auto& [txn, at] : acked) {
+    for (const ndb::TxnId dropped : report.dropped_txns) {
+      if (txn == dropped && crash_at - at > report.loss_window) ++old_lost;
+    }
+  }
+  std::printf(
+      "  cut epoch %lld: %lld of %zu acked commits dropped, oldest loss "
+      "%.1f ms before the crash (bound %.0f ms)\n"
+      "  commits older than the window lost: %lld (must be 0); replay "
+      "determinism: %s\n",
+      static_cast<long long>(report.epoch),
+      static_cast<long long>(report.dropped_commits), acked.size(), loss_ms,
+      bound_ms, static_cast<long long>(old_lost),
+      report.replay_deterministic ? "ok" : "VIOLATED");
+  g_json.loss = StrFormat(
+      "{\"acked_commits\": %zu, \"dropped_commits\": %lld, "
+      "\"loss_window_ms\": %.3f, \"bound_ms\": %.0f}",
+      acked.size(), static_cast<long long>(report.dropped_commits), loss_ms,
+      bound_ms);
+  return (loss_ms <= bound_ms && old_lost == 0 && report.replay_deterministic)
+             ? 0
+             : 1;
+}
+
+int CatchupAvailability() {
+  std::printf("\n--- streaming catch-up: reads served mid-resync ---\n");
+  ndb::NdbNodeConfig node;
+  node.lcp_interval = 1000 * kSecond;  // big replay + big adopted image
+  MicroCluster mc(node);
+  auto& layout = mc.cluster->layout();
+  std::vector<std::string> mine;  // keys node 0 replicates
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = StrFormat("%d/f", i);
+    if (!mc.InsertCommit(key, std::string(2048, 'd'))) {
+      std::printf("FAIL: load commit rejected\n");
+      return 1;
+    }
+    for (ndb::NodeId r :
+         layout.ReplicaChain(layout.PartitionOf(mc.table, key))) {
+      if (r == 0) {
+        mine.push_back(key);
+        break;
+      }
+    }
+  }
+  mc.sim->RunFor(kSecond);
+  mc.cluster->CrashDatanode(0);
+  while (layout.alive(0) && !mc.sim->Empty()) {
+    mc.sim->RunFor(10 * kMillisecond);
+  }
+  // Writes while the node is down give every partition real resync work.
+  for (size_t i = 0; i < mine.size(); i += 3) {
+    if (!mc.UpsertCommit(mine[i], std::string(2048, 'e'))) {
+      std::printf("FAIL: delta commit rejected\n");
+      return 1;
+    }
+  }
+  bool served = false;
+  mc.cluster->RestartDatanode(0, [&] { served = true; });
+  // Hammer committed reads of node-0 keys while it recovers; AZ-aware
+  // routing prefers the rejoining AZ-0 replica as soon as a partition
+  // turns catch-up-ready.
+  int64_t reads_ok = 0;
+  size_t rr = 0;
+  auto timer = mc.sim->Every(200 * kMicrosecond, [&] {
+    if (served) return;
+    const std::string& key = mine[rr++ % mine.size()];
+    const ndb::TxnId txn = mc.api->BeginNoHint();
+    if (txn == 0) return;
+    mc.api->Read(txn, mc.table, key, ndb::LockMode::kReadCommitted,
+                 [&, txn](Code c, std::optional<std::string>) {
+                   if (c == Code::kOk) ++reads_ok;
+                   mc.api->Abort(txn);
+                 });
+  });
+  mc.Drive(served);
+  timer.Cancel();
+  if (!served || mc.cluster->recovery_log().empty()) {
+    std::printf("FAIL: rejoin did not complete\n");
+    return 1;
+  }
+  const auto& rec = mc.cluster->recovery_log().back();
+  const double recovery_ms = (rec.serving_at - rec.started) / 1e6;
+  std::printf(
+      "  rejoin: %d partitions streamed, serving after %.1f ms\n"
+      "  reads completed during the rejoin: %lld; served BY the rejoining "
+      "node mid-resync: %lld (must be > 0)\n",
+      rec.streamed_parts, recovery_ms, static_cast<long long>(reads_ok),
+      static_cast<long long>(rec.catchup_reads));
+  g_json.catchup = StrFormat(
+      "{\"streamed_parts\": %d, \"reads_during_rejoin\": %lld, "
+      "\"catchup_reads\": %lld, \"rejoin_ms\": %.3f}",
+      rec.streamed_parts, static_cast<long long>(reads_ok),
+      static_cast<long long>(rec.catchup_reads), recovery_ms);
+  return (!rec.aborted && rec.streamed_parts > 0 && rec.catchup_reads > 0)
+             ? 0
+             : 1;
+}
+
 int RestartSoak() {
   const int seeds = SoakSeeds();
   std::printf("\n--- restart-fault soak: %d seeds, crash/restart + "
               "recovery storms ---\n\n",
               seeds);
   int violations = 0;
+  int64_t total_recoveries = 0, total_served = 0, total_evicted = 0;
   std::vector<double> col_seed, col_node, col_started, col_replay_done,
-      col_serving, col_entries, col_resync_bytes, col_attempts, col_aborted;
+      col_serving, col_entries, col_resync_bytes, col_attempts, col_aborted,
+      col_streamed, col_catchup;
   for (int i = 0; i < seeds; ++i) {
     chaos::ChaosOptions opts;
     opts.seed = 9000 + i;
@@ -240,6 +422,10 @@ int RestartSoak() {
     opts.faults.enable_message_drop = false;
     opts.faults.enable_grey_node = false;
     opts.faults.enable_recovery_storm = true;
+    // Grey-slow redo-log disks: the flush path saturates, commit
+    // backpressure must keep the unflushed backlog bounded (checked by
+    // the redo-backlog invariant) while restarts storm around it.
+    opts.faults.enable_log_disk_slow = true;
     chaos::ChaosReport report = chaos::RunChaosSchedule(opts);
     if (!report.invariants_ok()) {
       ++violations;
@@ -267,7 +453,14 @@ int RestartSoak() {
       col_resync_bytes.push_back(static_cast<double>(rec.resync_bytes));
       col_attempts.push_back(rec.attempts);
       col_aborted.push_back(rec.aborted ? 1 : 0);
+      col_streamed.push_back(rec.streamed_parts);
+      col_catchup.push_back(static_cast<double>(rec.catchup_reads));
     }
+    total_recoveries += static_cast<int64_t>(report.recoveries.size());
+    for (const auto& rec : report.recoveries) {
+      if (rec.serving_at >= 0) ++total_served;
+    }
+    total_evicted += report.recoveries_dropped;
   }
   metrics::WriteCsv(metrics::CsvDir() + "/recovery_timeline.csv",
                     {{"seed", col_seed},
@@ -278,11 +471,45 @@ int RestartSoak() {
                      {"replay_entries", col_entries},
                      {"resync_bytes", col_resync_bytes},
                      {"attempts", col_attempts},
-                     {"aborted", col_aborted}});
+                     {"aborted", col_aborted},
+                     {"streamed_parts", col_streamed},
+                     {"catchup_reads", col_catchup}});
   std::printf("\nrecovery timeline: %zu recoveries -> %s/recovery_timeline"
               ".csv\n",
               col_seed.size(), metrics::CsvDir().c_str());
+  g_json.soak = StrFormat(
+      "{\"seeds\": %d, \"recoveries\": %lld, \"served\": %lld, "
+      "\"ring_evictions\": %lld, \"invariant_violations\": %d}",
+      seeds, static_cast<long long>(total_recoveries),
+      static_cast<long long>(total_served),
+      static_cast<long long>(total_evicted), violations);
   return violations == 0 ? 0 : 1;
+}
+
+// BENCH_recovery.json: the headline recovery numbers for the CI artifact
+// and the committed repo-root copy. Path from REPRO_BENCH_JSON, default
+// the working directory.
+int WriteBenchJson() {
+  std::string path = "BENCH_recovery.json";
+  if (const char* env = std::getenv("REPRO_BENCH_JSON")) path = env;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"recovery\",\n"
+               "  \"recovery_time_vs_entries\": [%s],\n"
+               "  \"loss_window\": %s,\n"
+               "  \"catchup_availability\": %s,\n"
+               "  \"restart_soak\": %s\n"
+               "}\n",
+               g_json.scaling.c_str(), g_json.loss.c_str(),
+               g_json.catchup.c_str(), g_json.soak.c_str());
+  std::fclose(f);
+  std::printf("headline numbers -> %s\n", path.c_str());
+  return 0;
 }
 
 int Main() {
@@ -291,7 +518,10 @@ int Main() {
   int rc = 0;
   rc |= PinnedEpisode();
   rc |= ScalingCurve();
+  rc |= LossWindow();
+  rc |= CatchupAvailability();
   rc |= RestartSoak();
+  rc |= WriteBenchJson();
   std::printf("\nRESULT: %s\n",
               rc == 0 ? "recovery pipeline holds every expectation"
                       : "EXPECTATION VIOLATED");

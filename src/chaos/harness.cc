@@ -91,6 +91,10 @@ std::string ChaosReport::Scorecard() const {
         "replayed), %lld abandoned\n",
         static_cast<long long>(served), ToSeconds(worst),
         static_cast<long long>(entries), static_cast<long long>(abandoned));
+    if (recoveries_dropped > 0) {
+      out += StrFormat("  recovery log: %lld oldest entr(ies) evicted\n",
+                       static_cast<long long>(recoveries_dropped));
+    }
   }
   if (scrapes > 0) {
     out += StrFormat("  telemetry: %lld scrapes, %zu alert(s); %s\n",
@@ -408,7 +412,9 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts,
 
   report.trace = injector.trace();
   for (const auto& line : checker.trace()) report.trace.push_back(line);
-  report.recoveries = dep.ndb().recovery_log();
+  report.recoveries.assign(dep.ndb().recovery_log().begin(),
+                           dep.ndb().recovery_log().end());
+  report.recoveries_dropped = dep.ndb().recoveries_dropped();
 
   // Flight recorder: when tracing was on and an invariant failed, dump
   // the retained span trees (the ops closest to the violation) as

@@ -149,7 +149,10 @@ struct ChaosReport {
   // Node-recovery timeline: one entry per RestartDatanode that began
   // recovering (phases, replay/resync volumes, digests). The CI
   // recovery-smoke job uploads this as its recovery-timeline artifact.
+  // The cluster keeps a bounded ring; entries evicted during very long
+  // soaks are counted in recoveries_dropped.
   std::vector<ndb::NdbCluster::RecoveryStats> recoveries;
+  int64_t recoveries_dropped = 0;
 
   // Distributed-tracing capture (when ChaosOptions::trace_sample_every
   // is set): how many span trees finished, and where the flight-recorder

@@ -15,8 +15,10 @@ InvariantChecker::InvariantChecker(hopsfs::Deployment& deployment)
 void InvariantChecker::StartSampling(Nanos interval) {
   if (sampling_) return;
   sampling_ = true;
-  sample_timer_ =
-      deployment_.sim().Every(interval, [this] { SampleLeadership(); });
+  sample_timer_ = deployment_.sim().Every(interval, [this] {
+    SampleLeadership();
+    SampleRedoBacklog();
+  });
 }
 
 void InvariantChecker::RecordAckedWrite(const std::string& path) {
@@ -307,6 +309,46 @@ InvariantResult InvariantChecker::CheckDeadlines() {
   return result;
 }
 
+void InvariantChecker::SampleRedoBacklog() {
+  ndb::NdbCluster& ndb = deployment_.ndb();
+  const int64_t bound = 2 * ndb.node_config().redo_stall_backlog_bytes;
+  for (ndb::NodeId n = 0; n < ndb.num_datanodes(); ++n) {
+    const ndb::NdbDatanode& dn = ndb.datanode(n);
+    // Catch-up backups log (and must flush) live chain writes too — an
+    // unbounded backlog there sheds every write routed through them.
+    if (!dn.alive() && !dn.catchup_accepting()) continue;
+    const int64_t backlog = dn.journal().backlog_bytes();
+    if (backlog > bound) {
+      live_backlog_violations_.push_back(StrFormat(
+          "[t=%.3fs] node %d redo backlog %lld bytes exceeds bound %lld",
+          ToSeconds(deployment_.sim().now()), n,
+          static_cast<long long>(backlog), static_cast<long long>(bound)));
+    }
+  }
+}
+
+InvariantResult InvariantChecker::CheckRedoBacklog() {
+  SampleRedoBacklog();  // one final sample at check time
+  InvariantResult result{"redo-backlog", true, ""};
+  if (!live_backlog_violations_.empty()) {
+    result.ok = false;
+    result.detail = StrFormat(
+        "%lld sample(s) over bound; first: %s",
+        static_cast<long long>(live_backlog_violations_.size()),
+        live_backlog_violations_.front().c_str());
+  } else {
+    result.detail = StrFormat(
+        "unflushed redo stayed under 2x the %lld-byte stall threshold on "
+        "every alive or catch-up node",
+        static_cast<long long>(
+            deployment_.ndb().node_config().redo_stall_backlog_bytes));
+  }
+  trace_.push_back(StrFormat("[t=%.3fs] redo-backlog: %s",
+                             ToSeconds(deployment_.sim().now()),
+                             result.detail.c_str()));
+  return result;
+}
+
 InvariantResult InvariantChecker::CheckRecovery() {
   InvariantResult result{"recovery", true, ""};
   const auto& log = deployment_.ndb().recovery_log();
@@ -384,6 +426,7 @@ std::vector<InvariantResult> InvariantChecker::CheckAll(
   results.push_back(CheckReplication());
   results.push_back(CheckDeadlines());
   results.push_back(CheckRecovery());
+  results.push_back(CheckRedoBacklog());
   return results;
 }
 

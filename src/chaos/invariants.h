@@ -70,6 +70,13 @@ class InvariantChecker {
   // recoveries are allowed only for a recorded reason (re-crash,
   // cluster shutdown, whole group lost).
   InvariantResult CheckRecovery();
+  // The redo-journal backlog (appended but not yet flushed bytes) of every
+  // alive NDB node must stay bounded — commit backpressure has to engage
+  // before a slow or saturated log disk lets unflushed records pile up
+  // without limit. Sampled periodically during the run and once at check
+  // time; the bound is 2x the configured stall threshold (in-flight
+  // commits may overshoot the threshold, never run away from it).
+  InvariantResult CheckRedoBacklog();
 
   // All finals in order; stable ordering keeps scorecards diffable.
   std::vector<InvariantResult> CheckAll(hopsfs::HopsFsClient& probe,
@@ -82,11 +89,13 @@ class InvariantChecker {
 
  private:
   void SampleLeadership();
+  void SampleRedoBacklog();
 
   hopsfs::Deployment& deployment_;
   std::vector<std::string> acked_paths_;
   std::vector<std::string> trace_;
   std::vector<std::string> live_leader_violations_;
+  std::vector<std::string> live_backlog_violations_;
   std::string last_leader_set_;
   bool have_leader_set_ = false;
   bool sampling_ = false;

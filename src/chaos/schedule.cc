@@ -25,6 +25,8 @@ const char* FaultTypeName(FaultType type) {
     case FaultType::kCrashBlockDn: return "crash-blockdn";
     case FaultType::kOpenLoopSurge: return "open-loop-surge";
     case FaultType::kOpenLoopSurgeStop: return "surge-stop";
+    case FaultType::kLogDiskSlow: return "logdisk-slow";
+    case FaultType::kLogDiskRestore: return "logdisk-restore";
   }
   return "?";
 }
@@ -68,6 +70,8 @@ std::string FaultEvent::ToString() const {
       break;
     case FaultType::kGreySlowNode:
     case FaultType::kGreyRestoreNode:
+    case FaultType::kLogDiskSlow:
+    case FaultType::kLogDiskRestore:
       std::snprintf(buf, sizeof(buf), "[t=%.3fs] %s node=%d x%.3f",
                     ToSeconds(time), FaultTypeName(type), a, factor);
       break;
@@ -138,6 +142,7 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
     kKindBlockDn,
     kKindSurge,
     kKindRecoveryStorm,
+    kKindLogDisk,
   };
   std::vector<Kind> kinds;
   if (opts.enable_node_crash) kinds.push_back(kKindCrash);
@@ -154,6 +159,7 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
   }
   if (opts.enable_surge) kinds.push_back(kKindSurge);
   if (opts.enable_recovery_storm) kinds.push_back(kKindRecoveryStorm);
+  if (opts.enable_log_disk_slow) kinds.push_back(kKindLogDisk);
   if (kinds.empty() || opts.episodes <= 0) return schedule;
 
   // Episodes are strictly sequential: each one injects a fault, holds it,
@@ -257,6 +263,17 @@ FaultSchedule FaultSchedule::Random(uint64_t seed,
           schedule.Add({crash_at, FaultType::kCrashNdbNode, node, -1, 1.0});
           schedule.Add({restart_at, FaultType::kRestartNdbNode, node, -1, 1.0});
         }
+        break;
+      }
+      case kKindLogDisk: {
+        // Saturate well past the write bandwidth the workload needs: the
+        // redo backlog must hit the stall threshold and shed commits
+        // instead of growing without bound.
+        const int node = static_cast<int>(rng.NextBelow(opts.num_ndb_nodes));
+        const double f =
+            4.0 + rng.NextDouble() * (opts.max_log_disk_slowdown - 4.0);
+        schedule.Add({inject, FaultType::kLogDiskSlow, node, -1, f});
+        schedule.Add({heal, FaultType::kLogDiskRestore, node, -1, 1.0});
         break;
       }
     }
@@ -364,6 +381,13 @@ void FaultInjector::Apply(const FaultEvent& e) {
       break;
     case FaultType::kOpenLoopSurgeStop:
       StopSurge();
+      break;
+    case FaultType::kLogDiskSlow:
+      ndb.datanode(e.a).SetLogDiskSlowdown(e.factor);
+      break;
+    case FaultType::kLogDiskRestore:
+      ndb.datanode(e.a).SetLogDiskSlowdown(1.0);
+      RestartDeadNdbNodes();
       break;
   }
 }

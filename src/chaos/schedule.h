@@ -42,6 +42,9 @@ enum class FaultType {
   kOpenLoopSurge,     // a: ops/sec — open-loop metadata-read surge from
                       // extra clients (overload, not a component failure)
   kOpenLoopSurgeStop, // the surge traffic stops
+  kLogDiskSlow,       // a: node id, factor: redo-log disk only slows down
+                      // (grey log device; commits stall, node stays up)
+  kLogDiskRestore,    // a: node id — clear the log-disk degradation
 };
 const char* FaultTypeName(FaultType type);
 
@@ -81,11 +84,16 @@ struct RandomFaultOptions {
   // replaying/resyncing). Exercises the timed-recovery state machine and
   // its abandon/retry paths. Off by default for pinned-seed stability.
   bool enable_recovery_storm = false;
+  // Grey-slow REDO-log disks (the data disk keeps full speed): drives the
+  // journal backlog up until commit backpressure engages. Off by default
+  // for pinned-seed stability.
+  bool enable_log_disk_slow = false;
 
   // Bounds for randomised parameters.
   double max_latency_factor = 12.0;
   double max_drop_probability = 0.25;
   double max_grey_slowdown = 20.0;
+  double max_log_disk_slowdown = 40.0;
   // Sized against the default 6-NN deployment (~175k ops/s of NN CPU):
   // surges range from near-saturation to ~1.7x overload.
   int min_surge_ops_per_sec = 120000;

@@ -237,6 +237,13 @@ void Deployment::RegisterHostTelemetry() {
         "ndb.recovery.phase", node_labels, MetricKind::kGauge, [node] {
           return static_cast<double>(static_cast<int>(node->recovery_phase()));
         });
+    // Cumulative time commits spent stalled behind redo backpressure
+    // (log-disk saturation); rises while the unflushed backlog sits over
+    // the stall threshold.
+    metrics_.RegisterCallback(
+        "ndb.redo.stall_ns", node_labels, MetricKind::kCounter, [node] {
+          return static_cast<double>(node->redo_stall_ns());
+        });
   }
 
   for (auto& dn_ptr : block_dns_) {

@@ -46,12 +46,17 @@ void Namenode::LeaderElectionRound() {
   api_->Write(txn, tables_.vars, NnHeartbeatKey(nn_id_), hb.Encode(),
               [this, txn](Code code) {
                 if (code != Code::kOk) {
+                  RLOG_DEBUG(kLog, "nn %d heartbeat write failed (code %d)",
+                             nn_id_, static_cast<int>(code));
                   api_->Abort(txn);
                   return;
                 }
                 api_->Commit(txn, [this](Code commit_code) {
                   if (commit_code == Code::kOk) {
                     le_publish_ok_at_ = sim_.now();
+                  } else {
+                    RLOG_DEBUG(kLog, "nn %d heartbeat commit failed (code %d)",
+                               nn_id_, static_cast<int>(commit_code));
                   }
                   // Phase 2: read the whole membership table.
                   const ndb::TxnId scan_txn =

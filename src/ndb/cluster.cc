@@ -88,7 +88,13 @@ void NdbCluster::StartProtocols() {
       datanodes_[i]->FlushRedo();
     }));
     timers_.push_back(sim_.Every(500 * kMillisecond, [this, i] {
-      if (datanodes_[i]->alive()) datanodes_[i]->SweepInactiveTxns();
+      // Catch-up backups sweep too: they hold pending slots for live chain
+      // traffic, and an orphaned slot there (Complete/Abort lost to a
+      // partition, coordinator long gone) would otherwise block the row
+      // until the node fully revives.
+      if (datanodes_[i]->alive() || datanodes_[i]->catchup_accepting()) {
+        datanodes_[i]->SweepInactiveTxns();
+      }
     }));
     // Local checkpoints: fold the durable log prefix into the base image
     // and truncate the journal (bounds its memory; sets replay cost).
@@ -98,21 +104,56 @@ void NdbCluster::StartProtocols() {
       }));
     }
   }
-  // Global checkpoint: close the epoch on every node. An epoch becomes
+  // Global checkpoint: advance the epoch on every node, then close older
+  // epochs once their commits have finished (transaction-atomic epochs:
+  // a transaction's commit epoch is fixed at its commit decision, so the
+  // boundary of epoch E may only be recorded after every transaction
+  // with commit epoch <= E has finished its commit chains — otherwise a
+  // straggling chain hop would straddle the boundary). An epoch becomes
   // durable on a node once the flushed redo log covers its boundary;
-  // cluster-wide durability (DurableGcpEpoch) is the minimum over nodes
-  // — the epoch only advances when every node's log covering it is on
-  // disk.
+  // cluster-wide durability (DurableGcpEpoch) is the minimum over nodes.
   timers_.push_back(sim_.Every(nc.gcp_interval, [this] {
     if (!cluster_up_) return;
     ++gcp_epoch_;
     for (auto& dn : datanodes_) {
-      if (!dn->alive()) continue;
-      NdbDatanode* node = dn.get();
-      node->set_gcp_epoch(gcp_epoch_);
-      node->RunIo(kGcpCloseCpu, nullptr);
+      if (dn->alive()) dn->set_gcp_epoch(gcp_epoch_);
     }
+    TryCloseEpochs();
   }));
+}
+
+void NdbCluster::TryCloseEpochs() {
+  if (!cluster_up_) return;
+  while (closed_epoch_ < gcp_epoch_) {
+    const int64_t e = closed_epoch_ + 1;
+    bool busy = false;
+    for (auto& dn : datanodes_) {
+      if (dn->alive() && dn->HasCommittingTxnAtOrBelow(e)) {
+        busy = true;
+        break;
+      }
+    }
+    if (busy) {
+      // Commits of this epoch are still draining their chains; poll until
+      // they finish. A wedged commit cannot stall closes forever: node
+      // failure aborts its transactions, and the inactivity sweep reaps
+      // the rest.
+      if (!close_retry_pending_) {
+        close_retry_pending_ = true;
+        sim_.After(1 * kMillisecond, [this] {
+          close_retry_pending_ = false;
+          TryCloseEpochs();
+        });
+      }
+      return;
+    }
+    for (auto& dn : datanodes_) {
+      if (!dn->alive()) continue;
+      dn->CloseGcpEpoch(e);
+      dn->RunIo(kGcpCloseCpu, nullptr);
+    }
+    closed_epoch_ = e;
+  }
 }
 
 int64_t NdbCluster::DurableGcpEpoch() const {
@@ -254,6 +295,7 @@ void NdbCluster::DeclareNodeFailed(NodeId n) {
 void NdbCluster::CrashDatanode(NodeId n) {
   network_.topology().SetHostUp(datanodes_[n]->host(), false);
   datanodes_[n]->Shutdown();
+  layout_.ClearCatchup(n);
 }
 
 bool NdbCluster::RecoveryStillValid(NodeId n, uint64_t gen) const {
@@ -261,14 +303,22 @@ bool NdbCluster::RecoveryStillValid(NodeId n, uint64_t gen) const {
          datanodes_[n]->recovering();
 }
 
-void NdbCluster::AbandonRecovery(size_t slot, const std::string& reason,
+NdbCluster::RecoveryStats* NdbCluster::RecoverySlot(size_t slot) {
+  if (slot < recovery_log_base_) return nullptr;  // evicted by the cap
+  return &recovery_log_[slot - recovery_log_base_];
+}
+
+void NdbCluster::AbandonRecovery(NodeId n, size_t slot,
+                                 const std::string& reason,
                                  const std::function<void()>& done) {
-  RecoveryStats& rec = recovery_log_[slot];
-  rec.aborted = true;
-  rec.abort_reason = reason;
-  RLOG_WARN(kLog, "recovery of node %d abandoned: %s", rec.node,
-            reason.c_str());
-  tracer().EndTrace(rec.trace_root);
+  datanodes_[n]->SetCatchupAccepting(false);
+  layout_.ClearCatchup(n);
+  if (RecoveryStats* rec = RecoverySlot(slot)) {
+    rec->aborted = true;
+    rec->abort_reason = reason;
+    tracer().EndTrace(rec->trace_root);
+  }
+  RLOG_WARN(kLog, "recovery of node %d abandoned: %s", n, reason.c_str());
   if (done) done();
 }
 
@@ -305,59 +355,77 @@ void NdbCluster::RestartDatanode(NodeId n, std::function<void()> done) {
   rec.trace_root = tracer().StartTrace("ndb.recovery", trace::Layer::kNdb,
                                        node.host(), layout_.az_of(n));
   recovery_log_.push_back(std::move(rec));
-  const size_t slot = recovery_log_.size() - 1;
+  if (static_cast<int>(recovery_log_.size()) > config_.node.recovery_log_cap) {
+    recovery_log_.pop_front();
+    ++recovery_log_base_;
+    ++recoveries_dropped_;
+  }
+  const size_t slot = recovery_log_base_ + recovery_log_.size() - 1;
   RLOG_INFO(kLog, "restarting node %d: replaying %lld entries (%lld log + "
                   "%lld image bytes) since last LCP",
             n, static_cast<long long>(plan.entries),
             static_cast<long long>(plan.log_bytes),
             static_cast<long long>(plan.image_bytes));
 
+  // The checkpoint image and the redo tail live on different disks: the
+  // image read and the log read queue independently.
   const Nanos read_start = sim_.now();
-  node.disk().Read(
-      plan.image_bytes + plan.log_bytes,
-      [this, n, slot, gen, plan, done, read_start] {
+  node.disk().Read(plan.image_bytes, [this, n, slot, gen, plan, done,
+                                      read_start] {
+    if (!RecoveryStillValid(n, gen)) {
+      AbandonRecovery(n, slot, "node lost during image read", done);
+      return;
+    }
+    datanodes_[n]->log_disk().Read(plan.log_bytes, [this, n, slot, gen, plan,
+                                                    done, read_start] {
+      if (!RecoveryStillValid(n, gen)) {
+        AbandonRecovery(n, slot, "node lost during log read", done);
+        return;
+      }
+      NdbDatanode& node = *datanodes_[n];
+      if (RecoveryStats* rec = RecoverySlot(slot)) {
+        tracer().AddSpanAt(rec->trace_root, "recovery.replay.read",
+                           trace::Layer::kNdb, trace::Cause::kDisk,
+                           node.host(), layout_.az_of(n), read_start,
+                           sim_.now());
+      }
+      const Nanos apply_cpu = config_.cost.recovery_setup +
+                              plan.entries * config_.cost.replay_per_entry;
+      const Nanos apply_start = sim_.now();
+      sim_.After(apply_cpu, [this, n, slot, gen, done, apply_start] {
         if (!RecoveryStillValid(n, gen)) {
-          AbandonRecovery(slot, "node lost during log read", done);
+          AbandonRecovery(n, slot, "node lost during replay", done);
           return;
         }
         NdbDatanode& node = *datanodes_[n];
-        tracer().AddSpanAt(recovery_log_[slot].trace_root,
-                           "recovery.replay.read", trace::Layer::kNdb,
-                           trace::Cause::kDisk, node.host(),
-                           layout_.az_of(n), read_start, sim_.now());
-        const Nanos apply_cpu = config_.cost.recovery_setup +
-                                plan.entries * config_.cost.replay_per_entry;
-        const Nanos apply_start = sim_.now();
-        sim_.After(apply_cpu, [this, n, slot, gen, done, apply_start] {
-          if (!RecoveryStillValid(n, gen)) {
-            AbandonRecovery(slot, "node lost during replay", done);
-            return;
-          }
-          NdbDatanode& node = *datanodes_[n];
-          const NdbDatanode::ReplayResult res =
-              node.ReplayFromJournal(INT64_MAX);
-          RecoveryStats& rec = recovery_log_[slot];
-          rec.replay_digest = res.digest;
-          rec.replay_deterministic = res.deterministic;
-          rec.replay_covered = res.covered;
-          rec.replay_done = sim_.now();
-          tracer().AddSpanAt(rec.trace_root, "recovery.replay.apply",
+        const NdbDatanode::ReplayResult res =
+            node.ReplayFromJournal(INT64_MAX);
+        if (RecoveryStats* rec = RecoverySlot(slot)) {
+          rec->replay_digest = res.digest;
+          rec->replay_deterministic = res.deterministic;
+          rec->replay_covered = res.covered;
+          rec->replay_done = sim_.now();
+          tracer().AddSpanAt(rec->trace_root, "recovery.replay.apply",
                              trace::Layer::kNdb, trace::Cause::kCpu,
                              node.host(), layout_.az_of(n), apply_start,
                              sim_.now());
-          node.SetRecoveryPhase(NdbDatanode::RecoveryPhase::kResyncing);
-          RecoveryResync(n, slot, gen, done);
-        });
+        }
+        node.SetRecoveryPhase(NdbDatanode::RecoveryPhase::kResyncing);
+        RecoveryResync(n, slot, gen, done);
       });
+    });
+  });
 }
 
-// Phase 2 — resync: copy the delta (rows written or deleted while the
-// node was down, plus anything its log lost) from a live node-group
-// peer, fence on in-flight transactions, adopt, checkpoint, serve.
+// Phase 2 — streaming resync: copy the delta (rows written or deleted
+// while the node was down, plus anything its log lost) from a live
+// node-group peer one partition at a time. Each partition is fenced
+// quiescent, adopted, and opened for catch-up reads immediately — the
+// node serves already-resynced partitions while the rest still stream.
 void NdbCluster::RecoveryResync(NodeId n, size_t slot, uint64_t gen,
                                 std::function<void()> done) {
   if (!RecoveryStillValid(n, gen)) {
-    AbandonRecovery(slot, "node lost before resync", done);
+    AbandonRecovery(n, slot, "node lost before resync", done);
     return;
   }
   const int group = layout_.group_of(n);
@@ -373,115 +441,192 @@ void NdbCluster::RecoveryResync(NodeId n, size_t slot, uint64_t gen,
     RLOG_ERROR(kLog, "restart of node %d: whole node group lost, cannot "
                      "recover from peers", n);
     datanodes_[n]->SetRecoveryPhase(NdbDatanode::RecoveryPhase::kDown);
-    AbandonRecovery(slot, "whole node group lost", done);
+    AbandonRecovery(n, slot, "whole node group lost", done);
     return;
   }
+  RLOG_INFO(kLog, "resyncing node %d from node %d (streaming, %d partitions)",
+            n, source, layout_.num_partitions());
+  sim_.After(config_.cost.recovery_setup, [this, n, slot, gen, source, done] {
+    StreamNextPartition(n, slot, gen, source, 0, done);
+  });
+}
 
-  // Transfer time: the delta volume over the NIC (plus setup) — replay
-  // already restored everything this node's own disk could attest.
-  const ResyncDelta estimate = ComputeResync(n, source, /*apply=*/false);
+void NdbCluster::StreamNextPartition(NodeId n, size_t slot, uint64_t gen,
+                                     NodeId source, PartitionId next,
+                                     std::function<void()> done) {
+  if (!RecoveryStillValid(n, gen)) {
+    AbandonRecovery(n, slot, "node lost during resync", done);
+    return;
+  }
+  if (!layout_.alive(source) || !datanodes_[source]->alive()) {
+    // Source peer died mid-stream: retry the resync phase with a fresh
+    // source. Partitions already fenced stay valid — live writes kept
+    // flowing to them through the catch-up chain — so their deltas
+    // re-check as (near) empty on the retry pass.
+    RLOG_WARN(kLog, "restart of node %d: source %d died mid-copy, "
+                    "retrying with another peer", n, source);
+    if (RecoveryStats* rec = RecoverySlot(slot)) rec->attempts += 1;
+    RecoveryResync(n, slot, gen, done);
+    return;
+  }
+  // Skip partitions this node holds no replica of — unless some table is
+  // fully replicated, in which case its rows hash to any partition and
+  // every partition holds rows of this node.
+  bool fully_replicated = false;
+  for (TableId t = 0; t < catalog_->num_tables(); ++t) {
+    if (catalog_->table(t).fully_replicated) {
+      fully_replicated = true;
+      break;
+    }
+  }
+  while (next < layout_.num_partitions() && !fully_replicated) {
+    bool mine = false;
+    for (NodeId r : layout_.ReplicaChain(next)) {
+      if (r == n) {
+        mine = true;
+        break;
+      }
+    }
+    if (mine) break;
+    ++next;
+  }
+  if (next >= layout_.num_partitions()) {
+    FinishRecovery(n, slot, gen, source, done);
+    return;
+  }
+  const PartitionId part = next;
+  const ResyncDelta estimate =
+      ComputeResync(n, source, /*apply=*/false, part);
   const Nanos xfer_time =
-      config_.cost.recovery_setup +
       static_cast<Nanos>(static_cast<double>(estimate.bytes) /
                          network_.config().nic_bytes_per_sec * 1e9);
-  RLOG_INFO(kLog, "resyncing node %d from node %d: ~%lld delta bytes "
-                  "(%lld rows, %lld deletes)",
-            n, source, static_cast<long long>(estimate.bytes),
-            static_cast<long long>(estimate.rows),
-            static_cast<long long>(estimate.deletes));
-  const Nanos xfer_start = sim_.now();
-
-  sim_.After(xfer_time, [this, n, slot, gen, source, group, done,
-                         xfer_start] {
-    // Fence: wait until no in-flight transaction touches the group, then
-    // adopt the peer's current image atomically. (Real NDB's incremental
-    // catch-up log is summarised by this final delta copy.)
+  sim_.After(xfer_time, [this, n, slot, gen, source, part, done] {
+    // Fence: wait until no in-flight transaction touches this partition,
+    // then adopt its delta and open it for reads atomically.
     auto wait = std::make_shared<std::function<void()>>();
     std::weak_ptr<std::function<void()>> weak = wait;
-    *wait = [this, n, slot, gen, source, group, weak, done, xfer_start] {
+    *wait = [this, n, slot, gen, source, part, weak, done] {
       auto self = weak.lock();
       if (!self) return;
       if (!RecoveryStillValid(n, gen)) {
-        AbandonRecovery(slot, "node lost during resync", done);
+        AbandonRecovery(n, slot, "node lost during resync", done);
         return;
       }
       if (!layout_.alive(source) || !datanodes_[source]->alive()) {
-        // Source peer died mid-copy: retry the resync phase with a
-        // fresh source (the replayed image is still valid).
         RLOG_WARN(kLog, "restart of node %d: source %d died mid-copy, "
                         "retrying with another peer", n, source);
-        recovery_log_[slot].attempts += 1;
+        if (RecoveryStats* rec = RecoverySlot(slot)) rec->attempts += 1;
         RecoveryResync(n, slot, gen, done);
         return;
       }
       for (NodeId peer = 0; peer < num_datanodes(); ++peer) {
         if (layout_.alive(peer) &&
-            datanodes_[peer]->HasTxnTouchingGroup(group)) {
+            datanodes_[peer]->HasTxnTouchingPartition(part)) {
           sim_.After(10 * kMillisecond, [self] { (*self)(); });
           return;
         }
       }
-      // Quiesced: adopt the delta and record what moved.
-      const ResyncDelta applied = ComputeResync(n, source, /*apply=*/true);
-      RecoveryStats& rec = recovery_log_[slot];
-      rec.resync_rows = applied.rows;
-      rec.resync_bytes = applied.bytes;
-      rec.resync_deletes = applied.deletes;
-      NdbDatanode& node = *datanodes_[n];
-      tracer().AddSpanAt(
-          rec.trace_root, "recovery.resync", trace::Layer::kNdb,
-          trace::NetCause(layout_.az_of(source), layout_.az_of(n)),
-          node.host(), layout_.az_of(n), xfer_start, sim_.now(),
-          layout_.az_of(n));
-      FinishRecovery(n, slot, gen, done);
+      // Quiesced: adopt the delta and serve the partition immediately.
+      // From here on, write chains include this node as a catch-up
+      // backup, so the partition stays current while the rest stream.
+      const ResyncDelta applied =
+          ComputeResync(n, source, /*apply=*/true, part);
+      if (RecoveryStats* rec = RecoverySlot(slot)) {
+        rec->resync_rows += applied.rows;
+        rec->resync_bytes += applied.bytes;
+        rec->resync_deletes += applied.deletes;
+        rec->streamed_parts += 1;
+      }
+      layout_.SetCatchupReady(n, part);
+      datanodes_[n]->SetCatchupAccepting(true);
+      StreamNextPartition(n, slot, gen, source, part + 1, done);
     };
     (*wait)();
   });
 }
 
-// Phase 3 — checkpoint the adopted image (a restarting node completes an
-// LCP before it is recoverable, as real NDB does) and rejoin.
+// Phase 3 — rebuild the journal from the source's (epoch-filtered
+// adoption), write the rejoin checkpoint (image to the data disk, log
+// tail to the log disk) and rejoin.
 void NdbCluster::FinishRecovery(NodeId n, size_t slot, uint64_t gen,
-                                std::function<void()> done) {
+                                NodeId source, std::function<void()> done) {
   NdbDatanode& node = *datanodes_[n];
-  const int64_t image_bytes = node.store().total_bytes();
+  if (!layout_.alive(source) || !datanodes_[source]->alive()) {
+    if (RecoveryStats* rec = RecoverySlot(slot)) rec->attempts += 1;
+    RecoveryResync(n, slot, gen, done);
+    return;
+  }
+  if (RecoveryStats* rec = RecoverySlot(slot)) {
+    const Nanos resync_start =
+        rec->replay_done >= 0 ? rec->replay_done : rec->started;
+    tracer().AddSpanAt(
+        rec->trace_root, "recovery.resync", trace::Layer::kNdb,
+        trace::NetCause(layout_.az_of(source), layout_.az_of(n)),
+        node.host(), layout_.az_of(n), resync_start, sim_.now(),
+        layout_.az_of(n));
+  }
+  // Epoch-filtered adoption: the base image of the rebuilt journal holds
+  // only rows at or below the cluster-durable epoch; everything newer
+  // rides along as ordinary log records. A whole-cluster recovery
+  // immediately after this rejoin therefore cuts at the durable epoch
+  // exactly — the adopted checkpoint cannot smuggle post-durable commits
+  // back in. See DESIGN §12.
+  const NdbDatanode::AdoptResult adopted = node.AdoptJournalFrom(
+      *datanodes_[source], DurableGcpEpoch(), closed_epoch_, sim_.now());
+  node.set_gcp_epoch(gcp_epoch_);
   const Nanos write_start = sim_.now();
-  node.disk().Write(image_bytes, [this, n, slot, gen, done, write_start] {
+  node.disk().Write(adopted.image_bytes, [this, n, slot, gen, adopted, done,
+                                          write_start] {
     if (!RecoveryStillValid(n, gen)) {
-      AbandonRecovery(slot, "node lost during rejoin checkpoint", done);
+      AbandonRecovery(n, slot, "node lost during rejoin checkpoint", done);
       return;
     }
-    NdbDatanode& node = *datanodes_[n];
-    // NOTE: the adopted image may contain commits newer than the durable
-    // epoch; a whole-cluster recovery immediately after a rejoin keeps
-    // them on this node (bounded by the resync window). See DESIGN §12.
-    node.CheckpointAdoptedImage(DurableGcpEpoch());
-    node.set_gcp_epoch(gcp_epoch_);
-    RecoveryStats& rec = recovery_log_[slot];
-    tracer().AddSpanAt(rec.trace_root, "recovery.checkpoint",
-                       trace::Layer::kNdb, trace::Cause::kDisk, node.host(),
-                       layout_.az_of(n), write_start, sim_.now());
-    node.Revive();
-    layout_.set_alive(n, true);
-    rec.serving_at = sim_.now();
-    // Reset failure-detector state so peers do not instantly re-suspect.
-    const Nanos now = sim_.now();
-    for (NodeId i = 0; i < num_datanodes(); ++i) {
-      last_heard_[i][n] = now;
-      last_heard_[n][i] = now;
-    }
-    tracer().EndTrace(rec.trace_root);
-    RLOG_INFO(kLog, "node %d serving again after %.3f s (replayed %lld, "
-                    "resynced %lld bytes)",
-              n, (rec.serving_at - rec.started) / 1e9,
-              static_cast<long long>(rec.replay_entries),
-              static_cast<long long>(rec.resync_bytes));
-    if (done) done();
+    datanodes_[n]->log_disk().Write(
+        adopted.tail_bytes + config_.cost.redo_flush_overhead_bytes,
+        [this, n, slot, gen, done, write_start] {
+          if (!RecoveryStillValid(n, gen)) {
+            AbandonRecovery(n, slot, "node lost during rejoin checkpoint",
+                            done);
+            return;
+          }
+          NdbDatanode& node = *datanodes_[n];
+          RecoveryStats* rec = RecoverySlot(slot);
+          if (rec != nullptr) {
+            tracer().AddSpanAt(rec->trace_root, "recovery.checkpoint",
+                               trace::Layer::kNdb, trace::Cause::kDisk,
+                               node.host(), layout_.az_of(n), write_start,
+                               sim_.now());
+            rec->catchup_reads = node.catchup_reads_served();
+          }
+          node.Revive();
+          layout_.set_alive(n, true);
+          // Reset failure-detector state so peers do not instantly
+          // re-suspect.
+          const Nanos now = sim_.now();
+          for (NodeId i = 0; i < num_datanodes(); ++i) {
+            last_heard_[i][n] = now;
+            last_heard_[n][i] = now;
+          }
+          if (rec != nullptr) {
+            rec->serving_at = now;
+            tracer().EndTrace(rec->trace_root);
+            RLOG_INFO(kLog, "node %d serving again after %.3f s (replayed "
+                            "%lld, resynced %lld bytes, %d partitions "
+                            "streamed, %lld catch-up reads)",
+                      n, (rec->serving_at - rec->started) / 1e9,
+                      static_cast<long long>(rec->replay_entries),
+                      static_cast<long long>(rec->resync_bytes),
+                      rec->streamed_parts,
+                      static_cast<long long>(rec->catchup_reads));
+          }
+          if (done) done();
+        });
   });
 }
 
 NdbCluster::ResyncDelta NdbCluster::ComputeResync(NodeId n, NodeId source,
-                                                  bool apply) {
+                                                  bool apply,
+                                                  PartitionId part) {
   ResyncDelta delta;
   NdbDatanode& node = *datanodes_[n];
   NdbDatanode& peer = *datanodes_[source];
@@ -492,6 +637,7 @@ NdbCluster::ResyncDelta NdbCluster::ComputeResync(NodeId n, NodeId source,
     peer.store().ForEachCommitted(t, [&](const Key& key,
                                          const std::string& value) {
       const PartitionId p = layout_.PartitionOf(t, key);
+      if (part >= 0 && p != part) return;
       bool mine = false;
       for (NodeId r : layout_.ReplicaChain(t, p)) {
         if (r == n) {
@@ -511,6 +657,7 @@ NdbCluster::ResyncDelta NdbCluster::ComputeResync(NodeId n, NodeId source,
     // Rows n replayed that the cluster has since deleted.
     node.store().ForEachCommitted(t, [&](const Key& key,
                                          const std::string&) {
+      if (part >= 0 && layout_.PartitionOf(t, key) != part) return;
       if (!peer.store().ExistsCommitted(t, key)) {
         delta.deletes += 1;
         delta.bytes += static_cast<int64_t>(key.size()) + 16;
@@ -565,7 +712,11 @@ NdbCluster::ClusterRecoveryReport NdbCluster::RecoverFromCheckpoint() {
   int64_t max_base = 0;
   for (auto& dn : datanodes_) {
     min_durable = std::min(min_durable, dn->durable_gcp_epoch());
-    max_base = std::max(max_base, dn->journal().base_epoch());
+    // A base image may contain folded records newer than base_epoch
+    // (partial-LCP rounds fold per partition); the cut must cover the
+    // newest epoch any base fragment could hold.
+    max_base = std::max({max_base, dn->journal().base_epoch(),
+                         dn->journal().max_folded_epoch()});
   }
   report.epoch = std::max(min_durable, max_base);
   // Tally what the cut drops — acknowledged commits newer than the cut
@@ -612,6 +763,10 @@ NdbCluster::ClusterRecoveryReport NdbCluster::RecoverFromCheckpoint() {
       last_heard_[n][i] = now;
     }
   }
+  // Every journal restarts from a fresh base at report.epoch; epochs at
+  // or below the current GCP tick hold no records anywhere, so they are
+  // closed by construction.
+  closed_epoch_ = std::max(closed_epoch_, gcp_epoch_);
   cluster_up_ = true;
   return report;
 }

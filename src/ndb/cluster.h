@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -147,17 +148,30 @@ class NdbCluster {
     uint64_t replay_digest = 0;
     bool replay_deterministic = false;  // replay-twice digests agreed
     bool replay_covered = false;        // exactly the durable prefix
+    // Streaming catch-up: partitions served before full rejoin, and the
+    // committed reads the node absorbed while still resyncing.
+    int streamed_parts = 0;
+    int64_t catchup_reads = 0;
     bool aborted = false;
     std::string abort_reason;
     trace::SpanId trace_root = 0;
   };
-  const std::vector<RecoveryStats>& recovery_log() const {
+  // Bounded ring (node_config().recovery_log_cap): long restart-storm
+  // soaks evict the oldest entries instead of growing without bound.
+  const std::deque<RecoveryStats>& recovery_log() const {
     return recovery_log_;
   }
+  // Entries evicted from the ring since the cluster started.
+  int64_t recoveries_dropped() const { return recoveries_dropped_; }
 
   // Global-checkpoint epoch (§II-B2). Commits become durable only once
   // every node's flushed redo log covers the epoch.
   int64_t gcp_epoch() const { return gcp_epoch_; }
+  // Highest epoch the cluster has *closed*: every transaction whose
+  // commit decision fell at or below it has finished its commit chains,
+  // so the epoch boundary recorded in each journal is exact. Trails
+  // gcp_epoch() while commits of older epochs are still in flight.
+  int64_t closed_gcp_epoch() const { return closed_epoch_; }
   // The newest epoch whose log is on disk on every layout-alive node —
   // the cluster-wide durability boundary local checkpoints cut at.
   int64_t DurableGcpEpoch() const;
@@ -209,20 +223,33 @@ class NdbCluster {
   // True while the recovery started with `gen` on node n is still the
   // one in flight (no re-crash, no cluster shutdown).
   bool RecoveryStillValid(NodeId n, uint64_t gen) const;
-  void AbandonRecovery(size_t slot, const std::string& reason,
+  void AbandonRecovery(NodeId n, size_t slot, const std::string& reason,
                        const std::function<void()>& done);
   void RecoveryResync(NodeId n, size_t slot, uint64_t gen,
                       std::function<void()> done);
-  void FinishRecovery(NodeId n, size_t slot, uint64_t gen,
+  // Streaming resync: copies one partition's delta, fences it quiescent,
+  // marks it catch-up-ready (the node serves reads for it immediately),
+  // then recurses to the next partition.
+  void StreamNextPartition(NodeId n, size_t slot, uint64_t gen, NodeId source,
+                           PartitionId next, std::function<void()> done);
+  void FinishRecovery(NodeId n, size_t slot, uint64_t gen, NodeId source,
                       std::function<void()> done);
   // Rows the restarted node must copy from (or drop relative to) the
   // live peer to converge; applies the delta when `apply` is true.
+  // `part` >= 0 restricts the delta to rows hashing to that partition.
   struct ResyncDelta {
     int64_t rows = 0;
     int64_t bytes = 0;
     int64_t deletes = 0;
   };
-  ResyncDelta ComputeResync(NodeId n, NodeId source, bool apply);
+  ResyncDelta ComputeResync(NodeId n, NodeId source, bool apply,
+                            PartitionId part = -1);
+  // Ring slot -> entry, or nullptr if the entry was evicted by the cap.
+  RecoveryStats* RecoverySlot(size_t slot);
+  // Closes every epoch <= gcp_epoch_ that no alive node still has an
+  // in-flight commit for (transaction-atomic epochs: an epoch's boundary
+  // is only recorded once all its commits have finished their chains).
+  void TryCloseEpochs();
 
   Simulation& sim_;
   Network& network_;
@@ -240,9 +267,13 @@ class NdbCluster {
 
   std::vector<Simulation::PeriodicHandle> timers_;
   std::vector<std::vector<int64_t>> replica_reads_;
-  std::vector<RecoveryStats> recovery_log_;
+  std::deque<RecoveryStats> recovery_log_;
+  size_t recovery_log_base_ = 0;    // absolute slot of recovery_log_[0]
+  int64_t recoveries_dropped_ = 0;  // evicted by recovery_log_cap
   uint64_t txn_counter_ = 0;
   int64_t gcp_epoch_ = 0;
+  int64_t closed_epoch_ = 0;
+  bool close_retry_pending_ = false;
   bool cluster_up_ = true;
   bool protocols_started_ = false;
 };

@@ -73,6 +73,15 @@ struct NdbNodeConfig {
   // local checkpoints truncate the journal, so the in-memory footprint
   // is bounded by the checkpoint image plus one LCP interval of log.
   bool enable_durability = true;
+  // Redo backpressure: when the appended-but-unflushed journal backlog
+  // exceeds this, the primary LDM refuses new prepares with
+  // kResourceExhausted until the log disk catches up. Bounds journal
+  // memory under a saturated or grey-slow log disk; surfaced through the
+  // AIMD admission path (the code counts against availability).
+  int64_t redo_stall_backlog_bytes = 4 << 20;
+  // Bounded ring of per-recovery RecoveryStats kept by the cluster; long
+  // restart-storm soaks evict the oldest entries past this.
+  int recovery_log_cap = 512;
 };
 
 struct FeatureFlags {

@@ -44,6 +44,7 @@ NdbDatanode::NdbDatanode(NdbCluster& cluster, NodeId id, HostId host)
   io_ = std::make_unique<ThreadPool>(sim, name("io"), 1);
   main_ = std::make_unique<ThreadPool>(sim, name("main"), 1);
   disk_ = std::make_unique<Disk>(sim, name("disk"));
+  log_disk_ = std::make_unique<Disk>(sim, name("logdisk"));
 }
 
 AzId NdbDatanode::az() const { return cluster_.layout().az_of(id_); }
@@ -56,6 +57,7 @@ void NdbDatanode::SetGreySlowdown(double cpu_factor, double disk_factor) {
     pool->set_slowdown(cpu_factor);
   }
   disk_->set_slowdown(disk_factor);
+  log_disk_->set_slowdown(disk_factor);
   if (grey_degraded_) {
     RLOG_INFO(kLog, "datanode %d grey-degraded (cpu x%.1f, disk x%.1f)",
               id_, cpu_factor, disk_factor);
@@ -64,23 +66,41 @@ void NdbDatanode::SetGreySlowdown(double cpu_factor, double disk_factor) {
   }
 }
 
+void NdbDatanode::SetLogDiskSlowdown(double factor) {
+  log_disk_slow_ = factor != 1.0;
+  log_disk_->set_slowdown(factor);
+  if (log_disk_slow_) {
+    RLOG_INFO(kLog, "datanode %d redo log disk degraded (x%.1f)", id_,
+              factor);
+  } else {
+    RLOG_INFO(kLog, "datanode %d redo log disk restored", id_);
+  }
+}
+
 void NdbDatanode::Shutdown() {
   // A shutdown mid-recovery must still run: it aborts the recovery (the
   // generation bump invalidates its continuations) and drops whatever
   // the interrupted replay had not made durable.
-  if (!alive_ && !recovering()) return;
+  if (!alive_ && !recovering() && !catchup_accepting_) return;
   alive_ = false;
+  catchup_accepting_ = false;
   recovery_phase_ = RecoveryPhase::kDown;
   ++recovery_gen_;
   lcp_inflight_ = false;
   txns_.clear();
   // Crash semantics: the un-flushed journal tail never reached disk.
   journal_.DropUnflushed();
+  // Settle the redo stall clock: the backlog died with the node.
+  if (redo_stalled_) {
+    redo_stall_accum_ += cluster_.sim().now() - redo_stall_since_;
+    redo_stalled_ = false;
+  }
   RLOG_INFO(kLog, "datanode %d shutting down", id_);
 }
 
 void NdbDatanode::Revive() {
   alive_ = true;
+  catchup_accepting_ = false;
   recovery_phase_ = RecoveryPhase::kServing;
   redo_pending_bytes_ = 0;
   RLOG_INFO(kLog, "datanode %d rejoined", id_);
@@ -89,6 +109,7 @@ void NdbDatanode::Revive() {
 void NdbDatanode::BeginRecovery() {
   recovery_phase_ = RecoveryPhase::kReplaying;
   ++recovery_gen_;
+  catchup_reads_served_ = 0;  // per-recovery counter
 }
 
 bool NdbDatanode::HasTxnTouchingGroup(int group) const {
@@ -107,12 +128,37 @@ bool NdbDatanode::HasTxnTouchingGroup(int group) const {
   return false;
 }
 
+bool NdbDatanode::HasTxnTouchingPartition(PartitionId part) const {
+  for (const auto& [txn, t] : txns_) {
+    for (const auto& w : t.writes) {
+      if (w.part == part) return true;
+    }
+    for (PartitionId p : t.inflight_parts) {
+      if (p == part) return true;
+    }
+    for (const auto& rl : t.read_locks) {
+      if (rl.part == part) return true;
+    }
+  }
+  return false;
+}
+
+bool NdbDatanode::HasCommittingTxnAtOrBelow(int64_t epoch) const {
+  for (const auto& [txn, t] : txns_) {
+    if (t.committing && !t.aborted && t.commit_epoch != 0 &&
+        t.commit_epoch <= epoch) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // Infrastructure
 // ---------------------------------------------------------------------------
 
 void NdbDatanode::ReceiveMsg(std::function<void()> handle) {
-  if (!alive_) return;
+  if (!accepting()) return;
   const auto& cost = cluster_.cost();
   const auto& nc = cluster_.node_config();
   // Idle singles (REP, then MAIN) help overloaded receive threads —
@@ -126,14 +172,14 @@ void NdbDatanode::ReceiveMsg(std::function<void()> handle) {
     }
   }
   pool->Submit(cost.recv_per_msg, [this, handle = std::move(handle)] {
-    if (alive_) handle();
+    if (accepting()) handle();
   });
 }
 
 void NdbDatanode::SendToNode(NodeId dst, int64_t bytes,
                              std::function<void(NdbDatanode&)> fn,
                              trace::SpanId span) {
-  if (!alive_) return;
+  if (!accepting()) return;
   if (dst == id_) {
     // In-process signal between the TC and LDM blocks of this node.
     fn(*this);
@@ -163,7 +209,7 @@ void NdbDatanode::SendToNode(NodeId dst, int64_t bytes,
 
 void NdbDatanode::SendToApi(ApiNodeId api, int64_t bytes, OpReply reply,
                             trace::SpanId span) {
-  if (!alive_) return;
+  if (!accepting()) return;
   reply.from = id_;  // hedged-read win attribution (see OpReply::from)
   const auto& cost = cluster_.cost();
   NdbApiNode* dst = cluster_.api(api);
@@ -194,10 +240,13 @@ Booking NdbDatanode::RunTc(Nanos cost, std::function<void()> fn) {
 
 Booking NdbDatanode::RunLdm(PartitionId part, Nanos cost,
                             std::function<void()> fn) {
-  if (!alive_) return Booking{};
+  // A rejoining node in streaming catch-up runs LDM work (committed
+  // reads and backup chain hops for already-resynced partitions) before
+  // it is fully alive again; TC/IO roles stay down until Revive.
+  if (!accepting()) return Booking{};
   const int thread = cluster_.layout().LdmThreadOf(part);
   return ldm_->SubmitTo(thread, cost, [this, fn = std::move(fn)] {
-    if (alive_) fn();
+    if (accepting()) fn();
   });
 }
 
@@ -229,28 +278,60 @@ void NdbDatanode::AccountRedo() {
 }
 
 void NdbDatanode::LogRedo(
-    TxnId txn, TableId table, const Key& key,
+    int64_t epoch, PartitionId part, TxnId txn, TableId table, const Key& key,
     const std::optional<RowStore::AppliedWrite>& applied) {
   if (!cluster_has_durability_ || !applied) return;
-  // Writes applied after checkpoint N was cut belong to epoch N+1: they
-  // are durable only once the flushed log covers the *next* epoch.
-  journal_.Append(gcp_epoch_ + 1, txn, table, key,
+  // The epoch was assigned once, by the TC, at the commit decision —
+  // every replica of the transaction logs the identical epoch, so a GCP
+  // tick between two replicas' applies can no longer split a commit
+  // across epochs.
+  journal_.Append(epoch, txn, table, key, part,
                   applied->type == WriteType::kDelete, applied->value,
                   cluster_.sim().now());
+  UpdateRedoStallAccounting();
+}
+
+void NdbDatanode::UpdateRedoStallAccounting() {
+  if (!cluster_has_durability_) return;
+  const bool over = journal_.backlog_bytes() >
+                    cluster_.node_config().redo_stall_backlog_bytes;
+  if (over == redo_stalled_) return;
+  const Nanos now = cluster_.sim().now();
+  if (over) {
+    redo_stalled_ = true;
+    redo_stall_since_ = now;
+  } else {
+    redo_stalled_ = false;
+    redo_stall_accum_ += now - redo_stall_since_;
+  }
+}
+
+Nanos NdbDatanode::redo_stall_ns() const {
+  Nanos total = redo_stall_accum_;
+  if (redo_stalled_) total += cluster_.sim().now() - redo_stall_since_;
+  return total;
 }
 
 void NdbDatanode::FlushRedo() {
-  if (!alive_) return;
+  // Catch-up backups log live chain writes too; they must keep flushing
+  // or their backlog grows until backpressure sheds every write routed
+  // through them — permanently, since nothing else drains the journal.
+  if (!alive_ && !catchup_accepting_) return;
   if (cluster_has_durability_) {
-    // Group commit: one disk write covers every record appended since
-    // the previous flush (plus the fsync overhead). The batch counts as
-    // durable only when the write lands; a crash in between loses it.
+    // Group commit: one log-disk write covers every record appended
+    // since the previous flush (plus the fsync overhead). The batch
+    // counts as durable only when the write lands; a crash in between
+    // loses it. Queueing on the dedicated log disk means checkpoint and
+    // recovery traffic on the data disk cannot delay commits — only a
+    // genuinely slow log device can, and that surfaces as backpressure.
     const RedoJournal::FlushBatch batch = journal_.PrepareFlush();
     if (batch.upto_seqno == 0) return;
     const uint64_t gen = journal_.generation();
     RunIo(cluster_.cost().io_redo_per_commit, [this, batch, gen] {
-      disk_->Write(batch.disk_bytes, [this, batch, gen] {
-        if (journal_.generation() == gen) journal_.MarkFlushed(batch);
+      log_disk_->Write(batch.disk_bytes, [this, batch, gen] {
+        if (journal_.generation() != gen) return;
+        journal_.MarkFlushed(batch);
+        UpdateRedoStallAccounting();
       });
     });
     return;
@@ -258,23 +339,59 @@ void NdbDatanode::FlushRedo() {
   if (redo_pending_bytes_ == 0) return;
   const int64_t bytes = std::exchange(redo_pending_bytes_, 0);
   RunIo(cluster_.cost().io_redo_per_commit,
-        [this, bytes] { disk_->Write(bytes, nullptr); });
+        [this, bytes] { log_disk_->Write(bytes, nullptr); });
 }
 
 void NdbDatanode::StartLocalCheckpoint(int64_t cluster_durable_epoch) {
   if (!alive_ || !cluster_has_durability_ || lcp_inflight_) return;
   const int64_t cut = journal_.CheckpointCutSeqno(cluster_durable_epoch);
-  if (cut <= journal_.base_seqno()) return;
+  // Nothing new to fold: the cut has not advanced past the base in either
+  // seqno or epoch terms. (The epoch check matters with deferred epoch
+  // close: records of a just-closed epoch can sit below the previous
+  // round's cut seqno and only become foldable now.)
+  if (cut <= journal_.base_seqno() &&
+      journal_.EpochAtCut(cut) <= journal_.base_epoch()) {
+    return;
+  }
   lcp_inflight_ = true;
-  const int64_t image_bytes = journal_.CheckpointBytes(cut);
+  // Fragment LCP: one image write per partition, chained, each folding
+  // only that partition's records — checkpoint I/O is spread across the
+  // LCP instead of a single monolithic write, and a crash mid-round
+  // still leaves every completed fragment's segments truncated.
+  const int num_parts = cluster_.layout().num_partitions();
   const uint64_t gen = journal_.generation();
-  RunIo(cluster_.cost().io_redo_per_commit, [this, cut, image_bytes, gen] {
-    disk_->Write(image_bytes, [this, cut, gen] {
+  auto step = std::make_shared<std::function<void(PartitionId)>>();
+  // Capture weakly inside the function itself — a strong self-capture
+  // would cycle and leak one continuation per LCP round. The async hops
+  // below each hold a strong ref, so the chain stays alive exactly as
+  // long as a fragment write is outstanding.
+  std::weak_ptr<std::function<void(PartitionId)>> weak_step = step;
+  *step = [this, cut, num_parts, gen, weak_step](PartitionId part) {
+    auto step = weak_step.lock();
+    if (!step || !alive_ || journal_.generation() != gen) {
       lcp_inflight_ = false;
-      if (!alive_ || journal_.generation() != gen) return;
-      journal_.CompleteCheckpoint(cut, cluster_.sim().now());
+      return;
+    }
+    if (part >= num_parts) {
+      journal_.FinishCheckpointRound(cut, cluster_.sim().now());
+      lcp_inflight_ = false;
+      return;
+    }
+    const int64_t bytes =
+        journal_.FragmentCheckpointBytes(part, num_parts, cut);
+    RunIo(cluster_.cost().io_redo_per_commit, [this, part, bytes, cut, gen,
+                                               step] {
+      disk_->Write(bytes, [this, part, cut, gen, step] {
+        if (!alive_ || journal_.generation() != gen) {
+          lcp_inflight_ = false;
+          return;
+        }
+        journal_.CompleteFragmentCheckpoint(part, cut);
+        (*step)(part + 1);
+      });
     });
-  });
+  };
+  (*step)(0);
 }
 
 NdbDatanode::ReplayResult NdbDatanode::ReplayFromJournal(int64_t max_epoch) {
@@ -304,6 +421,58 @@ void NdbDatanode::CheckpointAdoptedImage(int64_t epoch) {
       journal_.InstallImageRow(t, key, value);
     });
   }
+}
+
+NdbDatanode::AdoptResult NdbDatanode::AdoptJournalFrom(
+    const NdbDatanode& source, int64_t cut_epoch,
+    int64_t cluster_closed_epoch, Nanos now) {
+  const auto& layout = cluster_.layout();
+  const auto mine = [&](TableId table, const Key& key) {
+    const PartitionId part = layout.PartitionOf(table, key);
+    for (NodeId n : layout.ReplicaChain(table, part)) {
+      if (n == id_) return true;
+    }
+    return false;
+  };
+  const RedoJournal& src = source.journal();
+  // Base image: the source's replay exactly at the cluster-durable epoch,
+  // restricted to rows this node replicates. The source's own fragment
+  // folds may have baked some later-epoch rows into its base for a few
+  // partitions; RaiseFoldedEpoch records that so a cluster recovery can
+  // never cut below what this image may contain.
+  journal_.InstallImageBegin(cut_epoch, now);
+  journal_.RaiseFoldedEpoch(src.max_folded_epoch());
+  src.Replay(
+      cut_epoch,
+      [&](TableId t, const Key& k, const std::string& v) {
+        if (mine(t, k)) journal_.InstallImageRow(t, k, v);
+      },
+      [&](TableId t, const Key& k) {
+        if (mine(t, k)) journal_.InstallImageDelete(t, k);
+      });
+  AdoptResult result;
+  result.image_bytes = journal_.base_bytes();
+  // Tail: everything the base replay did not cover — records of epochs
+  // past the cut, plus any record not yet durable on the source — is
+  // re-adopted as ordinary log records with the source's epoch/txn
+  // stamps. A cluster recovery cutting at cut_epoch drops them exactly
+  // like everywhere else; nothing fresher than the cut hides in the base.
+  for (const auto& seg : src.segments()) {
+    for (const auto& r : seg.records) {
+      if (r.folded) continue;
+      if (r.epoch <= cut_epoch && r.seqno <= src.durable_seqno()) continue;
+      if (!mine(r.table, r.key)) continue;
+      journal_.AdoptRecord(r.epoch, r.txn, r.table, r.key, r.part, r.deleted,
+                           r.value, r.appended_at);
+      result.tail_bytes += r.bytes;
+    }
+  }
+  // Cluster-closed epochs are complete in the adopted stream, so one
+  // boundary at the closed horizon is exact. Later (still-open) epochs
+  // must NOT be closed here: their commits may still be in flight, and
+  // the cluster will close them on this node once it is alive again.
+  journal_.CloseEpoch(cluster_closed_epoch);
+  return result;
 }
 
 uint64_t NdbDatanode::DigestStore() const {
@@ -350,8 +519,8 @@ NodeId NdbDatanode::RouteCommittedRead(TableId table, PartitionId part,
     const std::vector<NodeId> chain = td.fully_replicated
         ? layout.ReplicaChain(table, part)
         : layout.ReplicaChain(part);
-    node = layout.PickByProximity(az(), chain,
-                                  cluster_.flags().az_aware, rr_counter_++);
+    node = layout.PickByProximity(az(), chain, cluster_.flags().az_aware,
+                                  rr_counter_++, part);
   } else {
     // Classic NDB: committed reads are redirected to the primary because
     // backups lag until the Complete phase.
@@ -450,9 +619,19 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
     }
 
     // Write: start the prepare chain (locks taken at the primary first).
+    // Alive replicas in configured order; a rejoining node that already
+    // caught up on this partition joins as a *backup* so live writes keep
+    // flowing to it mid-resync — never as primary (its lock manager
+    // predates the crash and must not serialise writers).
     std::vector<NodeId> chain;
-    for (NodeId n : layout.ReplicaChain(req.table, part)) {
+    const auto& chain_conf = layout.ReplicaChain(req.table, part);
+    for (NodeId n : chain_conf) {
       if (layout.alive(n)) chain.push_back(n);
+    }
+    for (NodeId n : chain_conf) {
+      if (!layout.alive(n) && layout.catchup_ready(n, part)) {
+        chain.push_back(n);
+      }
     }
     if (chain.empty()) {
       SendToApi(req.api, cost.msg_small,
@@ -631,6 +810,12 @@ void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api,
     t.committing = true;
     t.commit_op_id = op_id;
     t.commit_span = span;
+    // Transaction-atomic epoch assignment: the whole transaction belongs
+    // to the currently open GCP epoch, decided once, here. Every replica
+    // stamps its redo records with this epoch regardless of when its
+    // chain message arrives, and the cluster keeps the epoch open until
+    // all such transactions have fully committed.
+    t.commit_epoch = gcp_epoch_ + 1;
 
     // Release shared/exclusive read locks: the commit point is reached.
     // Rows that were read-locked *and* written keep their lock until the
@@ -671,6 +856,7 @@ void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api,
       creq.table = w.table;
       creq.key = w.key;
       creq.part = w.part;
+      creq.epoch = t.commit_epoch;
       creq.chain = w.chain;
       creq.pos = static_cast<int>(w.chain.size()) - 1;
       creq.span = span;
@@ -712,6 +898,7 @@ void NdbDatanode::StartCompletePhase(TxnId txn, TcTxn& t) {
       creq.table = w.table;
       creq.key = w.key;
       creq.part = w.part;
+      creq.epoch = t.commit_epoch;
       creq.is_primary = i == 0;
       creq.span = t.commit_span;
       SendToNode(w.chain[i], cost.msg_small,
@@ -809,13 +996,13 @@ std::vector<NdbDatanode::TakeoverRow> NdbDatanode::DrainTxnRowsForTakeover() {
   for (auto& [txn, t] : txns_) {
     for (const auto& w : t.writes) {
       for (NodeId n : w.chain) {
-        rows.push_back(
-            TakeoverRow{txn, w.table, w.key, w.part, n, t.committing});
+        rows.push_back(TakeoverRow{txn, w.table, w.key, w.part, n,
+                                   t.committing, t.commit_epoch});
       }
     }
     for (const auto& rl : t.read_locks) {
       rows.push_back(TakeoverRow{txn, rl.table, rl.key, rl.part, rl.node,
-                                 /*commit_forward=*/false});
+                                 /*commit_forward=*/false, /*epoch=*/0});
     }
   }
   txns_.clear();
@@ -824,8 +1011,10 @@ std::vector<NdbDatanode::TakeoverRow> NdbDatanode::DrainTxnRowsForTakeover() {
 
 void NdbDatanode::ResolveTakenOverRow(const TakeoverRow& row) {
   if (row.commit_forward) {
-    LogRedo(row.txn, row.table, row.key,
-            store_.Commit(row.table, row.key, row.txn));
+    // Roll forward with the dead coordinator's commit epoch, matching
+    // whatever the already-applied replicas logged for this transaction.
+    LogRedo(row.epoch != 0 ? row.epoch : gcp_epoch_ + 1, row.part, row.txn,
+            row.table, row.key, store_.Commit(row.table, row.key, row.txn));
     AccountRedo();
   } else {
     store_.Abort(row.table, row.key, row.txn);
@@ -837,8 +1026,25 @@ void NdbDatanode::SweepInactiveTxns() {
   const Nanos cutoff =
       cluster_.sim().now() - cluster_.node_config().txn_inactive_timeout;
   std::vector<TxnId> doomed;
+  std::vector<TxnId> stalled;
   for (auto& [txn, t] : txns_) {
     if (t.last_activity < cutoff && !t.committing) doomed.push_back(txn);
+    if (t.last_activity < cutoff && t.committing && !t.aborted) {
+      stalled.push_back(txn);
+    }
+  }
+  // A committing transaction past its commit point cannot abort; it can
+  // only be wedged by a lost Commit/Complete hop. Chain members that are
+  // layout-alive are handled by the failure detector (eviction + take-over
+  // resolves the txn), but catch-up backups live outside its purview: a
+  // partition that swallows their Complete leaves the txn — and every
+  // pending replica slot it holds — stuck forever. Re-drive the stalled
+  // phase instead: both LdmCommitChain and LdmComplete are idempotent
+  // (Commit no-ops without a pending write, acks are always sent).
+  for (TxnId txn : stalled) {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) continue;
+    RedriveStalledCommit(txn, it->second);
   }
   for (TxnId txn : doomed) {
     auto it = txns_.find(txn);
@@ -896,12 +1102,91 @@ void NdbDatanode::SweepInactiveTxns() {
                id_, o.key.c_str(), static_cast<unsigned long long>(o.txn),
                committed_elsewhere ? "roll forward" : "roll back");
     if (committed_elsewhere) {
-      LogRedo(o.txn, o.table, o.key, store_.Commit(o.table, o.key, o.txn));
+      // The coordinator (and its commit-decision epoch) died with the
+      // ack; log under the currently open epoch. Orphan roll-forward only
+      // fires minutes of sim-time after a TC death, so the cluster
+      // recovery cut has long since passed the original epoch anyway.
+      LogRedo(gcp_epoch_ + 1, part, o.txn, o.table, o.key,
+              store_.Commit(o.table, o.key, o.txn));
       AccountRedo();
     } else {
       store_.Abort(o.table, o.key, o.txn);
     }
     locks_.Release(o.txn, o.table, o.key);
+  }
+}
+
+void NdbDatanode::RedriveStalledCommit(TxnId txn, TcTxn& t) {
+  Touch(t);  // one re-drive per inactivity timeout, not per sweep tick
+  ++proto_stats_.commit_redrives;
+  const auto& cost = cluster_.cost();
+  // A chain member that is neither layout-alive nor still accepting
+  // catch-up traffic has lost its in-memory pending writes for good
+  // (crashed mid-catch-up, or its resync was abandoned); waiting on its
+  // ack would wedge the txn forever. Merely-partitioned members stay in —
+  // the next re-drive reaches them once the partition heals.
+  auto gone = [this](NodeId n) {
+    return !cluster_.layout().alive(n) &&
+           !cluster_.datanode(n).catchup_accepting();
+  };
+  if (t.pending_commits > 0) {
+    RLOG_DEBUG(kLog, "node %d re-driving commit chains for stalled txn %llu",
+               id_, static_cast<unsigned long long>(txn));
+    t.pending_commits = static_cast<int>(t.writes.size());
+    for (const auto& w : t.writes) {
+      CommitChainReq creq;
+      creq.txn = txn;
+      creq.tc = id_;
+      creq.table = w.table;
+      creq.key = w.key;
+      creq.part = w.part;
+      creq.epoch = t.commit_epoch;
+      creq.span = t.commit_span;
+      // The primary (chain head) always stays: it is layout-alive or the
+      // failure detector's take-over path owns this txn's resolution.
+      creq.chain.push_back(w.chain.front());
+      for (size_t i = 1; i < w.chain.size(); ++i) {
+        if (!gone(w.chain[i])) creq.chain.push_back(w.chain[i]);
+      }
+      creq.pos = static_cast<int>(creq.chain.size()) - 1;
+      const NodeId last = creq.chain.back();
+      const trace::SpanId s = creq.span;
+      SendToNode(last, cost.msg_small,
+                 [creq = std::move(creq)](NdbDatanode& n) mutable {
+                   n.LdmCommitChain(std::move(creq));
+                 },
+                 s);
+    }
+    return;
+  }
+  if (t.pending_completes <= 0) return;
+  RLOG_DEBUG(kLog, "node %d re-driving complete phase for stalled txn %llu",
+             id_, static_cast<unsigned long long>(txn));
+  t.pending_completes = 0;
+  for (const auto& w : t.writes) {
+    for (size_t i = 0; i < w.chain.size(); ++i) {
+      if (i > 0 && gone(w.chain[i])) continue;
+      ++t.pending_completes;
+    }
+  }
+  for (const auto& w : t.writes) {
+    for (size_t i = 0; i < w.chain.size(); ++i) {
+      if (i > 0 && gone(w.chain[i])) continue;
+      CompleteReq creq;
+      creq.txn = txn;
+      creq.tc = id_;
+      creq.table = w.table;
+      creq.key = w.key;
+      creq.part = w.part;
+      creq.epoch = t.commit_epoch;
+      creq.is_primary = i == 0;
+      creq.span = t.commit_span;
+      SendToNode(w.chain[i], cost.msg_small,
+                 [creq = std::move(creq)](NdbDatanode& n) mutable {
+                   n.LdmComplete(std::move(creq));
+                 },
+                 t.commit_span);
+    }
   }
 }
 
@@ -916,6 +1201,9 @@ void NdbDatanode::LdmCommittedRead(KeyOpReq req, int replica_idx) {
   const trace::SpanId span = req.span;
   const Booking b =
       RunLdm(part, cluster_.cost().ldm_read, [this, req = std::move(req)] {
+        // Streaming catch-up availability: reads this node absorbed for
+        // already-resynced partitions while still rejoining.
+        if (!alive_) ++catchup_reads_served_;
         const auto value = store_.Read(req.table, req.key, req.txn);
         const int64_t bytes =
             cluster_.cost().msg_small +
@@ -1018,6 +1306,36 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
              }
              return;
            }
+           // Redo backpressure: refuse new work while the unflushed
+           // journal backlog exceeds the stall limit (saturated or
+           // grey-slow log disk). kResourceExhausted aborts the txn and
+           // counts against availability, so the AIMD admission layer
+           // sheds load until the log disk catches up — bounding journal
+           // memory instead of growing it without limit. Commits already
+           // past their decision point are never stalled (WAL semantics:
+           // backpressure applies at admission, not at apply).
+           if (cluster_has_durability_ &&
+               journal_.backlog_bytes() >
+                   cluster_.node_config().redo_stall_backlog_bytes) {
+             const auto& cost = cluster_.cost();
+             for (int i = 0; i < req.pos; ++i) {
+               SendToNode(req.chain[i], cost.msg_small,
+                          [txn = req.txn, table = req.table, key = req.key,
+                           part = req.part](NdbDatanode& d) {
+                            d.LdmAbortRow(txn, table, key, part);
+                          });
+             }
+             const trace::SpanId sp = req.span;
+             SendToNode(req.tc, cost.msg_small,
+                        [req](NdbDatanode& tc) {
+                          tc.TcPrepared(req.txn, req.op_id,
+                                        Code::kResourceExhausted, req.table,
+                                        req.key, req.part, req.chain,
+                                        req.span);
+                        },
+                        sp);
+             return;
+           }
            trace::Tracer& tracer = cluster_.tracer();
            const bool is_primary = req.pos == 0;
            if (!is_primary) {
@@ -1050,7 +1368,14 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
                                 host_, az(), now, now + 200 * kMicrosecond);
                cluster_.sim().After(200 * kMicrosecond,
                                     [this, req = std::move(req)]() mutable {
-                                      if (alive_) LdmPrepare(std::move(req));
+                                      // Catch-up backups must keep retrying
+                                      // (and eventually NACK) like any other
+                                      // backup — dying silently here leaves
+                                      // the TC waiting for a reply that
+                                      // never comes.
+                                      if (accepting()) {
+                                        LdmPrepare(std::move(req));
+                                      }
                                     });
                return;
              }
@@ -1091,17 +1416,53 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
                               sp);
                    return;
                  }
-                 // The primary's pending slot is protected by the row
-                 // lock we now hold, so this cannot be occupied.
-                 const bool staged = store_.Prepare(
-                     req.table, req.key, req.type, req.value, req.txn,
-                     req.tc, cluster_.sim().now());
-                 assert(staged);
-                 (void)staged;
-                 ForwardPrepare(std::move(req));
+                 // The row lock serialises writers on a stable primary,
+                 // but the primary role itself can move — a failover, or
+                 // a catch-up rejoin that re-attached this node after it
+                 // staged the row as a backup under the old chain. The
+                 // slot may therefore hold another transaction's pending
+                 // write; stage under the lock, waiting for that write's
+                 // in-flight Complete/Abort (or take-over / the orphan
+                 // sweep) to free it.
+                 LdmPrimaryStage(std::move(req));
                });
          });
   TraceCpu(op_span, "ldm.prepare", b);
+}
+
+// Stages the primary's pending write. Caller holds the row's exclusive
+// lock; the lock outlives the retries, so writers stay serialised while
+// a previous chain's pending write drains out of the slot.
+void NdbDatanode::LdmPrimaryStage(PrepareReq req) {
+  if (store_.Prepare(req.table, req.key, req.type, req.value, req.txn,
+                     req.tc, cluster_.sim().now())) {
+    ForwardPrepare(std::move(req));
+    return;
+  }
+  req.busy_retries += 1;
+  if (req.busy_retries > 1000) {
+    RLOG_WARN(kLog, "node %d: primary pending slot on %s never freed", id_,
+              req.key.c_str());
+    locks_.Release(req.txn, req.table, req.key);
+    const trace::SpanId sp = req.span;
+    SendToNode(req.tc, cluster_.cost().msg_small,
+               [req](NdbDatanode& tc) {
+                 tc.TcPrepared(req.txn, req.op_id, Code::kTimedOut, req.table,
+                               req.key, req.part, req.chain, req.span);
+               },
+               sp);
+    return;
+  }
+  const Nanos now = cluster_.sim().now();
+  cluster_.tracer().AddSpanAt(req.span, "prepare.busy_wait",
+                              trace::Layer::kNdb, trace::Cause::kRetry, host_,
+                              az(), now, now + 200 * kMicrosecond);
+  cluster_.sim().After(200 * kMicrosecond,
+                       [this, req = std::move(req)]() mutable {
+                         // A crash clears the lock table and pending rows;
+                         // the retry dies with them.
+                         if (alive_) LdmPrimaryStage(std::move(req));
+                       });
 }
 
 void NdbDatanode::LdmCommitChain(CommitChainReq req) {
@@ -1113,7 +1474,7 @@ void NdbDatanode::LdmCommitChain(CommitChainReq req) {
         const auto& cost = cluster_.cost();
         if (req.pos == 0) {
           // The primary is the commit point: apply, unlock, confirm.
-          LogRedo(req.txn, req.table, req.key,
+          LogRedo(req.epoch, req.part, req.txn, req.table, req.key,
                   store_.Commit(req.table, req.key, req.txn));
           locks_.Release(req.txn, req.table, req.key);
           AccountRedo();
@@ -1146,7 +1507,7 @@ void NdbDatanode::LdmComplete(CompleteReq req) {
       req.part, cluster_.cost().ldm_complete,
       [this, req = std::move(req)] {
         if (!req.is_primary) {
-          LogRedo(req.txn, req.table, req.key,
+          LogRedo(req.epoch, req.part, req.txn, req.table, req.key,
                   store_.Commit(req.table, req.key, req.txn));
           AccountRedo();
         }

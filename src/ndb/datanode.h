@@ -114,6 +114,10 @@ struct CommitChainReq {
   TableId table = 0;
   Key key;
   PartitionId part = 0;
+  // GCP epoch the TC assigned the whole transaction at commit decision
+  // time; every replica stamps its redo record with it, so one commit's
+  // records can never straddle a GCP tick.
+  int64_t epoch = 0;
   std::vector<NodeId> chain;
   int pos = 0;  // traverses from chain.size()-1 down to 0 (the primary)
   trace::SpanId span = 0;  // the txn's ndb.commit span
@@ -125,6 +129,7 @@ struct CompleteReq {
   TableId table = 0;
   Key key;
   PartitionId part = 0;
+  int64_t epoch = 0;  // see CommitChainReq::epoch
   bool is_primary = false;
   trace::SpanId span = 0;  // the txn's ndb.commit span
 };
@@ -146,6 +151,12 @@ class NdbDatanode {
   // with a straggler. Factors of 1.0 restore normal speed.
   void SetGreySlowdown(double cpu_factor, double disk_factor);
   bool grey_degraded() const { return grey_degraded_; }
+  // Grey-slow / saturated redo log disk only: the data disk and CPUs stay
+  // at full speed, so the node limps exactly where real deployments do —
+  // group commits stretch, the unflushed backlog grows, and redo
+  // backpressure kicks in. 1.0 restores normal speed.
+  void SetLogDiskSlowdown(double factor);
+  bool log_disk_slow() const { return log_disk_slow_; }
 
   // TEST-ONLY fault hook: when set, this node's TC acknowledges write
   // operations as kOk without ever staging them on any replica — a
@@ -162,6 +173,9 @@ class NdbDatanode {
   // True if any transaction this node coordinates touches a partition of
   // the given node group (used to fence node rejoin).
   bool HasTxnTouchingGroup(int group) const;
+  // Same, for a single partition (fences streaming per-partition
+  // catch-up during node rejoin).
+  bool HasTxnTouchingPartition(PartitionId part) const;
 
   // -- entry points (invoked after RECV-thread queueing) --
   void TcKeyOp(KeyOpReq req);
@@ -207,6 +221,10 @@ class NdbDatanode {
     // primary may already have applied, and aborting the backups' pending
     // copies would leave the replicas diverged forever.
     bool commit_forward = false;
+    // The dead coordinator's commit-decision epoch (commit_forward rows):
+    // roll-forward redo records must carry the same epoch the already-
+    // applied replicas logged, or the take-over itself would straddle.
+    int64_t epoch = 0;
   };
   std::vector<TakeoverRow> DrainTxnRowsForTakeover();
   // Applies one drained row on a surviving replica: commit or abort the
@@ -221,16 +239,31 @@ class NdbDatanode {
   RowStore& store() { return store_; }
   LockManager& locks() { return locks_; }
   Disk& disk() { return *disk_; }
+  // Dedicated redo-log device: group commits and recovery log reads queue
+  // here, so a saturated data disk cannot stall the redo path (and vice
+  // versa) — and a slow log disk is a distinct, injectable failure mode.
+  Disk& log_disk() { return *log_disk_; }
 
   // ---- durability: write-ahead redo journal (enable_durability) ----
   RedoJournal& journal() { return journal_; }
   const RedoJournal& journal() const { return journal_; }
-  // The cluster announced a new GCP epoch; closes the epoch in the
-  // journal so its durability can be attested by the flushed log.
-  void set_gcp_epoch(int64_t epoch) {
-    gcp_epoch_ = epoch;
+  // The cluster announced a new GCP epoch: commit decisions from now on
+  // are stamped with it. Deliberately does NOT close the previous epoch —
+  // transactions that took their commit decision under it may still have
+  // chain messages in flight, and their redo records must land inside the
+  // epoch. The cluster closes epochs separately (CloseGcpEpoch) once no
+  // committing transaction at or below them remains.
+  void set_gcp_epoch(int64_t epoch) { gcp_epoch_ = epoch; }
+  int64_t gcp_epoch() const { return gcp_epoch_; }
+  // The cluster determined every transaction of epochs <= epoch has
+  // finished committing: record the epoch boundary in the journal.
+  void CloseGcpEpoch(int64_t epoch) {
     if (cluster_has_durability_) journal_.CloseEpoch(epoch);
   }
+  // True if this node coordinates a transaction that took its commit
+  // decision at or below `epoch` and has not finished its commit/complete
+  // chain — the cluster must not close the epoch yet.
+  bool HasCommittingTxnAtOrBelow(int64_t epoch) const;
   // Highest GCP epoch this node's flushed log + checkpoint cover.
   int64_t durable_gcp_epoch() const { return journal_.durable_epoch(); }
   // Starts a local checkpoint if one is due: captures the image at the
@@ -272,8 +305,34 @@ class NdbDatanode {
   // of `epoch`" — the checkpoint a restarting node completes after
   // adopting the resync image, before it serves again.
   void CheckpointAdoptedImage(int64_t epoch);
+  // Epoch-filtered journal adoption during node rejoin: rebuilds this
+  // node's journal from the resync source's, with the base image cut
+  // exactly at `cut_epoch` (the cluster-durable epoch) and everything
+  // beyond it re-adopted as ordinary log records. The rejoined node can
+  // therefore never smuggle post-durable commits into an immediately
+  // following cluster recovery: its base attests cut_epoch, and the
+  // fresher rows sit in the log where a recovery cut drops them.
+  struct AdoptResult {
+    int64_t image_bytes = 0;  // base image write (data disk)
+    int64_t tail_bytes = 0;   // adopted post-cut records (log disk)
+  };
+  AdoptResult AdoptJournalFrom(const NdbDatanode& source, int64_t cut_epoch,
+                               int64_t cluster_closed_epoch, Nanos now);
   // Order-sensitive digest of the committed row image.
   uint64_t DigestStore() const;
+
+  // ---- streaming catch-up (serve reads mid-resync) ----
+  // While rejoining, a node accepts LDM traffic (committed reads for
+  // already-resynced partitions, and backup chain hops so resynced
+  // partitions stay fresh) before it is layout-alive again.
+  void SetCatchupAccepting(bool v) { catchup_accepting_ = v; }
+  bool catchup_accepting() const { return catchup_accepting_; }
+  // Committed reads this node served while not yet fully rejoined.
+  int64_t catchup_reads_served() const { return catchup_reads_served_; }
+
+  // Cumulative time the redo backlog spent above the stall limit (the
+  // `ndb.redo.stall_ns` telemetry series; includes an ongoing stall).
+  Nanos redo_stall_ns() const;
 
   // -- infrastructure used by the cluster --
   void ReceiveMsg(std::function<void()> handle);
@@ -305,6 +364,7 @@ class NdbDatanode {
     int64_t prepares = 0;         // LdmPrepare executions
     int64_t commit_hops = 0;      // LdmCommitChain executions
     int64_t completes = 0;        // LdmComplete executions
+    int64_t commit_redrives = 0;  // stalled commit/complete re-drives
     int64_t committed_reads = 0;  // LdmCommittedRead executions
     int64_t locked_reads = 0;     // LdmLockedRead executions
     int64_t scans = 0;
@@ -317,6 +377,8 @@ class NdbDatanode {
     bool delay_ack = false;
     bool committing = false;
     bool aborted = false;
+    // GCP epoch assigned atomically at the commit decision; 0 until then.
+    int64_t commit_epoch = 0;
     struct WriteRow {
       TableId table;
       Key key;
@@ -349,7 +411,12 @@ class NdbDatanode {
   // Chooses the replica that serves a committed read (§IV-A4 routing).
   NodeId RouteCommittedRead(TableId table, PartitionId part,
                             int* replica_idx);
+  // Stages the primary's pending write under the already-held row lock,
+  // waiting out a previous chain's pending write if the primary role
+  // moved (failover or catch-up rejoin).
+  void LdmPrimaryStage(PrepareReq req);
   void StartCompletePhase(TxnId txn, TcTxn& t);
+  void RedriveStalledCommit(TxnId txn, TcTxn& t);
   void FinishCommit(TxnId txn, TcTxn& t);
   void AbortTxnInternal(TxnId txn, TcTxn& t, bool notify_api, Code code);
   void ForwardPrepare(PrepareReq req);
@@ -368,11 +435,19 @@ class NdbDatanode {
 
   std::unique_ptr<ThreadPool> ldm_, tc_, recv_, send_, rep_, io_, main_;
   std::unique_ptr<Disk> disk_;
+  std::unique_ptr<Disk> log_disk_;
   RowStore store_;
   LockManager locks_;
 
-  void LogRedo(TxnId txn, TableId table, const Key& key,
+  void LogRedo(int64_t epoch, PartitionId part, TxnId txn, TableId table,
+               const Key& key,
                const std::optional<RowStore::AppliedWrite>& applied);
+  // Transitions the stall clock when the backlog crosses the limit;
+  // called after every journal append and flush completion.
+  void UpdateRedoStallAccounting();
+  // Accepts LDM-side traffic: fully alive, or rejoining with streaming
+  // catch-up enabled (reads/chain hops for resynced partitions).
+  bool accepting() const { return alive_ || catchup_accepting_; }
 
   std::unordered_map<TxnId, TcTxn> txns_;
   uint64_t rr_counter_ = 0;      // proximity tie-break round robin
@@ -385,7 +460,14 @@ class NdbDatanode {
   bool lcp_inflight_ = false;
   bool cluster_has_durability_ = false;
   bool grey_degraded_ = false;
+  bool log_disk_slow_ = false;
   bool test_lose_acked_writes_ = false;
+  bool catchup_accepting_ = false;
+  int64_t catchup_reads_served_ = 0;
+  // Redo backpressure stall clock (see redo_stall_ns()).
+  bool redo_stalled_ = false;
+  Nanos redo_stall_since_ = 0;
+  Nanos redo_stall_accum_ = 0;
 };
 
 }  // namespace repro::ndb

@@ -35,6 +35,8 @@ ClusterLayout::ClusterLayout(LayoutConfig config, const Catalog* catalog)
   num_partitions_ =
       num_groups_ * config_.num_ldm_threads * config_.partitions_per_ldm;
   alive_.assign(config_.num_datanodes, true);
+  catchup_.assign(config_.num_datanodes,
+                  std::vector<bool>(num_partitions_, false));
 
   replica_chain_.resize(num_partitions_);
   ldm_thread_.resize(num_partitions_);
@@ -115,22 +117,25 @@ int ClusterLayout::ProximityScore(AzId from_az, bool same_host,
 
 NodeId ClusterLayout::PickByProximity(AzId from_az,
                                       const std::vector<NodeId>& candidates,
-                                      bool az_aware,
-                                      uint64_t tie_break) const {
+                                      bool az_aware, uint64_t tie_break,
+                                      PartitionId part) const {
   if (candidates.empty()) return kNoNode;
+  const auto usable = [this, part](NodeId c) {
+    return part >= 0 ? serves(c, part) : alive_[c];
+  };
   if (!az_aware) {
     // Classic NDB: round-robin over alive candidates in chain order.
     const size_t n = candidates.size();
     for (size_t i = 0; i < n; ++i) {
       const NodeId c = candidates[(tie_break + i) % n];
-      if (alive_[c]) return c;
+      if (usable(c)) return c;
     }
     return kNoNode;
   }
   int best_score = 3;
   std::vector<NodeId> best;
   for (NodeId c : candidates) {
-    if (!alive_[c]) continue;
+    if (!usable(c)) continue;
     const int score = ProximityScore(from_az, /*same_host=*/false, c);
     if (score < best_score) {
       best_score = score;

@@ -45,8 +45,28 @@ class ClusterLayout {
   int group_of(NodeId n) const { return n % num_groups_; }
 
   bool alive(NodeId n) const { return alive_[n]; }
-  void set_alive(NodeId n, bool alive) { alive_[n] = alive; }
+  void set_alive(NodeId n, bool alive) {
+    alive_[n] = alive;
+    // Either direction ends any streaming catch-up: a fully rejoined node
+    // serves as a normal replica, a freshly dead one serves nothing.
+    ClearCatchup(n);
+  }
   int alive_count() const;
+
+  // ---- streaming catch-up fences (node rejoin) ----
+  // While a node resyncs, the cluster marks each partition the moment its
+  // delta copy completes; reads (and backup chain hops) may then be
+  // routed to the node for those partitions even though it is not alive
+  // in the layout yet.
+  void SetCatchupReady(NodeId n, PartitionId p) { catchup_[n][p] = true; }
+  bool catchup_ready(NodeId n, PartitionId p) const { return catchup_[n][p]; }
+  void ClearCatchup(NodeId n) {
+    catchup_[n].assign(catchup_[n].size(), false);
+  }
+  // True if `n` can serve partition `p`: alive, or caught up on it.
+  bool serves(NodeId n, PartitionId p) const {
+    return alive_[n] || catchup_[n][p];
+  }
 
   // True while every partition still has at least one alive replica.
   bool Viable() const;
@@ -77,9 +97,11 @@ class ClusterLayout {
   // lowest proximity score, ties broken round-robin for load balancing.
   // Skips dead nodes; returns kNoNode if none alive. When `az_aware` is
   // false (vanilla HopsFS / classic NDB), picks round-robin among alive
-  // candidates regardless of AZ.
+  // candidates regardless of AZ. When `part` >= 0, a rejoining node that
+  // has caught up on that partition also qualifies (streaming catch-up).
   NodeId PickByProximity(AzId from_az, const std::vector<NodeId>& candidates,
-                         bool az_aware, uint64_t tie_break) const;
+                         bool az_aware, uint64_t tie_break,
+                         PartitionId part = -1) const;
 
   const Catalog& catalog() const { return *catalog_; }
 
@@ -89,6 +111,9 @@ class ClusterLayout {
   int num_groups_;
   int num_partitions_;
   std::vector<bool> alive_;
+  // catchup_[n][p]: node n (not alive) has resynced partition p and may
+  // serve it mid-rejoin. Cleared whenever n's aliveness flips.
+  std::vector<std::vector<bool>> catchup_;
   std::vector<std::vector<NodeId>> replica_chain_;
   std::vector<int> ldm_thread_;
 };

@@ -43,18 +43,20 @@ void RedoJournal::AppendToSegment(Record record) {
   Segment& seg = segments_.back();
   seg.last_seqno = record.seqno;
   seg.bytes += record.bytes;
+  if (!record.folded) seg.unfolded += 1;
   seg.records.push_back(std::move(record));
 }
 
 int64_t RedoJournal::Append(int64_t epoch, TxnId txn, TableId table,
-                            const Key& key, bool deleted, std::string value,
-                            Nanos now) {
+                            const Key& key, PartitionId part, bool deleted,
+                            std::string value, Nanos now) {
   Record r;
   r.seqno = ++last_seqno_;
   r.epoch = epoch;
   r.txn = txn;
   r.table = table;
   r.key = key;
+  r.part = part;
   r.deleted = deleted;
   r.value = std::move(value);
   r.bytes = static_cast<int64_t>(key.size()) +
@@ -110,6 +112,8 @@ void RedoJournal::MarkFlushed(const FlushBatch& batch) {
 void RedoJournal::DropUnflushed() {
   ++generation_;
   flush_requested_seqno_ = durable_seqno_;
+  // Folded records are always <= durable_seqno_ (an LCP only folds the
+  // flushed prefix), so the dropped tail is all unfolded.
   while (!segments_.empty() &&
          segments_.back().first_seqno > durable_seqno_) {
     appended_bytes_ -= segments_.back().bytes;
@@ -121,6 +125,7 @@ void RedoJournal::DropUnflushed() {
            seg.records.back().seqno > durable_seqno_) {
       seg.bytes -= seg.records.back().bytes;
       appended_bytes_ -= seg.records.back().bytes;
+      if (!seg.records.back().folded) seg.unfolded -= 1;
       seg.records.pop_back();
     }
     seg.last_seqno = durable_seqno_;
@@ -156,13 +161,80 @@ int64_t RedoJournal::CheckpointCutSeqno(
   return std::min(cut, durable_seqno_);
 }
 
-int64_t RedoJournal::CheckpointBytes(int64_t cut_seqno) const {
-  int64_t bytes = base_bytes_;
+int64_t RedoJournal::EpochAtCut(int64_t cut_seqno) const {
+  int64_t epoch = base_epoch_;
+  for (const auto& [e, boundary] : epoch_bounds_) {
+    if (boundary > cut_seqno) break;
+    epoch = std::max(epoch, e);
+  }
+  return epoch;
+}
+
+int64_t RedoJournal::FragmentCheckpointBytes(PartitionId part,
+                                             int num_partitions,
+                                             int64_t cut_seqno) const {
+  // The fragment writes its share of the base image plus the records it
+  // is about to fold. Shares sum to the whole image across fragments.
+  int64_t bytes = base_bytes_ / num_partitions +
+                  (part < base_bytes_ % num_partitions ? 1 : 0);
+  const int64_t cut_epoch = EpochAtCut(cut_seqno);
   for (const Segment& seg : segments_) {
     if (seg.first_seqno > cut_seqno) break;
     for (const Record& r : seg.records) {
       if (r.seqno > cut_seqno) break;
-      if (r.seqno > base_seqno_) bytes += r.bytes;
+      if (!r.folded && r.part == part && r.epoch <= cut_epoch) {
+        bytes += r.bytes;
+      }
+    }
+  }
+  return bytes;
+}
+
+void RedoJournal::CompleteFragmentCheckpoint(PartitionId part,
+                                             int64_t cut_seqno) {
+  // Only records of closed epochs the cut attests may fold: a record of
+  // a still-open epoch can sit below the cut seqno (deferred epoch close
+  // interleaves), and folding it would bake a commit into the base image
+  // that a cluster recovery at the cut epoch must drop.
+  const int64_t cut_epoch = EpochAtCut(cut_seqno);
+  for (Segment& seg : segments_) {
+    if (seg.first_seqno > cut_seqno) break;
+    for (Record& r : seg.records) {
+      if (r.seqno > cut_seqno) break;
+      if (r.folded || r.part != part || r.epoch > cut_epoch) continue;
+      FoldIntoBase(r);
+      r.folded = true;
+      seg.unfolded -= 1;
+    }
+  }
+  max_folded_epoch_ = std::max(max_folded_epoch_, cut_epoch);
+  // A partially completed LCP round still truncates what it covered.
+  TruncateCoveredSegments();
+  RecomputeLag();
+}
+
+void RedoJournal::FinishCheckpointRound(int64_t cut_seqno, Nanos now) {
+  base_seqno_ = std::max(base_seqno_, cut_seqno);
+  base_epoch_ = std::max(base_epoch_, EpochAtCut(cut_seqno));
+  last_checkpoint_at_ = now;
+  // Epoch boundaries at or below the base epoch can never cut again.
+  while (epoch_bounds_.size() > 1 &&
+         epoch_bounds_.front().first <= base_epoch_ &&
+         epoch_bounds_.front().second <= base_seqno_) {
+    epoch_bounds_.erase(epoch_bounds_.begin());
+  }
+  TruncateCoveredSegments();
+  RecomputeLag();
+}
+
+int64_t RedoJournal::CheckpointBytes(int64_t cut_seqno) const {
+  int64_t bytes = base_bytes_;
+  const int64_t cut_epoch = EpochAtCut(cut_seqno);
+  for (const Segment& seg : segments_) {
+    if (seg.first_seqno > cut_seqno) break;
+    for (const Record& r : seg.records) {
+      if (r.seqno > cut_seqno) break;
+      if (!r.folded && r.epoch <= cut_epoch) bytes += r.bytes;
     }
   }
   return bytes;
@@ -192,35 +264,31 @@ void RedoJournal::FoldIntoBase(const Record& record) {
   }
 }
 
-void RedoJournal::CompleteCheckpoint(int64_t cut_seqno, Nanos now) {
-  if (cut_seqno <= base_seqno_) return;
-  for (const Segment& seg : segments_) {
-    if (seg.first_seqno > cut_seqno) break;
-    for (const Record& r : seg.records) {
-      if (r.seqno > cut_seqno) break;
-      if (r.seqno > base_seqno_) FoldIntoBase(r);
-    }
-  }
-  base_seqno_ = cut_seqno;
-  for (const auto& [epoch, boundary] : epoch_bounds_) {
-    if (boundary > cut_seqno) break;
-    base_epoch_ = std::max(base_epoch_, epoch);
-  }
-  last_checkpoint_at_ = now;
-  // Truncate: drop whole segments the checkpoint now covers. A partially
-  // covered head segment stays (its folded prefix is skipped at replay
-  // and re-folding at the next LCP is idempotent), so memory overhang is
-  // at most one segment.
-  while (!segments_.empty() &&
-         segments_.front().last_seqno <= cut_seqno) {
+void RedoJournal::TruncateCoveredSegments() {
+  // A segment whose every record is folded is fully attested by the base
+  // image (folding only touches the flushed prefix) — drop it. A segment
+  // with any unfolded record stays whole; re-visiting its folded prefix
+  // is skipped everywhere via the folded bit.
+  while (!segments_.empty() && segments_.front().unfolded == 0) {
     segments_.pop_front();
   }
-  // Epoch boundaries at or below the base epoch can never cut again.
-  while (epoch_bounds_.size() > 1 && epoch_bounds_.front().first <= base_epoch_ &&
-         epoch_bounds_.front().second <= base_seqno_) {
-    epoch_bounds_.erase(epoch_bounds_.begin());
+}
+
+void RedoJournal::CompleteCheckpoint(int64_t cut_seqno, Nanos now) {
+  if (cut_seqno <= base_seqno_) return;
+  const int64_t cut_epoch = EpochAtCut(cut_seqno);
+  for (Segment& seg : segments_) {
+    if (seg.first_seqno > cut_seqno) break;
+    for (Record& r : seg.records) {
+      if (r.seqno > cut_seqno) break;
+      if (r.folded || r.epoch > cut_epoch) continue;
+      FoldIntoBase(r);
+      r.folded = true;
+      seg.unfolded -= 1;
+    }
   }
-  RecomputeLag();
+  max_folded_epoch_ = std::max(max_folded_epoch_, cut_epoch);
+  FinishCheckpointRound(cut_seqno, now);
 }
 
 void RedoJournal::InstallImageBegin(int64_t epoch, Nanos now) {
@@ -235,6 +303,7 @@ void RedoJournal::InstallImageBegin(int64_t epoch, Nanos now) {
   flush_requested_seqno_ = last_seqno_;
   durable_bytes_ = appended_bytes_;
   base_epoch_ = epoch;
+  max_folded_epoch_ = epoch;
   last_checkpoint_at_ = now;
   lag_bytes_ = 0;
   lag_entries_ = 0;
@@ -245,13 +314,55 @@ void RedoJournal::InstallImageRow(TableId table, const Key& key,
   BootstrapRow(table, key, value);
 }
 
+void RedoJournal::InstallImageDelete(TableId table, const Key& key) {
+  auto& rows = base_[table];
+  auto it = rows.find(key);
+  if (it == rows.end()) return;
+  base_bytes_ -= static_cast<int64_t>(key.size()) +
+                 static_cast<int64_t>(it->second.size()) +
+                 config_.record_overhead_bytes;
+  base_rows_ -= 1;
+  rows.erase(it);
+}
+
+void RedoJournal::AdoptRecord(int64_t epoch, TxnId txn, TableId table,
+                              const Key& key, PartitionId part, bool deleted,
+                              std::string value, Nanos appended_at) {
+  Record r;
+  r.seqno = ++last_seqno_;
+  r.epoch = epoch;
+  r.txn = txn;
+  r.table = table;
+  r.key = key;
+  r.part = part;
+  r.deleted = deleted;
+  r.value = std::move(value);
+  r.bytes = static_cast<int64_t>(key.size()) +
+            static_cast<int64_t>(r.value.size()) +
+            config_.record_overhead_bytes;
+  r.appended_at = appended_at;
+  appended_bytes_ += r.bytes;
+  lag_bytes_ += r.bytes;
+  lag_entries_ += 1;
+  AppendToSegment(std::move(r));
+  // Adopted records count as flushed: the rejoin sequence charges their
+  // bytes to the log disk in one bulk write before the node serves.
+  durable_seqno_ = last_seqno_;
+  flush_requested_seqno_ = last_seqno_;
+  durable_bytes_ = appended_bytes_;
+}
+
+void RedoJournal::RaiseFoldedEpoch(int64_t epoch) {
+  max_folded_epoch_ = std::max(max_folded_epoch_, epoch);
+}
+
 RedoJournal::ReplayPlan RedoJournal::PlanReplay(int64_t max_epoch) const {
   ReplayPlan plan;
   plan.image_bytes = base_bytes_;
   plan.image_rows = base_rows_;
   for (const Segment& seg : segments_) {
     for (const Record& r : seg.records) {
-      if (r.seqno <= base_seqno_ || r.seqno > durable_seqno_) continue;
+      if (r.folded || r.seqno > durable_seqno_) continue;
       if (r.epoch > max_epoch) continue;
       plan.entries += 1;
       plan.log_bytes += r.bytes;
@@ -270,7 +381,7 @@ int64_t RedoJournal::Replay(
   int64_t applied = 0;
   for (const Segment& seg : segments_) {
     for (const Record& r : seg.records) {
-      if (r.seqno <= base_seqno_ || r.seqno > durable_seqno_) continue;
+      if (r.folded || r.seqno > durable_seqno_) continue;
       if (r.epoch > max_epoch) continue;
       if (r.deleted) {
         del(r.table, r.key);
@@ -303,7 +414,7 @@ RedoJournal::LossReport RedoJournal::LossBeyond(int64_t epoch) const {
   std::set<TxnId> txns;
   for (const Segment& seg : segments_) {
     for (const Record& r : seg.records) {
-      if (r.seqno <= base_seqno_) continue;
+      if (r.folded) continue;
       if (r.epoch <= epoch && r.seqno <= durable_seqno_) continue;
       report.entries += 1;
       if (r.txn != 0) txns.insert(r.txn);
@@ -333,7 +444,7 @@ void RedoJournal::RecomputeLag() {
   lag_entries_ = 0;
   for (const Segment& seg : segments_) {
     for (const Record& r : seg.records) {
-      if (r.seqno <= base_seqno_) continue;
+      if (r.folded) continue;
       lag_bytes_ += r.bytes;
       lag_entries_ += 1;
     }

@@ -2,28 +2,42 @@
 // and local checkpoints (the NDB REDO log + LCP analogue, §II-B2).
 //
 // Every write applied at a replica appends one sequence-numbered record
-// stamped with the GCP epoch it belongs to. Records accumulate in memory
-// and reach disk in *group commits*: the flush timer collects everything
-// appended since the previous flush into one batch and the caller charges
-// a single disk write (batch bytes + an fsync overhead) to the simulated
-// disk; `durable_seqno` advances only when that write lands. A *local
+// stamped with the GCP epoch the transaction's coordinator assigned at
+// its commit decision (transaction-atomic: all replicas of one commit
+// carry the same epoch). Records accumulate in memory and reach disk in
+// *group commits*: the flush timer collects everything appended since the
+// previous flush into one batch and the caller charges a single disk
+// write (batch bytes + an fsync overhead) to the simulated log disk;
+// `durable_seqno` advances only when that write lands. A *local
 // checkpoint* (LCP) folds the durable log prefix into a base row image,
 // truncating fully-covered segments so the journal's memory footprint is
 // bounded by the checkpoint image plus roughly one LCP interval of log.
 //
+// Because the cluster closes epoch E only after every transaction of
+// epochs <= E has completed, records of epoch E+1 may be appended before
+// E's boundary is recorded. The journal therefore never infers "is this
+// record in the base image" from sequence numbers alone: every record
+// carries an explicit `folded` bit set when an LCP folds it into the base,
+// and replay / loss accounting / truncation all consult it. LCPs are
+// per-partition (fragment LCPs, like real NDB): each fragment write folds
+// only that partition's records, a partially completed LCP round still
+// truncates fully-covered segments, and the checkpoint I/O is spread in
+// time instead of one monolithic image write.
+//
 // Epoch durability is log-driven: the datanode closes epoch E when the
-// cluster's GCP timer announces E (recording the boundary seqno), and E
-// counts as durable on this node once the flushed prefix covers that
-// boundary. The cluster-wide durable GCP epoch is the minimum over nodes
-// — exactly "the epoch only advances when every node's log covering it is
-// on disk".
+// cluster announces that E has completed (recording the boundary seqno),
+// and E counts as durable on this node once the flushed prefix covers
+// that boundary. The cluster-wide durable GCP epoch is the minimum over
+// nodes — exactly "the epoch only advances when every node's log covering
+// it is on disk".
 //
 // Replay rebuilds the committed row image deterministically: base image
-// first, then every flushed record up to the requested epoch, in seqno
-// order. `ReplayDigest` folds the would-be image into an order-sensitive
-// FNV-1a digest without touching any store, so recovery can prove that
-// two independent replays of the same journal produce byte-identical row
-// states (the replay-determinism audit run on every recovery).
+// first, then every flushed unfolded record up to the requested epoch, in
+// seqno order. `ReplayDigest` folds the would-be image into an
+// order-sensitive FNV-1a digest without touching any store, so recovery
+// can prove that two independent replays of the same journal produce
+// byte-identical row states (the replay-determinism audit run on every
+// recovery).
 #pragma once
 
 #include <cstdint>
@@ -63,11 +77,13 @@ class RedoJournal {
 
   struct Record {
     int64_t seqno = 0;  // 1-based, monotonic per node, never reused
-    int64_t epoch = 0;  // GCP epoch the write belongs to
+    int64_t epoch = 0;  // GCP epoch the TC assigned at commit decision
     TxnId txn = 0;
     TableId table = 0;
     Key key;
+    PartitionId part = 0;
     bool deleted = false;
+    bool folded = false;  // already folded into the base image by an LCP
     std::string value;
     int64_t bytes = 0;       // on-disk size incl. record overhead
     Nanos appended_at = 0;   // when the replica applied the write
@@ -77,6 +93,7 @@ class RedoJournal {
     int64_t first_seqno = 0;
     int64_t last_seqno = 0;  // == first-1 while empty
     int64_t bytes = 0;
+    int64_t unfolded = 0;    // records not yet folded into the base
     std::vector<Record> records;
   };
 
@@ -86,7 +103,7 @@ class RedoJournal {
   // ---- append path --------------------------------------------------
   // Appends one redo record; returns its seqno.
   int64_t Append(int64_t epoch, TxnId txn, TableId table, const Key& key,
-                 bool deleted, std::string value, Nanos now);
+                 PartitionId part, bool deleted, std::string value, Nanos now);
   // Bootstrap rows are durable by definition (loaded before the run):
   // they go straight into the checkpoint base image, not the log.
   void BootstrapRow(TableId table, const Key& key, const std::string& value);
@@ -94,8 +111,8 @@ class RedoJournal {
   // ---- group commit -------------------------------------------------
   // Collects everything appended since the previous flush request into
   // one batch. `disk_bytes` (record bytes + flush overhead) is what the
-  // caller charges to the disk; call MarkFlushed when the write lands.
-  // Returns upto_seqno == 0 when there is nothing to flush.
+  // caller charges to the log disk; call MarkFlushed when the write
+  // lands. Returns upto_seqno == 0 when there is nothing to flush.
   struct FlushBatch {
     int64_t upto_seqno = 0;
     int64_t record_bytes = 0;
@@ -110,26 +127,39 @@ class RedoJournal {
   void DropUnflushed();
 
   // ---- epochs -------------------------------------------------------
-  // The cluster announced GCP epoch `epoch`: all records of epochs <=
-  // epoch precede the current log end. Idempotent per epoch.
+  // The cluster announced that GCP epoch `epoch` has completed: every
+  // record of epochs <= epoch precedes the current log end. Idempotent
+  // per epoch.
   void CloseEpoch(int64_t epoch);
   // Highest closed epoch whose boundary the flushed prefix covers (or
   // the base image epoch if newer). 0 before anything is durable.
   int64_t durable_epoch() const;
 
-  // ---- local checkpoints -------------------------------------------
-  // Log position an LCP may cut at: the boundary of the cluster-wide
-  // durable epoch (never beyond this node's own flushed prefix). Rows
-  // of later epochs must stay in the log — folding them into the base
-  // image would bake in commits a cluster recovery may need to drop.
+  // ---- local checkpoints (fragment LCPs) ----------------------------
+  // Log position an LCP round may cut at: the boundary of the cluster-
+  // wide durable epoch (never beyond this node's own flushed prefix).
+  // Rows of later epochs must stay in the log — folding them into the
+  // base image would bake in commits a cluster recovery may need to
+  // drop.
   int64_t CheckpointCutSeqno(int64_t cluster_durable_epoch) const;
-  // Serialized size of the checkpoint image at `cut` (what the LCP disk
-  // write costs): current base plus the log prefix being folded.
+  // Largest closed epoch whose boundary `cut_seqno` covers (the epoch a
+  // checkpoint at that cut attests).
+  int64_t EpochAtCut(int64_t cut_seqno) const;
+  // Serialized size of one fragment's checkpoint write: this partition's
+  // share of the base image plus its foldable log records at the cut.
+  int64_t FragmentCheckpointBytes(PartitionId part, int num_partitions,
+                                  int64_t cut_seqno) const;
+  // The fragment's image write reached disk: fold this partition's
+  // records at or below the cut into the base image and mark them folded.
+  // A partially completed LCP round still truncates covered segments.
+  void CompleteFragmentCheckpoint(PartitionId part, int64_t cut_seqno);
+  // Every fragment of the round at `cut_seqno` is on disk: advance the
+  // base seqno/epoch the whole image attests, prune closed epoch bounds,
+  // truncate covered segments.
+  void FinishCheckpointRound(int64_t cut_seqno, Nanos now);
+  // Single-shot convenience (fold every partition at once) used by tests
+  // and the whole-image adoption path.
   int64_t CheckpointBytes(int64_t cut_seqno) const;
-  // The LCP image at `cut` reached disk: fold records <= cut into the
-  // base image (idempotent) and drop fully-covered segments. The image's
-  // epoch is derived from the cut: the largest closed epoch whose
-  // boundary the cut covers.
   void CompleteCheckpoint(int64_t cut_seqno, Nanos now);
 
   // Node rejoin / cluster restore: replace the whole journal state with
@@ -139,19 +169,33 @@ class RedoJournal {
   void InstallImageBegin(int64_t epoch, Nanos now);
   void InstallImageRow(TableId table, const Key& key,
                        const std::string& value);
+  void InstallImageDelete(TableId table, const Key& key);
+  // Rejoin catch-up: adopts one post-cut redo record from the resync
+  // source's journal, preserving its epoch/txn stamps. Adopted records
+  // count as flushed (the rejoin checkpoint write charges the disk).
+  void AdoptRecord(int64_t epoch, TxnId txn, TableId table, const Key& key,
+                   PartitionId part, bool deleted, std::string value,
+                   Nanos appended_at);
+  // Records that the adopted base image may attest epochs up to `epoch`
+  // for some partitions (the source had folded fragments beyond the
+  // cut); a cluster recovery must never cut below this.
+  void RaiseFoldedEpoch(int64_t epoch);
+  // Highest epoch any fragment of the base image may contain — the floor
+  // for a cluster-recovery cut involving this node.
+  int64_t max_folded_epoch() const { return max_folded_epoch_; }
 
   // ---- replay -------------------------------------------------------
   struct ReplayPlan {
     int64_t entries = 0;      // flushed log records to re-apply
-    int64_t log_bytes = 0;    // their on-disk size (disk read)
+    int64_t log_bytes = 0;    // their on-disk size (log-disk read)
     int64_t image_bytes = 0;  // checkpoint base image size (disk read)
     int64_t image_rows = 0;
   };
   // What replaying up to `max_epoch` (durable prefix only) would read
-  // and apply. INT64_MAX = everything this node's disk has.
+  // and apply. INT64_MAX = everything this node's disks have.
   ReplayPlan PlanReplay(int64_t max_epoch) const;
-  // Applies the base image then flushed records with epoch <= max_epoch
-  // in seqno order. Returns the number of log records applied.
+  // Applies the base image then flushed unfolded records with epoch <=
+  // max_epoch in seqno order. Returns the number of log records applied.
   int64_t Replay(int64_t max_epoch,
                  const std::function<void(TableId, const Key&,
                                           const std::string&)>& put,
@@ -178,7 +222,9 @@ class RedoJournal {
   int64_t base_rows() const { return base_rows_; }
   int64_t base_bytes() const { return base_bytes_; }
   Nanos last_checkpoint_at() const { return last_checkpoint_at_; }
-  // Appended-but-not-yet-durable bytes (group-commit backlog).
+  // Appended-but-not-yet-durable bytes (group-commit backlog). Grows
+  // without bound when the log disk cannot keep up — the redo
+  // backpressure stall limit bounds it.
   int64_t backlog_bytes() const;
   // Replay debt: log bytes/records not yet folded into a checkpoint —
   // what a crash right now would cost to replay (the `ndb.lcp.lag`
@@ -199,15 +245,17 @@ class RedoJournal {
  private:
   void AppendToSegment(Record record);
   void FoldIntoBase(const Record& record);
+  void TruncateCoveredSegments();
   void RecomputeLag();
 
   Config config_;
   std::deque<Segment> segments_;
-  // Checkpoint base image: committed rows as of base_seqno_/base_epoch_.
+  // Checkpoint base image: committed rows as of the folded record set.
   // (Tombstones are folded away: a deleted row is simply absent.)
   std::vector<std::map<Key, std::string>> base_;
   int64_t base_seqno_ = 0;
   int64_t base_epoch_ = 0;
+  int64_t max_folded_epoch_ = 0;
   int64_t base_rows_ = 0;
   int64_t base_bytes_ = 0;
   Nanos last_checkpoint_at_ = 0;

@@ -4,7 +4,9 @@
 // bytes since the last local checkpoint).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "ndb/client.h"
@@ -319,6 +321,290 @@ TEST(NdbRecoveryTest, ClusterRecoveryReportsBoundedLoss) {
   EXPECT_EQ(tc.InsertCommit("7/after", "v"), Code::kOk);
 }
 
+// Regression for the epoch-straddling window: a commit's redo records
+// used to be stamped with each replica's CURRENT epoch at append time, so
+// a GCP tick landing mid commit-chain split one transaction across two
+// epochs — the recovery cut could then keep some replicas' records and
+// drop others'. Epochs are now assigned once per transaction at the
+// commit decision, and an epoch only closes after all its commits
+// finished, so the cut is transaction-exact.
+TEST(NdbRecoveryTest, CommitEpochsAreTransactionAtomic) {
+  NdbNodeConfig node;
+  node.gcp_interval = kMillisecond;   // ticks land inside commit chains
+  node.redo_flush_interval = 10 * kMillisecond;
+  node.lcp_interval = 1000 * kSecond;  // keep every record in the log
+  RecoveryCluster tc(node);
+
+  std::map<TxnId, Key> keys;
+  for (int i = 0; i < 50; ++i) {
+    const Key key = StrFormat("%d/f", i);
+    const TxnId txn = tc.api->Begin(tc.table, key);
+    Code result = Code::kInternal;
+    bool done = false;
+    tc.api->Write(txn, tc.table, key, StrFormat("v%d", i), [&](Code c) {
+      if (c != Code::kOk) {
+        tc.api->Abort(txn);
+        result = c;
+        done = true;
+        return;
+      }
+      tc.api->Commit(txn, [&](Code c2) {
+        result = c2;
+        done = true;
+      });
+    });
+    tc.RunUntil(done);
+    ASSERT_EQ(result, Code::kOk);
+    keys[txn] = key;
+  }
+
+  // Every record of a transaction — across all replicas and chain
+  // positions — must carry the single epoch assigned at commit time.
+  std::map<TxnId, std::set<int64_t>> epochs;
+  for (NodeId n = 0; n < tc.cluster->num_datanodes(); ++n) {
+    for (const auto& seg : tc.cluster->datanode(n).journal().segments()) {
+      for (const auto& r : seg.records) {
+        if (keys.count(r.txn)) epochs[r.txn].insert(r.epoch);
+      }
+    }
+  }
+  ASSERT_EQ(epochs.size(), keys.size());
+  for (const auto& [txn, eps] : epochs) {
+    EXPECT_EQ(eps.size(), 1u)
+        << "txn " << txn << " straddles " << eps.size() << " epochs";
+  }
+
+  // Exact cut: recover immediately (the freshest commits cannot be
+  // durable). Every transaction is either fully replayed on all its
+  // replicas or fully dropped — never half-kept.
+  const auto report = tc.cluster->RecoverFromCheckpoint();
+  ASSERT_GE(report.dropped_commits, 1)
+      << "recovery right after a commit must drop the undurable tail";
+  const std::set<TxnId> dropped(report.dropped_txns.begin(),
+                                report.dropped_txns.end());
+  auto& layout = tc.cluster->layout();
+  for (const auto& [txn, key] : keys) {
+    const PartitionId p = layout.PartitionOf(tc.table, key);
+    for (NodeId n : layout.ReplicaChain(p)) {
+      const auto v = tc.cluster->datanode(n).store().Read(tc.table, key, 0);
+      if (dropped.count(txn)) {
+        EXPECT_FALSE(v.has_value())
+            << "dropped txn " << txn << " resurrected on node " << n;
+      } else {
+        EXPECT_TRUE(v.has_value())
+            << "durable txn " << txn << " lost on node " << n;
+      }
+    }
+  }
+}
+
+// Regression for the over-fresh-adoption window: a rejoining node used to
+// checkpoint the source's CURRENT image — including commits newer than
+// the cluster-durable epoch — so a whole-cluster recovery immediately
+// after the rejoin replayed those post-durable commits from its base
+// image while every other replica dropped them. Adoption is now filtered
+// to the durable cut; post-durable rows ride along as ordinary log
+// records and fall to the same side of the cut everywhere.
+TEST(NdbRecoveryTest, RejoinAdoptionCannotResurrectPostDurableCommits) {
+  NdbNodeConfig node;
+  node.redo_flush_interval = 200 * kMillisecond;
+  node.gcp_interval = 500 * kMillisecond;
+  node.lcp_interval = 1000 * kSecond;
+  RecoveryCluster tc(node);
+
+  // A key node 0 replicates, so the rejoin adoption covers it.
+  auto& layout = tc.cluster->layout();
+  std::string fresh_key;
+  for (int i = 0; i < 64 && fresh_key.empty(); ++i) {
+    const std::string key = StrFormat("%d/fresh", i);
+    for (NodeId r : layout.ReplicaChain(layout.PartitionOf(tc.table, key))) {
+      if (r == 0) {
+        fresh_key = key;
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(fresh_key.empty());
+
+  ASSERT_EQ(tc.InsertCommit("3/old", "v1"), Code::kOk);
+  tc.sim->RunFor(2 * kSecond);  // "3/old" durable everywhere
+
+  tc.cluster->CrashDatanode(0);
+  tc.WaitUntilDetectedDead(0);
+
+  // Acked while node 0 is down; with the slow flush/GCP cadence it is
+  // still NOT durable when the rejoin below completes.
+  TxnId fresh_txn = 0;
+  {
+    const TxnId txn = tc.api->Begin(tc.table, fresh_key);
+    Code result = Code::kInternal;
+    bool done = false;
+    tc.api->Write(txn, tc.table, fresh_key, "v2", [&](Code c) {
+      if (c != Code::kOk) {
+        tc.api->Abort(txn);
+        result = c;
+        done = true;
+        return;
+      }
+      tc.api->Commit(txn, [&](Code c2) {
+        result = c2;
+        done = true;
+      });
+    });
+    tc.RunUntil(done);
+    ASSERT_EQ(result, Code::kOk);
+    fresh_txn = txn;
+  }
+
+  // Rejoin immediately, then crash the whole cluster the moment the node
+  // serves again.
+  bool served = false;
+  tc.cluster->RestartDatanode(0, [&] { served = true; });
+  tc.RunUntil(served);
+  const auto report = tc.cluster->RecoverFromCheckpoint();
+
+  // Guard: the scenario only exercises the window if the fresh commit
+  // was really beyond the recovery cut.
+  const std::set<TxnId> dropped(report.dropped_txns.begin(),
+                                report.dropped_txns.end());
+  ASSERT_TRUE(dropped.count(fresh_txn))
+      << "fresh commit became durable before the rejoin finished; "
+         "the test no longer exercises the adoption window";
+
+  // The dropped commit must be gone EVERYWHERE — in particular on the
+  // freshly rejoined node 0, whose adopted checkpoint must not have
+  // smuggled it past the cut.
+  const PartitionId p = layout.PartitionOf(tc.table, fresh_key);
+  for (NodeId n : layout.ReplicaChain(p)) {
+    EXPECT_FALSE(tc.cluster->datanode(n)
+                     .store()
+                     .Read(tc.table, fresh_key, 0)
+                     .has_value())
+        << "post-durable commit resurrected on node " << n;
+  }
+  // The durable row survived on its replicas.
+  const PartitionId p_old = layout.PartitionOf(tc.table, "3/old");
+  for (NodeId n : layout.ReplicaChain(p_old)) {
+    EXPECT_TRUE(
+        tc.cluster->datanode(n).store().Read(tc.table, "3/old", 0).has_value())
+        << "durable commit lost at node " << n;
+  }
+}
+
+// Streaming catch-up: a rejoining node serves committed reads for
+// partitions whose resync already completed, before it is fully alive.
+TEST(NdbRecoveryTest, RejoiningNodeServesReadsMidResync) {
+  NdbNodeConfig node;
+  node.lcp_interval = 1000 * kSecond;  // big replay + big adopted image
+  RecoveryCluster tc(node);
+
+  // Enough data that the rejoin checkpoint write gives a real window in
+  // which the node is catch-up-ready but not yet alive.
+  std::vector<std::string> mine;  // keys node 0 replicates
+  auto& layout = tc.cluster->layout();
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = StrFormat("%d/f", i);
+    ASSERT_EQ(tc.InsertCommit(key, std::string(2048, 'd')), Code::kOk);
+    for (NodeId r : layout.ReplicaChain(layout.PartitionOf(tc.table, key))) {
+      if (r == 0) {
+        mine.push_back(key);
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(mine.empty());
+  tc.sim->RunFor(kSecond);
+
+  tc.cluster->CrashDatanode(0);
+  tc.WaitUntilDetectedDead(0);
+  // Writes while the node is down give the resync real work per
+  // partition (and in-flight writers make the per-partition fences wait).
+  for (size_t i = 0; i < mine.size(); i += 3) {
+    ASSERT_EQ(tc.InsertCommit(mine[i], std::string(2048, 'e')), Code::kOk);
+  }
+
+  bool served = false;
+  tc.cluster->RestartDatanode(0, [&] { served = true; });
+
+  // Hammer committed reads of node-0 keys while it recovers. The API
+  // node sits in AZ 0, and node 0 is the only AZ-0 replica of its
+  // partitions, so AZ-aware routing prefers it as soon as a partition
+  // turns catch-up-ready.
+  int64_t reads_ok = 0;
+  size_t rr = 0;
+  auto read_timer = tc.sim->Every(200 * kMicrosecond, [&] {
+    if (served) return;
+    const std::string& key = mine[rr++ % mine.size()];
+    // BeginNoHint lands the TC on the closest alive node (node 1, AZ 0);
+    // its committed-read routing then prefers the AZ-0 replica — node 0 —
+    // as soon as the key's partition turns catch-up-ready.
+    const TxnId txn = tc.api->BeginNoHint();
+    if (txn == 0) return;
+    tc.api->Read(txn, tc.table, key, LockMode::kReadCommitted,
+                 [&, txn](Code c, std::optional<std::string>) {
+                   if (c == Code::kOk) ++reads_ok;
+                   tc.api->Abort(txn);
+                 });
+  });
+  tc.RunUntil(served);
+  read_timer.Cancel();
+  EXPECT_GT(reads_ok, 0);
+
+  ASSERT_FALSE(tc.cluster->recovery_log().empty());
+  const auto& rec = tc.cluster->recovery_log().back();
+  EXPECT_FALSE(rec.aborted);
+  EXPECT_GT(rec.streamed_parts, 0)
+      << "resync must stream per partition, not adopt in one gulp";
+  EXPECT_GT(rec.catchup_reads, 0)
+      << "the rejoining node must serve reads for resynced partitions "
+         "before it is fully alive";
+  // And the node converged: fully serving, consistent with its peers.
+  EXPECT_TRUE(tc.cluster->datanode(0).alive());
+  for (const auto& key : mine) {
+    const auto v = tc.cluster->datanode(0).store().Read(tc.table, key, 0);
+    ASSERT_TRUE(v.has_value()) << key << " missing on the rejoined node";
+  }
+}
+
+// A saturated (grey-slow) redo-log disk must engage commit backpressure:
+// the unflushed backlog stays bounded, some commits shed with
+// kResourceExhausted instead of piling up, and the stall clock runs.
+TEST(NdbRecoveryTest, LogDiskSaturationBoundsRedoBacklog) {
+  NdbNodeConfig node;
+  node.redo_stall_backlog_bytes = 32 << 10;  // low threshold, engages fast
+  RecoveryCluster tc(node);
+  tc.cluster->datanode(0).SetLogDiskSlowdown(5000.0);
+
+  const int64_t bound = 2 * node.redo_stall_backlog_bytes;
+  int ok = 0, shed = 0;
+  int64_t max_backlog = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Code c = tc.InsertCommit(StrFormat("%d/f", i), std::string(512, 'z'));
+    if (c == Code::kOk) {
+      ++ok;
+    } else {
+      ++shed;
+    }
+    max_backlog = std::max(max_backlog,
+                           tc.cluster->datanode(0).journal().backlog_bytes());
+  }
+  EXPECT_GT(ok, 0) << "keys avoiding the slow node must still commit";
+  EXPECT_GT(shed, 0) << "backpressure must shed commits, not queue forever";
+  EXPECT_LE(max_backlog, bound)
+      << "unflushed redo must stay bounded under log-disk saturation";
+  EXPECT_GT(tc.cluster->datanode(0).redo_stall_ns(), 0)
+      << "the stall clock must account the backpressure time";
+
+  // Heal the disk: the backlog drains and commits on the node's
+  // partitions succeed again.
+  tc.cluster->datanode(0).SetLogDiskSlowdown(1.0);
+  tc.sim->RunFor(2 * kSecond);
+  EXPECT_EQ(tc.cluster->datanode(0).journal().backlog_bytes(), 0);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(tc.InsertCommit(StrFormat("%d/f", i), "post-heal"), Code::kOk);
+  }
+}
+
 TEST(NdbRecoveryTest, CrashDuringRecoveryAbandonsAndRetries) {
   RecoveryCluster tc;
   for (int i = 0; i < 20; ++i) {
@@ -347,6 +633,90 @@ TEST(NdbRecoveryTest, CrashDuringRecoveryAbandonsAndRetries) {
   const auto& rec = tc.cluster->recovery_log().back();
   EXPECT_FALSE(rec.aborted);
   EXPECT_TRUE(rec.replay_deterministic);
+}
+
+// Catch-up backups sit in write chains but outside the failure detector's
+// purview (it only watches layout-alive nodes), so losing a commit-chain
+// or Complete hop to one — e.g. to a partition — must not wedge the
+// transaction forever: the inactivity sweep re-drives the stalled phase.
+// Without that, the primary's row lock and every backup pending slot stay
+// held until the node fully revives — or forever, if it never does.
+TEST(NdbRecoveryTest, PartitionedCatchupBackupCannotWedgeCommit) {
+  NdbNodeConfig node;
+  node.lcp_interval = 1000 * kSecond;  // long replay = long catch-up window
+  RecoveryCluster tc(node);
+
+  auto& layout = tc.cluster->layout();
+  std::vector<std::string> mine;  // keys node 0 replicates
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = StrFormat("%d/f", i);
+    ASSERT_EQ(tc.InsertCommit(key, std::string(2048, 'd')), Code::kOk);
+    for (NodeId r : layout.ReplicaChain(layout.PartitionOf(tc.table, key))) {
+      if (r == 0) {
+        mine.push_back(key);
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(mine.empty());
+  tc.sim->RunFor(kSecond);
+  tc.cluster->CrashDatanode(0);
+  tc.WaitUntilDetectedDead(0);
+  for (size_t i = 0; i < mine.size(); i += 3) {
+    ASSERT_EQ(tc.InsertCommit(mine[i], std::string(2048, 'e')), Code::kOk);
+  }
+
+  bool served = false;
+  tc.cluster->RestartDatanode(0, [&] { served = true; });
+
+  // Wait for a partition of node 0 to turn catch-up ready and pick a key
+  // in it: that key's write chain now ends at catch-up node 0.
+  std::string key;
+  const Nanos deadline = tc.sim->now() + 60 * kSecond;
+  while (key.empty() && tc.sim->now() < deadline && !served) {
+    for (const auto& k : mine) {
+      if (layout.catchup_ready(0, layout.PartitionOf(tc.table, k))) {
+        key = k;
+        break;
+      }
+    }
+    if (key.empty()) tc.sim->RunFor(200 * kMicrosecond);
+  }
+  ASSERT_FALSE(key.empty()) << "no partition turned catch-up ready";
+
+  // Commit through the catch-up backup, cutting traffic into AZ 0 at the
+  // commit point. The commit chain runs backups-first, so its first hop —
+  // to node 0, the chain's appended tail — is dropped.
+  const TxnId txn = tc.api->Begin(tc.table, key);
+  ASSERT_NE(txn, 0u);
+  bool prepared = false;
+  bool commit_done = false;
+  tc.api->Write(txn, tc.table, key, "wedge-me", [&](Code c) {
+    ASSERT_EQ(c, Code::kOk) << "all replicas, node 0 included, must prepare";
+    prepared = true;
+    tc.topology->PartitionAzsOneWay(1, 0);
+    tc.topology->PartitionAzsOneWay(2, 0);
+    tc.api->Commit(txn, [&](Code) { commit_done = true; });
+    // Heal well under the failure detector's threshold (4 x 50 ms): this
+    // exercises the re-drive, not node eviction. The lost hop is already
+    // lost — nothing re-sends it on heal.
+    tc.sim->After(60 * kMillisecond,
+                  [&] { tc.topology->HealAllPartitions(); });
+  });
+  tc.RunUntil(commit_done);
+  ASSERT_TRUE(prepared);
+
+  // One inactivity timeout later the sweep re-drives the stalled commit
+  // chain; the primary applies and unlocks. A fresh write to the same row
+  // must then succeed — wedged, it would time out on the primary's lock.
+  tc.sim->RunFor(4 * kSecond);
+  EXPECT_EQ(tc.InsertCommit(key, "after-heal"), Code::kOk)
+      << "commit through a partitioned catch-up backup wedged the row";
+
+  tc.RunUntil(served);
+  const auto v = tc.cluster->datanode(0).store().Read(tc.table, key, 0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "after-heal");
 }
 
 }  // namespace
