@@ -1,0 +1,340 @@
+// Scheduler core benchmark: timer-wheel engine vs the frozen pre-wheel
+// binary-heap engine (sim/legacy_engine.h), on the workloads that dominate
+// every figure in this reproduction.
+//
+// Scenarios:
+//   * heartbeat_10k  — 10,000 hosts each heartbeating on a staggered
+//     ~1 s timer plus per-tick one-shot churn, 60 simulated seconds. Run
+//     on BOTH engines; the committed speedup in BENCH_sim_engine.json is
+//     asserted to stay >= 5x (the ISSUE-8 acceptance bar).
+//   * million_client — 1,000,000 open-loop clients issuing ops with
+//     exponential think time while 10,000 hosts heartbeat at 100 ms, 10
+//     simulated seconds (~7M events). Wheel engine only; reports
+//     events/sec, wall time and peak RSS. This is the planet-scale
+//     headline ROADMAP item 1 gates on.
+//
+// Regression gate (CI `sim-perf-smoke`): with REPRO_BENCH_BASELINE set to
+// the committed BENCH_sim_engine.json, the bench fails if the measured
+// wheel events/sec drop more than 20% below the baseline after
+// normalising for machine speed by the legacy engine's ratio
+// (measured_legacy / baseline_legacy) — so a slow CI runner doesn't
+// false-positive and a real scheduler regression can't hide behind one.
+//
+// REPRO_BENCH_JSON overrides the output path (default working directory).
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/legacy_engine.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace repro::bench {
+namespace {
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Process CPU time. Engine rates are computed from CPU seconds, not wall
+// seconds: shared CI runners steal the single vCPU for whole scheduling
+// quanta, and wall-clock rates swing 2x run-to-run under that noise while
+// CPU-second rates hold steady. For a single-threaded bench the two agree
+// on an idle machine.
+double CpuSeconds() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
+         static_cast<double>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) / 1e6;
+}
+
+double PeakRssMb() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+// ---- Scenario 1: heartbeat-heavy 10k hosts --------------------------------
+
+struct HeartbeatResult {
+  uint64_t events = 0;
+  double cpu_sec = 0;
+  double eps = 0;
+};
+
+// Every host carries the timer complement a real fleet node does: a
+// 100 ms heartbeat (staggered so ticks spread over the interval), a
+// 250 ms gossip round, a 500 ms lease renewal, a 1 s redo flush, a 10 s
+// telemetry scrape, and a 60 s checkpoint tick; every 8th heartbeat
+// schedules a short-lived one-shot (an ack/timeout pattern) so the run
+// also exercises the one-shot path. Six timers per host keep a 60k-event
+// standing population pending at all times — the O(hosts) load that
+// churns a comparison-based queue (every sift walks random lines of a
+// multi-megabyte heap) but costs a wheel nothing. Identical code drives
+// both engines.
+template <typename Sim>
+HeartbeatResult RunHeartbeats(int hosts, Nanos sim_horizon) {
+  Sim sim(7);
+  uint64_t ticks = 0;
+  uint64_t acks = 0;
+  std::vector<typename Sim::PeriodicHandle> handles;
+  handles.reserve(6 * hosts);
+  Rng stagger(42);
+  for (int h = 0; h < hosts; ++h) {
+    const Nanos interval =
+        Millis(100) + Micros(static_cast<int64_t>(stagger.NextBelow(10000)));
+    handles.push_back(sim.Every(interval, [&sim, &ticks, &acks] {
+      if (++ticks % 8 == 0) {
+        sim.After(Millis(5), [&acks] { ++acks; });
+      }
+    }));
+    handles.push_back(sim.Every(
+        Millis(250) + Micros(static_cast<int64_t>(stagger.NextBelow(25000))),
+        [&ticks] { ++ticks; }));
+    handles.push_back(sim.Every(
+        Millis(500) + Micros(static_cast<int64_t>(stagger.NextBelow(50000))),
+        [&ticks] { ++ticks; }));
+    handles.push_back(sim.Every(
+        Seconds(1) + Micros(static_cast<int64_t>(stagger.NextBelow(100000))),
+        [&ticks] { ++ticks; }));
+    handles.push_back(sim.Every(
+        Seconds(10) + Micros(static_cast<int64_t>(stagger.NextBelow(100000))),
+        [&ticks] { ++ticks; }));
+    handles.push_back(sim.Every(
+        Seconds(60) + Micros(static_cast<int64_t>(stagger.NextBelow(100000))),
+        [&ticks] { ++ticks; }));
+  }
+  const double c0 = CpuSeconds();
+  sim.RunUntil(sim_horizon);
+  const double c1 = CpuSeconds();
+  HeartbeatResult r;
+  r.events = sim.events_processed();
+  r.cpu_sec = c1 - c0;
+  r.eps = static_cast<double>(r.events) / r.cpu_sec;
+  return r;
+}
+
+// ---- Scenario 2: million-client open-loop ---------------------------------
+
+struct MillionResult {
+  uint64_t events = 0;
+  double wall_sec = 0;
+  double eps = 0;
+  double peak_rss_mb = 0;
+};
+
+// Each client is an open-loop arrival chain: issue an op (which completes
+// via a 1 ms one-shot), then re-arm after exponential think time —
+// arrivals never wait for completions. 10k hosts heartbeat at 100 ms
+// underneath, like a serving fleet under the paper's Spotify workload.
+MillionResult RunMillionClients(int clients, int hosts, Nanos sim_horizon) {
+  Simulation sim(11);
+  uint64_t ops = 0;
+  uint64_t beats = 0;
+  const double think_mean_ns = 2e9;  // ~5 ops per client over 10 s
+
+  std::vector<Simulation::PeriodicHandle> handles;
+  handles.reserve(hosts);
+  for (int h = 0; h < hosts; ++h) {
+    const Nanos interval = Millis(100) + Micros(h % 1000);
+    handles.push_back(sim.Every(interval, [&beats] { ++beats; }));
+  }
+
+  struct Client {
+    Simulation* sim;
+    uint64_t* ops;
+    Nanos horizon;
+    double think_mean_ns;
+    void Arm(Nanos delay) {
+      sim->After(delay, [this] {
+        ++*ops;
+        sim->After(Millis(1), [] {});  // op completion
+        const Nanos think =
+            static_cast<Nanos>(sim->rng().NextExp(think_mean_ns));
+        if (sim->now() + think < horizon) Arm(think);
+      });
+    }
+  };
+  Client client{&sim, &ops, sim_horizon, think_mean_ns};
+  Rng arrivals(1234);
+  for (int c = 0; c < clients; ++c) {
+    // First arrivals spread uniformly over one think time.
+    client.Arm(static_cast<Nanos>(arrivals.NextBelow(
+        static_cast<uint64_t>(think_mean_ns))));
+  }
+
+  const double t0 = WallSeconds();
+  sim.RunUntil(sim_horizon);
+  const double t1 = WallSeconds();
+  MillionResult r;
+  r.events = sim.events_processed();
+  r.wall_sec = t1 - t0;
+  r.eps = static_cast<double>(r.events) / r.wall_sec;
+  r.peak_rss_mb = PeakRssMb();
+  std::printf("  (ops=%llu heartbeats=%llu)\n",
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(beats));
+  return r;
+}
+
+// ---- Baseline comparison ---------------------------------------------------
+
+// Minimal extraction of "key": <number> from a JSON file we wrote
+// ourselves; no general parser needed.
+bool FindJsonNumber(const std::string& text, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+int CheckBaseline(double wheel_eps, double legacy_eps) {
+  const char* path = std::getenv("REPRO_BENCH_BASELINE");
+  if (path == nullptr || path[0] == '\0') {
+    std::printf("baseline gate: REPRO_BENCH_BASELINE unset, skipping\n");
+    return 0;
+  }
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot read baseline %s\n", path);
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  double base_wheel = 0, base_legacy = 0;
+  if (!FindJsonNumber(text, "wheel_eps", &base_wheel) ||
+      !FindJsonNumber(text, "legacy_eps", &base_legacy)) {
+    std::printf("FAIL: baseline %s missing wheel_eps/legacy_eps\n", path);
+    return 1;
+  }
+  // Normalise for machine speed: this runner is (legacy_eps/base_legacy)x
+  // as fast as the one that produced the baseline, so expect the wheel to
+  // scale the same way. >20% below that is a genuine scheduler regression.
+  const double machine = legacy_eps / base_legacy;
+  const double expected = base_wheel * machine;
+  const double floor = 0.8 * expected;
+  std::printf(
+      "baseline gate: wheel %.2fM eps vs floor %.2fM eps "
+      "(baseline %.2fM, machine factor %.2fx)\n",
+      wheel_eps / 1e6, floor / 1e6, base_wheel / 1e6, machine);
+  if (wheel_eps < floor) {
+    std::printf("FAIL: events/sec regressed >20%% vs committed baseline\n");
+    return 1;
+  }
+  std::printf("  [pass] within 20%% of committed baseline\n");
+  return 0;
+}
+
+int WriteBenchJson(int hosts, const HeartbeatResult& wheel,
+                   const HeartbeatResult& legacy, double speedup, int clients,
+                   const MillionResult& million) {
+  std::string path = "BENCH_sim_engine.json";
+  if (const char* env = std::getenv("REPRO_BENCH_JSON")) path = env;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"sim_engine\",\n"
+      "  \"heartbeat_10k\": {\"hosts\": %d, \"sim_seconds\": 60, "
+      "\"events\": %llu, \"wheel_eps\": %.0f, \"legacy_eps\": %.0f, "
+      "\"speedup\": %.2f},\n"
+      "  \"million_client\": {\"clients\": %d, \"hosts\": 10000, "
+      "\"sim_seconds\": 10, \"events\": %llu, \"eps\": %.0f, "
+      "\"wall_sec\": %.2f, \"peak_rss_mb\": %.1f}\n"
+      "}\n",
+      hosts, static_cast<unsigned long long>(wheel.events), wheel.eps,
+      legacy.eps, speedup, clients,
+      static_cast<unsigned long long>(million.events), million.eps,
+      million.wall_sec, million.peak_rss_mb);
+  std::fclose(f);
+  std::printf("headline numbers -> %s\n", path.c_str());
+  return 0;
+}
+
+int Main() {
+  std::printf(
+      "==============================================================\n"
+      " DES core: timer wheel + event pool vs pre-wheel binary heap\n"
+      " (ROADMAP item 1 / ISSUE 8 acceptance)\n"
+      "==============================================================\n\n");
+  int rc = 0;
+
+  const int kHosts = 10000;
+  const Nanos kHorizon = Seconds(60);
+  const int kReps = 3;
+  std::printf("heartbeat_10k: %d hosts, 60 simulated seconds, best of %d\n",
+              kHosts, kReps);
+  // Run the million-client scenario last so peak RSS is attributed to it;
+  // the heartbeat runs are small (10k timers). Interleave the engines and
+  // keep each one's best repetition: the minimum wall time is the least
+  // noise-contaminated estimate of what the machine can do, which keeps
+  // the speedup ratio stable on shared CI runners.
+  HeartbeatResult legacy, wheel;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const HeartbeatResult l = RunHeartbeats<LegacySimulation>(kHosts, kHorizon);
+    if (rep == 0 || l.eps > legacy.eps) legacy = l;
+    const HeartbeatResult w = RunHeartbeats<Simulation>(kHosts, kHorizon);
+    if (rep == 0 || w.eps > wheel.eps) wheel = w;
+  }
+  std::printf(
+      "  legacy heap : %8llu events in %6.2f cpu-s = %6.2fM events/sec\n",
+      static_cast<unsigned long long>(legacy.events), legacy.cpu_sec,
+      legacy.eps / 1e6);
+  std::printf(
+      "  timer wheel : %8llu events in %6.2f cpu-s = %6.2fM events/sec\n",
+      static_cast<unsigned long long>(wheel.events), wheel.cpu_sec,
+      wheel.eps / 1e6);
+  if (wheel.events != legacy.events) {
+    std::printf("FAIL: engines disagree on event count (%llu vs %llu)\n",
+                static_cast<unsigned long long>(wheel.events),
+                static_cast<unsigned long long>(legacy.events));
+    rc = 1;
+  }
+  const double speedup = wheel.eps / legacy.eps;
+  std::printf("  speedup     : %.2fx\n", speedup);
+  if (speedup < 5.0) {
+    std::printf("FAIL: acceptance requires >= 5x over the pre-wheel engine\n");
+    rc = 1;
+  } else {
+    std::printf("  [pass] >= 5x events/sec over the pre-wheel engine\n");
+  }
+
+  const int kClients = 1000000;
+  std::printf("\nmillion_client: %d open-loop clients + 10000 hosts "
+              "heartbeating, 10 simulated seconds\n", kClients);
+  const MillionResult million =
+      RunMillionClients(kClients, 10000, Seconds(10));
+  std::printf(
+      "  timer wheel : %8llu events in %6.2fs = %6.2fM events/sec, "
+      "peak RSS %.0f MB\n",
+      static_cast<unsigned long long>(million.events), million.wall_sec,
+      million.eps / 1e6, million.peak_rss_mb);
+
+  rc |= CheckBaseline(wheel.eps, legacy.eps);
+  rc |= WriteBenchJson(kHosts, wheel, legacy, speedup, kClients, million);
+  std::printf("\nRESULT: %s\n", rc == 0 ? "scheduler core holds every bar"
+                                        : "EXPECTATION VIOLATED");
+  return rc;
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() { return repro::bench::Main(); }

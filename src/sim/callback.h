@@ -1,0 +1,121 @@
+// Small-buffer-optimised callable slot for simulation events.
+//
+// The engine stores every scheduled callback in a `SmallFn`: a move-only,
+// type-erased `void()` callable with 56 bytes of inline storage. Closures
+// that fit (every heartbeat tick, completion callback, and network-delivery
+// wrapper in this repository) are stored in place, so the steady-state
+// event loop performs no heap allocation at all — the reason `At`/`After`/
+// `Every` can run millions of events per second. Oversized or
+// throwing-move callables fall back to a single heap allocation, which is
+// exactly what `std::function` would have done for anything beyond its
+// (much smaller) internal buffer.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace repro {
+
+class SmallFn {
+ public:
+  // Sized so the network layer's per-message delivery wrapper (this + two
+  // host ids + byte count + a std::function payload) stays inline.
+  static constexpr std::size_t kInlineBytes = 56;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(runtime/explicit): intentional implicit wrap
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *PtrSlot() = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct the callable into dst's storage from src's storage,
+    // then destroy the source (a "relocate": move + destroy in one step).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename T>
+  static constexpr bool FitsInline() {
+    // Storage is pointer-aligned (keeping SmallFn at exactly 64 bytes);
+    // over-aligned callables fall back to the heap path.
+    return sizeof(T) <= kInlineBytes && alignof(T) <= alignof(void*) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+  void** PtrSlot() noexcept { return reinterpret_cast<void**>(storage_); }
+
+  template <typename T>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* s) { (*std::launder(reinterpret_cast<T*>(s)))(); },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        T* from = std::launder(reinterpret_cast<T*>(src));
+        ::new (dst) T(std::move(*from));
+        from->~T();
+      },
+      /*destroy=*/
+      [](void* s) noexcept { std::launder(reinterpret_cast<T*>(s))->~T(); },
+  };
+
+  template <typename T>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* s) { (**reinterpret_cast<T**>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<T**>(dst) = *reinterpret_cast<T**>(src);
+      },
+      /*destroy=*/[](void* s) noexcept { delete *reinterpret_cast<T**>(s); },
+  };
+
+  void MoveFrom(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(void*) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace repro

@@ -6,14 +6,24 @@
 // message-passing code whose delays come from this engine rather than from
 // a datacenter network. Events at equal timestamps are ordered by insertion
 // sequence, so runs are bit-for-bit reproducible from the RNG seed.
+//
+// Scheduler hot path (DESIGN.md §2.1): pending events live in a slab pool
+// and are ordered by a 4-level hierarchical timer wheel whose expired
+// slots feed a small flat binary heap (the "imminent" heap). Periodic
+// timers — the O(hosts) heartbeats, GCP ticks, redo flushes and scrapes
+// that dominate large runs — insert in O(1) and reschedule by handle, so
+// a tick performs no allocation and never copies its closure. Dispatch
+// order is the exact global (time, insertion-seq) order the old binary
+// heap produced; tests/sim_test.cc asserts equivalence against the frozen
+// pre-wheel engine in sim/legacy_engine.h.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.h"
 #include "trace/trace.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -23,6 +33,9 @@ namespace repro {
 class Simulation {
  public:
   explicit Simulation(uint64_t seed = 1);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
 
   Nanos now() const { return now_; }
   Rng& rng() { return rng_; }
@@ -35,30 +48,39 @@ class Simulation {
   trace::Tracer& tracer() { return tracer_; }
   const trace::Tracer& tracer() const { return tracer_; }
 
-  // Schedules fn at an absolute simulated time (>= now).
-  void At(Nanos time, std::function<void()> fn);
+  // Schedules fn at an absolute simulated time. Scheduling into the past
+  // is a hard error in every build type: it would silently rewind now()
+  // at dispatch and corrupt every Booking downstream, so the engine logs
+  // and aborts instead (see SchedulePanic).
+  void At(Nanos time, SmallFn fn);
 
-  // Schedules fn after a relative delay (>= 0).
-  void After(Nanos delay, std::function<void()> fn);
+  // Schedules fn after a relative delay (>= 0; negative delays abort).
+  void After(Nanos delay, SmallFn fn);
 
   // Runs fn every `interval`, starting after one interval, until the
   // returned handle is cancelled or the simulation ends. Used for
   // heartbeats, leader-election rounds, and checkpoint ticks.
   // The handle owns the periodic subscription: dropping or cancelling it
   // stops the timer (in-flight firings see the cleared flag and no-op).
+  // The callback is moved once into the pooled event, and the event is
+  // rescheduled in place by handle — a tick copies nothing.
   class PeriodicHandle {
    public:
     void Cancel() {
       if (alive_) *alive_ = false;
-      tick_.reset();
+      alive_.reset();
     }
 
    private:
     friend class Simulation;
+    // Shared with the engine's periodic record (which holds exactly one
+    // strong reference): *alive_ == false means cancelled, and a
+    // use_count of 1 means every handle copy was dropped — in which case
+    // the timer fires at most once more and stops, matching the
+    // pre-wheel engine's weak-tick semantics exactly.
     std::shared_ptr<bool> alive_;
-    std::shared_ptr<std::function<void()>> tick_;
   };
-  PeriodicHandle Every(Nanos interval, std::function<void()> fn);
+  PeriodicHandle Every(Nanos interval, SmallFn fn);
 
   // Drains the event queue completely.
   void Run();
@@ -73,27 +95,125 @@ class Simulation {
   // deadline event fires" — without polling in fixed time steps.
   bool RunOne();
 
-  bool Empty() const { return queue_.empty(); }
+  bool Empty() const { return pending_ == 0; }
+  uint64_t pending() const { return pending_; }
 
  private:
-  struct Event {
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  // ---- Timer wheel geometry -------------------------------------------
+  // Level 0 has 16384 slots of 2^16 ns (~65.5 us) — one revolution covers
+  // ~1.07 s, so every timer up to heartbeat scale (even a full 100 ms-class
+  // reschedule from anywhere in the revolution) inserts in O(1) and is
+  // touched exactly once more at expiry, and even 10k hosts spread over a
+  // 100 ms interval put only a handful of events in each slot (small
+  // imminent heap). Levels 1–3 have 64 slots each of 2^30/2^36/2^42 ns;
+  // an upper-level slot width equals the full horizon of the level below,
+  // so expiring one upper slot redistributes its events exactly one level
+  // down. Events beyond level 3's ~78 h horizon wait in a far-future
+  // heap. Each level only ever holds events of its *current* revolution
+  // (Insert places anything past the revolution end one level up), which
+  // keeps "next occupied slot" scans exact and lets the cursor jump over
+  // empty regions via per-level occupancy bitmaps.
+  static constexpr int kL0Bits = 14;                   // 16384 slots
+  static constexpr int kLnBits = 6;                    // 64 slots
+  static constexpr int kLevels = 4;
+  static constexpr int kShift[kLevels] = {16, 30, 36, 42};
+  static constexpr int kSlots[kLevels] = {1 << kL0Bits, 1 << kLnBits,
+                                          1 << kLnBits, 1 << kLnBits};
+  // Horizon of level l == slot width of level l+1 == 1 << kHorizonShift[l].
+  static constexpr int kHorizonShift[kLevels] = {30, 36, 42, 48};
+
+  // 128-byte aligned: exactly two cache lines — the scheduling head in the
+  // first, the callback in the second. Periodic state (interval, liveness)
+  // lives in the event itself: a tick touches no record besides the event
+  // it is already dispatching plus the handle's shared control block.
+  struct alignas(128) Event {
+    Nanos time = 0;
+    uint64_t seq = 0;
+    uint32_t next = kNil;         // wheel-slot chain / free-list link
+    uint32_t periodic = 0;        // 1 if a periodic tick
+    Nanos interval = 0;           // periodic reschedule interval
+    std::shared_ptr<bool> alive;  // periodic liveness; see PeriodicHandle
+    // Pinned to the second cache line so the dispatch prefetcher can pull
+    // it in ahead of the call.
+    alignas(64) SmallFn fn;       // the callback, fired in place
+  };
+  static_assert(sizeof(SmallFn) == 64, "event layout assumes 64B SmallFn");
+  static_assert(sizeof(Event) == 128, "Event must stay two cache lines");
+
+  // Flat-heap entry: all ordering decisions compare 16 bytes, never the
+  // event body.
+  struct HeapEntry {
     Nanos time;
     uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+    uint32_t idx;
+    bool operator<(const HeapEntry& o) const {
+      return time != o.time ? time < o.time : seq < o.seq;
     }
   };
 
-  void Dispatch(Event& e);
+  [[noreturn]] void SchedulePanic(const char* what, Nanos time) const;
+
+  uint32_t AllocEvent();
+  void FreeEvent(uint32_t idx);
+  Event& Ev(uint32_t idx) { return slabs_[idx >> kSlabBits][idx & kSlabMask]; }
+
+  void Insert(HeapEntry h);
+  // First occupied slot index >= `from` at `level`, or -1 (bitmap scan).
+  int FindOccupied(int level, int from) const;
+  void ImminentPush(HeapEntry e);
+  HeapEntry ImminentPop();
+
+  // Global minimum across the sorted run and the spill heap, or nullptr
+  // when both are drained (callers then AdvanceWheel for the next batch).
+  const HeapEntry* PeekImminent() const;
+  uint32_t PopImminent();
+
+  // Moves the chain of the next occupied wheel slot into the imminent
+  // heap, jumping over empty regions. Returns false if wheel + far heap
+  // are empty.
+  bool AdvanceWheel();
+  void MigrateFar();
+
+  void Dispatch(uint32_t idx);
+  void FirePeriodic(uint32_t event_idx);
 
   Nanos now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t pending_ = 0;  // imminent + wheel + far
+
+  // ---- Event pool ------------------------------------------------------
+  static constexpr int kSlabBits = 12;  // 4096 events per slab
+  static constexpr uint32_t kSlabMask = (1u << kSlabBits) - 1;
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  uint32_t free_events_ = kNil;
+
+  // ---- Wheel state -----------------------------------------------------
+  // All wheel events have time >= wheel_time_ (a multiple of the level-0
+  // slot width); everything earlier has been moved to the dispatch run or
+  // the spill heap. Slots are intrusive LIFO chains through Event::next:
+  // an insert touches only the slot-head word and the event's own head
+  // line (still hot from the caller writing time/seq), which beats any
+  // out-of-line bucket layout by a full cache line per insert.
+  Nanos wheel_time_ = 0;
+  uint64_t wheel_count_ = 0;
+  std::vector<uint32_t> slot_head_[kLevels];
+  uint64_t occupancy_[kLevels][1 << (kL0Bits - 6)];  // bitmap per level
+
+  // Expired events (times < wheel_time_) waiting to dispatch. The common
+  // case is the sorted run: one expired level-0 slot, sorted once at drain
+  // time and consumed front-to-back — no per-event heap maintenance, and
+  // the known next event is prefetched while the current callback runs.
+  // Events scheduled *into the already-expired window* (zero/short delays
+  // from inside a running callback) spill into a tiny binary heap that is
+  // merged entry-by-entry at dispatch; it is empty in steady state.
+  std::vector<HeapEntry> run_;       // sorted batch from the last slot drain
+  size_t run_pos_ = 0;
+  std::vector<HeapEntry> imminent_;  // spill heap, times < wheel_time_
+  std::vector<HeapEntry> far_;       // binary min-heap, beyond L3 horizon
+
   Rng rng_;
   trace::Tracer tracer_{[this] { return now_; }};
 };

@@ -1,0 +1,131 @@
+// Frozen copy of the pre-timer-wheel event engine.
+//
+// This is the binary-heap scheduler the repository used before the
+// hierarchical timer wheel landed (DESIGN.md §2.1): a
+// `std::priority_queue` of heap-allocated `std::function` events, with
+// `Every()` re-copying its closure into the queue on every tick. It is
+// kept VERBATIM — bugs and all, minus the global logger hookup — for two
+// consumers only:
+//
+//   * tests/sim_test.cc runs randomized At/After/Every interleavings on
+//     this engine and on `Simulation` and asserts the dispatch orders are
+//     identical (the wheel must be observationally equivalent), and
+//   * bench/bench_sim_engine.cc uses it as the baseline the committed
+//     events/sec speedup in BENCH_sim_engine.json is measured against.
+//
+// Do not "fix" or modernise this file; it is the measurement yardstick.
+// Production code must use sim/engine.h.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace repro {
+
+class LegacySimulation {
+ public:
+  explicit LegacySimulation(uint64_t seed = 1) { (void)seed; }
+
+  Nanos now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+  void At(Nanos time, std::function<void()> fn) {
+    assert(time >= now_);
+    queue_.push(Event{time, next_seq_++, std::move(fn)});
+  }
+
+  void After(Nanos delay, std::function<void()> fn) {
+    assert(delay >= 0);
+    At(now_ + delay, std::move(fn));
+  }
+
+  class PeriodicHandle {
+   public:
+    void Cancel() {
+      if (alive_) *alive_ = false;
+      tick_.reset();
+    }
+
+   private:
+    friend class LegacySimulation;
+    std::shared_ptr<bool> alive_;
+    std::shared_ptr<std::function<void()>> tick_;
+  };
+
+  PeriodicHandle Every(Nanos interval, std::function<void()> fn) {
+    auto alive = std::make_shared<bool>(true);
+    auto tick = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_tick = tick;
+    *tick = [this, interval, alive, weak_tick, fn = std::move(fn)] {
+      if (!*alive) return;
+      fn();
+      auto tick = weak_tick.lock();
+      if (*alive && tick) After(interval, *tick);
+    };
+    After(interval, *tick);
+    PeriodicHandle handle;
+    handle.alive_ = std::move(alive);
+    handle.tick_ = std::move(tick);
+    return handle;
+  }
+
+  void Run() {
+    while (!queue_.empty()) {
+      Event e = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      Dispatch(e);
+    }
+  }
+
+  bool RunOne() {
+    if (queue_.empty()) return false;
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Dispatch(e);
+    return true;
+  }
+
+  void RunUntil(Nanos t) {
+    while (!queue_.empty() && queue_.top().time <= t) {
+      Event e = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      Dispatch(e);
+    }
+    if (t > now_) now_ = t;
+  }
+  void RunFor(Nanos d) { RunUntil(now_ + d); }
+
+  bool Empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Nanos time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Event& e) {
+    now_ = e.time;
+    ++events_processed_;
+    e.fn();
+  }
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace repro

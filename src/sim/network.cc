@@ -6,28 +6,27 @@
 namespace repro {
 
 Network::Network(Simulation& sim, Topology& topology, NetworkConfig config)
-    : sim_(sim), topology_(topology), config_(config) {
+    : sim_(sim), topology_(topology), config_(config),
+      num_azs_(topology.num_azs()) {
   const int hosts = topology_.num_hosts();
-  const int azs = topology_.num_azs();
+  const int pairs = num_azs_ * num_azs_;
   nic_free_at_.assign(hosts, 0);
-  link_free_at_.assign(azs, std::vector<Nanos>(azs, 0));
+  link_free_at_.assign(pairs, 0);
   host_stats_.assign(hosts, HostNetStats{});
-  az_pair_bytes_.assign(azs, std::vector<int64_t>(azs, 0));
-  drop_prob_.assign(azs, std::vector<double>(azs, 0.0));
+  az_pair_bytes_.assign(pairs, 0);
+  drop_prob_.assign(pairs, 0.0);
 }
 
 void Network::SetDropProbability(AzId from, AzId to, double p) {
   assert(p >= 0.0 && p <= 1.0);
-  drop_prob_[from][to] = p;
+  drop_prob_[Pair(from, to)] = p;
   any_drop_prob_ = false;
-  for (const auto& row : drop_prob_) {
-    for (double q : row) any_drop_prob_ |= q > 0.0;
-  }
+  for (double q : drop_prob_) any_drop_prob_ |= q > 0.0;
 }
 
 void Network::SetAllDropProbability(double p) {
   assert(p >= 0.0 && p <= 1.0);
-  for (auto& row : drop_prob_) row.assign(row.size(), p);
+  drop_prob_.assign(drop_prob_.size(), p);
   any_drop_prob_ = p > 0.0;
 }
 
@@ -56,7 +55,7 @@ void Network::Send(HostId from, HostId to, int64_t payload_bytes,
 
   Nanos retransmit_delay = 0;
   if (any_drop_prob_ && from != to) {
-    const double p = drop_prob_[az_from][az_to];
+    const double p = drop_prob_[Pair(az_from, az_to)];
     if (p > 0.0) {
       // Each lost copy costs one retransmission timeout; the message
       // itself survives unless the transport exhausts its retries and
@@ -72,7 +71,7 @@ void Network::Send(HostId from, HostId to, int64_t payload_bytes,
 
   host_stats_[from].bytes_sent += bytes;
   host_stats_[from].messages_sent += 1;
-  az_pair_bytes_[az_from][az_to] += bytes;
+  az_pair_bytes_[Pair(az_from, az_to)] += bytes;
   if (az_from == az_to) {
     intra_az_bytes_ += bytes;
   } else {
@@ -91,7 +90,7 @@ void Network::Send(HostId from, HostId to, int64_t payload_bytes,
     // The transfer must clear both the sender NIC and the AZ-pair fabric;
     // occupy them serially (a conservative two-queue approximation).
     departure = Occupy(nic_free_at_[from], now, nic_tx);
-    departure = Occupy(link_free_at_[az_from][az_to], departure, link_tx);
+    departure = Occupy(link_free_at_[Pair(az_from, az_to)], departure, link_tx);
   }
   const Nanos arrival =
       departure + retransmit_delay + topology_.Latency(from, to, sim_.rng());
@@ -108,7 +107,7 @@ void Network::Send(HostId from, HostId to, int64_t payload_bytes,
 
 void Network::ResetStats() {
   for (auto& s : host_stats_) s = HostNetStats{};
-  for (auto& row : az_pair_bytes_) std::fill(row.begin(), row.end(), 0);
+  std::fill(az_pair_bytes_.begin(), az_pair_bytes_.end(), 0);
   intra_az_bytes_ = 0;
   inter_az_bytes_ = 0;
 }

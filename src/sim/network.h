@@ -63,7 +63,7 @@ class Network {
   int64_t intra_az_bytes() const { return intra_az_bytes_; }
   int64_t inter_az_bytes() const { return inter_az_bytes_; }
   int64_t az_pair_bytes(AzId from, AzId to) const {
-    return az_pair_bytes_[from][to];
+    return az_pair_bytes_[Pair(from, to)];
   }
   const HostNetStats& host_stats(HostId h) const {
     static const HostNetStats kEmpty{};
@@ -91,6 +91,9 @@ class Network {
   Simulation& sim() { return sim_; }
 
  private:
+  // Flat row-major index into the per-directed-AZ-pair tables.
+  int Pair(AzId from, AzId to) const { return from * num_azs_ + to; }
+
   // Earliest time a new transmission can start on the given resource, and
   // the update after occupying it for `tx` nanoseconds.
   static Nanos Occupy(Nanos& free_at, Nanos now, Nanos tx);
@@ -102,16 +105,20 @@ class Network {
   Simulation& sim_;
   Topology& topology_;
   NetworkConfig config_;
+  int num_azs_;
 
-  std::vector<Nanos> nic_free_at_;                 // per host
-  std::vector<std::vector<Nanos>> link_free_at_;   // [from_az][to_az]
+  // Per-AZ-pair state is flat and row-major (`from * num_azs_ + to`) —
+  // one cache line covers the whole 3-AZ table, and Send() does no
+  // double-indirection.
+  std::vector<Nanos> nic_free_at_;       // per host
+  std::vector<Nanos> link_free_at_;      // per directed AZ pair
 
   std::vector<HostNetStats> host_stats_;
-  std::vector<std::vector<int64_t>> az_pair_bytes_;
+  std::vector<int64_t> az_pair_bytes_;   // per directed AZ pair
   int64_t intra_az_bytes_ = 0;
   int64_t inter_az_bytes_ = 0;
 
-  std::vector<std::vector<double>> drop_prob_;  // [from_az][to_az]
+  std::vector<double> drop_prob_;        // per directed AZ pair
   bool any_drop_prob_ = false;
   int64_t messages_dropped_ = 0;
 };

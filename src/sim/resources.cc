@@ -9,6 +9,7 @@ ThreadPool::ThreadPool(Simulation& sim, std::string name, int num_threads)
     : sim_(sim), name_(std::move(name)) {
   assert(num_threads > 0);
   free_at_.assign(num_threads, 0);
+  finishes_.resize(num_threads);
 }
 
 int ThreadPool::EarliestFree() const {
@@ -32,12 +33,36 @@ Booking ThreadPool::SubmitTo(int thread, Nanos cost,
   }
   const Nanos start = std::max(free_at_[thread], sim_.now());
   free_at_[thread] = start + cost;
-  busy_ns_ += cost;
-  ++completed_;
+  booked_ns_ += cost;
+  finishes_[thread].push_back(free_at_[thread]);
   if (done) {
     sim_.At(free_at_[thread], std::move(done));
   }
   return Booking{sim_.now(), start, start + cost};
+}
+
+int64_t ThreadPool::OutstandingNs() const {
+  const Nanos now = sim_.now();
+  int64_t out = 0;
+  for (Nanos f : free_at_) out += std::max<Nanos>(0, f - now);
+  return out;
+}
+
+void ThreadPool::Reap() const {
+  const Nanos now = sim_.now();
+  for (auto& q : finishes_) {
+    while (!q.empty() && q.front() <= now) {
+      q.pop_front();
+      ++completed_;
+    }
+  }
+}
+
+int64_t ThreadPool::busy_ns() const { return booked_ns_ - OutstandingNs(); }
+
+int64_t ThreadPool::completed() const {
+  Reap();
+  return completed_;
 }
 
 Nanos ThreadPool::Backlog() const {
@@ -52,15 +77,24 @@ Nanos ThreadPool::BacklogOf(int thread) const {
 }
 
 double ThreadPool::Utilization(Nanos window_start) const {
+  // A zero-length window (window_start == now) yields 0, never NaN/inf —
+  // the telemetry grey-slow detector reads this on scrape boundaries.
   const Nanos window = sim_.now() - window_start;
   if (window <= 0) return 0;
   return std::min(
-      1.0, static_cast<double>(busy_ns_) /
+      1.0, static_cast<double>(busy_ns()) /
                (static_cast<double>(window) * num_threads()));
 }
 
 void ThreadPool::ResetStats() {
-  busy_ns_ = 0;
+  // Work still in flight carries over: its not-yet-elapsed service accrues
+  // into the new window as simulated time passes through it, and its
+  // completion is counted when it lands.
+  booked_ns_ = OutstandingNs();
+  const Nanos now = sim_.now();
+  for (auto& q : finishes_) {
+    while (!q.empty() && q.front() <= now) q.pop_front();
+  }
   completed_ = 0;
 }
 
@@ -75,10 +109,25 @@ Booking Disk::SubmitIo(Nanos service, std::function<void()> done) {
   }
   const Nanos start = std::max(free_at_, sim_.now());
   free_at_ = start + service;
-  stats_.busy_ns += service;
+  booked_ns_ += service;
   ++stats_.ops;
   if (done) sim_.At(free_at_, std::move(done));
   return Booking{sim_.now(), start, start + service};
+}
+
+int64_t Disk::AccruedBusyNs() const {
+  return booked_ns_ - std::max<Nanos>(0, free_at_ - sim_.now());
+}
+
+const DiskStats& Disk::stats() const {
+  stats_.busy_ns = AccruedBusyNs();
+  return stats_;
+}
+
+void Disk::ResetStats() {
+  stats_ = DiskStats{};
+  // In-flight service carries into the new window (see ThreadPool).
+  booked_ns_ = std::max<Nanos>(0, free_at_ - sim_.now());
 }
 
 Booking Disk::Read(int64_t bytes, std::function<void()> done) {
@@ -98,10 +147,11 @@ Booking Disk::Write(int64_t bytes, std::function<void()> done) {
 }
 
 double Disk::Utilization(Nanos window_start) const {
+  // Zero-length window -> 0, never NaN/inf (see ThreadPool::Utilization).
   const Nanos window = sim_.now() - window_start;
   if (window <= 0) return 0;
   return std::min(1.0,
-                  static_cast<double>(stats_.busy_ns) /
+                  static_cast<double>(AccruedBusyNs()) /
                       static_cast<double>(window));
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -54,9 +55,15 @@ class ThreadPool {
   const std::string& name() const { return name_; }
 
   // Busy nanoseconds accumulated since the last ResetStats, summed over
-  // threads, clipped to work that has already started.
-  int64_t busy_ns() const { return busy_ns_; }
-  int64_t completed() const { return completed_; }
+  // threads, clipped to work that has already been performed: service
+  // booked into the future (free_at_ > now) is excluded until simulated
+  // time actually passes through it. Telemetry scrapes this mid-run, so
+  // charging whole bookings at submit time (the old behaviour) inflated
+  // utilisation and the grey-slow detector's Δbusy/Δwork ratio whenever a
+  // queue was deep.
+  int64_t busy_ns() const;
+  // Work items whose service has finished (not merely been submitted).
+  int64_t completed() const;
 
   // Utilisation over a window that started at window_start and ends now.
   double Utilization(Nanos window_start) const;
@@ -71,12 +78,24 @@ class ThreadPool {
 
  private:
   int EarliestFree() const;
+  // Service time booked but not yet elapsed, summed over threads. Each
+  // thread's future bookings are contiguous and end at free_at_[t] (gaps
+  // only ever form in the past), so the outstanding portion is exactly
+  // max(0, free_at_[t] - now).
+  int64_t OutstandingNs() const;
+  // Counts finish times that have passed into completed_ and drops them.
+  void Reap() const;
 
   Simulation& sim_;
   std::string name_;
   std::vector<Nanos> free_at_;
-  int64_t busy_ns_ = 0;
-  int64_t completed_ = 0;
+  // Total service booked since the last ResetStats, including the
+  // then-outstanding carryover; busy_ns() = booked_ns_ - OutstandingNs().
+  int64_t booked_ns_ = 0;
+  // Per-thread finish times of in-flight work, monotone within a thread;
+  // reaped lazily on read (mutable: reads are logically const).
+  mutable std::vector<std::deque<Nanos>> finishes_;
+  mutable int64_t completed_ = 0;
   double slowdown_ = 1.0;
 };
 
@@ -97,9 +116,11 @@ class Disk {
   Booking Read(int64_t bytes, std::function<void()> done);
   Booking Write(int64_t bytes, std::function<void()> done);
 
-  const DiskStats& stats() const { return stats_; }
+  // stats().busy_ns is clipped to service already performed, like
+  // ThreadPool::busy_ns(); bytes/ops count at submission.
+  const DiskStats& stats() const;
   double Utilization(Nanos window_start) const;
-  void ResetStats() { stats_ = DiskStats{}; }
+  void ResetStats();
   Nanos Backlog() const;
 
   // Grey-failure injection: a slow disk (degraded media / noisy
@@ -109,6 +130,7 @@ class Disk {
 
  private:
   Booking SubmitIo(Nanos service, std::function<void()> done);
+  int64_t AccruedBusyNs() const;
 
   Simulation& sim_;
   std::string name_;
@@ -116,7 +138,12 @@ class Disk {
   double read_rate_;
   double write_rate_;
   Nanos free_at_ = 0;
-  DiskStats stats_;
+  // Total service booked since the last ResetStats (incl. outstanding
+  // carryover); the disk is a single FIFO server, so the un-elapsed part
+  // is max(0, free_at_ - now). stats_.busy_ns is refreshed from these on
+  // read (mutable: reads are logically const).
+  int64_t booked_ns_ = 0;
+  mutable DiskStats stats_;
   double slowdown_ = 1.0;
 };
 

@@ -32,76 +32,78 @@ AzLatencyTable AzLatencyTable::Uniform(int num_azs, Nanos intra_one_way,
 }
 
 Topology::Topology(int num_azs, AzLatencyTable latency)
-    : num_azs_(num_azs), latency_(std::move(latency)), az_up_(num_azs, true),
-      az_partitioned_(num_azs, std::vector<bool>(num_azs, false)),
-      latency_factor_(num_azs, std::vector<double>(num_azs, 1.0)) {
-  assert(static_cast<int>(latency_.one_way.size()) >= num_azs);
+    : num_azs_(num_azs), same_host_latency_(latency.same_host) {
+  assert(static_cast<int>(latency.one_way.size()) >= num_azs);
+  const int pairs = num_azs * num_azs;
+  base_latency_.resize(pairs);
+  for (int a = 0; a < num_azs; ++a) {
+    for (int b = 0; b < num_azs; ++b) {
+      base_latency_[Pair(a, b)] = latency.one_way[a][b];
+    }
+  }
+  effective_latency_ = base_latency_;
+  latency_factor_.assign(pairs, 1.0);
+  az_partitioned_.assign(pairs, 0);
+  az_up_.assign(num_azs, 1);
 }
 
 HostId Topology::AddHost(AzId az, std::string name) {
   assert(az >= 0 && az < num_azs_);
-  hosts_.push_back(Host{az, std::move(name)});
-  return static_cast<HostId>(hosts_.size()) - 1;
+  host_az_.push_back(az);
+  host_up_.push_back(1);
+  host_name_.push_back(std::move(name));
+  return static_cast<HostId>(host_az_.size()) - 1;
 }
 
 void Topology::SetAzUp(AzId az, bool up) {
-  az_up_[az] = up;
-  for (auto& h : hosts_) {
-    if (h.az == az) h.up = up;
+  az_up_[az] = up ? 1 : 0;
+  for (size_t h = 0; h < host_az_.size(); ++h) {
+    if (host_az_[h] == az) host_up_[h] = up ? 1 : 0;
   }
 }
 
-bool Topology::AzUp(AzId az) const { return az_up_[az]; }
+bool Topology::AzUp(AzId az) const { return az_up_[az] != 0; }
 
 void Topology::PartitionAzs(AzId a, AzId b) {
   if (a == b) return;  // an AZ cannot be partitioned from itself
-  az_partitioned_[a][b] = az_partitioned_[b][a] = true;
+  az_partitioned_[Pair(a, b)] = az_partitioned_[Pair(b, a)] = 1;
 }
 
 void Topology::PartitionAzsOneWay(AzId from, AzId to) {
   if (from == to) return;
-  az_partitioned_[from][to] = true;
+  az_partitioned_[Pair(from, to)] = 1;
 }
 
 void Topology::SetLatencyFactor(AzId a, AzId b, double factor) {
   assert(factor > 0);
-  latency_factor_[a][b] = factor;
+  const int p = Pair(a, b);
+  latency_factor_[p] = factor;
+  effective_latency_[p] = static_cast<Nanos>(
+      static_cast<double>(base_latency_[p]) * factor);
 }
 
 void Topology::SetAllLatencyFactor(double factor) {
   assert(factor > 0);
-  for (auto& row : latency_factor_) row.assign(row.size(), factor);
+  for (size_t p = 0; p < latency_factor_.size(); ++p) {
+    latency_factor_[p] = factor;
+    effective_latency_[p] = static_cast<Nanos>(
+        static_cast<double>(base_latency_[p]) * factor);
+  }
 }
 
 void Topology::HealPartition(AzId a, AzId b) {
-  az_partitioned_[a][b] = az_partitioned_[b][a] = false;
+  az_partitioned_[Pair(a, b)] = az_partitioned_[Pair(b, a)] = 0;
 }
 
 void Topology::HealAllPartitions() {
-  for (auto& row : az_partitioned_) row.assign(row.size(), false);
-}
-
-bool Topology::Reachable(HostId a, HostId b) const {
-  const Host& ha = hosts_[a];
-  const Host& hb = hosts_[b];
-  if (!ha.up || !hb.up) return false;
-  if (az_partitioned_[ha.az][hb.az]) return false;
-  return true;
+  az_partitioned_.assign(az_partitioned_.size(), 0);
 }
 
 Nanos Topology::Latency(HostId a, HostId b, Rng& rng) const {
-  Nanos base;
-  if (a == b) {
-    base = latency_.same_host;
-  } else {
-    const AzId az_a = hosts_[a].az;
-    const AzId az_b = hosts_[b].az;
-    base = latency_.one_way[az_a][az_b];
-    const double factor = latency_factor_[az_a][az_b];
-    if (factor != 1.0) {
-      base = static_cast<Nanos>(static_cast<double>(base) * factor);
-    }
-  }
+  // Inflation factors are folded into effective_latency_ at
+  // SetLatencyFactor time, so the per-message cost is one table load.
+  Nanos base = a == b ? same_host_latency_
+                      : effective_latency_[Pair(host_az_[a], host_az_[b])];
   if (jitter_fraction_ > 0) {
     const double j = 1.0 + jitter_fraction_ * (2.0 * rng.NextDouble() - 1.0);
     base = static_cast<Nanos>(static_cast<double>(base) * j);

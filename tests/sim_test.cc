@@ -1,7 +1,11 @@
 // Unit tests for the discrete-event engine, topology, network, resources.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "sim/engine.h"
+#include "sim/legacy_engine.h"
 #include "sim/network.h"
 #include "sim/resources.h"
 #include "sim/topology.h"
@@ -333,6 +337,305 @@ TEST(Disk, ServiceTimeIncludesAccessAndTransfer) {
   sim.Run();
   EXPECT_GE(done_at, Micros(1050));
   EXPECT_EQ(disk.stats().bytes_written, 1'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler equivalence: the timer-wheel engine must dispatch in exactly the
+// order the frozen pre-wheel binary-heap engine (sim/legacy_engine.h) did.
+// ---------------------------------------------------------------------------
+
+// Drives one engine through a randomized At/After/Every interleaving and
+// records every firing as (id, time). All random draws come from an engine-
+// local Rng: if dispatch orders ever diverge, the streams diverge too and
+// the recorded sequences differ loudly.
+template <typename Sim>
+class RandomScheduleDriver {
+ public:
+  explicit RandomScheduleDriver(uint64_t seed) : rng_(seed) {}
+
+  std::vector<std::pair<int, long long>> Run() {
+    // Heartbeat-scale periodics. Coarse interval quantization forces
+    // equal-timestamp ties between independent timers every revolution.
+    for (int i = 0; i < 12; ++i) {
+      const Nanos interval =
+          Millis(static_cast<int64_t>(1 + rng_.NextBelow(20))) +
+          Micros(static_cast<int64_t>(rng_.NextBelow(3)) * 500);
+      AddPeriodic(1000 + i, interval);
+    }
+    // One-shot churn: roots that fan out into children with delays from
+    // "same instant" ties up to several seconds (crossing wheel levels).
+    for (int r = 0; r < 40; ++r) Spawn(3);
+    // Cancel a third of the periodics at random times mid-run.
+    for (size_t k = 0; k < handles_.size(); k += 3) {
+      sim_.After(Millis(static_cast<int64_t>(100 + rng_.NextBelow(1800))),
+                 [this, k] { handles_[k].Cancel(); });
+    }
+    // A periodic created mid-run (Every at now > 0), plus a far-future
+    // straggler that must not disturb anything before it.
+    sim_.After(Millis(500), [this] { AddPeriodic(2000, Millis(7)); });
+    sim_.After(Seconds(30), [this] { Record(3000); });
+
+    sim_.RunUntil(Seconds(1));
+    sim_.RunFor(Seconds(1));
+    sim_.RunFor(Seconds(40));
+    return std::move(fired_);
+  }
+
+ private:
+  void Record(int id) {
+    fired_.push_back({id, static_cast<long long>(sim_.now())});
+  }
+
+  void AddPeriodic(int id, Nanos interval) {
+    handles_.push_back(sim_.Every(interval, [this, id] { Record(id); }));
+  }
+
+  void Spawn(int depth) {
+    const int id = next_id_++;
+    // Delay mix: ties at the same instant, sub-slot, slot-scale, and
+    // beyond the level-0 horizon.
+    Nanos delay = 0;
+    switch (rng_.NextBelow(4)) {
+      case 0: delay = 0; break;
+      case 1: delay = Micros(static_cast<int64_t>(rng_.NextBelow(2000))); break;
+      case 2: delay = Millis(static_cast<int64_t>(rng_.NextBelow(300))); break;
+      default: delay = Millis(static_cast<int64_t>(rng_.NextBelow(5000))); break;
+    }
+    sim_.After(delay, [this, id, depth] {
+      Record(id);
+      if (depth > 0) {
+        const int fanout = static_cast<int>(rng_.NextBelow(3));
+        for (int c = 0; c < fanout; ++c) Spawn(depth - 1);
+      }
+    });
+  }
+
+  Sim sim_;
+  Rng rng_;
+  int next_id_ = 0;
+  std::vector<std::pair<int, long long>> fired_;
+  std::vector<typename Sim::PeriodicHandle> handles_;
+};
+
+TEST(SchedulerEquivalence, RandomizedInterleavingsMatchLegacyEngine) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto wheel = RandomScheduleDriver<Simulation>(seed).Run();
+    auto heap = RandomScheduleDriver<LegacySimulation>(seed).Run();
+    ASSERT_EQ(wheel.size(), heap.size()) << "seed " << seed;
+    for (size_t i = 0; i < wheel.size(); ++i) {
+      ASSERT_EQ(wheel[i], heap[i])
+          << "seed " << seed << " diverged at firing " << i << ": wheel=("
+          << wheel[i].first << "," << wheel[i].second << ") legacy=("
+          << heap[i].first << "," << heap[i].second << ")";
+    }
+    ASSERT_GT(wheel.size(), 1000u)
+        << "seed " << seed << " produced too little work to be a real test";
+  }
+}
+
+TEST(SchedulerEquivalence, FifoAtEqualTimestampAcrossWheelHeapBoundary) {
+  Simulation sim;
+  std::vector<int> order;
+  const Nanos T = Millis(50);
+  // Scheduled long before T: parked in the wheel.
+  sim.At(T, [&] {
+    order.push_back(0);
+    // Scheduled while dispatching at T: the wheel cursor has already
+    // passed T, so these land in the imminent heap — yet must still run
+    // after every earlier-seq event at T.
+    sim.At(T, [&] { order.push_back(2); });
+    sim.After(0, [&] { order.push_back(3); });
+  });
+  // Scheduled from an event just before T.
+  sim.At(T - Micros(100), [&] {
+    sim.At(T, [&] { order.push_back(1); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), T);
+}
+
+TEST(SchedulerEquivalence, CancelAtTickTimestampHonoursFifo) {
+  Simulation sim;
+  int ticks = 0;
+  auto h = sim.Every(Millis(10), [&] { ++ticks; });
+  // Each tick reschedules itself with a fresh insertion seq, so a cancel
+  // scheduled *after* the 20 ms tick ran carries a later seq than the
+  // pending 30 ms tick: at the 30 ms tie the tick dispatches first, then
+  // the cancel lands; nothing fires afterwards.
+  sim.At(Millis(25), [&] {
+    sim.At(Millis(30), [&] { h.Cancel(); });
+  });
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SchedulerEquivalence, CancelBeforePendingTickSuppressesIt) {
+  Simulation sim;
+  int ticks = 0;
+  Simulation::PeriodicHandle h;
+  // Earlier insertion seq than every tick: at the 30 ms tie the cancel
+  // runs first and the in-flight tick must no-op.
+  sim.At(Millis(30), [&] { h.Cancel(); });
+  h = sim.Every(Millis(10), [&] { ++ticks; });
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(SchedulerEquivalence, DroppingLastHandleStopsPeriodicAfterOneFiring) {
+  Simulation sim;
+  int ticks = 0;
+  { auto h = sim.Every(Millis(10), [&] { ++ticks; }); }
+  sim.RunUntil(Millis(200));
+  // The legacy engine's weak-tick closure fired exactly once more after
+  // the last handle copy died; the wheel must match.
+  EXPECT_EQ(ticks, 1);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(Engine, PeriodicTickNeverCopiesItsCallback) {
+  struct Payload {
+    int* copies;
+    explicit Payload(int* c) : copies(c) {}
+    Payload(const Payload& o) : copies(o.copies) { ++*copies; }
+    Payload(Payload&& o) noexcept : copies(o.copies) {}
+  };
+  Simulation sim;
+  int copies = 0;
+  int ticks = 0;
+  Payload p(&copies);
+  auto h = sim.Every(Millis(1), [p = std::move(p), &ticks] { ++ticks; });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(ticks, 1000);
+  EXPECT_EQ(copies, 0) << "Every() must reschedule by handle, not copy "
+                          "its closure per tick";
+  h.Cancel();
+}
+
+TEST(Engine, FarFutureEventsBeyondWheelHorizonFire) {
+  Simulation sim;
+  std::vector<long long> fired;
+  // ~25 h: beyond the level-3 horizon, parked in the far-future heap.
+  sim.At(Seconds(90000), [&] { fired.push_back(sim.now()); });
+  sim.At(Seconds(30), [&] { fired.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], Seconds(30));
+  EXPECT_EQ(fired[1], Seconds(90000));
+  EXPECT_EQ(sim.now(), Seconds(90000));
+}
+
+// ---------------------------------------------------------------------------
+// Hard failures: scheduling into the past aborts in every build type.
+// ---------------------------------------------------------------------------
+
+TEST(EngineDeathTest, PastTimeScheduleAborts) {
+  Simulation sim;
+  sim.After(Millis(5), [] {});
+  sim.RunUntil(Millis(10));
+  EXPECT_DEATH(sim.At(Millis(1), [] {}), "scheduling into the past");
+}
+
+TEST(EngineDeathTest, NegativeDelayAborts) {
+  Simulation sim;
+  EXPECT_DEATH(sim.After(-1, [] {}), "scheduling into the past");
+}
+
+TEST(EngineDeathTest, NonPositiveEveryIntervalAborts) {
+  Simulation sim;
+  EXPECT_DEATH(sim.Every(0, [] {}), "scheduling into the past");
+}
+
+// ---------------------------------------------------------------------------
+// Resource accounting: backlog clamps, zero windows, accrued busy time.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, BacklogClampsToZeroOnceFreeAtPasses) {
+  Simulation sim;
+  ThreadPool pool(sim, "p", 2);
+  pool.Submit(Millis(5), nullptr);
+  EXPECT_EQ(pool.Backlog(), 0) << "second thread is free immediately";
+  EXPECT_EQ(pool.BacklogOf(0), Millis(5));
+  sim.RunUntil(Millis(50));
+  // free_at_ is now far in the past; a raw subtraction would go negative
+  // and poison AIMD admission / NDB overflow decisions.
+  EXPECT_EQ(pool.Backlog(), 0);
+  EXPECT_EQ(pool.BacklogOf(0), 0);
+}
+
+TEST(Disk, BacklogClampsToZeroOnceFreeAtPasses) {
+  Simulation sim;
+  Disk disk(sim, "d", Micros(50), 1e9, 1e9);
+  disk.Write(1'000'000, nullptr);
+  EXPECT_GT(disk.Backlog(), 0);
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(disk.Backlog(), 0);
+}
+
+TEST(ThreadPool, UtilizationZeroWindowIsZeroNotNan) {
+  Simulation sim;
+  ThreadPool pool(sim, "p", 1);
+  pool.Submit(Millis(5), nullptr);
+  sim.RunUntil(Millis(10));
+  // window_start == now(): the telemetry scraper hits this on scrape
+  // boundaries; NaN/inf here would poison the grey-slow detector.
+  EXPECT_EQ(pool.Utilization(sim.now()), 0.0);
+}
+
+TEST(Disk, UtilizationZeroWindowIsZeroNotNan) {
+  Simulation sim;
+  Disk disk(sim, "d", Micros(50), 1e9, 1e9);
+  disk.Write(1000, nullptr);
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(disk.Utilization(sim.now()), 0.0);
+}
+
+TEST(ThreadPool, BusyNsIsClippedToElapsedWork) {
+  Simulation sim;
+  ThreadPool pool(sim, "p", 1);
+  pool.Submit(Millis(10), nullptr);
+  pool.Submit(Millis(10), nullptr);  // queued behind the first
+  // Nothing has elapsed yet: charging whole bookings at submit time (the
+  // old behaviour) would report 20 ms of "busy" on an idle pool.
+  EXPECT_EQ(pool.busy_ns(), 0);
+  EXPECT_EQ(pool.completed(), 0);
+  sim.RunUntil(Millis(5));
+  EXPECT_EQ(pool.busy_ns(), Millis(5));
+  EXPECT_EQ(pool.completed(), 0) << "first item is still in service";
+  sim.RunUntil(Millis(15));
+  EXPECT_EQ(pool.busy_ns(), Millis(15));
+  EXPECT_EQ(pool.completed(), 1);
+  sim.RunUntil(Millis(60));
+  EXPECT_EQ(pool.busy_ns(), Millis(20)) << "busy stops accruing when idle";
+  EXPECT_EQ(pool.completed(), 2);
+}
+
+TEST(ThreadPool, ResetStatsCarriesInFlightWorkIntoNewWindow) {
+  Simulation sim;
+  ThreadPool pool(sim, "p", 1);
+  pool.Submit(Millis(10), nullptr);
+  sim.RunUntil(Millis(4));
+  pool.ResetStats();
+  EXPECT_EQ(pool.busy_ns(), 0);
+  EXPECT_EQ(pool.completed(), 0);
+  sim.RunUntil(Millis(20));
+  // The 6 ms of service remaining at reset accrued inside the new window,
+  // and its completion landed there too.
+  EXPECT_EQ(pool.busy_ns(), Millis(6));
+  EXPECT_EQ(pool.completed(), 1);
+}
+
+TEST(Disk, BusyNsIsClippedToElapsedWork) {
+  Simulation sim;
+  Disk disk(sim, "d", 0, 1e9, 1e9);  // no access time: 1 MB == 1 ms
+  disk.Write(1'000'000, nullptr);
+  EXPECT_EQ(disk.stats().busy_ns, 0);
+  sim.RunUntil(Micros(400));
+  EXPECT_EQ(disk.stats().busy_ns, Micros(400));
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(disk.stats().busy_ns, Millis(1));
+  EXPECT_EQ(disk.stats().ops, 1);
 }
 
 }  // namespace
