@@ -1,0 +1,27 @@
+#include "bench_host.h"
+
+#include <sys/resource.h>
+
+#include "prof/profiler.h"
+
+namespace repro::bench {
+
+double PeakRssMb() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+double CpuSeconds() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
+         static_cast<double>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) / 1e6;
+}
+
+AllocSnapshot AllocsNow() {
+  const prof::AllocTotals t = prof::TotalAllocs();
+  return AllocSnapshot{t.count, t.bytes};
+}
+
+}  // namespace repro::bench

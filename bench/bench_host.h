@@ -1,0 +1,27 @@
+// Host-side process measurements shared by benches: peak RSS and
+// process-CPU readings (getrusage) plus total-allocation deltas from the
+// profiler's operator-new hook. These measure the *host* running the
+// simulation — they never touch sim state, so adding them to a bench
+// cannot perturb its (byte-identical) sim-side output.
+#pragma once
+
+#include <cstdint>
+
+namespace repro::bench {
+
+// Peak resident set size of this process in MiB (Linux ru_maxrss is KiB).
+double PeakRssMb();
+
+// Process CPU seconds (user + system).
+double CpuSeconds();
+
+// Cumulative allocation totals observed by the profiler's operator-new
+// hook while counting was enabled (prof::SetAllocCounting /
+// an installed Profiler). Subtract two readings for a phase delta.
+struct AllocSnapshot {
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+AllocSnapshot AllocsNow();
+
+}  // namespace repro::bench

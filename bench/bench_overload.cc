@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_host.h"
 #include "chaos/harness.h"
+#include "prof/profiler.h"
 #include "metrics/timeseries.h"
 
 namespace repro::bench {
@@ -168,10 +170,13 @@ int Main(int argc, char** argv) {
             : std::vector<double>{0.5, 0.8, 1.0, 1.5, 2.0, 3.0};
 
   std::vector<double> col_mult, col_offered, col_res_goodput, col_res_p99,
-      col_res_shed, col_base_goodput, col_base_p99;
+      col_res_shed, col_base_goodput, col_base_p99, col_peak_rss_mb,
+      col_alloc_mb;
   std::vector<Point> res_points, base_points;
   std::printf("offered-load sweep (open loop, %0.1fs window):\n",
               ToSeconds(sc.measure));
+  prof::SetAllocCounting(true);  // host-side only; sim output unchanged
+  AllocSnapshot allocs_before = AllocsNow();
   for (double m : mults) {
     const double rate = m * peak;
     // Print the resilience counter report at the deepest overload point.
@@ -189,6 +194,13 @@ int Main(int argc, char** argv) {
     col_res_shed.push_back(pr.shed_rate);
     col_base_goodput.push_back(pb.goodput);
     col_base_p99.push_back(pb.p99_ms);
+    // Host memory columns (machine-dependent, informational): peak RSS so
+    // far and heap bytes allocated across this multiplier's two runs.
+    col_peak_rss_mb.push_back(PeakRssMb());
+    col_alloc_mb.push_back(
+        static_cast<double>(AllocsNow().bytes - allocs_before.bytes) /
+        (1024.0 * 1024.0));
+    allocs_before = AllocsNow();
     if (print_ctrs) {
       RunPoint(/*resilient=*/true, rate, seed, sc, /*print_counters=*/true);
     }
@@ -201,7 +213,9 @@ int Main(int argc, char** argv) {
                      {"resilient_p99_ms", col_res_p99},
                      {"resilient_shed_rate", col_res_shed},
                      {"baseline_goodput", col_base_goodput},
-                     {"baseline_p99_ms", col_base_p99}});
+                     {"baseline_p99_ms", col_base_p99},
+                     {"peak_rss_mb", col_peak_rss_mb},
+                     {"alloc_mb", col_alloc_mb}});
 
   // ---- chaos episode: open-loop surge + single-AZ outage --------------
   // Pinned seed; the surge-goodput, deadline and availability invariants

@@ -1,0 +1,315 @@
+// Hot-path profile of the protocol layers + allocation-budget gate.
+//
+// Three parts, all seed-pinned:
+//
+//   1. Profile run: a HopsFS-CL deployment under the closed-loop Spotify
+//      workload with the zone profiler installed. Artifacts (REPRO_CSV_DIR,
+//      default bench_out/): prof_cpu.folded + prof_allocs.folded
+//      (flamegraph folded stacks of host CPU and allocation counts),
+//      prof_budget.txt (top-K CPU/allocs-per-op table), prof_zones.json
+//      (per-zone totals), prof_trace.json (Chrome trace with the profiler
+//      track overlaying the sampled sim-time span trees), and
+//      prof_registry.prom (the prof.zone.* series as exported through the
+//      metrics registry — proof the telemetry stack sees profiles for
+//      free).
+//
+//   2. Determinism check: a pinned chaos episode (NDB crash + restart)
+//      run with the profiler installed and again without; the full event
+//      trace and workload outcome must be byte-identical. Exit non-zero
+//      on divergence.
+//
+//   3. Budget gate: allocs-per-op and CPU-per-op for the tracked hot
+//      zones (NN op dispatch, TC key-op/commit, LDM prepare/commit
+//      chain, redo flush) land in BENCH_prof.json (REPRO_BENCH_JSON
+//      overrides the path). With REPRO_PROF_BASELINE set to the committed
+//      baseline, the run FAILS if any tracked zone's allocs-per-op
+//      regresses >20% (allocation counts are deterministic for the
+//      pinned seed, so the gate is machine-independent; CPU-per-op is
+//      recorded for trend reading but not gated — wall CPU is
+//      runner-dependent).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_host.h"
+#include "chaos/harness.h"
+#include "hopsfs/deployment.h"
+#include "metrics/timeseries.h"
+#include "prof/profiler.h"
+#include "prof/report.h"
+#include "telemetry/export.h"
+#include "trace/trace.h"
+#include "util/strings.h"
+#include "workload/driver.h"
+#include "workload/spotify.h"
+
+namespace repro::bench {
+namespace {
+
+// The zones the follow-on protocol-flattening work is measured against.
+const char* const kTrackedZones[] = {
+    "nn.op.dispatch",      "ndb.tc.keyop",  "ndb.tc.commit",
+    "ndb.ldm.prepare",     "ndb.ldm.commit_chain", "ndb.redo.flush",
+};
+
+struct TrackedStats {
+  std::string zone;
+  prof::ZoneStats stats;
+};
+
+// ---- part 1: profile run ---------------------------------------------------
+
+struct ProfileRun {
+  std::vector<TrackedStats> tracked;
+  uint64_t ops_completed = 0;
+};
+
+ProfileRun RunProfiledWorkload(const std::string& out_dir) {
+  const uint64_t seed = 42;
+  Simulation sim(seed);
+  // Sample some traces so the Chrome export overlays zones on span trees.
+  sim.tracer().set_sample_every(64);
+  sim.tracer().set_keep_last(64);
+
+  auto dopts = hopsfs::DeploymentOptions::FromPaperSetup(
+      hopsfs::PaperSetup::kHopsFsCl_3_3, /*num_namenodes=*/3);
+  hopsfs::Deployment dep(sim, dopts);
+  dep.Start();
+
+  workload::NamespaceConfig ns{/*users=*/64, /*dirs_per_user=*/4,
+                               /*files_per_dir=*/4, /*zipf_theta=*/0.75};
+  workload::SpotifyWorkload wl(ns, seed);
+  dep.BootstrapNamespace(wl.all_dirs(), wl.all_files());
+  std::vector<std::unique_ptr<workload::HopsFsTarget>> targets;
+  std::vector<workload::FsTarget*> ptrs;
+  for (int i = 0; i < 24; ++i) {
+    targets.push_back(
+        std::make_unique<workload::HopsFsTarget>(dep.AddClient()));
+    ptrs.push_back(targets.back().get());
+  }
+  sim.RunFor(1 * kSecond);  // leader + bindings settle
+
+  prof::ProfilerOptions popts;
+  popts.chrome_ring_capacity = 4096;
+  prof::Profiler profiler(popts);
+  profiler.SetSimTimeSource([&sim] { return sim.now(); });
+  // Bridge zones into the deployment's registry: the prof.zone.* series
+  // below prove the telemetry stack exports profiles with zero glue.
+  prof::RegisterZoneMetrics(&profiler, &dep.metrics());
+  profiler.Install();
+
+  workload::ClosedLoopDriver driver(sim, ptrs, [&wl](auto& rng, auto& owned) {
+    return wl.Next(rng, owned);
+  });
+  // Reset at the warm-up/measure boundary: the budget numbers cover the
+  // steady-state window only (node creation, cold maps, intern tables
+  // are all warm by then).
+  auto results = driver.Run(1 * kSecond, 4 * kSecond,
+                            [&profiler] { profiler.ResetStats(); });
+
+  profiler.Uninstall();
+
+  // Artifacts.
+  prof::WriteFoldedStacks(out_dir + "/prof_cpu.folded", profiler,
+                          prof::Metric::kCpuNs);
+  prof::WriteFoldedStacks(out_dir + "/prof_allocs.folded", profiler,
+                          prof::Metric::kAllocs);
+  const std::string budget = prof::BudgetTable(profiler, 20);
+  FILE* bf = std::fopen((out_dir + "/prof_budget.txt").c_str(), "w");
+  if (bf != nullptr) {
+    std::fputs(budget.c_str(), bf);
+    std::fclose(bf);
+  }
+  FILE* zf = std::fopen((out_dir + "/prof_zones.json").c_str(), "w");
+  if (zf != nullptr) {
+    std::fputs(prof::ZonesJson(profiler).c_str(), zf);
+    std::fclose(zf);
+  }
+  prof::WriteChromeTraceWithZones(out_dir + "/prof_trace.json",
+                                  sim.tracer().TakeFinished(), profiler);
+  // prof.zone.* rides the normal exporters (frozen at detach).
+  const std::string prom = telemetry::PrometheusText(dep.metrics());
+  FILE* pf = std::fopen((out_dir + "/prof_registry.prom").c_str(), "w");
+  if (pf != nullptr) {
+    std::fputs(prom.c_str(), pf);
+    std::fclose(pf);
+  }
+
+  std::printf("profiled %lld completed ops; budget table (top 20 by CPU):\n\n%s\n",
+              static_cast<long long>(results.completed), budget.c_str());
+
+  ProfileRun out;
+  out.ops_completed = static_cast<uint64_t>(results.completed);
+  for (const auto& [name, stats] : profiler.ByName()) {
+    for (const char* tracked : kTrackedZones) {
+      if (name == tracked) out.tracked.push_back({name, stats});
+    }
+  }
+  return out;
+}
+
+// ---- part 2: profiler on/off byte-identity --------------------------------
+
+int CheckDeterminism() {
+  chaos::ChaosOptions opts;
+  opts.seed = 4242;
+  opts.workload_clients = 8;
+  opts.warmup = 1 * kSecond;
+  opts.fault_window = 2 * kSecond;
+  opts.settle = 2 * kSecond;
+  opts.client_rpc_timeout = 250 * kMillisecond;
+  opts.client_op_deadline = 1 * kSecond;
+
+  chaos::FaultSchedule schedule;
+  schedule.Add({600 * kMillisecond, chaos::FaultType::kCrashNdbNode, 1});
+  schedule.Add({Millis(1400), chaos::FaultType::kRestartNdbNode, 1});
+
+  prof::Profiler profiler;
+  profiler.Install();
+  const chaos::ChaosReport on = chaos::RunChaosSchedule(opts, schedule);
+  profiler.Uninstall();
+  const chaos::ChaosReport off = chaos::RunChaosSchedule(opts, schedule);
+
+  const bool identical = on.TraceString() == off.TraceString() &&
+                         on.completed == off.completed &&
+                         on.failed == off.failed &&
+                         on.acked_writes == off.acked_writes;
+  std::printf("determinism: pinned chaos episode (crash+restart, seed %llu) "
+              "with profiler on vs off: %s\n",
+              static_cast<unsigned long long>(opts.seed),
+              identical ? "byte-identical" : "DIVERGED");
+  uint64_t zone_calls = 0;
+  for (const auto& [name, stats] : profiler.ByName()) {
+    (void)name;
+    zone_calls += stats.calls;
+  }
+  std::printf("  (profiled run recorded %llu zone entries across %zu paths)\n",
+              static_cast<unsigned long long>(zone_calls),
+              profiler.nodes().size() - 1);
+  return identical ? 0 : 1;
+}
+
+// ---- part 3: BENCH_prof.json + budget gate --------------------------------
+
+int WriteBenchJson(const ProfileRun& run, std::string* json_out) {
+  std::string path = "BENCH_prof.json";
+  if (const char* env = std::getenv("REPRO_BENCH_JSON")) path = env;
+  std::string body;
+  for (const auto& t : run.tracked) {
+    const double calls = static_cast<double>(t.stats.calls);
+    if (!body.empty()) body += ",\n";
+    body += StrFormat(
+        "    \"%s\": {\"calls\": %llu, \"allocs_per_call\": %.3f, "
+        "\"bytes_per_call\": %.1f, \"cpu_us_per_call\": %.3f}",
+        t.zone.c_str(), static_cast<unsigned long long>(t.stats.calls),
+        calls > 0 ? static_cast<double>(t.stats.allocs) / calls : 0.0,
+        calls > 0 ? static_cast<double>(t.stats.alloc_bytes) / calls : 0.0,
+        calls > 0 ? static_cast<double>(t.stats.cpu_ns) / calls / 1e3 : 0.0);
+  }
+  // Zone calls and allocation counts are sim-deterministic for the pinned
+  // seed; cpu_us_per_call is host-dependent and informational.
+  const std::string json = StrFormat(
+      "{\n  \"bench\": \"prof\",\n  \"ops_completed\": %llu,\n"
+      "  \"zones\": {\n%s\n  }\n}\n",
+      static_cast<unsigned long long>(run.ops_completed), body.c_str());
+  *json_out = json;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("budget numbers -> %s\n", path.c_str());
+  return 0;
+}
+
+// Finds `"key": ` after `"zone": {` in the baseline text.
+bool FindZoneNumber(const std::string& text, const std::string& zone,
+                    const char* key, double* out) {
+  const size_t zpos = text.find("\"" + zone + "\": {");
+  if (zpos == std::string::npos) return false;
+  const std::string needle = std::string("\"") + key + "\": ";
+  const size_t pos = text.find(needle, zpos);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+int CheckBudgets(const ProfileRun& run) {
+  const char* path = std::getenv("REPRO_PROF_BASELINE");
+  if (path == nullptr || path[0] == '\0') {
+    std::printf("budget gate: REPRO_PROF_BASELINE unset, skipping\n");
+    return 0;
+  }
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot read baseline %s\n", path);
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  int violations = 0;
+  for (const char* zone : kTrackedZones) {
+    const TrackedStats* cur = nullptr;
+    for (const auto& t : run.tracked) {
+      if (t.zone == zone) cur = &t;
+    }
+    if (cur == nullptr || cur->stats.calls == 0) {
+      std::printf("FAIL: tracked zone %s never ran in the profile window\n",
+                  zone);
+      ++violations;
+      continue;
+    }
+    double base_allocs = 0;
+    if (!FindZoneNumber(text, zone, "allocs_per_call", &base_allocs)) {
+      std::printf("FAIL: baseline %s missing zone %s\n", path, zone);
+      ++violations;
+      continue;
+    }
+    const double now_allocs = static_cast<double>(cur->stats.allocs) /
+                              static_cast<double>(cur->stats.calls);
+    // >20% regression fails. A small absolute slack (+0.5 alloc/op)
+    // keeps near-zero baselines from tripping on quantisation.
+    const double ceiling = base_allocs * 1.2 + 0.5;
+    const bool ok = now_allocs <= ceiling;
+    std::printf("  %-22s allocs/op %8.3f vs baseline %8.3f (ceiling %8.3f) %s\n",
+                zone, now_allocs, base_allocs, ceiling,
+                ok ? "ok" : "REGRESSED");
+    if (!ok) ++violations;
+  }
+  if (violations == 0) {
+    std::printf("budget gate: all tracked zones within 20%% of baseline\n");
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+int Main() {
+  PrintHeader("Hot-path profiler: zone CPU + allocation budgets",
+              "observability tooling; no single paper figure");
+  const std::string out_dir = metrics::CsvDir();
+  int rc = 0;
+  const ProfileRun run = RunProfiledWorkload(out_dir);
+  rc |= CheckDeterminism();
+  std::string json;
+  rc |= WriteBenchJson(run, &json);
+  rc |= CheckBudgets(run);
+  std::printf("\nRESULT: %s\n",
+              rc == 0 ? "profiler holds every expectation"
+                      : "EXPECTATION VIOLATED");
+  return rc;
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main() { return repro::bench::Main(); }

@@ -33,7 +33,8 @@
 //
 // The headline numbers land in BENCH_recovery.json (REPRO_BENCH_JSON
 // overrides the path) — sim-time quantities only, byte-identical across
-// runs. REPRO_RECOVERY_SEEDS=n overrides the soak seed count;
+// runs, except the "host" section (peak RSS + allocation totals from
+// bench_host.h) which is machine-dependent and informational. REPRO_RECOVERY_SEEDS=n overrides the soak seed count;
 // REPRO_FULL=1 runs the 40-seed version. Non-zero exit on any violated
 // expectation.
 #include <cmath>
@@ -46,6 +47,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_host.h"
+#include "prof/profiler.h"
 #include "chaos/harness.h"
 #include "metrics/timeseries.h"
 #include "ndb/client.h"
@@ -503,10 +506,14 @@ int WriteBenchJson() {
                "  \"recovery_time_vs_entries\": [%s],\n"
                "  \"loss_window\": %s,\n"
                "  \"catchup_availability\": %s,\n"
-               "  \"restart_soak\": %s\n"
+               "  \"restart_soak\": %s,\n"
+               "  \"host\": {\"peak_rss_mb\": %.1f, \"total_allocs\": %llu,\n"
+               "           \"total_alloc_mb\": %.1f}\n"
                "}\n",
                g_json.scaling.c_str(), g_json.loss.c_str(),
-               g_json.catchup.c_str(), g_json.soak.c_str());
+               g_json.catchup.c_str(), g_json.soak.c_str(), PeakRssMb(),
+               static_cast<unsigned long long>(AllocsNow().count),
+               static_cast<double>(AllocsNow().bytes) / (1024.0 * 1024.0));
   std::fclose(f);
   std::printf("headline numbers -> %s\n", path.c_str());
   return 0;
@@ -515,6 +522,9 @@ int WriteBenchJson() {
 int Main() {
   PrintHeader("NDB crash recovery: redo replay, checkpoints, restart soak",
               "robustness harness; no single paper figure");
+  // Count heap traffic for the "host" JSON section. Host-side only: the
+  // sim-time numbers stay byte-identical with counting on or off.
+  prof::SetAllocCounting(true);
   int rc = 0;
   rc |= PinnedEpisode();
   rc |= ScalingCurve();

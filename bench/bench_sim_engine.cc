@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_host.h"
 #include "sim/engine.h"
 #include "sim/legacy_engine.h"
 #include "util/rng.h"
@@ -44,23 +45,11 @@ double WallSeconds() {
       .count();
 }
 
-// Process CPU time. Engine rates are computed from CPU seconds, not wall
+// Engine rates are computed from CPU seconds (bench_host.h), not wall
 // seconds: shared CI runners steal the single vCPU for whole scheduling
 // quanta, and wall-clock rates swing 2x run-to-run under that noise while
 // CPU-second rates hold steady. For a single-threaded bench the two agree
 // on an idle machine.
-double CpuSeconds() {
-  struct rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
-         static_cast<double>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) / 1e6;
-}
-
-double PeakRssMb() {
-  struct rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
-}
 
 // ---- Scenario 1: heartbeat-heavy 10k hosts --------------------------------
 

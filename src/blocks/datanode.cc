@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "resilience/deadline.h"
+#include "prof/profiler.h"
 #include "util/strings.h"
 
 namespace repro::blocks {
@@ -59,6 +60,7 @@ void BlockDatanode::WriteBlock(uint64_t block_id, int64_t bytes,
                                std::vector<BlockDatanode*> pipeline,
                                std::function<void(Status)> done,
                                Nanos deadline, trace::SpanId span) {
+  PROF_ZONE("blocks.dn.write");
   if (!alive_) return;  // the client's RPC timeout handles dead DNs
   if (resilience::DeadlineExpired(deadline, sim_.now())) {
     if (done) done(DeadlineExceeded("dn: write past deadline"));
@@ -93,6 +95,7 @@ void BlockDatanode::WriteBlock(uint64_t block_id, int64_t bytes,
 void BlockDatanode::ReadBlock(uint64_t block_id, HostId reader_host,
                               std::function<void(Expected<int64_t>)> done,
                               Nanos deadline, trace::SpanId span) {
+  PROF_ZONE("blocks.dn.read");
   if (!alive_) return;
   if (resilience::DeadlineExpired(deadline, sim_.now())) {
     done(DeadlineExceeded("dn: read past deadline"));
@@ -126,6 +129,7 @@ void BlockDatanode::DeleteBlock(uint64_t block_id) {
 
 void BlockDatanode::CopyBlockTo(BlockDatanode& target, uint64_t block_id,
                                 std::function<void(Status)> done) {
+  PROF_ZONE("blocks.dn.copy");
   if (!alive_) return;
   cpu_.Submit(config_.cpu_per_request, [this, &target, block_id,
                                         done = std::move(done)]() mutable {

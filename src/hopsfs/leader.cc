@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "hopsfs/namenode.h"
+#include "prof/profiler.h"
 #include "util/logging.h"
 
 namespace repro::hopsfs {
@@ -135,6 +136,7 @@ void Namenode::LeaderElectionRound() {
 }
 
 void Namenode::ReplicationMonitorRound() {
+  PROF_ZONE("nn.replication.round");
   const Nanos now = sim_.now();
   for (blocks::DnId dn = 0; dn < dn_registry_->size(); ++dn) {
     // React only to datanodes that once reported and then went silent

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "hopsfs/op_context.h"
+#include "prof/profiler.h"
 #include "resilience/deadline.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -322,6 +323,7 @@ void Namenode::ResolveDir(std::shared_ptr<OpCtx> ctx, const std::string& path,
 // ---------------------------------------------------------------------------
 
 void Namenode::RunAttempt(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.dispatch");
   if (resilience::DeadlineExpired(ctx->req.deadline, sim_.now())) {
     FsResult r;
     r.status = DeadlineExceeded("nn: deadline passed before attempt");

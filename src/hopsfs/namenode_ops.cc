@@ -12,6 +12,7 @@
 
 #include "hopsfs/namenode.h"
 #include "hopsfs/op_context.h"
+#include "prof/profiler.h"
 #include "resilience/deadline.h"
 #include "util/strings.h"
 
@@ -44,6 +45,7 @@ std::optional<InodeRow> DecodeInode(const std::optional<std::string>& value) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoMkdir(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.mkdir");
   if (ctx->req.path == "/") {
     FsResult r;
     r.status = AlreadyExists("/");
@@ -110,6 +112,7 @@ void Namenode::DoMkdir(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoCreate(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.create");
   api_->Read(ctx->txn, tables_.inodes, ctx->dir_row_key,
              ndb::LockMode::kExclusive,
              [this, ctx](Code code, std::optional<std::string> value) {
@@ -235,6 +238,7 @@ void Namenode::DoCreate(std::shared_ptr<OpCtx> ctx) {
 // replication"): with Read Backup the commit ack guarantees every replica
 // is current, so the lock-free read is consistent and AZ-local.
 void Namenode::DoStat(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.stat");
   const std::string key =
       ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
   api_->Read(ctx->txn, tables_.inodes, key, ndb::LockMode::kReadCommitted,
@@ -270,6 +274,7 @@ void Namenode::DoStat(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoOpenRead(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.open_read");
   const std::string key =
       ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
   api_->Read(
@@ -351,6 +356,7 @@ void Namenode::DoOpenRead(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoDelete(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.delete");
   api_->Read(
       ctx->txn, tables_.inodes, ctx->dir_row_key, ndb::LockMode::kExclusive,
       [this, ctx](Code code, std::optional<std::string> pvalue) {
@@ -497,6 +503,7 @@ void Namenode::DoDelete(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoListDir(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.list_dir");
   const std::string key =
       ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
   api_->Read(
@@ -560,6 +567,7 @@ void Namenode::DoListDir(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoRename(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.rename");
   if (ctx->req.path == "/" || ctx->req.path2.empty() ||
       ctx->req.path2 == "/" ||
       StartsWith(ctx->req.path2, ctx->req.path + "/")) {
@@ -678,6 +686,7 @@ void Namenode::DoRename(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoSetAttr(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.set_attr");
   const std::string key =
       ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
   api_->Read(ctx->txn, tables_.inodes, key, ndb::LockMode::kExclusive,
@@ -744,6 +753,7 @@ void Namenode::DoSetAttr(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoAppend(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.append");
   const std::string key = InodeKey(ctx->dir, ctx->base);
   api_->Read(
       ctx->txn, tables_.inodes, key, ndb::LockMode::kExclusive,
@@ -860,6 +870,7 @@ void Namenode::DoAppend(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoContentSummary(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.content_summary");
   const std::string key =
       ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
   api_->Read(
@@ -949,6 +960,7 @@ void Namenode::DoContentSummary(std::shared_ptr<OpCtx> ctx) {
 // ---------------------------------------------------------------------------
 
 void Namenode::DoDeleteRecursive(std::shared_ptr<OpCtx> ctx) {
+  PROF_ZONE("nn.op.delete_recursive");
   if (ctx->req.path == "/") {
     FsResult r;
     r.status = InvalidArgument("cannot delete the root");

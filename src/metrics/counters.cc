@@ -138,26 +138,52 @@ void Registry::RegisterCallback(const std::string& name, const Labels& labels,
 
 std::vector<Registry::Sample> Registry::Collect() const {
   std::vector<Sample> out;
-  out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size() +
-              callbacks_.size());
-  for (const auto& [name, c] : counters_) {
-    out.push_back({name, MetricKind::kCounter,
-                   static_cast<double>(c->value())});
-  }
-  for (const auto& [name, g] : gauges_) {
-    out.push_back({name, MetricKind::kGauge, g->value()});
-  }
-  for (const auto& [name, h] : histograms_) {
-    out.push_back({name + ".count", MetricKind::kCounter,
-                   static_cast<double>(h->count())});
-    out.push_back({name + ".sum", MetricKind::kCounter, h->sum()});
-  }
-  for (const auto& [name, cb] : callbacks_) {
-    out.push_back({name, cb.kind, cb.fn()});
-  }
+  CollectInto(&out);
   std::sort(out.begin(), out.end(),
             [](const Sample& a, const Sample& b) { return a.name < b.name; });
   return out;
+}
+
+void Registry::CollectInto(std::vector<Sample>* out) const {
+  const size_t need = counters_.size() + gauges_.size() +
+                      2 * histograms_.size() + callbacks_.size();
+  // resize() keeps existing Sample slots (and their strings' capacity);
+  // growth only happens when a new metric registers, never steady-state.
+  out->resize(need);
+  size_t i = 0;
+  // Section order (each map already name-sorted) is stable across
+  // scrapes, so slot i always re-receives the same name: assign() reuses
+  // the string's buffer and the scrape allocates nothing.
+  for (const auto& [name, c] : counters_) {
+    Sample& s = (*out)[i++];
+    s.name.assign(name);
+    s.kind = MetricKind::kCounter;
+    s.value = static_cast<double>(c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    Sample& s = (*out)[i++];
+    s.name.assign(name);
+    s.kind = MetricKind::kGauge;
+    s.value = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    Sample& c = (*out)[i++];
+    c.name.assign(name);
+    c.name += ".count";
+    c.kind = MetricKind::kCounter;
+    c.value = static_cast<double>(h->count());
+    Sample& m = (*out)[i++];
+    m.name.assign(name);
+    m.name += ".sum";
+    m.kind = MetricKind::kCounter;
+    m.value = h->sum();
+  }
+  for (const auto& [name, cb] : callbacks_) {
+    Sample& s = (*out)[i++];
+    s.name.assign(name);
+    s.kind = cb.kind;
+    s.value = cb.fn();
+  }
 }
 
 std::vector<Registry::HistogramSample> Registry::CollectHistograms() const {

@@ -125,8 +125,20 @@ class Registry {
     double value;
   };
   // Deterministic (name-sorted) snapshot of every metric, callbacks
-  // included. Read-only: safe to call from scrape ticks.
+  // included. Read-only: safe to call from scrape ticks. Allocates a
+  // fresh vector per call — periodic scrapers should use CollectInto.
   std::vector<Sample> Collect() const;
+
+  // Snapshot into a caller-owned buffer, reusing its Sample slots (and
+  // their string capacity) across calls. Samples are emitted in a
+  // deterministic section order — counters, gauges, histogram
+  // .count/.sum pairs, callbacks, each section name-sorted (std::map
+  // order) — which is stable across scrapes, so once the metric set
+  // stops growing every slot re-receives the same name and the
+  // steady-state scrape performs ZERO heap allocations (asserted by
+  // prof_test with the allocation counters). Not globally name-sorted;
+  // use Collect() when sorted output matters.
+  void CollectInto(std::vector<Sample>* out) const;
 
   struct HistogramSample {
     std::string name;

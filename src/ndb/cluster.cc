@@ -6,6 +6,7 @@
 #include <set>
 
 #include "ndb/client.h"
+#include "prof/profiler.h"
 #include "util/logging.h"
 
 namespace repro::ndb {
@@ -123,6 +124,7 @@ void NdbCluster::StartProtocols() {
 }
 
 void NdbCluster::TryCloseEpochs() {
+  PROF_ZONE("ndb.gcp.close_epochs");
   if (!cluster_up_) return;
   while (closed_epoch_ < gcp_epoch_) {
     const int64_t e = closed_epoch_ + 1;
@@ -168,6 +170,7 @@ int64_t NdbCluster::DurableGcpEpoch() const {
 }
 
 void NdbCluster::HeartbeatTick(NodeId i) {
+  PROF_ZONE("ndb.heartbeat.tick");
   if (!cluster_up_) return;
   NdbDatanode& self = *datanodes_[i];
   if (!self.alive()) return;
@@ -323,6 +326,7 @@ void NdbCluster::AbandonRecovery(NodeId n, size_t slot,
 }
 
 void NdbCluster::RestartDatanode(NodeId n, std::function<void()> done) {
+  PROF_ZONE("ndb.recovery.restart");
   // Guard on the process state, not the failure detector's view: a node
   // can restart before its crash was ever detected (layout_.alive may
   // still read true for a dead process).
@@ -454,6 +458,7 @@ void NdbCluster::RecoveryResync(NodeId n, size_t slot, uint64_t gen,
 void NdbCluster::StreamNextPartition(NodeId n, size_t slot, uint64_t gen,
                                      NodeId source, PartitionId next,
                                      std::function<void()> done) {
+  PROF_ZONE("ndb.recovery.stream_partition");
   if (!RecoveryStillValid(n, gen)) {
     AbandonRecovery(n, slot, "node lost during resync", done);
     return;

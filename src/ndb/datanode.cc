@@ -5,6 +5,7 @@
 
 #include "ndb/client.h"
 #include "ndb/cluster.h"
+#include "prof/profiler.h"
 #include "resilience/deadline.h"
 #include "util/logging.h"
 
@@ -313,6 +314,7 @@ Nanos NdbDatanode::redo_stall_ns() const {
 }
 
 void NdbDatanode::FlushRedo() {
+  PROF_ZONE("ndb.redo.flush");
   // Catch-up backups log live chain writes too; they must keep flushing
   // or their backlog grows until backpressure sheds every write routed
   // through them — permanently, since nothing else drains the journal.
@@ -542,6 +544,7 @@ NodeId NdbDatanode::RouteCommittedRead(TableId table, PartitionId part,
 }
 
 void NdbDatanode::TcKeyOp(KeyOpReq req) {
+  PROF_ZONE("ndb.tc.keyop");
   const trace::SpanId op_span = req.span;
   const Booking b = RunTc(cluster_.cost().tc_route_op,
                           [this, req = std::move(req)]() mutable {
@@ -673,6 +676,7 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
 }
 
 void NdbDatanode::TcScan(ScanReq req) {
+  PROF_ZONE("ndb.tc.scan");
   const trace::SpanId op_span = req.span;
   const Booking b = RunTc(cluster_.cost().tc_route_op,
                           [this, req = std::move(req)]() mutable {
@@ -789,6 +793,7 @@ void NdbDatanode::TcLockedReadResult(TxnId txn, uint64_t op_id, Code code,
 
 void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api,
                            trace::SpanId span) {
+  PROF_ZONE("ndb.tc.commit");
   const Booking b = RunTc(cluster_.cost().tc_begin,
                           [this, txn, op_id, api, span] {
     const auto& cost = cluster_.cost();
@@ -872,6 +877,7 @@ void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api,
 }
 
 void NdbDatanode::TcCommitted(TxnId txn) {
+  PROF_ZONE("ndb.tc.committed");
   RunTc(cluster_.cost().tc_commit_row, [this, txn] {
     auto it = txns_.find(txn);
     if (it == txns_.end()) return;
@@ -886,6 +892,7 @@ void NdbDatanode::TcCommitted(TxnId txn) {
 }
 
 void NdbDatanode::StartCompletePhase(TxnId txn, TcTxn& t) {
+  PROF_ZONE("ndb.tc.complete_phase");
   const auto& cost = cluster_.cost();
   t.pending_completes = 0;
   for (const auto& w : t.writes) t.pending_completes += static_cast<int>(w.chain.size());
@@ -915,6 +922,7 @@ void NdbDatanode::StartCompletePhase(TxnId txn, TcTxn& t) {
 }
 
 void NdbDatanode::TcCompleted(TxnId txn) {
+  PROF_ZONE("ndb.tc.completed");
   RunTc(cluster_.cost().tc_complete_row, [this, txn] {
     auto it = txns_.find(txn);
     if (it == txns_.end()) return;
@@ -1023,6 +1031,7 @@ void NdbDatanode::ResolveTakenOverRow(const TakeoverRow& row) {
 }
 
 void NdbDatanode::SweepInactiveTxns() {
+  PROF_ZONE("ndb.tc.sweep");
   const Nanos cutoff =
       cluster_.sim().now() - cluster_.node_config().txn_inactive_timeout;
   std::vector<TxnId> doomed;
@@ -1195,6 +1204,7 @@ void NdbDatanode::RedriveStalledCommit(TxnId txn, TcTxn& t) {
 // ---------------------------------------------------------------------------
 
 void NdbDatanode::LdmCommittedRead(KeyOpReq req, int replica_idx) {
+  PROF_ZONE("ndb.ldm.committed_read");
   (void)replica_idx;
   ++proto_stats_.committed_reads;
   const PartitionId part = cluster_.layout().PartitionOf(req.table, req.key);
@@ -1215,6 +1225,7 @@ void NdbDatanode::LdmCommittedRead(KeyOpReq req, int replica_idx) {
 }
 
 void NdbDatanode::LdmLockedRead(PrepareReq probe) {
+  PROF_ZONE("ndb.ldm.locked_read");
   ++proto_stats_.locked_reads;
   // `insert_only` doubles as the exclusive-mode marker for lock probes.
   const LockMode mode =
@@ -1283,6 +1294,7 @@ void NdbDatanode::ForwardPrepare(PrepareReq req) {
 }
 
 void NdbDatanode::LdmPrepare(PrepareReq req) {
+  PROF_ZONE("ndb.ldm.prepare");
   if (req.busy_retries == 0) ++proto_stats_.prepares;
   const trace::SpanId op_span = req.busy_retries == 0 ? req.span : 0;
   const Booking b = RunLdm(
@@ -1434,6 +1446,7 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
 // lock; the lock outlives the retries, so writers stay serialised while
 // a previous chain's pending write drains out of the slot.
 void NdbDatanode::LdmPrimaryStage(PrepareReq req) {
+  PROF_ZONE("ndb.ldm.primary_stage");
   if (store_.Prepare(req.table, req.key, req.type, req.value, req.txn,
                      req.tc, cluster_.sim().now())) {
     ForwardPrepare(std::move(req));
@@ -1466,6 +1479,7 @@ void NdbDatanode::LdmPrimaryStage(PrepareReq req) {
 }
 
 void NdbDatanode::LdmCommitChain(CommitChainReq req) {
+  PROF_ZONE("ndb.ldm.commit_chain");
   ++proto_stats_.commit_hops;
   const trace::SpanId op_span = req.span;
   const Booking b = RunLdm(
@@ -1501,6 +1515,7 @@ void NdbDatanode::LdmCommitChain(CommitChainReq req) {
 }
 
 void NdbDatanode::LdmComplete(CompleteReq req) {
+  PROF_ZONE("ndb.ldm.complete");
   ++proto_stats_.completes;
   const trace::SpanId op_span = req.span;
   const Booking b = RunLdm(

@@ -1,4 +1,5 @@
 #include "ndb/redo_journal.h"
+#include "prof/profiler.h"
 
 #include <algorithm>
 #include <set>
@@ -89,6 +90,7 @@ void RedoJournal::BootstrapRow(TableId table, const Key& key,
 }
 
 RedoJournal::FlushBatch RedoJournal::PrepareFlush() {
+  PROF_ZONE("ndb.redo.prepare_flush");
   FlushBatch batch;
   if (last_seqno_ <= flush_requested_seqno_) return batch;
   batch.upto_seqno = last_seqno_;
@@ -104,6 +106,7 @@ RedoJournal::FlushBatch RedoJournal::PrepareFlush() {
 }
 
 void RedoJournal::MarkFlushed(const FlushBatch& batch) {
+  PROF_ZONE("ndb.redo.mark_flushed");
   if (batch.upto_seqno <= durable_seqno_) return;
   durable_seqno_ = batch.upto_seqno;
   durable_bytes_ += batch.record_bytes;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "prof/profiler.h"
+
 namespace repro {
 
 ThreadPool::ThreadPool(Simulation& sim, std::string name, int num_threads)
@@ -31,6 +33,7 @@ Booking ThreadPool::SubmitTo(int thread, Nanos cost,
   if (slowdown_ != 1.0) {
     cost = static_cast<Nanos>(static_cast<double>(cost) * slowdown_);
   }
+  prof::ChargeSimCpu(cost);  // attribute booked service to the active zone
   const Nanos start = std::max(free_at_[thread], sim_.now());
   free_at_[thread] = start + cost;
   booked_ns_ += cost;
@@ -131,6 +134,7 @@ void Disk::ResetStats() {
 }
 
 Booking Disk::Read(int64_t bytes, std::function<void()> done) {
+  prof::ChargeSimDisk(bytes);
   stats_.bytes_read += bytes;
   const Nanos service =
       access_time_ +
@@ -139,6 +143,7 @@ Booking Disk::Read(int64_t bytes, std::function<void()> done) {
 }
 
 Booking Disk::Write(int64_t bytes, std::function<void()> done) {
+  prof::ChargeSimDisk(bytes);
   stats_.bytes_written += bytes;
   const Nanos service =
       access_time_ +

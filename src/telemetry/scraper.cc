@@ -26,7 +26,12 @@ std::optional<RingSeries::Point> RingSeries::AtOrBefore(Nanos t) const {
 
 void Scraper::ScrapeOnce(Nanos now) {
   if (registry_ == nullptr) return;
-  for (const auto& sample : registry_->Collect()) {
+  // CollectInto reuses scratch_'s samples (and their string buffers)
+  // across scrapes: once the metric set is stable and every ring is
+  // warm, a scrape performs zero heap allocations (prof_test pins this
+  // with the profiler's allocation counters).
+  registry_->CollectInto(&scratch_);
+  for (const auto& sample : scratch_) {
     auto it = series_.find(sample.name);
     if (it == series_.end()) {
       it = series_

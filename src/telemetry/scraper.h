@@ -94,6 +94,9 @@ class Scraper {
  private:
   metrics::Registry* registry_;
   ScraperOptions options_;
+  // Per-scrape sample buffer, reused so steady-state scrapes are
+  // allocation-free (see Registry::CollectInto).
+  std::vector<metrics::Registry::Sample> scratch_;
   std::map<std::string, Series> series_;
   int64_t scrape_count_ = 0;
   Nanos last_scrape_at_ = -1;

@@ -1,0 +1,351 @@
+// Zone profiler tests: nesting/unwind, allocation-hook attribution
+// (hand-counted allocations in synthetic zones), folded-stack golden
+// output, registry bridging with detach-freeze, the scrape-path
+// zero-allocation regression, and the determinism contract (a pinned
+// chaos run is byte-identical with the profiler installed or not).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/harness.h"
+#include "metrics/counters.h"
+#include "prof/profiler.h"
+#include "prof/report.h"
+#include "telemetry/scraper.h"
+#include "util/time.h"
+
+namespace repro {
+namespace {
+
+using prof::Profiler;
+using prof::ProfilerOptions;
+using prof::ProfZone;
+using prof::ZoneStats;
+
+// The default build is -O2, where GCC elides paired new/delete
+// (allocation elision, [expr.new]/10). Escaping the pointer through an
+// opaque sink forces the allocation to really happen so hand-counted
+// expectations hold at any optimisation level.
+void* g_escape_sink = nullptr;
+__attribute__((noinline)) void Escape(void* p) {
+  g_escape_sink = p;
+  asm volatile("" ::: "memory");
+}
+
+// ---- zone nesting and unwind ----------------------------------------------
+
+void LeafWork() { PROF_ZONE("leaf"); }
+
+void MidWork(bool bail) {
+  PROF_ZONE("mid");
+  if (bail) return;  // early return must still charge "mid"
+  LeafWork();
+}
+
+TEST(ProfZones, NestingBuildsPathTreeAndUnwindsOnEarlyReturn) {
+  Profiler p;
+  p.Install();
+  {
+    PROF_ZONE("outer");
+    MidWork(false);
+    MidWork(true);
+  }
+  LeafWork();  // same name, different path -> distinct node
+  p.Uninstall();
+
+  // Expected paths: outer; outer;mid; outer;mid;leaf; leaf.
+  std::vector<std::string> paths;
+  for (size_t i = 1; i < p.nodes().size(); ++i) {
+    paths.push_back(p.PathOf(static_cast<int32_t>(i)));
+  }
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths[0], "outer");
+  EXPECT_EQ(paths[1], "outer;mid");
+  EXPECT_EQ(paths[2], "outer;mid;leaf");
+  EXPECT_EQ(paths[3], "leaf");
+
+  EXPECT_EQ(p.nodes()[1].total.calls, 1u);  // outer
+  EXPECT_EQ(p.nodes()[2].total.calls, 2u);  // mid: once deep, once bailed
+  EXPECT_EQ(p.nodes()[3].total.calls, 1u);  // leaf under mid
+  EXPECT_EQ(p.nodes()[4].total.calls, 1u);  // top-level leaf
+
+  // ByName aggregates the two "leaf" paths.
+  for (const auto& [name, stats] : p.ByName()) {
+    if (name == "leaf") {
+      EXPECT_EQ(stats.calls, 2u);
+    }
+    if (name == "mid") {
+      EXPECT_EQ(stats.calls, 2u);
+    }
+  }
+}
+
+TEST(ProfZones, ZonesAreFreeWhenNoProfilerInstalled) {
+  ASSERT_EQ(Profiler::Current(), nullptr);
+  LeafWork();  // must not crash or record anywhere
+  Profiler p;
+  p.Install();
+  LeafWork();
+  p.Uninstall();
+  LeafWork();  // after uninstall: not recorded
+  ASSERT_EQ(p.nodes().size(), 2u);
+  EXPECT_EQ(p.nodes()[1].total.calls, 1u);
+}
+
+TEST(ProfZones, InstallIsExclusiveAndDestructorUninstalls) {
+  auto a = std::make_unique<Profiler>();
+  a->Install();
+  EXPECT_TRUE(a->installed());
+  Profiler b;
+  b.Install();  // displaces a
+  EXPECT_FALSE(a->installed());
+  EXPECT_TRUE(b.installed());
+  a.reset();  // destroying a non-current profiler must not uninstall b
+  EXPECT_EQ(Profiler::Current(), &b);
+}
+
+// ---- allocation-hook attribution ------------------------------------------
+
+TEST(ProfAllocs, HandCountedAllocationsChargeTheActiveZone) {
+  Profiler p;
+  p.Install();
+  // Warm the tree so node creation is done before the measured pass.
+  { PROF_ZONE("alloc_zone"); }
+  { PROF_ZONE("quiet_zone"); }
+  p.ResetStats();
+
+  {
+    PROF_ZONE("alloc_zone");
+    char* a = new char[100];
+    Escape(a);
+    int* b = new int(7);
+    Escape(b);
+    delete[] a;
+    delete b;
+  }
+  { PROF_ZONE("quiet_zone"); }
+  p.Uninstall();
+
+  ZoneStats alloc_zone, quiet_zone;
+  for (const auto& [name, stats] : p.ByName()) {
+    if (name == "alloc_zone") alloc_zone = stats;
+    if (name == "quiet_zone") quiet_zone = stats;
+  }
+  EXPECT_EQ(alloc_zone.calls, 1u);
+  EXPECT_EQ(alloc_zone.allocs, 2u);
+  EXPECT_EQ(alloc_zone.alloc_bytes, 100u + sizeof(int));
+  EXPECT_EQ(quiet_zone.allocs, 0u);
+  EXPECT_EQ(quiet_zone.alloc_bytes, 0u);
+}
+
+TEST(ProfAllocs, TrackAllocationsOffLeavesHeapColumnsZero) {
+  ProfilerOptions opts;
+  opts.track_allocations = false;
+  Profiler p(opts);
+  p.Install();
+  {
+    PROF_ZONE("no_heap_tracking");
+    char* a = new char[64];
+    Escape(a);
+    delete[] a;
+  }
+  p.Uninstall();
+  EXPECT_EQ(p.nodes()[1].total.calls, 1u);
+  EXPECT_EQ(p.nodes()[1].total.allocs, 0u);
+}
+
+// ---- folded-stack golden ---------------------------------------------------
+
+TEST(ProfReport, FoldedStackGoldenOnHandBuiltAllocTree) {
+  Profiler p;
+  p.Install();
+  // Warm paths a, a;b so the measured pass allocates only what we count.
+  {
+    PROF_ZONE("a");
+    { PROF_ZONE("b"); }
+  }
+  p.ResetStats();
+  {
+    PROF_ZONE("a");
+    char* own = new char[10];  // self of a: 1 alloc, 10 bytes
+    Escape(own);
+    {
+      PROF_ZONE("b");
+      char* inner = new char[20];  // b: 2 allocs, 50 bytes
+      Escape(inner);
+      char* inner2 = new char[30];
+      Escape(inner2);
+      delete[] inner;
+      delete[] inner2;
+    }
+    delete[] own;
+  }
+  p.Uninstall();
+
+  EXPECT_EQ(prof::FoldedStacks(p, prof::Metric::kAllocs), "a 1\na;b 2\n");
+  EXPECT_EQ(prof::FoldedStacks(p, prof::Metric::kAllocBytes),
+            "a 10\na;b 50\n");
+  // Calls-free metrics skip zero-valued lines entirely.
+  EXPECT_EQ(prof::FoldedStacks(p, prof::Metric::kSimDiskBytes), "");
+}
+
+// ---- registry bridging -----------------------------------------------------
+
+double SampleValue(const metrics::Registry& reg, const std::string& name) {
+  for (const auto& s : reg.Collect()) {
+    if (s.name == name) return s.value;
+  }
+  return -1;
+}
+
+TEST(ProfReport, ZoneMetricsRegisterLiveAndFreezeOnDetach) {
+  metrics::Registry reg;
+  auto p = std::make_unique<Profiler>();
+  prof::RegisterZoneMetrics(p.get(), &reg);
+  p->Install();
+  { PROF_ZONE("bridge_zone"); }
+  { PROF_ZONE("bridge_zone"); }
+  // Live: the callback reads the profiler's tree.
+  EXPECT_EQ(SampleValue(reg, "prof.zone.calls{zone=bridge_zone}"), 2.0);
+  { PROF_ZONE("bridge_zone"); }
+  EXPECT_EQ(SampleValue(reg, "prof.zone.calls{zone=bridge_zone}"), 3.0);
+
+  p->Uninstall();  // detach hook freezes the callbacks
+  p.reset();       // registry must survive the profiler
+  EXPECT_EQ(SampleValue(reg, "prof.zone.calls{zone=bridge_zone}"), 3.0);
+}
+
+// ---- scrape-path allocation regression (Registry::CollectInto) ------------
+
+TEST(ProfRegression, SteadyStateScrapeAllocatesNothing) {
+  metrics::Registry reg;
+  reg.GetCounter("test.ops")->Add(3);
+  reg.GetCounter("test.labelled", {{"az", "1"}, {"node", "2"}})->Add(1);
+  reg.GetGauge("test.depth")->Set(4.5);
+  reg.GetHistogram("test.lat", {0.01, 0.1, 1.0})->Observe(0.05);
+  double polled = 7;
+  reg.RegisterCallback("test.cb", {}, metrics::MetricKind::kGauge,
+                       [&polled] { return polled; });
+
+  telemetry::ScraperOptions opts;
+  opts.ring_capacity = 4;
+  telemetry::Scraper scraper(&reg, opts);
+  // Warm-up: fill every ring to capacity and size the scratch buffer.
+  for (int i = 0; i < 6; ++i) scraper.ScrapeOnce(i * kMillisecond);
+
+  prof::SetAllocCounting(true);
+  const prof::AllocTotals before = prof::TotalAllocs();
+  for (int i = 6; i < 12; ++i) scraper.ScrapeOnce(i * kMillisecond);
+  const prof::AllocTotals after = prof::TotalAllocs();
+  prof::SetAllocCounting(false);
+
+  EXPECT_EQ(after.count - before.count, 0u)
+      << "scrape path allocated " << (after.count - before.count)
+      << " times over 6 steady-state scrapes";
+
+  // The reuse must not change what a scrape observes.
+  const telemetry::RingSeries* ops = scraper.Find("test.ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->latest().v, 3.0);
+  EXPECT_EQ(scraper.KindOf("test.lat.count"), metrics::MetricKind::kCounter);
+  const telemetry::RingSeries* cb = scraper.Find("test.cb");
+  ASSERT_NE(cb, nullptr);
+  EXPECT_EQ(cb->latest().v, 7.0);
+}
+
+TEST(ProfRegression, CollectStaysNameSortedAfterCollectIntoRewrite) {
+  metrics::Registry reg;
+  reg.GetGauge("zz.last")->Set(1);
+  reg.GetCounter("aa.first")->Add(1);
+  reg.GetHistogram("mm.mid", {1.0})->Observe(0.5);
+  const auto samples = reg.Collect();
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+}
+
+// ---- chrome ring -----------------------------------------------------------
+
+TEST(ProfReport, ChromeRingRecordsExitsAndWrapsOldestFirst) {
+  ProfilerOptions opts;
+  opts.chrome_ring_capacity = 2;
+  Profiler p(opts);
+  int64_t fake_now = 0;
+  p.SetSimTimeSource([&fake_now] { return fake_now; });
+  p.Install();
+  fake_now = 1000;
+  { PROF_ZONE("ring_a"); }
+  fake_now = 2000;
+  { PROF_ZONE("ring_b"); }
+  fake_now = 3000;
+  { PROF_ZONE("ring_c"); }  // evicts ring_a
+  p.Uninstall();
+
+  ASSERT_EQ(p.chrome_ring().size(), 2u);
+  EXPECT_EQ(p.chrome_dropped(), 1u);
+  const std::string events = prof::ZoneChromeEvents(p);
+  // Oldest-first after wrap: ring_b before ring_c; ring_a evicted.
+  const size_t pos_b = events.find("\"ring_b\"");
+  const size_t pos_c = events.find("\"ring_c\"");
+  EXPECT_EQ(events.find("\"ring_a\""), std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_b, pos_c);
+  EXPECT_NE(events.find("\"ts\":2.000"), std::string::npos);  // sim µs
+}
+
+// ---- determinism: profiler on/off byte-identity ----------------------------
+
+chaos::ChaosOptions SmallChaosOptions() {
+  chaos::ChaosOptions opts;
+  opts.seed = 42;
+  opts.workload_clients = 6;
+  opts.warmup = 1 * kSecond;
+  opts.fault_window = 2 * kSecond;
+  opts.settle = 2 * kSecond;
+  opts.client_rpc_timeout = 250 * kMillisecond;
+  opts.client_op_deadline = 1 * kSecond;
+  return opts;
+}
+
+TEST(ProfDeterminism, ChaosRunIsByteIdenticalWithProfilerOnOrOff) {
+  chaos::FaultSchedule schedule;
+  schedule.Add({600 * kMillisecond, chaos::FaultType::kCrashNdbNode, 1});
+  schedule.Add({Millis(1200), chaos::FaultType::kRestartNdbNode, 1});
+
+  const chaos::ChaosOptions opts = SmallChaosOptions();
+
+  ProfilerOptions popts;
+  popts.chrome_ring_capacity = 1024;
+  Profiler profiler(popts);
+  profiler.Install();
+  const chaos::ChaosReport run_on = chaos::RunChaosSchedule(opts, schedule);
+  profiler.Uninstall();
+
+  const chaos::ChaosReport run_off = chaos::RunChaosSchedule(opts, schedule);
+
+  // The profiler observes host cost; it must not perturb the sim: full
+  // event trace and workload outcome byte-identical, while the profiled
+  // run actually recorded the protocol zones.
+  EXPECT_EQ(run_on.TraceString(), run_off.TraceString());
+  EXPECT_EQ(run_on.completed, run_off.completed);
+  EXPECT_EQ(run_on.failed, run_off.failed);
+  EXPECT_EQ(run_on.acked_writes, run_off.acked_writes);
+
+  bool saw_dispatch = false, saw_commit = false, saw_recovery = false;
+  for (const auto& [name, stats] : profiler.ByName()) {
+    if (name == "nn.op.dispatch" && stats.calls > 0) saw_dispatch = true;
+    if (name == "ndb.tc.commit" && stats.calls > 0) saw_commit = true;
+    if (name == "ndb.recovery.restart" && stats.calls > 0) {
+      saw_recovery = true;
+    }
+  }
+  EXPECT_TRUE(saw_dispatch);
+  EXPECT_TRUE(saw_commit);
+  EXPECT_TRUE(saw_recovery);
+}
+
+}  // namespace
+}  // namespace repro
