@@ -1,6 +1,7 @@
 #include "blocks/placement.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace repro::blocks {
 namespace {
@@ -9,15 +10,23 @@ bool Contains(const std::vector<DnId>& v, DnId x) {
   return std::find(v.begin(), v.end(), x) != v.end();
 }
 
-// Picks a random alive DN satisfying `pred`, or -1.
+// Uniform pick over {d : alive(d) && pred(d)} walking the registry's flat
+// id-indexed table directly: count the eligible set, draw one index, walk
+// again to the drawn slot. No candidate vector is materialised, and the
+// single NextBelow(count) draw matches the old vector-based pick exactly,
+// so choices (and every seeded benchmark) are bit-identical.
 template <typename Pred>
-DnId PickRandom(const std::vector<DnId>& alive, Rng& rng, Pred pred) {
-  std::vector<DnId> eligible;
-  for (DnId d : alive) {
-    if (pred(d)) eligible.push_back(d);
+DnId PickRandom(const DnRegistry& registry, Nanos now, Rng& rng, Pred pred) {
+  int count = 0;
+  for (DnId d = 0; d < registry.size(); ++d) {
+    if (registry.AliveAt(d, now) && pred(d)) ++count;
   }
-  if (eligible.empty()) return -1;
-  return eligible[rng.NextBelow(eligible.size())];
+  if (count == 0) return -1;
+  uint64_t k = rng.NextBelow(static_cast<uint64_t>(count));
+  for (DnId d = 0; d < registry.size(); ++d) {
+    if (registry.AliveAt(d, now) && pred(d) && k-- == 0) return d;
+  }
+  return -1;  // unreachable: count > 0
 }
 
 }  // namespace
@@ -25,8 +34,7 @@ DnId PickRandom(const std::vector<DnId>& alive, Rng& rng, Pred pred) {
 DnId BlockPlacementPolicy::ChooseReplacement(const std::vector<DnId>& existing,
                                              const DnRegistry& registry,
                                              Nanos now, Rng& rng) const {
-  const auto alive = registry.AliveDns(now);
-  return PickRandom(alive, rng,
+  return PickRandom(registry, now, rng,
                     [&](DnId d) { return !Contains(existing, d); });
 }
 
@@ -34,17 +42,16 @@ std::vector<DnId> DefaultPlacement::ChooseTargets(int replication,
                                                   AzId writer_az,
                                                   const DnRegistry& registry,
                                                   Nanos now, Rng& rng) const {
-  const auto alive = registry.AliveDns(now);
   std::vector<DnId> chosen;
   // First replica: prefer the writer's AZ (stands in for HDFS's
   // "local node" rule).
-  const DnId local = PickRandom(alive, rng, [&](DnId d) {
+  const DnId local = PickRandom(registry, now, rng, [&](DnId d) {
     return registry.az_of(d) == writer_az;
   });
   if (local >= 0) chosen.push_back(local);
   while (static_cast<int>(chosen.size()) < replication) {
-    const DnId next =
-        PickRandom(alive, rng, [&](DnId d) { return !Contains(chosen, d); });
+    const DnId next = PickRandom(registry, now, rng,
+                                 [&](DnId d) { return !Contains(chosen, d); });
     if (next < 0) break;
     chosen.push_back(next);
   }
@@ -55,7 +62,6 @@ std::vector<DnId> AzAwarePlacement::ChooseTargets(int replication,
                                                   AzId writer_az,
                                                   const DnRegistry& registry,
                                                   Nanos now, Rng& rng) const {
-  const auto alive = registry.AliveDns(now);
   std::vector<DnId> chosen;
   // Cover AZs round-robin starting from the writer's AZ, so replica 1 is
   // AZ-local and every AZ gets one replica before any AZ gets two.
@@ -63,15 +69,15 @@ std::vector<DnId> AzAwarePlacement::ChooseTargets(int replication,
                   i < replication + num_azs_;
        ++i) {
     const AzId az = (writer_az + i) % num_azs_;
-    const DnId next = PickRandom(alive, rng, [&](DnId d) {
+    const DnId next = PickRandom(registry, now, rng, [&](DnId d) {
       return registry.az_of(d) == az && !Contains(chosen, d);
     });
     if (next >= 0) chosen.push_back(next);
   }
   // Fallback if some AZ has no capacity: fill with any distinct DN.
   while (static_cast<int>(chosen.size()) < replication) {
-    const DnId next =
-        PickRandom(alive, rng, [&](DnId d) { return !Contains(chosen, d); });
+    const DnId next = PickRandom(registry, now, rng,
+                                 [&](DnId d) { return !Contains(chosen, d); });
     if (next < 0) break;
     chosen.push_back(next);
   }
@@ -79,14 +85,22 @@ std::vector<DnId> AzAwarePlacement::ChooseTargets(int replication,
 }
 
 DnId AzAwarePlacement::ChooseReplacement(const std::vector<DnId>& existing,
-                                         const DnRegistry& registry,
-                                         Nanos now, Rng& rng) const {
+                                         const DnRegistry& registry, Nanos now,
+                                         Rng& rng) const {
   // Restore AZ coverage first: pick a DN in an AZ that lost its replica.
-  std::vector<bool> covered(num_azs_, false);
-  for (DnId d : existing) covered[registry.az_of(d)] = true;
-  const auto alive = registry.AliveDns(now);
-  const DnId fixup = PickRandom(alive, rng, [&](DnId d) {
-    return !covered[registry.az_of(d)] && !Contains(existing, d);
+  // Only replicas that are still alive count as coverage — after a
+  // multi-DN failure the surviving list can name other dead DNs (their
+  // own repairs run later in the round), and counting those as coverage
+  // steered the replacement away from the very AZ that lost its copy.
+  uint64_t covered = 0;  // AZ bitmask; deployments have a handful of AZs
+  for (DnId d : existing) {
+    if (registry.AliveAt(d, now)) {
+      covered |= uint64_t{1} << (registry.az_of(d) & 63);
+    }
+  }
+  const DnId fixup = PickRandom(registry, now, rng, [&](DnId d) {
+    return ((covered >> (registry.az_of(d) & 63)) & 1) == 0 &&
+           !Contains(existing, d);
   });
   if (fixup >= 0) return fixup;
   return BlockPlacementPolicy::ChooseReplacement(existing, registry, now, rng);

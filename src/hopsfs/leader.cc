@@ -135,6 +135,12 @@ void Namenode::LeaderElectionRound() {
               });
 }
 
+struct Namenode::RepairQueue {
+  blocks::DnId dn = -1;
+  std::vector<std::pair<ndb::Key, std::string>> rows;
+  size_t next = 0;
+};
+
 void Namenode::ReplicationMonitorRound() {
   PROF_ZONE("nn.replication.round");
   const Nanos now = sim_.now();
@@ -158,19 +164,19 @@ void Namenode::ReplicationMonitorRound() {
                         std::vector<std::pair<ndb::Key, std::string>> rows) {
           api_->Commit(txn, [](Code) {});
           if (code != Code::kOk) return;
-          auto todo = std::make_shared<
-              std::vector<std::pair<ndb::Key, std::string>>>(std::move(rows));
-          auto next = std::make_shared<std::function<void(size_t)>>();
-          std::weak_ptr<std::function<void(size_t)>> weak_next = next;
-          *next = [this, dn, todo, weak_next](size_t i) {
-            auto next = weak_next.lock();
-            if (!next || i >= todo->size()) return;
-            RepairBlock(dn, (*todo)[i].first, (*todo)[i].second,
-                        [next, i] { (*next)(i + 1); });
-          };
-          (*next)(0);
+          auto q = std::make_shared<RepairQueue>();
+          q->dn = dn;
+          q->rows = std::move(rows);
+          RepairNext(std::move(q));
         });
   }
+}
+
+void Namenode::RepairNext(std::shared_ptr<RepairQueue> q) {
+  if (q->next >= q->rows.size()) return;
+  const size_t i = q->next++;
+  RepairBlock(q->dn, q->rows[i].first, q->rows[i].second,
+              [this, q] { RepairNext(q); });
 }
 
 void Namenode::RepairBlock(blocks::DnId dead_dn,

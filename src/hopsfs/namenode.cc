@@ -230,7 +230,7 @@ void Namenode::MaybeRetry(std::shared_ptr<OpCtx> ctx, const Status& failure) {
   });
 }
 
-void Namenode::ResolveDir(std::shared_ptr<OpCtx> ctx, const std::string& path,
+void Namenode::ResolveDir(std::shared_ptr<OpCtx> ctx, std::string_view path,
                           ResolveCb cb) {
   if (path == "/") {
     cb(kRootInode, InodeKey(0, ""));
@@ -271,7 +271,7 @@ void Namenode::ResolveDir(std::shared_ptr<OpCtx> ctx, const std::string& path,
     auto ws = weak.lock();
     if (!ws) return;
     if (i == parts->size()) {
-      ws->cb(cur, std::move(cur_row_key));
+      ws->cb(cur, cur_row_key);
       return;
     }
     const std::string key = InodeKey(cur, (*parts)[i]);
@@ -332,31 +332,34 @@ void Namenode::RunAttempt(std::shared_ptr<OpCtx> ctx) {
   }
   ++ctx->attempt;
   ctx->used_cache = false;
+  ctx->arena.Reset();
   // One span per transaction attempt; NDB op spans hang under it via
   // SetTxnTrace below.
   ctx->txn_span = sim_.tracer().StartSpan(
       ctx->req.span, "nn.txn", trace::Layer::kNamenode, trace::Cause::kWork,
       host_, az_);
 
-  const std::string& path = ctx->req.path;
-  std::string parent;
+  const std::string_view path = ctx->req.path;
+  std::string_view parent;
   if (path == "/") {
-    parent = "";
-    ctx->base = "";
+    parent = {};
+    ctx->base = {};
   } else {
-    auto [p, b] = SplitParent(path);
+    // Both views alias req.path, which is stable for the op's lifetime.
+    auto [p, b] = SplitParentView(path);
     parent = p;
     ctx->base = b;
   }
 
   // Start the transaction with the best partition-key hint available.
-  std::string hint;
+  // Built in the arena: the hint is only hashed by Begin, never stored.
+  std::string_view hint;
   if (path == "/") {
-    hint = InodeKey(0, "");
+    hint = ctx->arena.InodeKeyIn(0, "");
   } else {
     auto it = path_cache_.find(parent);
-    hint = it != path_cache_.end() ? InodeKey(it->second.id, ctx->base)
-                                   : InodeKey(kRootInode, ctx->base);
+    hint = ctx->arena.InodeKeyIn(
+        it != path_cache_.end() ? it->second.id : kRootInode, ctx->base);
   }
   ctx->txn = api_->Begin(tables_.inodes, hint);
   if (ctx->txn == 0) {
@@ -389,15 +392,18 @@ void Namenode::RunAttempt(std::shared_ptr<OpCtx> ctx) {
   if (path == "/") {
     // Target is the root itself.
     ctx->dir = 0;
-    ctx->dir_row_key = "";
+    ctx->dir_row_key = {};
     dispatch();
     return;
   }
-  ResolveDir(ctx, parent, [ctx, dispatch](InodeId dir, std::string row_key) {
-    ctx->dir = dir;
-    ctx->dir_row_key = std::move(row_key);
-    dispatch();
-  });
+  ResolveDir(ctx, parent,
+             [ctx, dispatch](InodeId dir, std::string_view row_key) {
+               ctx->dir = dir;
+               // The view may alias the path cache or a walk-local key;
+               // pin a copy the deferred transaction callbacks can use.
+               ctx->dir_row_key = ctx->arena.Intern(row_key);
+               dispatch();
+             });
 }
 
 // The per-operation transaction bodies live in namenode_ops.cc; the

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "metrics/counters.h"
 #include "ndb/client.h"
 #include "resilience/admission.h"
+#include "sim/callback.h"
 #include "sim/resources.h"
 #include "util/histogram.h"
 #include "util/status.h"
@@ -176,9 +178,11 @@ class Namenode {
 
   // Resolves the inode id of directory `path` ("/a/b") with committed
   // reads. `cb(dir_id, dir_row_key)` runs only on success; failures are
-  // finished/retried internally. Uses the NN-side path cache.
-  using ResolveCb = std::function<void(InodeId, std::string)>;
-  void ResolveDir(std::shared_ptr<OpCtx> ctx, const std::string& path,
+  // finished/retried internally. Uses the NN-side path cache. The row-key
+  // view is only valid for the duration of the call — callees must intern
+  // it (OpCtx arena) before deferring.
+  using ResolveCb = SmallCall<void(InodeId, std::string_view)>;
+  void ResolveDir(std::shared_ptr<OpCtx> ctx, std::string_view path,
                   ResolveCb cb);
 
   void DoMkdir(std::shared_ptr<OpCtx> ctx);
@@ -197,6 +201,11 @@ class Namenode {
   // -- leadership --
   void LeaderElectionRound();
   void ReplicationMonitorRound();
+  // One dead datanode's scanned block-index rows, walked in place by
+  // index — the repair loop advances a cursor over the flat scan result
+  // instead of threading a self-referencing closure chain.
+  struct RepairQueue;
+  void RepairNext(std::shared_ptr<RepairQueue> q);
   // Restores the replication level of one block after a DN loss: rewrites
   // the block row and index rows in a transaction, then streams a copy
   // from a surviving replica to the chosen replacement.
@@ -241,7 +250,21 @@ class Namenode {
     InodeId id;
     std::string row_key;  // "parentId/name" row key of the directory
   };
-  std::unordered_map<std::string, CachedPath> path_cache_;
+  // Transparent hash/eq: the dispatch path probes with string_view
+  // slices of the request path, so find() must not build a std::string.
+  struct PathHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct PathEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  std::unordered_map<std::string, CachedPath, PathHash, PathEq> path_cache_;
 
   // Leader election state.
   int64_t le_counter_ = 0;

@@ -54,7 +54,7 @@ void Namenode::DoMkdir(std::shared_ptr<OpCtx> ctx) {
   }
   // Exclusive lock on the parent directory serialises same-directory
   // namespace mutations (the implicit lock of the subtree entry).
-  api_->Read(ctx->txn, tables_.inodes, ctx->dir_row_key,
+  api_->Read(ctx->txn, tables_.inodes, std::string(ctx->dir_row_key),
              ndb::LockMode::kExclusive,
              [this, ctx](Code code, std::optional<std::string> value) {
                if (code != Code::kOk) {
@@ -85,7 +85,8 @@ void Namenode::DoMkdir(std::shared_ptr<OpCtx> ctx) {
                      }
                      InodeRow p = *parent;
                      p.mtime_ns = sim_.now();
-                     api_->Update(ctx->txn, tables_.inodes, ctx->dir_row_key,
+                     api_->Update(ctx->txn, tables_.inodes,
+                                  std::string(ctx->dir_row_key),
                                   p.Encode(), [this, ctx](Code c3) {
                                     if (c3 != Code::kOk) {
                                       MaybeRetry(ctx,
@@ -113,7 +114,7 @@ void Namenode::DoMkdir(std::shared_ptr<OpCtx> ctx) {
 
 void Namenode::DoCreate(std::shared_ptr<OpCtx> ctx) {
   PROF_ZONE("nn.op.create");
-  api_->Read(ctx->txn, tables_.inodes, ctx->dir_row_key,
+  api_->Read(ctx->txn, tables_.inodes, std::string(ctx->dir_row_key),
              ndb::LockMode::kExclusive,
              [this, ctx](Code code, std::optional<std::string> value) {
                if (code != Code::kOk) {
@@ -223,8 +224,9 @@ void Namenode::DoCreate(std::shared_ptr<OpCtx> ctx) {
                }
                InodeRow p = *parent;
                p.mtime_ns = sim_.now();
-               api_->Update(ctx->txn, tables_.inodes, ctx->dir_row_key,
-                            p.Encode(), one_done);
+               api_->Update(ctx->txn, tables_.inodes,
+                            std::string(ctx->dir_row_key), p.Encode(),
+                            one_done);
              });
 }
 
@@ -239,9 +241,12 @@ void Namenode::DoCreate(std::shared_ptr<OpCtx> ctx) {
 // is current, so the lock-free read is consistent and AZ-local.
 void Namenode::DoStat(std::shared_ptr<OpCtx> ctx) {
   PROF_ZONE("nn.op.stat");
-  const std::string key =
-      ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
-  api_->Read(ctx->txn, tables_.inodes, key, ndb::LockMode::kReadCommitted,
+  // The wire key is built directly in the call: one string materialised,
+  // no named copy (this runs synchronously inside nn.op.dispatch).
+  api_->Read(ctx->txn, tables_.inodes,
+             ctx->req.path == "/" ? InodeKey(0, "")
+                                  : InodeKey(ctx->dir, ctx->base),
+             ndb::LockMode::kReadCommitted,
              [this, ctx](Code code, std::optional<std::string> value) {
                if (code != Code::kOk) {
                  MaybeRetry(ctx, Status(code, "stat: read"));
@@ -275,10 +280,10 @@ void Namenode::DoStat(std::shared_ptr<OpCtx> ctx) {
 
 void Namenode::DoOpenRead(std::shared_ptr<OpCtx> ctx) {
   PROF_ZONE("nn.op.open_read");
-  const std::string key =
-      ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
   api_->Read(
-      ctx->txn, tables_.inodes, key, ndb::LockMode::kReadCommitted,
+      ctx->txn, tables_.inodes,
+      ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base),
+      ndb::LockMode::kReadCommitted,
       [this, ctx](Code code, std::optional<std::string> value) {
         if (code != Code::kOk) {
           MaybeRetry(ctx, Status(code, "read: stat"));
@@ -358,7 +363,8 @@ void Namenode::DoOpenRead(std::shared_ptr<OpCtx> ctx) {
 void Namenode::DoDelete(std::shared_ptr<OpCtx> ctx) {
   PROF_ZONE("nn.op.delete");
   api_->Read(
-      ctx->txn, tables_.inodes, ctx->dir_row_key, ndb::LockMode::kExclusive,
+      ctx->txn, tables_.inodes, std::string(ctx->dir_row_key),
+      ndb::LockMode::kExclusive,
       [this, ctx](Code code, std::optional<std::string> pvalue) {
         if (code != Code::kOk) {
           MaybeRetry(ctx, Status(code, "delete: parent lock"));
@@ -447,8 +453,9 @@ void Namenode::DoDelete(std::shared_ptr<OpCtx> ctx) {
                 }
                 InodeRow p = *parent;
                 p.mtime_ns = sim_.now();
-                api_->Update(ctx->txn, tables_.inodes, ctx->dir_row_key,
-                             p.Encode(), one_done);
+                api_->Update(ctx->txn, tables_.inodes,
+                             std::string(ctx->dir_row_key), p.Encode(),
+                             one_done);
               };
 
               if (row->is_dir) {
@@ -504,10 +511,10 @@ void Namenode::DoDelete(std::shared_ptr<OpCtx> ctx) {
 
 void Namenode::DoListDir(std::shared_ptr<OpCtx> ctx) {
   PROF_ZONE("nn.op.list_dir");
-  const std::string key =
-      ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
   api_->Read(
-      ctx->txn, tables_.inodes, key, ndb::LockMode::kReadCommitted,
+      ctx->txn, tables_.inodes,
+      ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base),
+      ndb::LockMode::kReadCommitted,
       [this, ctx](Code code, std::optional<std::string> value) {
         if (code != Code::kOk) {
           MaybeRetry(ctx, Status(code, "ls: read"));
@@ -526,7 +533,7 @@ void Namenode::DoListDir(std::shared_ptr<OpCtx> ctx) {
         r.inode = *row;
         if (!row->is_dir) {
           // HDFS semantics: listing a file returns the file itself.
-          r.children.push_back(ctx->base);
+          r.children.emplace_back(ctx->base);
           api_->Commit(ctx->txn, [this, ctx, r](Code c2) mutable {
             ctx->txn = 0;
             if (c2 != Code::kOk) {
@@ -568,26 +575,32 @@ void Namenode::DoListDir(std::shared_ptr<OpCtx> ctx) {
 
 void Namenode::DoRename(std::shared_ptr<OpCtx> ctx) {
   PROF_ZONE("nn.op.rename");
-  if (ctx->req.path == "/" || ctx->req.path2.empty() ||
-      ctx->req.path2 == "/" ||
-      StartsWith(ctx->req.path2, ctx->req.path + "/")) {
+  const std::string& src_path = ctx->req.path;
+  const std::string& dst_path = ctx->req.path2;
+  // "dst under src" check without materialising src + "/".
+  const bool dst_inside_src = StartsWith(dst_path, src_path) &&
+                              dst_path.size() > src_path.size() &&
+                              dst_path[src_path.size()] == '/';
+  if (src_path == "/" || dst_path.empty() || dst_path == "/" ||
+      dst_inside_src) {
     FsResult r;
     r.status = InvalidArgument("rename: bad paths");
     Finish(ctx, std::move(r));
     return;
   }
-  auto [dst_parent, dst_base] = SplitParent(ctx->req.path2);
-  ctx->dst_base = dst_base;
+  auto [dst_parent, dst_base] = SplitParentView(dst_path);
+  ctx->dst_base = dst_base;  // view into req.path2, stable for the op
   ResolveDir(ctx, dst_parent, [this, ctx](InodeId dst_dir,
-                                          std::string dst_key) {
+                                          std::string_view dst_key) {
     ctx->dst_dir = dst_dir;
-    ctx->dst_dir_row_key = std::move(dst_key);
+    ctx->dst_dir_row_key = ctx->arena.Intern(dst_key);
 
     // Lock the two parent directories in row-key order (deadlock
     // avoidance), then move the entry.
-    std::vector<std::string> parent_keys{ctx->dir_row_key};
+    std::vector<std::string> parent_keys;
+    parent_keys.emplace_back(ctx->dir_row_key);
     if (ctx->dst_dir_row_key != ctx->dir_row_key) {
-      parent_keys.push_back(ctx->dst_dir_row_key);
+      parent_keys.emplace_back(ctx->dst_dir_row_key);
     }
     std::sort(parent_keys.begin(), parent_keys.end());
 
@@ -630,8 +643,12 @@ void Namenode::DoRename(std::shared_ptr<OpCtx> ctx) {
                           const std::string& src = ctx->req.path;
                           for (auto it = path_cache_.begin();
                                it != path_cache_.end();) {
-                            if (it->first == src ||
-                                StartsWith(it->first, src + "/")) {
+                            const std::string& p = it->first;
+                            const bool under =
+                                StartsWith(p, src) &&
+                                p.size() > src.size() &&
+                                p[src.size()] == '/';
+                            if (p == src || under) {
                               it = path_cache_.erase(it);
                             } else {
                               ++it;
@@ -871,10 +888,10 @@ void Namenode::DoAppend(std::shared_ptr<OpCtx> ctx) {
 
 void Namenode::DoContentSummary(std::shared_ptr<OpCtx> ctx) {
   PROF_ZONE("nn.op.content_summary");
-  const std::string key =
-      ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base);
   api_->Read(
-      ctx->txn, tables_.inodes, key, ndb::LockMode::kReadCommitted,
+      ctx->txn, tables_.inodes,
+      ctx->req.path == "/" ? InodeKey(0, "") : InodeKey(ctx->dir, ctx->base),
+      ndb::LockMode::kReadCommitted,
       [this, ctx](Code code, std::optional<std::string> value) {
         if (code != Code::kOk) {
           MaybeRetry(ctx, Status(code, "du: read"));
@@ -971,7 +988,8 @@ void Namenode::DoDeleteRecursive(std::shared_ptr<OpCtx> ctx) {
   // subtree lock of HopsFS's subtree-operation protocol, condensed into
   // one transaction at simulator scale).
   api_->Read(
-      ctx->txn, tables_.inodes, ctx->dir_row_key, ndb::LockMode::kExclusive,
+      ctx->txn, tables_.inodes, std::string(ctx->dir_row_key),
+      ndb::LockMode::kExclusive,
       [this, ctx](Code code, std::optional<std::string> pvalue) {
         if (code != Code::kOk) {
           MaybeRetry(ctx, Status(code, "rmr: parent lock"));

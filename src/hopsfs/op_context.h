@@ -2,8 +2,12 @@
 // machines (namenode.cc / namenode_ops.cc).
 #pragma once
 
+#include <charconv>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "hopsfs/namenode.h"
 
@@ -24,6 +28,58 @@ inline bool HasAccess(const InodeRow& inode, const std::string& user,
 constexpr uint32_t kRead = 04;
 constexpr uint32_t kWrite = 02;
 
+// Bump arena backing OpCtx's string_view fields: row keys and path
+// slices live here instead of in per-field std::strings, so the dispatch
+// hot path stops paying one heap allocation per component. The inline
+// block covers every key of a typical operation; oversized interns spill
+// to exact-size heap chunks freed on Reset. Reset runs at the top of
+// each attempt — safe because every NDB op of attempt N resolves (reply
+// or timeout) before MaybeRetry schedules attempt N+1, so no stale
+// callback can read a recycled view.
+class OpArena {
+ public:
+  char* Alloc(size_t n) {
+    if (kInline - used_ >= n) {
+      char* p = buf_ + used_;
+      used_ += n;
+      return p;
+    }
+    overflow_.push_back(std::make_unique<char[]>(n));
+    return overflow_.back().get();
+  }
+
+  std::string_view Intern(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = Alloc(s.size());
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  // "parent/name" inode row key (fsschema InodeKey) built in the arena.
+  std::string_view InodeKeyIn(InodeId parent, std::string_view name) {
+    char digits[24];
+    auto [dend, ec] = std::to_chars(digits, digits + sizeof(digits), parent);
+    (void)ec;
+    const size_t id_len = static_cast<size_t>(dend - digits);
+    char* p = Alloc(id_len + 1 + name.size());
+    std::memcpy(p, digits, id_len);
+    p[id_len] = '/';
+    if (!name.empty()) std::memcpy(p + id_len + 1, name.data(), name.size());
+    return {p, id_len + 1 + name.size()};
+  }
+
+  void Reset() {
+    used_ = 0;
+    overflow_.clear();
+  }
+
+ private:
+  static constexpr size_t kInline = 512;
+  size_t used_ = 0;
+  char buf_[kInline];
+  std::vector<std::unique_ptr<char[]>> overflow_;
+};
+
 struct Namenode::OpCtx {
   FsRequest req;
   FsResultCb done;
@@ -35,15 +91,20 @@ struct Namenode::OpCtx {
   Nanos admit_time = 0;         // when the slot was acquired
   trace::SpanId txn_span = 0;   // current transaction attempt's span
 
-  // Filled by path resolution (parent directory of the target).
+  // Backing store for the views below; reset per attempt.
+  OpArena arena;
+
+  // Filled by path resolution (parent directory of the target). The
+  // views point into `req` or `arena`, both of which outlive every
+  // callback of the attempt that wrote them.
   InodeId dir = 0;
-  std::string dir_row_key;      // row key of the parent directory inode
-  std::string base;             // final path component
+  std::string_view dir_row_key;  // row key of the parent directory inode
+  std::string_view base;         // final path component
 
   // Rename: destination parent.
   InodeId dst_dir = 0;
-  std::string dst_dir_row_key;
-  std::string dst_base;
+  std::string_view dst_dir_row_key;
+  std::string_view dst_base;
 };
 
 }  // namespace repro::hopsfs

@@ -14,13 +14,15 @@ NdbApiNode::NdbApiNode(NdbCluster& cluster, HostId host,
   id_ = cluster_.RegisterApi(this);
 }
 
+NdbApiNode::~NdbApiNode() { cluster_.UnregisterApi(id_); }
+
 NodeId NdbApiNode::PickTc(const TableDef* td, TableId table,
-                          const Key* hint_key) {
+                          std::string_view hint_key) {
   auto& layout = cluster_.layout();
   const bool az_aware = cluster_.flags().az_aware && az_ != kNoAz;
 
-  if (td != nullptr && hint_key != nullptr) {
-    const PartitionId part = layout.PartitionOf(table, *hint_key);
+  if (td != nullptr) {
+    const PartitionId part = layout.PartitionOf(table, hint_key);
     if (td->read_backup && !td->fully_replicated) {
       // Case 1: any replica of the partition, closest AZ first.
       return layout.PickByProximity(az_, layout.ReplicaChain(part), az_aware,
@@ -48,26 +50,25 @@ NodeId NdbApiNode::PickTc(const TableDef* td, TableId table,
   return layout.PickByProximity(az_, all, az_aware, rr_++);
 }
 
-TxnId NdbApiNode::Begin(TableId hint_table, const Key& hint_key) {
+TxnId NdbApiNode::Begin(TableId hint_table, std::string_view hint_key) {
   const TableDef& td = cluster_.catalog().table(hint_table);
-  const NodeId tc = PickTc(&td, hint_table, &hint_key);
+  const NodeId tc = PickTc(&td, hint_table, hint_key);
   if (tc == kNoNode) return 0;
   const TxnId txn = cluster_.NextTxnId();
-  txns_[txn] = TxnState{tc, false, 0};
+  *txns_.Emplace(txn).first = TxnState{tc, false, 0};
   return txn;
 }
 
 TxnId NdbApiNode::BeginNoHint() {
-  const NodeId tc = PickTc(nullptr, 0, nullptr);
+  const NodeId tc = PickTc(nullptr, 0, {});
   if (tc == kNoNode) return 0;
   const TxnId txn = cluster_.NextTxnId();
-  txns_[txn] = TxnState{tc, false, 0};
+  *txns_.Emplace(txn).first = TxnState{tc, false, 0};
   return txn;
 }
 
 NdbApiNode::TxnState* NdbApiNode::FindTxn(TxnId txn) {
-  auto it = txns_.find(txn);
-  return it == txns_.end() ? nullptr : &it->second;
+  return txns_.Find(txn);
 }
 
 void NdbApiNode::SetTxnDeadline(TxnId txn, Nanos deadline) {
@@ -81,7 +82,7 @@ void NdbApiNode::SetTxnTrace(TxnId txn, trace::SpanId span) {
 uint64_t NdbApiNode::RegisterOp(TxnId txn, PendingOp op) {
   const uint64_t op_id = next_op_id_++;
   op.txn = txn;
-  pending_.emplace(op_id, std::move(op));
+  *pending_.Emplace(op_id).first = std::move(op);
   // The local timer never outlives the op's deadline: the op fails
   // exactly at the deadline with no extra pending events.
   Nanos timeout = op_timeout_;
@@ -91,47 +92,40 @@ uint64_t NdbApiNode::RegisterOp(TxnId txn, PendingOp op) {
                                           cluster_.sim().now());
   }
 
-  cluster_.sim().After(timeout, [this, op_id] {
-    auto it = pending_.find(op_id);
-    if (it == pending_.end()) return;  // already answered
-    ++timeouts_;
-    TxnState* t = FindTxn(it->second.txn);
-    if (t != nullptr) t->broken = true;
-    // An op that ran out of *deadline* (not the op timeout) reports
-    // kDeadlineExceeded so the caller fails fast instead of retrying.
-    const bool past_deadline =
-        t != nullptr &&
-        resilience::DeadlineExpired(t->deadline, cluster_.sim().now());
-    if (past_deadline) metrics::Bump(deadline_exceeded_);
-    FailOp(op_id, past_deadline ? Code::kDeadlineExceeded : Code::kTimedOut);
+  // The timer resolves the API node by id at fire time: if the node was
+  // destroyed in the meantime, the slot is null and the timer is a no-op
+  // instead of a use-after-free.
+  cluster_.sim().After(timeout, [cluster = &cluster_, id = id_, op_id] {
+    NdbApiNode* self = cluster->api(id);
+    if (self != nullptr) self->OnOpTimeout(op_id);
   });
   return op_id;
 }
 
-void NdbApiNode::SendToTc(TxnId txn, NodeId tc, int64_t bytes,
-                          std::function<void(NdbDatanode&)> fn,
-                          trace::SpanId parent) {
-  (void)txn;
-  NdbDatanode& node = cluster_.datanode(tc);
-  const AzId dst_az = cluster_.layout().az_of(tc);
-  const trace::SpanId hop = cluster_.sim().tracer().StartSpan(
-      parent, "net.api_tc", trace::Layer::kNdb, trace::NetCause(az_, dst_az),
-      host_, az_, dst_az);
-  cluster_.network().Send(host_, node.host(), bytes,
-                          [this, &node, hop, fn = std::move(fn)] {
-                            cluster_.sim().tracer().EndSpan(hop);
-                            node.ReceiveMsg([&node, fn] { fn(node); });
-                          });
+void NdbApiNode::OnOpTimeout(uint64_t op_id) {
+  PendingOp* p = pending_.Find(op_id);
+  if (p == nullptr) return;  // already answered
+  ++timeouts_;
+  TxnState* t = FindTxn(p->txn);
+  if (t != nullptr) t->broken = true;
+  // An op that ran out of *deadline* (not the op timeout) reports
+  // kDeadlineExceeded so the caller fails fast instead of retrying.
+  const bool past_deadline =
+      t != nullptr &&
+      resilience::DeadlineExpired(t->deadline, cluster_.sim().now());
+  if (past_deadline) metrics::Bump(deadline_exceeded_);
+  FailOp(op_id, past_deadline ? Code::kDeadlineExceeded : Code::kTimedOut);
 }
 
 void NdbApiNode::FailOp(uint64_t op_id, Code code) {
-  auto it = pending_.find(op_id);
-  if (it == pending_.end()) return;
-  PendingOp op = std::move(it->second);
-  pending_.erase(it);
+  PendingOp* slot = pending_.Find(op_id);
+  if (slot == nullptr) return;
+  PendingOp op = std::move(*slot);
+  pending_.Erase(op_id);
   cluster_.sim().tracer().EndSpan(op.span);
   cluster_.sim().tracer().EndSpan(op.hedge_span);
   if (TxnState* t = FindTxn(op.txn)) t->inflight -= 1;
+  if (op.erase_txn) txns_.Erase(op.txn);
   if (op.read_cb) op.read_cb(code, std::nullopt);
   if (op.write_cb) op.write_cb(code);
   if (op.scan_cb) op.scan_cb(code, {});
@@ -179,39 +173,46 @@ void NdbApiNode::SendKeyOp(TxnId txn, KeyOpReq req, PendingOp op) {
 
 void NdbApiNode::MaybeHedgeRead(TxnId txn, uint64_t op_id,
                                 const KeyOpReq& req) {
-  cluster_.sim().After(hedge_read_delay_, [this, txn, op_id, req] {
-    auto it = pending_.find(op_id);
-    if (it == pending_.end()) return;  // answered in time: no hedge
-    TxnState* t = FindTxn(txn);
-    if (t == nullptr || t->broken || !cluster_.cluster_up()) return;
-    // Send the same op (same op_id) to a backup replica of the
-    // partition; OnOpReply's pending-op erase makes the race benign.
-    auto& layout = cluster_.layout();
-    const PartitionId part = layout.PartitionOf(req.table, req.key);
-    NodeId alt = kNoNode;
-    for (NodeId n : layout.ReplicaChain(part)) {
-      if (n != t->tc && layout.alive(n)) {
-        alt = n;
-        break;
-      }
+  // Same destruction fence as the op timer: resolve by id at fire time.
+  cluster_.sim().After(
+      hedge_read_delay_,
+      [cluster = &cluster_, id = id_, txn, op_id, req]() mutable {
+        NdbApiNode* self = cluster->api(id);
+        if (self != nullptr) self->HedgeReadNow(txn, op_id, std::move(req));
+      });
+}
+
+void NdbApiNode::HedgeReadNow(TxnId txn, uint64_t op_id, KeyOpReq req) {
+  PendingOp* p = pending_.Find(op_id);
+  if (p == nullptr) return;  // answered in time: no hedge
+  TxnState* t = FindTxn(txn);
+  if (t == nullptr || t->broken || !cluster_.cluster_up()) return;
+  // Send the same op (same op_id) to a backup replica of the
+  // partition; OnOpReply's pending-op erase makes the race benign.
+  auto& layout = cluster_.layout();
+  const PartitionId part = layout.PartitionOf(req.table, req.key);
+  NodeId alt = kNoNode;
+  for (NodeId n : layout.ReplicaChain(part)) {
+    if (n != t->tc && layout.alive(n)) {
+      alt = n;
+      break;
     }
-    if (alt == kNoNode) return;  // no second replica to hedge to
-    it->second.hedge_tc = alt;
-    metrics::Bump(hedges_sent_);
-    const int64_t bytes = cluster_.cost().msg_read_req;
-    // The duplicated work is blamed on the resilience stack (kRetry).
-    const trace::SpanId hspan = cluster_.sim().tracer().StartSpan(
-        req.span, "ndb.read_hedge", trace::Layer::kNdb, trace::Cause::kRetry,
-        host_, az_);
-    it->second.hedge_span = hspan;
-    KeyOpReq hreq = req;
-    hreq.span = hspan;
-    SendToTc(txn, alt, bytes,
-             [hreq = std::move(hreq)](NdbDatanode& n) mutable {
-               n.TcKeyOp(std::move(hreq));
-             },
-             hspan);
-  });
+  }
+  if (alt == kNoNode) return;  // no second replica to hedge to
+  p->hedge_tc = alt;
+  metrics::Bump(hedges_sent_);
+  const int64_t bytes = cluster_.cost().msg_read_req;
+  // The duplicated work is blamed on the resilience stack (kRetry).
+  const trace::SpanId hspan = cluster_.sim().tracer().StartSpan(
+      req.span, "ndb.read_hedge", trace::Layer::kNdb, trace::Cause::kRetry,
+      host_, az_);
+  p->hedge_span = hspan;
+  req.span = hspan;
+  SendToTc(txn, alt, bytes,
+           [hreq = std::move(req)](NdbDatanode& n) mutable {
+             n.TcKeyOp(std::move(hreq));
+           },
+           hspan);
 }
 
 void NdbApiNode::Read(TxnId txn, TableId table, Key key, LockMode mode,
@@ -330,10 +331,8 @@ void NdbApiNode::Commit(TxnId txn, WriteCb cb) {
     return;
   }
   PendingOp op;
-  op.write_cb = [this, txn, cb = std::move(cb)](Code code) {
-    txns_.erase(txn);
-    cb(code);
-  };
+  op.write_cb = std::move(cb);
+  op.erase_txn = true;  // drop txn state when the commit is answered
   op.span = cluster_.sim().tracer().StartSpan(
       t->span, "ndb.commit", trace::Layer::kNdb, trace::Cause::kWork, host_,
       az_);
@@ -354,17 +353,18 @@ void NdbApiNode::Abort(TxnId txn) {
     SendToTc(txn, t->tc, cluster_.cost().msg_small,
              [txn](NdbDatanode& n) { n.TcAbort(txn); });
   }
-  txns_.erase(txn);
+  txns_.Erase(txn);
 }
 
 void NdbApiNode::OnOpReply(OpReply reply) {
-  auto it = pending_.find(reply.op_id);
-  if (it == pending_.end()) return;  // late reply after timeout / hedge loss
-  PendingOp op = std::move(it->second);
-  pending_.erase(it);
+  PendingOp* slot = pending_.Find(reply.op_id);
+  if (slot == nullptr) return;  // late reply after timeout / hedge loss
+  PendingOp op = std::move(*slot);
+  pending_.Erase(reply.op_id);
   cluster_.sim().tracer().EndSpan(op.span);
   cluster_.sim().tracer().EndSpan(op.hedge_span);
   if (TxnState* t = FindTxn(op.txn)) t->inflight -= 1;
+  if (op.erase_txn) txns_.Erase(op.txn);
   if (op.hedge_tc != kNoNode && reply.from == op.hedge_tc) {
     metrics::Bump(hedge_wins_);
   }

@@ -10,30 +10,37 @@
 // (whose retry loop then picks a surviving TC).
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "metrics/counters.h"
 #include "ndb/cluster.h"
 #include "ndb/datanode.h"
 #include "ndb/types.h"
+#include "sim/callback.h"
+#include "util/flat_map.h"
 
 namespace repro::ndb {
 
 class NdbApiNode {
  public:
-  using ReadCb =
-      std::function<void(Code, std::optional<std::string>)>;
-  using WriteCb = std::function<void(Code)>;
-  using ScanCb = std::function<void(
-      Code, std::vector<std::pair<Key, std::string>>)>;
+  using ReadCb = SmallCall<void(Code, std::optional<std::string>)>;
+  using WriteCb = SmallCall<void(Code)>;
+  using ScanCb =
+      SmallCall<void(Code, std::vector<std::pair<Key, std::string>>)>;
 
   // `location_domain_id` is the caller's AZ (§IV-B); kNoAz disables
   // AZ-local preferences for this client.
   NdbApiNode(NdbCluster& cluster, HostId host, AzId location_domain_id);
+  // Unregisters from the cluster: timers and in-flight replies that
+  // resolve this node by id after destruction find a null slot instead
+  // of a dangling pointer.
+  ~NdbApiNode();
+  NdbApiNode(const NdbApiNode&) = delete;
+  NdbApiNode& operator=(const NdbApiNode&) = delete;
 
   ApiNodeId id() const { return id_; }
   HostId host() const { return host_; }
@@ -41,8 +48,9 @@ class NdbApiNode {
 
   // Starts a transaction. With a hint, the TC is picked per the four
   // cases of §IV-A5; without one, by proximity over all datanodes
-  // (case 4). Returns 0 if no datanode is reachable.
-  TxnId Begin(TableId hint_table, const Key& hint_key);
+  // (case 4). Returns 0 if no datanode is reachable. The hint is only
+  // hashed, never stored, so a borrowed view suffices.
+  TxnId Begin(TableId hint_table, std::string_view hint_key);
   TxnId BeginNoHint();
 
   void Read(TxnId txn, TableId table, Key key, LockMode mode, ReadCb cb);
@@ -103,21 +111,49 @@ class NdbApiNode {
     ReadCb read_cb;
     WriteCb write_cb;
     ScanCb scan_cb;
+    // Commit ops drop the transaction state when answered (success or
+    // failure) — a flag instead of a wrapping closure, which would spill
+    // the callback to the heap on the hot path.
+    bool erase_txn = false;
     NodeId hedge_tc = kNoNode;  // where the hedge went (kNoNode = none)
     trace::SpanId span = 0;     // this op's span, closed at reply/failure
     trace::SpanId hedge_span = 0;  // hedge resend span (kRetry)
   };
 
-  NodeId PickTc(const TableDef* td, TableId table, const Key* hint_key);
+  NodeId PickTc(const TableDef* td, TableId table, std::string_view hint_key);
   TxnState* FindTxn(TxnId txn);
   uint64_t RegisterOp(TxnId txn, PendingOp op);
-  void SendToTc(TxnId txn, NodeId tc, int64_t bytes,
-                std::function<void(NdbDatanode&)> fn,
-                trace::SpanId parent = 0);
+  void OnOpTimeout(uint64_t op_id);
   void FailOp(uint64_t op_id, Code code);
   void SendKeyOp(TxnId txn, KeyOpReq req, PendingOp op);
 
   void MaybeHedgeRead(TxnId txn, uint64_t op_id, const KeyOpReq& req);
+  void HedgeReadNow(TxnId txn, uint64_t op_id, KeyOpReq req);
+
+  // Ships `fn(NdbDatanode&)` to the TC as one network delivery closure.
+  // A template (like Network::Send) so the payload rides in the event
+  // directly: one event-sized allocation when it is large, none when it
+  // fits inline — never an extra type-erasure hop on top. The delivery
+  // resolves nothing through `this` (the API node may be destroyed while
+  // the message is in flight); datanode references stay valid for the
+  // cluster's lifetime.
+  template <typename F>
+  void SendToTc(TxnId txn, NodeId tc, int64_t bytes, F fn,
+                trace::SpanId parent = 0) {
+    (void)txn;
+    NdbDatanode& node = cluster_.datanode(tc);
+    const AzId dst_az = cluster_.layout().az_of(tc);
+    const trace::SpanId hop = cluster_.sim().tracer().StartSpan(
+        parent, "net.api_tc", trace::Layer::kNdb, trace::NetCause(az_, dst_az),
+        host_, az_, dst_az);
+    NdbCluster* cluster = &cluster_;
+    cluster_.network().Send(
+        host_, node.host(), bytes,
+        [cluster, &node, hop, fn = std::move(fn)]() mutable {
+          cluster->sim().tracer().EndSpan(hop);
+          node.ReceiveMsg([&node, fn = std::move(fn)]() mutable { fn(node); });
+        });
+  }
 
   NdbCluster& cluster_;
   ApiNodeId id_;
@@ -132,8 +168,10 @@ class NdbApiNode {
   uint64_t next_op_id_ = 1;
   uint64_t rr_ = 0;
   int64_t timeouts_ = 0;
-  std::unordered_map<TxnId, TxnState> txns_;
-  std::unordered_map<uint64_t, PendingOp> pending_;
+  // Both keyed by monotonically increasing non-zero ids — safe for the
+  // flat map's 0 / ~0 sentinels. Never iterated.
+  util::FlatMap64<TxnState> txns_;
+  util::FlatMap64<PendingOp> pending_;
 };
 
 }  // namespace repro::ndb

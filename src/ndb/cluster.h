@@ -108,6 +108,14 @@ class NdbCluster {
 
   ApiNodeId RegisterApi(NdbApiNode* api);
   NdbApiNode* api(ApiNodeId id) { return apis_[id]; }
+  // Nulls the slot (ids are append-only, never reused), so anything that
+  // re-resolves a destroyed API node by id gets nullptr — the fence that
+  // keeps late replies and op timers from touching freed memory.
+  void UnregisterApi(ApiNodeId id) {
+    if (id >= 0 && id < static_cast<ApiNodeId>(apis_.size())) {
+      apis_[id] = nullptr;
+    }
+  }
 
   // ---- failure handling ----
   // Lowest-id management node on an up host (the acting arbitrator).

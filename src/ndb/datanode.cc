@@ -158,7 +158,7 @@ bool NdbDatanode::HasCommittingTxnAtOrBelow(int64_t epoch) const {
 // Infrastructure
 // ---------------------------------------------------------------------------
 
-void NdbDatanode::ReceiveMsg(std::function<void()> handle) {
+void NdbDatanode::ReceiveMsg(SmallFn handle) {
   if (!accepting()) return;
   const auto& cost = cluster_.cost();
   const auto& nc = cluster_.node_config();
@@ -172,13 +172,13 @@ void NdbDatanode::ReceiveMsg(std::function<void()> handle) {
       pool = main_.get();
     }
   }
-  pool->Submit(cost.recv_per_msg, [this, handle = std::move(handle)] {
+  pool->Submit(cost.recv_per_msg, [this, handle = std::move(handle)]() mutable {
     if (accepting()) handle();
   });
 }
 
 void NdbDatanode::SendToNode(NodeId dst, int64_t bytes,
-                             std::function<void(NdbDatanode&)> fn,
+                             SmallCall<void(NdbDatanode&)> fn,
                              trace::SpanId span) {
   if (!accepting()) return;
   if (dst == id_) {
@@ -198,13 +198,14 @@ void NdbDatanode::SendToNode(NodeId dst, int64_t bytes,
       span, "net.hop", trace::Layer::kNdb, trace::NetCause(az(), dst_az),
       host_, az(), dst_az);
   pool->Submit(cost.send_per_msg, [this, dst, bytes, hop,
-                                   fn = std::move(fn)] {
+                                   fn = std::move(fn)]() mutable {
     NdbDatanode& peer = cluster_.datanode(dst);
-    cluster_.network().Send(host_, peer.host(), bytes,
-                            [this, &peer, hop, fn = std::move(fn)] {
-                              cluster_.tracer().EndSpan(hop);
-                              peer.ReceiveMsg([&peer, fn] { fn(peer); });
-                            });
+    cluster_.network().Send(
+        host_, peer.host(), bytes,
+        [this, &peer, hop, fn = std::move(fn)]() mutable {
+          cluster_.tracer().EndSpan(hop);
+          peer.ReceiveMsg([&peer, fn = std::move(fn)]() mutable { fn(peer); });
+        });
   });
 }
 
@@ -224,31 +225,36 @@ void NdbDatanode::SendToApi(ApiNodeId api, int64_t bytes, OpReply reply,
                                     reply = std::move(reply)]() mutable {
     NdbApiNode* a = cluster_.api(api);
     if (a == nullptr) return;
+    // Re-resolve at delivery time: the API node can be destroyed while
+    // the reply is in flight, and its slot is nulled on unregister.
     cluster_.network().Send(host_, a->host(), bytes,
-                            [this, a, hop, reply = std::move(reply)]() mutable {
+                            [this, api, hop,
+                             reply = std::move(reply)]() mutable {
                               cluster_.tracer().EndSpan(hop);
-                              a->OnOpReply(std::move(reply));
+                              NdbApiNode* dst2 = cluster_.api(api);
+                              if (dst2 != nullptr) {
+                                dst2->OnOpReply(std::move(reply));
+                              }
                             });
   });
 }
 
-Booking NdbDatanode::RunTc(Nanos cost, std::function<void()> fn) {
+Booking NdbDatanode::RunTc(Nanos cost, SmallFn fn) {
+  // No liveness wrapper here: every submitted closure re-checks alive_
+  // itself before touching state, so the submission stays allocation-free
+  // for closures that fit the SmallFn inline buffer.
   if (!alive_) return Booking{};
-  return tc_->Submit(cost, [this, fn = std::move(fn)] {
-    if (alive_) fn();
-  });
+  return tc_->Submit(cost, std::move(fn));
 }
 
-Booking NdbDatanode::RunLdm(PartitionId part, Nanos cost,
-                            std::function<void()> fn) {
+Booking NdbDatanode::RunLdm(PartitionId part, Nanos cost, SmallFn fn) {
   // A rejoining node in streaming catch-up runs LDM work (committed
   // reads and backup chain hops for already-resynced partitions) before
   // it is fully alive again; TC/IO roles stay down until Revive.
+  // Submitted closures re-check accepting() themselves (see RunTc).
   if (!accepting()) return Booking{};
   const int thread = cluster_.layout().LdmThreadOf(part);
-  return ldm_->SubmitTo(thread, cost, [this, fn = std::move(fn)] {
-    if (accepting()) fn();
-  });
+  return ldm_->SubmitTo(thread, cost, std::move(fn));
 }
 
 void NdbDatanode::TraceCpu(trace::SpanId parent, const char* what,
@@ -263,11 +269,10 @@ void NdbDatanode::TraceCpu(trace::SpanId parent, const char* what,
                az(), b.start, b.finish);
 }
 
-void NdbDatanode::RunIo(Nanos cost, std::function<void()> fn) {
+void NdbDatanode::RunIo(Nanos cost, SmallFn fn) {
+  // Submitted closures re-check alive_ themselves (see RunTc).
   if (!alive_) return;
-  io_->Submit(cost, [this, fn = std::move(fn)] {
-    if (alive_ && fn) fn();
-  });
+  io_->Submit(cost, std::move(fn));
 }
 
 void NdbDatanode::AccountRedo() {
@@ -330,6 +335,7 @@ void NdbDatanode::FlushRedo() {
     if (batch.upto_seqno == 0) return;
     const uint64_t gen = journal_.generation();
     RunIo(cluster_.cost().io_redo_per_commit, [this, batch, gen] {
+      if (!alive_) return;
       log_disk_->Write(batch.disk_bytes, [this, batch, gen] {
         if (journal_.generation() != gen) return;
         journal_.MarkFlushed(batch);
@@ -340,8 +346,10 @@ void NdbDatanode::FlushRedo() {
   }
   if (redo_pending_bytes_ == 0) return;
   const int64_t bytes = std::exchange(redo_pending_bytes_, 0);
-  RunIo(cluster_.cost().io_redo_per_commit,
-        [this, bytes] { log_disk_->Write(bytes, nullptr); });
+  RunIo(cluster_.cost().io_redo_per_commit, [this, bytes] {
+    if (!alive_) return;
+    log_disk_->Write(bytes, nullptr);
+  });
 }
 
 void NdbDatanode::StartLocalCheckpoint(int64_t cluster_durable_epoch) {
@@ -383,6 +391,7 @@ void NdbDatanode::StartLocalCheckpoint(int64_t cluster_durable_epoch) {
         journal_.FragmentCheckpointBytes(part, num_parts, cut);
     RunIo(cluster_.cost().io_redo_per_commit, [this, part, bytes, cut, gen,
                                                step] {
+      if (!alive_) return;
       disk_->Write(bytes, [this, part, cut, gen, step] {
         if (!alive_ || journal_.generation() != gen) {
           lcp_inflight_ = false;
@@ -548,6 +557,7 @@ void NdbDatanode::TcKeyOp(KeyOpReq req) {
   const trace::SpanId op_span = req.span;
   const Booking b = RunTc(cluster_.cost().tc_route_op,
                           [this, req = std::move(req)]() mutable {
+    if (!alive_) return;
     const auto& cost = cluster_.cost();
     auto& layout = cluster_.layout();
     // Deadline propagation: refuse doomed work before routing it to an
@@ -680,6 +690,7 @@ void NdbDatanode::TcScan(ScanReq req) {
   const trace::SpanId op_span = req.span;
   const Booking b = RunTc(cluster_.cost().tc_route_op,
                           [this, req = std::move(req)]() mutable {
+    if (!alive_) return;
     const auto& cost = cluster_.cost();
     if (resilience::DeadlineExpired(req.deadline, cluster_.sim().now())) {
       SendToApi(req.api, cost.msg_small,
@@ -716,6 +727,7 @@ void NdbDatanode::TcPrepared(TxnId txn, uint64_t op_id, Code code,
       cluster_.cost().tc_route_op,
       [this, txn, op_id, code, table, key = std::move(key), part,
        chain = std::move(chain), span]() mutable {
+        if (!alive_) return;
         auto it = txns_.find(txn);
         const auto& cost = cluster_.cost();
         if (it == txns_.end() || it->second.aborted) {
@@ -754,6 +766,7 @@ void NdbDatanode::TcLockedReadResult(TxnId txn, uint64_t op_id, Code code,
       cluster_.cost().tc_route_op,
       [this, txn, op_id, code, value = std::move(value), table,
        key = std::move(key), part, span]() mutable {
+          if (!alive_) return;
           const auto& cost = cluster_.cost();
           auto it = txns_.find(txn);
           if (it == txns_.end() || it->second.aborted) {
@@ -796,6 +809,7 @@ void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api,
   PROF_ZONE("ndb.tc.commit");
   const Booking b = RunTc(cluster_.cost().tc_begin,
                           [this, txn, op_id, api, span] {
+    if (!alive_) return;
     const auto& cost = cluster_.cost();
     auto it = txns_.find(txn);
     if (it == txns_.end()) {
@@ -879,6 +893,7 @@ void NdbDatanode::TcCommit(TxnId txn, uint64_t op_id, ApiNodeId api,
 void NdbDatanode::TcCommitted(TxnId txn) {
   PROF_ZONE("ndb.tc.committed");
   RunTc(cluster_.cost().tc_commit_row, [this, txn] {
+    if (!alive_) return;
     auto it = txns_.find(txn);
     if (it == txns_.end()) return;
     TcTxn& t = it->second;
@@ -924,6 +939,7 @@ void NdbDatanode::StartCompletePhase(TxnId txn, TcTxn& t) {
 void NdbDatanode::TcCompleted(TxnId txn) {
   PROF_ZONE("ndb.tc.completed");
   RunTc(cluster_.cost().tc_complete_row, [this, txn] {
+    if (!alive_) return;
     auto it = txns_.find(txn);
     if (it == txns_.end()) return;
     TcTxn& t = it->second;
@@ -942,6 +958,7 @@ void NdbDatanode::FinishCommit(TxnId txn, TcTxn& t) {
 
 void NdbDatanode::TcAbort(TxnId txn) {
   RunTc(cluster_.cost().tc_begin, [this, txn] {
+    if (!alive_) return;
     auto it = txns_.find(txn);
     if (it == txns_.end()) return;
     AbortTxnInternal(txn, it->second, /*notify_api=*/false, Code::kAborted);
@@ -1211,6 +1228,7 @@ void NdbDatanode::LdmCommittedRead(KeyOpReq req, int replica_idx) {
   const trace::SpanId span = req.span;
   const Booking b =
       RunLdm(part, cluster_.cost().ldm_read, [this, req = std::move(req)] {
+        if (!accepting()) return;
         // Streaming catch-up availability: reads this node absorbed for
         // already-resynced partitions while still rejoining.
         if (!alive_) ++catchup_reads_served_;
@@ -1234,6 +1252,7 @@ void NdbDatanode::LdmLockedRead(PrepareReq probe) {
   const Booking b = RunLdm(
       probe.part, cluster_.cost().ldm_read,
       [this, probe = std::move(probe), mode] {
+        if (!accepting()) return;
         const trace::SpanId wait = cluster_.tracer().StartSpan(
             probe.span, "lock.wait", trace::Layer::kNdb,
             trace::Cause::kLockWait, host_, az());
@@ -1300,6 +1319,7 @@ void NdbDatanode::LdmPrepare(PrepareReq req) {
   const Booking b = RunLdm(
       req.part, cluster_.cost().ldm_prepare,
       [this, req = std::move(req)]() mutable {
+           if (!accepting()) return;
            if (!cluster_.layout().alive(req.tc)) {
              // The coordinator died while this prepare was in flight.
              // Take-over has already rolled its transactions back, but it
@@ -1485,6 +1505,7 @@ void NdbDatanode::LdmCommitChain(CommitChainReq req) {
   const Booking b = RunLdm(
       req.part, cluster_.cost().ldm_commit,
       [this, req = std::move(req)]() mutable {
+        if (!accepting()) return;
         const auto& cost = cluster_.cost();
         if (req.pos == 0) {
           // The primary is the commit point: apply, unlock, confirm.
@@ -1521,6 +1542,7 @@ void NdbDatanode::LdmComplete(CompleteReq req) {
   const Booking b = RunLdm(
       req.part, cluster_.cost().ldm_complete,
       [this, req = std::move(req)] {
+        if (!accepting()) return;
         if (!req.is_primary) {
           LogRedo(req.epoch, req.part, req.txn, req.table, req.key,
                   store_.Commit(req.table, req.key, req.txn));
@@ -1539,6 +1561,7 @@ void NdbDatanode::LdmAbortRow(TxnId txn, TableId table, Key key,
                               PartitionId part) {
   RunLdm(part, cluster_.cost().ldm_complete,
          [this, txn, table, key = std::move(key)] {
+           if (!accepting()) return;
            store_.Abort(table, key, txn);
            locks_.Release(txn, table, key);
          });
@@ -1548,6 +1571,7 @@ void NdbDatanode::LdmUnlock(TxnId txn, TableId table, Key key,
                             PartitionId part) {
   RunLdm(part, cluster_.cost().ldm_complete,
          [this, txn, table, key = std::move(key)] {
+           if (!accepting()) return;
            locks_.Release(txn, table, key);
          });
 }
@@ -1563,6 +1587,7 @@ void NdbDatanode::LdmScanExec(ScanReq req, PartitionId part, int replica_idx) {
   const trace::SpanId op_span = req.span;
   const Booking b = RunLdm(part, work, [this, req = std::move(req),
                                         rows = std::move(rows)]() mutable {
+    if (!accepting()) return;
     int64_t bytes = cluster_.cost().msg_small;
     for (const auto& [k, v] : rows) {
       bytes += static_cast<int64_t>(k.size() + v.size());

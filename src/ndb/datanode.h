@@ -21,7 +21,6 @@
 // safe for committed reads — the enabler for AZ-local reads.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,6 +29,7 @@
 
 #include "ndb/config.h"
 #include "ndb/lock_manager.h"
+#include "sim/callback.h"
 #include "ndb/redo_journal.h"
 #include "ndb/row_store.h"
 #include "ndb/schema.h"
@@ -335,17 +335,20 @@ class NdbDatanode {
   Nanos redo_stall_ns() const;
 
   // -- infrastructure used by the cluster --
-  void ReceiveMsg(std::function<void()> handle);
+  void ReceiveMsg(SmallFn handle);
   // `span` != 0 wraps the hop (SEND-thread queue + wire) in a network
   // span under it; local delivery (dst == this node) records nothing.
   void SendToNode(NodeId dst, int64_t bytes,
-                  std::function<void(NdbDatanode&)> fn,
+                  SmallCall<void(NdbDatanode&)> fn,
                   trace::SpanId span = 0);
   void SendToApi(ApiNodeId api, int64_t bytes, OpReply reply,
                  trace::SpanId span = 0);
-  Booking RunTc(Nanos cost, std::function<void()> fn);
-  Booking RunLdm(PartitionId part, Nanos cost, std::function<void()> fn);
-  void RunIo(Nanos cost, std::function<void()> fn);
+  // Run* submit the closure as-is: the caller's closure body must begin
+  // with its own alive_/accepting() re-check (the old allocation-heavy
+  // liveness wrappers are gone; see RunTc in datanode.cc).
+  Booking RunTc(Nanos cost, SmallFn fn);
+  Booking RunLdm(PartitionId part, Nanos cost, SmallFn fn);
+  void RunIo(Nanos cost, SmallFn fn);
   void FlushRedo();
 
   // Thread pools, exposed for utilisation reporting (Fig. 11).

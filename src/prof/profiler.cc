@@ -107,6 +107,10 @@ namespace {
 // corrupting the sim thread's stack. The sim thread is the only intended
 // user.
 thread_local int32_t t_current_node = 0;
+// Innermost open ProfZone on this thread (intrusive LIFO stack via
+// ProfZone::prev_open_). Uninstall walks it to poison scopes that would
+// otherwise exit into a profiler that is no longer installed.
+thread_local ProfZone* t_open_head = nullptr;
 }  // namespace
 
 Profiler::Profiler(ProfilerOptions options) : options_(options) {
@@ -133,6 +137,14 @@ void Profiler::Uninstall() {
   if (detail::g_current != this) return;
   detail::g_current = nullptr;
   detail::g_alloc_counting = alloc_counting_was_;
+  // Drain scopes still open on this thread: null each zone's profiler
+  // pointer so its pending RAII exit is a no-op instead of charging this
+  // (possibly about-to-be-destroyed) profiler and restoring the cursor to
+  // a node index inside its freed tree.
+  for (ProfZone* z = t_open_head; z != nullptr; z = z->prev_open_) {
+    z->prof_ = nullptr;
+  }
+  t_open_head = nullptr;
   t_current_node = 0;
   if (detach_hook_) {
     auto hook = std::move(detach_hook_);
@@ -159,7 +171,10 @@ int32_t Profiler::FindOrAddChild(int32_t parent, ZoneNameId name) {
   return id;
 }
 
-void Profiler::Enter(ZoneNameId name, Frame* f) {
+void Profiler::Enter(ZoneNameId name, ProfZone* z) {
+  z->prev_open_ = t_open_head;
+  t_open_head = z;
+  Frame* f = &z->frame_;
   f->prev = t_current_node;
   f->node = FindOrAddChild(t_current_node, name);
   t_current_node = f->node;
@@ -170,8 +185,10 @@ void Profiler::Enter(ZoneNameId name, Frame* f) {
   f->t0 = HostNowNs();  // last: exclude our own entry cost
 }
 
-void Profiler::Exit(const Frame& f) {
+void Profiler::Exit(ProfZone* z) {
   const uint64_t t1 = HostNowNs();  // first: exclude our own exit cost
+  t_open_head = z->prev_open_;      // zones destruct in strict LIFO order
+  const Frame& f = z->frame_;
   Node& n = nodes_[static_cast<size_t>(f.node)];
   n.total.calls += 1;
   n.total.cpu_ns += t1 - f.t0;
@@ -338,10 +355,17 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept {
 }
 void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t, size_t) noexcept {
+// Parameter order matters: the usual sized+aligned deallocation function
+// is (ptr, size, alignment). With the operands transposed these were
+// unrelated overloads the compiler never called — sized+aligned deletes
+// of over-aligned types (the sim's 64B-aligned event slabs) fell through
+// to the runtime's default, which under ASan is the interposed
+// operator delete and flags every such free as an alloc-dealloc
+// mismatch against our malloc-backed operator new.
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
   std::free(p);
 }
-void operator delete[](void* p, std::align_val_t, size_t) noexcept {
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
   std::free(p);
 }
 void operator delete(void* p, std::align_val_t,

@@ -125,6 +125,8 @@ struct ProfilerOptions {
   size_t chrome_ring_capacity = 0;
 };
 
+class ProfZone;
+
 class Profiler {
  public:
   // One tree node = one zone *path* (stack of nested zone names). Node 0
@@ -164,7 +166,10 @@ class Profiler {
 
   // Makes this the process-wide current profiler (and enables allocation
   // counting per options). Zones are recorded between Install() and
-  // Uninstall().
+  // Uninstall(). Uninstall drains every zone still open on the calling
+  // thread (the sim thread — the only intended user): their pending RAII
+  // exits become no-ops instead of charging an uninstalled (possibly
+  // destroyed) profiler and restoring a cursor into its freed zone tree.
   void Install();
   void Uninstall();
   static Profiler* Current() { return detail::g_current; }
@@ -176,9 +181,10 @@ class Profiler {
     sim_now_ = std::move(now_ns);
   }
 
-  // Zone entry/exit — called by ProfZone only.
-  void Enter(ZoneNameId name, Frame* f);
-  void Exit(const Frame& f);
+  // Zone entry/exit — called by ProfZone only. Take the zone itself so
+  // Enter can thread it onto the open-zone stack Uninstall drains.
+  void Enter(ZoneNameId name, ProfZone* z);
+  void Exit(ProfZone* z);
 
   // Zeroes every node's stats and the Chrome ring, keeping the interned
   // tree (so a warmed-up tree profiles a measurement window with zero
@@ -227,24 +233,28 @@ class Profiler {
 };
 
 // RAII zone scope. Constructed cheap when no profiler is installed; exits
-// charge the zone even on early return / exception unwind.
+// charge the zone even on early return / exception unwind. If the
+// profiler is uninstalled (or destroyed) while the scope is open, the
+// drain in Uninstall() nulls prof_ and the exit is a no-op.
 class ProfZone {
  public:
   explicit ProfZone(ZoneNameId name) {
     Profiler* p = detail::g_current;
     if (p == nullptr) return;
     prof_ = p;
-    p->Enter(name, &frame_);
+    p->Enter(name, this);
   }
   ~ProfZone() {
-    if (prof_ != nullptr) prof_->Exit(frame_);
+    if (prof_ != nullptr) prof_->Exit(this);
   }
 
   ProfZone(const ProfZone&) = delete;
   ProfZone& operator=(const ProfZone&) = delete;
 
  private:
+  friend class Profiler;
   Profiler* prof_ = nullptr;
+  ProfZone* prev_open_ = nullptr;  // next-outer open zone (LIFO stack)
   Profiler::Frame frame_;
 };
 

@@ -9,6 +9,12 @@
 // throwing-move callables fall back to a single heap allocation, which is
 // exactly what `std::function` would have done for anything beyond its
 // (much smaller) internal buffer.
+//
+// `SmallCall<R(Args...)>` is the general form: the protocol layers use it
+// for their completion callbacks (`ReadCb`, `WriteCb`, the TC commit and
+// complete chains) so a small capture costs no allocation where a
+// `std::function` of the same closure would heap-allocate past its
+// 16-byte buffer. `SmallFn` is an alias for `SmallCall<void()>`.
 #pragma once
 
 #include <cstddef>
@@ -18,21 +24,25 @@
 
 namespace repro {
 
-class SmallFn {
+template <typename Sig>
+class SmallCall;  // undefined; specialised for function signatures
+
+template <typename R, typename... Args>
+class SmallCall<R(Args...)> {
  public:
   // Sized so the network layer's per-message delivery wrapper (this + two
-  // host ids + byte count + a std::function payload) stays inline.
+  // host ids + byte count + a moved-in callable payload) stays inline.
   static constexpr std::size_t kInlineBytes = 56;
 
-  SmallFn() noexcept = default;
-  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+  SmallCall() noexcept = default;
+  SmallCall(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
 
   template <typename F,
             typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+            typename = std::enable_if_t<!std::is_same_v<D, SmallCall> &&
                                         !std::is_same_v<D, std::nullptr_t> &&
-                                        std::is_invocable_r_v<void, D&>>>
-  SmallFn(F&& f) {  // NOLINT(runtime/explicit): intentional implicit wrap
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallCall(F&& f) {  // NOLINT(runtime/explicit): intentional implicit wrap
     if constexpr (FitsInline<D>()) {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
       ops_ = &kInlineOps<D>;
@@ -42,19 +52,21 @@ class SmallFn {
     }
   }
 
-  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
-  SmallFn& operator=(SmallFn&& other) noexcept {
+  SmallCall(SmallCall&& other) noexcept { MoveFrom(other); }
+  SmallCall& operator=(SmallCall&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
     }
     return *this;
   }
-  SmallFn(const SmallFn&) = delete;
-  SmallFn& operator=(const SmallFn&) = delete;
-  ~SmallFn() { Reset(); }
+  SmallCall(const SmallCall&) = delete;
+  SmallCall& operator=(const SmallCall&) = delete;
+  ~SmallCall() { Reset(); }
 
-  void operator()() { ops_->invoke(storage_); }
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
   void Reset() noexcept {
@@ -66,7 +78,7 @@ class SmallFn {
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    R (*invoke)(void* storage, Args&&... args);
     // Move-construct the callable into dst's storage from src's storage,
     // then destroy the source (a "relocate": move + destroy in one step).
     void (*relocate)(void* dst, void* src) noexcept;
@@ -75,7 +87,7 @@ class SmallFn {
 
   template <typename T>
   static constexpr bool FitsInline() {
-    // Storage is pointer-aligned (keeping SmallFn at exactly 64 bytes);
+    // Storage is pointer-aligned (keeping SmallCall at exactly 64 bytes);
     // over-aligned callables fall back to the heap path.
     return sizeof(T) <= kInlineBytes && alignof(T) <= alignof(void*) &&
            std::is_nothrow_move_constructible_v<T>;
@@ -85,7 +97,11 @@ class SmallFn {
 
   template <typename T>
   static constexpr Ops kInlineOps = {
-      /*invoke=*/[](void* s) { (*std::launder(reinterpret_cast<T*>(s)))(); },
+      /*invoke=*/
+      [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<T*>(s)))(
+            std::forward<Args>(args)...);
+      },
       /*relocate=*/
       [](void* dst, void* src) noexcept {
         T* from = std::launder(reinterpret_cast<T*>(src));
@@ -98,7 +114,10 @@ class SmallFn {
 
   template <typename T>
   static constexpr Ops kHeapOps = {
-      /*invoke=*/[](void* s) { (**reinterpret_cast<T**>(s))(); },
+      /*invoke=*/
+      [](void* s, Args&&... args) -> R {
+        return (**reinterpret_cast<T**>(s))(std::forward<Args>(args)...);
+      },
       /*relocate=*/
       [](void* dst, void* src) noexcept {
         *reinterpret_cast<T**>(dst) = *reinterpret_cast<T**>(src);
@@ -106,7 +125,7 @@ class SmallFn {
       /*destroy=*/[](void* s) noexcept { delete *reinterpret_cast<T**>(s); },
   };
 
-  void MoveFrom(SmallFn& other) noexcept {
+  void MoveFrom(SmallCall& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
       ops_->relocate(storage_, other.storage_);
@@ -117,5 +136,7 @@ class SmallFn {
   const Ops* ops_ = nullptr;
   alignas(void*) unsigned char storage_[kInlineBytes];
 };
+
+using SmallFn = SmallCall<void()>;
 
 }  // namespace repro

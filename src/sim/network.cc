@@ -43,10 +43,9 @@ void Network::EnsureHost(HostId h) {
   }
 }
 
-void Network::Send(HostId from, HostId to, int64_t payload_bytes,
-                   std::function<void()> deliver) {
+Nanos Network::PrepareSend(HostId from, HostId to, int64_t payload_bytes) {
   assert(payload_bytes >= 0);
-  if (!topology_.Reachable(from, to)) return;
+  if (!topology_.Reachable(from, to)) return -1;
   EnsureHost(std::max(from, to));
 
   const int64_t bytes = payload_bytes + config_.per_message_overhead_bytes;
@@ -64,7 +63,7 @@ void Network::Send(HostId from, HostId to, int64_t payload_bytes,
       while (sim_.rng().NextDouble() < p) {
         ++messages_dropped_;
         retransmit_delay += config_.retransmit_timeout;
-        if (++losses >= config_.max_retransmits) return;
+        if (++losses >= config_.max_retransmits) return -1;
       }
     }
   }
@@ -92,17 +91,7 @@ void Network::Send(HostId from, HostId to, int64_t payload_bytes,
     departure = Occupy(nic_free_at_[from], now, nic_tx);
     departure = Occupy(link_free_at_[Pair(az_from, az_to)], departure, link_tx);
   }
-  const Nanos arrival =
-      departure + retransmit_delay + topology_.Latency(from, to, sim_.rng());
-
-  sim_.At(arrival, [this, from, to, bytes, deliver = std::move(deliver)] {
-    // Re-check: the destination may have died or been partitioned away
-    // while the message was in flight.
-    if (!topology_.Reachable(from, to)) return;
-    host_stats_[to].bytes_received += bytes;
-    host_stats_[to].messages_received += 1;
-    deliver();
-  });
+  return departure + retransmit_delay + topology_.Latency(from, to, sim_.rng());
 }
 
 void Network::ResetStats() {

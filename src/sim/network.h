@@ -11,7 +11,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.h"
@@ -56,8 +56,25 @@ class Network {
   // Sends `payload_bytes` from host `from` to host `to`; `deliver` runs at
   // the arrival time. Dropped (deliver never runs) if the destination is
   // unreachable at send or arrival time.
-  void Send(HostId from, HostId to, int64_t payload_bytes,
-            std::function<void()> deliver);
+  //
+  // Templated on the callable so the scheduled arrival event captures the
+  // caller's closure directly: a deliver closure of <= 32 bytes rides in
+  // the engine's inline event slot with no heap allocation at all.
+  template <typename F>
+  void Send(HostId from, HostId to, int64_t payload_bytes, F deliver) {
+    const Nanos arrival = PrepareSend(from, to, payload_bytes);
+    if (arrival < 0) return;  // unreachable or connection reset
+    const int64_t bytes = payload_bytes + config_.per_message_overhead_bytes;
+    sim_.At(arrival,
+            [this, from, to, bytes, f = std::move(deliver)]() mutable {
+              // Re-check: the destination may have died or been partitioned
+              // away while the message was in flight.
+              if (!topology_.Reachable(from, to)) return;
+              host_stats_[to].bytes_received += bytes;
+              host_stats_[to].messages_received += 1;
+              f();
+            });
+  }
 
   // ---- Statistics (since last ResetStats) ----
   int64_t intra_az_bytes() const { return intra_az_bytes_; }
@@ -91,6 +108,11 @@ class Network {
   Simulation& sim() { return sim_; }
 
  private:
+  // Everything Send() does before scheduling the arrival: reachability,
+  // loss draws, byte accounting, NIC/link occupancy. Returns the arrival
+  // time, or -1 when the message never arrives.
+  Nanos PrepareSend(HostId from, HostId to, int64_t payload_bytes);
+
   // Flat row-major index into the per-directed-AZ-pair tables.
   int Pair(AzId from, AzId to) const { return from * num_azs_ + to; }
 

@@ -22,12 +22,11 @@ int ThreadPool::EarliestFree() const {
   return best;
 }
 
-Booking ThreadPool::Submit(Nanos cost, std::function<void()> done) {
+Booking ThreadPool::Submit(Nanos cost, SmallFn done) {
   return SubmitTo(EarliestFree(), cost, std::move(done));
 }
 
-Booking ThreadPool::SubmitTo(int thread, Nanos cost,
-                             std::function<void()> done) {
+Booking ThreadPool::SubmitTo(int thread, Nanos cost, SmallFn done) {
   assert(thread >= 0 && thread < num_threads());
   assert(cost >= 0);
   if (slowdown_ != 1.0) {
@@ -106,7 +105,7 @@ Disk::Disk(Simulation& sim, std::string name, Nanos access_time,
     : sim_(sim), name_(std::move(name)), access_time_(access_time),
       read_rate_(read_bytes_per_sec), write_rate_(write_bytes_per_sec) {}
 
-Booking Disk::SubmitIo(Nanos service, std::function<void()> done) {
+Booking Disk::SubmitIo(Nanos service, SmallFn done) {
   if (slowdown_ != 1.0) {
     service = static_cast<Nanos>(static_cast<double>(service) * slowdown_);
   }
@@ -133,7 +132,7 @@ void Disk::ResetStats() {
   booked_ns_ = std::max<Nanos>(0, free_at_ - sim_.now());
 }
 
-Booking Disk::Read(int64_t bytes, std::function<void()> done) {
+Booking Disk::Read(int64_t bytes, SmallFn done) {
   prof::ChargeSimDisk(bytes);
   stats_.bytes_read += bytes;
   const Nanos service =
@@ -142,7 +141,7 @@ Booking Disk::Read(int64_t bytes, std::function<void()> done) {
   return SubmitIo(service, std::move(done));
 }
 
-Booking Disk::Write(int64_t bytes, std::function<void()> done) {
+Booking Disk::Write(int64_t bytes, SmallFn done) {
   prof::ChargeSimDisk(bytes);
   stats_.bytes_written += bytes;
   const Nanos service =

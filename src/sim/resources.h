@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/engine.h"
 #include "util/time.h"
 
@@ -40,10 +40,10 @@ class ThreadPool {
 
   // Runs `cost` of CPU work on the earliest-free thread; `done` fires when
   // the work completes (after queueing). `done` may be null.
-  Booking Submit(Nanos cost, std::function<void()> done);
+  Booking Submit(Nanos cost, SmallFn done);
 
   // Runs work on a specific thread (partition affinity).
-  Booking SubmitTo(int thread, Nanos cost, std::function<void()> done);
+  Booking SubmitTo(int thread, Nanos cost, SmallFn done);
 
   // How far ahead of `now` the least-loaded thread is booked. Used for
   // overflow decisions (NDB's idle helper threads) and backpressure.
@@ -113,8 +113,8 @@ class Disk {
        Nanos access_time = 50 * kMicrosecond,
        double read_bytes_per_sec = 2.4e9, double write_bytes_per_sec = 1.2e9);
 
-  Booking Read(int64_t bytes, std::function<void()> done);
-  Booking Write(int64_t bytes, std::function<void()> done);
+  Booking Read(int64_t bytes, SmallFn done);
+  Booking Write(int64_t bytes, SmallFn done);
 
   // stats().busy_ns is clipped to service already performed, like
   // ThreadPool::busy_ns(); bytes/ops count at submission.
@@ -129,7 +129,7 @@ class Disk {
   double slowdown() const { return slowdown_; }
 
  private:
-  Booking SubmitIo(Nanos service, std::function<void()> done);
+  Booking SubmitIo(Nanos service, SmallFn done);
   int64_t AccruedBusyNs() const;
 
   Simulation& sim_;

@@ -1,0 +1,149 @@
+// Open-addressing hash map for dense uint64-keyed protocol state.
+//
+// The NDB client keeps two per-node tables on its hottest path: txn id ->
+// transaction state and op id -> pending operation. `std::unordered_map`
+// allocates one node per insert, which shows up directly in the per-op
+// allocation budgets (`BENCH_prof.json`). This map stores slots in one
+// flat power-of-two array with linear probing and tombstone deletion, so
+// steady-state insert/erase churn allocates nothing once the table has
+// grown to the working-set size.
+//
+// Constraints (checked where cheap): keys are non-zero and below
+// UINT64_MAX (both sentinels); the map is never iterated by protocol
+// code, so probe order can never leak into simulation behaviour.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace repro::util {
+
+template <typename V>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  V* Find(uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmpty) return nullptr;
+    }
+  }
+
+  // Inserts a default-constructed value for `key` (or finds the existing
+  // one); the bool is true when the key was newly inserted.
+  std::pair<V*, bool> Emplace(uint64_t key) {
+    assert(key != kEmpty && key != kTombstone);
+    if (NeedsGrow()) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t first_tomb = SIZE_MAX;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == key) return {&s.value, false};
+      if (s.key == kTombstone) {
+        if (first_tomb == SIZE_MAX) first_tomb = i;
+        continue;
+      }
+      if (s.key == kEmpty) {
+        size_t at = first_tomb != SIZE_MAX ? first_tomb : i;
+        Slot& dst = slots_[at];
+        if (dst.key == kTombstone) tombstones_ -= 1;
+        dst.key = key;
+        dst.value = V{};
+        size_ += 1;
+        return {&dst.value, true};
+      }
+    }
+  }
+
+  bool Erase(uint64_t key) {
+    if (slots_.empty()) return false;
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == key) {
+        s.key = kTombstone;
+        s.value = V{};
+        size_ -= 1;
+        tombstones_ += 1;
+        return true;
+      }
+      if (s.key == kEmpty) return false;
+    }
+  }
+
+  void Clear() {
+    for (Slot& s : slots_) {
+      s.key = kEmpty;
+      s.value = V{};
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kTombstone = ~uint64_t{0};
+
+  struct Slot {
+    uint64_t key = kEmpty;
+    V value{};
+  };
+
+  // splitmix64 finaliser: protocol ids are sequential, so identity
+  // hashing would probe one dense run.
+  static size_t Hash(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+
+  bool NeedsGrow() const {
+    // Grow at 3/4 occupancy counting tombstones (they lengthen probes).
+    return slots_.empty() || (size_ + tombstones_ + 1) * 4 >= slots_.size() * 3;
+  }
+
+  void Grow() {
+    size_t next = slots_.empty() ? 16 : slots_.size() * 2;
+    // Pure tombstone pressure rehashes in place at the same capacity.
+    if (!slots_.empty() && (size_ + 1) * 4 < slots_.size() * 3) {
+      next = slots_.size();
+    }
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(next);
+    size_ = 0;
+    tombstones_ = 0;
+    const size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.key == kEmpty || s.key == kTombstone) continue;
+      for (size_t i = Hash(s.key) & mask;; i = (i + 1) & mask) {
+        Slot& dst = slots_[i];
+        if (dst.key == kEmpty) {
+          dst.key = s.key;
+          dst.value = std::move(s.value);
+          size_ += 1;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace repro::util

@@ -50,6 +50,21 @@ std::pair<std::string, std::string> SplitParent(std::string_view path) {
   return {JoinPath(parts), base};
 }
 
+std::pair<std::string_view, std::string_view> SplitParentView(
+    std::string_view path) {
+  size_t end = path.size();
+  while (end > 0 && path[end - 1] == '/') --end;
+  if (end == 0) return {std::string_view("/"), std::string_view()};
+  const size_t slash = path.rfind('/', end - 1);
+  const size_t start = slash == std::string_view::npos ? 0 : slash + 1;
+  std::string_view base = path.substr(start, end - start);
+  size_t pend = start;
+  while (pend > 0 && path[pend - 1] == '/') --pend;
+  std::string_view parent =
+      pend == 0 ? std::string_view("/") : path.substr(0, pend);
+  return {parent, base};
+}
+
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }

@@ -19,6 +19,12 @@ std::string JoinPath(const std::vector<std::string_view>& parts);
 // Returns {parent_path, basename}; "/" has parent "/" and empty basename.
 std::pair<std::string, std::string> SplitParent(std::string_view path);
 
+// Zero-allocation SplitParent: both views alias `path` (or a static "/").
+// Matches SplitParent on normalised paths; a parent with redundant
+// slashes is returned as-is rather than re-joined.
+std::pair<std::string_view, std::string_view> SplitParentView(
+    std::string_view path);
+
 bool StartsWith(std::string_view s, std::string_view prefix);
 
 }  // namespace repro

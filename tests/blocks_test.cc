@@ -102,6 +102,26 @@ TEST(Placement, ReplacementRestoresAzCoverage) {
   EXPECT_EQ(rig.registry->az_of(repl), 2) << "must restore AZ coverage";
 }
 
+TEST(Placement, ReplacementIgnoresDeadReplicasForAzCoverage) {
+  BlockRig rig;
+  AzAwarePlacement policy(3);
+  // AZ 2 lost a datanode (dn 6) that is still listed in the block's
+  // replica set — its own repair runs later in the round. AZ 1 has no
+  // alive capacity at all.
+  rig.dns[6]->Crash();
+  for (DnId d = 3; d <= 5; ++d) rig.dns[d]->Crash();
+  const std::vector<DnId> existing = {0, 6};  // alive in AZ 0, dead in AZ 2
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    Rng rng(seed);
+    const DnId repl = policy.ChooseReplacement(existing, *rig.registry, 0, rng);
+    ASSERT_GE(repl, 0);
+    // The dead replica must not count as AZ-2 coverage: only AZ 0 has a
+    // live copy, so the replacement has to restore AZ 2 rather than fall
+    // back to doubling up AZ 0.
+    EXPECT_EQ(rig.registry->az_of(repl), 2) << "seed " << seed;
+  }
+}
+
 TEST(BlockDatanode, PipelineReplicatesToAllReplicas) {
   BlockRig rig;
   bool done = false;

@@ -175,5 +175,33 @@ TEST(NdbFailure, ApiTimeoutsSurfaceAsRetryableErrors) {
   EXPECT_TRUE(s.retryable());
 }
 
+// Regression: replies, hedge timers, and op-timeout timers used to hold a
+// raw pointer to the API node; destroying the client with operations in
+// flight made each of them a use-after-free when it later fired. They now
+// re-resolve the node by id through the cluster (slots are nulled on
+// unregister and never reused), so a torn-down client's callbacks never
+// run. Pre-fence this test crashes under ASan.
+TEST(NdbFailure, ApiNodeTeardownWithInFlightOpsIsSafe) {
+  TestCluster tc;
+  tc.cluster->StartProtocols();
+  tc.sim->RunFor(Seconds(1));
+  ASSERT_EQ(tc.InsertCommit(tc.inode_table, "1/seed", "v"), Code::kOk);
+
+  // Start a read and a scan, then destroy the client while their replies
+  // and timeout timers are still in flight.
+  const TxnId txn = tc.api->Begin(tc.inode_table, "1/seed");
+  ASSERT_NE(txn, 0u);
+  int fired = 0;
+  tc.api->Read(txn, tc.inode_table, "1/seed", LockMode::kReadCommitted,
+               [&](Code, std::optional<std::string>) { ++fired; });
+  tc.api->ScanPrefix(txn, tc.inode_table, "1/",
+                     [&](Code, std::vector<std::pair<Key, std::string>>) {
+                       ++fired;
+                     });
+  tc.api.reset();
+  tc.sim->RunFor(Seconds(5));  // deliver late replies, fire op timers
+  EXPECT_EQ(fired, 0) << "callback ran after its client was destroyed";
+}
+
 }  // namespace
 }  // namespace repro::ndb

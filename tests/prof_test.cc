@@ -10,10 +10,12 @@
 #include <vector>
 
 #include "chaos/harness.h"
+#include "hopsfs_test_util.h"
 #include "metrics/counters.h"
 #include "prof/profiler.h"
 #include "prof/report.h"
 #include "telemetry/scraper.h"
+#include "util/strings.h"
 #include "util/time.h"
 
 namespace repro {
@@ -104,6 +106,51 @@ TEST(ProfZones, InstallIsExclusiveAndDestructorUninstalls) {
   EXPECT_TRUE(b.installed());
   a.reset();  // destroying a non-current profiler must not uninstall b
   EXPECT_EQ(Profiler::Current(), &b);
+}
+
+// Regression: Uninstall() with zones still open used to leave each open
+// ProfZone's cached profiler pointer live — the pending RAII exits then
+// charged the uninstalled profiler and restored the thread-local cursor
+// to node indices inside *its* tree, corrupting whatever profiler was
+// installed next. Uninstall must drain (poison) the open scopes instead.
+TEST(ProfZones, UninstallMidZoneDoesNotChargeOrCorruptSuccessor) {
+  Profiler p;
+  Profiler q;
+  p.Install();
+  {
+    PROF_ZONE("outer");
+    {
+      PROF_ZONE("mid");
+      q.Install();  // displaces p while two of p's zones are still open
+      LeafWork();
+    }  // mid's drained exit must neither charge p nor move q's cursor
+    LeafWork();
+  }
+  q.Uninstall();
+
+  // p recorded nothing after being displaced mid-zone.
+  for (size_t i = 1; i < p.nodes().size(); ++i) {
+    EXPECT_EQ(p.nodes()[i].total.calls, 0u)
+        << "uninstalled profiler charged at " << p.PathOf(static_cast<int32_t>(i));
+  }
+  // q saw two root-level leaf calls; a corrupted cursor would have nested
+  // the second one under a stale node index from p's tree.
+  ASSERT_EQ(q.nodes().size(), 2u);
+  EXPECT_EQ(q.PathOf(1), "leaf");
+  EXPECT_EQ(q.nodes()[1].total.calls, 2u);
+}
+
+// Regression: destroying the installed profiler while a zone is open was
+// a use-after-free — the zone's exit called into the freed profiler.
+// Runs clean under ASan now that ~Profiler's Uninstall drains the scope.
+TEST(ProfZones, DeleteMidZoneIsSafe) {
+  auto* p = new Profiler();
+  p->Install();
+  {
+    PROF_ZONE("doomed");
+    delete p;  // uninstalls and drains the still-open scope
+  }  // this exit must be a no-op, not a call into freed memory
+  EXPECT_EQ(Profiler::Current(), nullptr);
 }
 
 // ---- allocation-hook attribution ------------------------------------------
@@ -294,6 +341,50 @@ TEST(ProfReport, ChromeRingRecordsExitsAndWrapsOldestFirst) {
   ASSERT_NE(pos_c, std::string::npos);
   EXPECT_LT(pos_b, pos_c);
   EXPECT_NE(events.find("\"ts\":2.000"), std::string::npos);  // sim µs
+}
+
+// ---- allocation budgets on the flattened hot path --------------------------
+
+// Pins the protocol-flattening work: steady-state NN dispatch runs on the
+// per-op arena + inline callables (≤ 5 allocations per op, down from
+// 10.6 at the seed), and a TC key-op costs at most the one wire-key
+// string it forwards. A regression that reintroduces per-op std::string
+// or std::function churn trips these before it reaches the bench gate.
+TEST(ProfBudgets, FlattenedDispatchAndTcKeyopStayWithinBudget) {
+  hopsfs::testing::TestFs fs;
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs.Create(StrFormat("/d/f%d", i), 1024).ok());
+  }
+
+  Profiler p;
+  p.Install();
+  // Warm-up inside the install window: first touches build the zone tree
+  // and fill the NN path cache; the measured window is steady state.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs.Stat(StrFormat("/d/f%d", i)).ok());
+  }
+  p.ResetStats();
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(fs.Stat(StrFormat("/d/f%d", i)).ok());
+    }
+  }
+  p.Uninstall();
+
+  double dispatch_per_call = -1.0;
+  double keyop_per_call = -1.0;
+  for (const auto& [name, stats] : p.ByName()) {
+    if (stats.calls == 0) continue;
+    const double per_call =
+        static_cast<double>(stats.allocs) / static_cast<double>(stats.calls);
+    if (name == "nn.op.dispatch") dispatch_per_call = per_call;
+    if (name == "ndb.tc.keyop") keyop_per_call = per_call;
+  }
+  ASSERT_GE(dispatch_per_call, 0.0) << "nn.op.dispatch zone never ran";
+  ASSERT_GE(keyop_per_call, 0.0) << "ndb.tc.keyop zone never ran";
+  EXPECT_LE(dispatch_per_call, 5.0);
+  EXPECT_LE(keyop_per_call, 1.1);
 }
 
 // ---- determinism: profiler on/off byte-identity ----------------------------
